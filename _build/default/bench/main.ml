@@ -1,0 +1,651 @@
+(* Benchmark harness: regenerates every table and figure of the CUP
+   paper's evaluation (Section 3), plus ablations and micro-benchmarks
+   of the hot data structures.
+
+   Usage:
+     dune exec bench/main.exe                     # everything, scaled
+     dune exec bench/main.exe -- table1 fig5      # selected targets
+     dune exec bench/main.exe -- --full           # paper-scale runs
+     dune exec bench/main.exe -- --csv results    # also write CSV files
+*)
+
+module E = Cup_sim.Experiments
+module Table = Cup_report.Table
+module Plot = Cup_report.Plot
+
+let csv_dir : string option ref = ref None
+
+let write_csv name ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (name ^ ".csv") in
+      Cup_report.Csv.write ~path ~header rows;
+      Printf.printf "(wrote %s)\n" path
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n\n"
+
+let scale_label = function E.Scaled -> "scaled" | E.Full -> "full (paper-scale)"
+
+(* {1 Figures 3 and 4: cost vs push level} *)
+
+(* Figure 3 uses the two low rates, Figure 4 the high ones. *)
+let fig_rates scale which =
+  let rs = E.rates scale in
+  match which with
+  | `Fig3 -> List.filteri (fun i _ -> i < 2) rs
+  | `Fig4 -> List.filteri (fun i _ -> i >= 2) rs
+
+let run_push_sweeps scale which =
+  List.map (fun rate -> E.push_level_sweep scale ~rate) (fig_rates scale which)
+
+let print_push_sweeps ~log_y title sweeps =
+  let table =
+    Table.create ~title
+      ~columns:
+        ("push level"
+        :: List.concat_map
+             (fun (s : E.push_level_series) ->
+               [
+                 Printf.sprintf "total (%g q/s)" s.rate;
+                 Printf.sprintf "miss (%g q/s)" s.rate;
+               ])
+             sweeps)
+  in
+  (match sweeps with
+  | [] -> ()
+  | first :: _ ->
+      List.iter
+        (fun (p : E.push_level_point) ->
+          let row =
+            Table.cell_int p.level
+            :: List.concat_map
+                 (fun (s : E.push_level_series) ->
+                   match
+                     List.find_opt
+                       (fun (q : E.push_level_point) -> q.level = p.level)
+                       s.points
+                   with
+                   | Some q ->
+                       [ Table.cell_int q.total_cost; Table.cell_int q.miss_cost ]
+                   | None -> [ "-"; "-" ])
+                 sweeps
+          in
+          Table.add_row table row)
+        first.points);
+  Table.print table;
+  List.iter
+    (fun (s : E.push_level_series) ->
+      write_csv
+        (Printf.sprintf "push_level_%g_qps" s.rate)
+        ~header:[ "level"; "total_cost"; "miss_cost" ]
+        (List.map
+           (fun (p : E.push_level_point) ->
+             [
+               string_of_int p.level;
+               string_of_int p.total_cost;
+               string_of_int p.miss_cost;
+             ])
+           s.points);
+      Printf.printf "optimal push level for %g q/s: %d (total cost %d)\n"
+        s.rate s.optimal_level s.optimal_total)
+    sweeps;
+  print_newline ();
+  Plot.print ~log_y ~title ~x_label:"push level" ~y_label:"cost (hops)"
+    (List.concat_map
+       (fun (s : E.push_level_series) ->
+         [
+           {
+             Plot.label = Printf.sprintf "total, %g q/s" s.rate;
+             points =
+               List.map
+                 (fun (p : E.push_level_point) ->
+                   (float_of_int p.level, float_of_int p.total_cost))
+                 s.points;
+           };
+           {
+             Plot.label = Printf.sprintf "miss, %g q/s" s.rate;
+             points =
+               List.map
+                 (fun (p : E.push_level_point) ->
+                   (float_of_int p.level, float_of_int p.miss_cost))
+                 s.points;
+           };
+         ])
+       sweeps)
+
+(* {1 Table 1: cut-off policies} *)
+
+let print_table1 scale rows =
+  let rates = E.rates scale in
+  let table =
+    Table.create
+      ~title:"Table 1: total cost for varying cut-off policies"
+      ~columns:
+        ("policy"
+        :: List.map (fun r -> Printf.sprintf "%g q/s total" r) rates)
+  in
+  List.iter
+    (fun (row : E.policy_row) ->
+      Table.add_row table
+        (row.policy_label
+        :: List.map
+             (fun rate ->
+               match List.assoc_opt rate row.cells with
+               | Some cell ->
+                   Printf.sprintf "%d %s" cell.E.total
+                     (Table.cell_ratio cell.E.normalized)
+               | None -> "-")
+             rates))
+    rows;
+  Table.print table;
+  write_csv "table1"
+    ~header:("policy" :: List.map (Printf.sprintf "%g_qps") rates)
+    (List.map
+       (fun (row : E.policy_row) ->
+         row.policy_label
+         :: List.map
+              (fun rate ->
+                match List.assoc_opt rate row.cells with
+                | Some cell -> string_of_int cell.E.total
+                | None -> "")
+              rates)
+       rows)
+
+(* {1 Table 2: varying the network size} *)
+
+let print_table2 rows =
+  let table =
+    Table.create
+      ~title:"Table 2: CUP vs standard caching for varying network size"
+      ~columns:
+        [
+          "metric \\ nodes";
+        ]
+  in
+  ignore table;
+  (* Transposed layout like the paper: one column per network size. *)
+  let columns =
+    "metric"
+    :: List.map (fun (r : E.size_row) -> string_of_int r.nodes) rows
+  in
+  let table =
+    Table.create
+      ~title:"Table 2: CUP vs standard caching for varying network size"
+      ~columns
+  in
+  Table.add_row table
+    ("CUP / STD miss cost"
+    :: List.map (fun (r : E.size_row) -> Table.cell_float r.miss_cost_ratio) rows);
+  Table.add_row table
+    ("CUP miss latency (one-way hops)"
+    :: List.map (fun (r : E.size_row) -> Table.cell_float ~decimals:1 r.cup_miss_latency) rows);
+  Table.add_row table
+    ("STD miss latency (one-way hops)"
+    :: List.map (fun (r : E.size_row) -> Table.cell_float ~decimals:1 r.std_miss_latency) rows);
+  Table.add_row table
+    ("saved miss hops per overhead hop"
+    :: List.map (fun (r : E.size_row) -> Table.cell_float r.saved_per_overhead) rows);
+  Table.print table;
+  write_csv "table2"
+    ~header:
+      [ "nodes"; "miss_cost_ratio"; "cup_latency"; "std_latency";
+        "saved_per_overhead" ]
+    (List.map
+       (fun (r : E.size_row) ->
+         [
+           string_of_int r.nodes;
+           Printf.sprintf "%.4f" r.miss_cost_ratio;
+           Printf.sprintf "%.2f" r.cup_miss_latency;
+           Printf.sprintf "%.2f" r.std_miss_latency;
+           Printf.sprintf "%.4f" r.saved_per_overhead;
+         ])
+       rows)
+
+(* {1 Table 3: multiple replicas per key} *)
+
+let print_table3 rows =
+  let table =
+    Table.create
+      ~title:
+        "Table 3: miss cost, misses, total cost for varying replica counts"
+      ~columns:
+        [
+          "replicas";
+          "naive miss cost (misses)";
+          "indep miss cost (misses)";
+          "indep total cost";
+        ]
+  in
+  List.iter
+    (fun (r : E.replica_row) ->
+      Table.add_row table
+        [
+          Table.cell_int r.replicas;
+          Printf.sprintf "%d (%d)" r.naive_miss_cost r.naive_misses;
+          Printf.sprintf "%d (%d)" r.indep_miss_cost r.indep_misses;
+          Table.cell_int r.indep_total_cost;
+        ])
+    rows;
+  Table.print table;
+  write_csv "table3"
+    ~header:
+      [ "replicas"; "naive_miss_cost"; "naive_misses"; "indep_miss_cost";
+        "indep_misses"; "indep_total" ]
+    (List.map
+       (fun (r : E.replica_row) ->
+         [
+           string_of_int r.replicas;
+           string_of_int r.naive_miss_cost;
+           string_of_int r.naive_misses;
+           string_of_int r.indep_miss_cost;
+           string_of_int r.indep_misses;
+           string_of_int r.indep_total_cost;
+         ])
+       rows)
+
+(* {1 Figures 5 and 6: reduced capacity} *)
+
+let print_capacity ~log_y title (s : E.capacity_series) =
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "%s (lambda = %g q/s)" title s.cap_rate)
+      ~columns:
+        [ "capacity"; "Up-And-Down total"; "Once-Down-Always-Down total" ]
+  in
+  List.iter
+    (fun (p : E.capacity_point) ->
+      Table.add_row table
+        [
+          Table.cell_float p.capacity;
+          Table.cell_int p.up_and_down_total;
+          Table.cell_int p.once_down_total;
+        ])
+    s.cap_points;
+  Table.add_separator table;
+  Table.add_row table
+    [ "std caching"; Table.cell_int s.std_total; Table.cell_int s.std_total ];
+  Table.print table;
+  write_csv
+    (Printf.sprintf "capacity_%g_qps" s.cap_rate)
+    ~header:[ "capacity"; "up_and_down_total"; "once_down_total"; "std_total" ]
+    (List.map
+       (fun (p : E.capacity_point) ->
+         [
+           Printf.sprintf "%.2f" p.capacity;
+           string_of_int p.up_and_down_total;
+           string_of_int p.once_down_total;
+           string_of_int s.std_total;
+         ])
+       s.cap_points);
+  Plot.print ~log_y ~title ~x_label:"capacity" ~y_label:"total cost (hops)"
+    [
+      {
+        Plot.label = "Up-And-Down";
+        points =
+          List.map
+            (fun (p : E.capacity_point) ->
+              (p.capacity, float_of_int p.up_and_down_total))
+            s.cap_points;
+      };
+      {
+        Plot.label = "Once-Down-Always-Down";
+        points =
+          List.map
+            (fun (p : E.capacity_point) ->
+              (p.capacity, float_of_int p.once_down_total))
+            s.cap_points;
+      };
+      {
+        Plot.label = "standard caching";
+        points =
+          List.map
+            (fun (p : E.capacity_point) ->
+              (p.capacity, float_of_int s.std_total))
+            s.cap_points;
+      };
+    ]
+
+(* {1 Ablations} *)
+
+let print_ablation_ordering rows =
+  let table =
+    Table.create
+      ~title:
+        "Ablation: update-queue ordering under token-bucket starvation"
+      ~columns:[ "ordering"; "total cost"; "miss cost"; "misses" ]
+  in
+  List.iter
+    (fun (r : E.ordering_row) ->
+      Table.add_row table
+        [
+          r.ordering_label;
+          Table.cell_int r.ord_total;
+          Table.cell_int r.ord_miss;
+          Table.cell_int r.ord_misses;
+        ])
+    rows;
+  Table.print table
+
+let print_ablation_window rows =
+  let table =
+    Table.create
+      ~title:"Ablation: log-based cut-off window (second-chance = 2)"
+      ~columns:[ "dry-update window"; "total cost"; "miss cost" ]
+  in
+  List.iter
+    (fun (r : E.dry_row) ->
+      Table.add_row table
+        [
+          Table.cell_int r.dry_window;
+          Table.cell_int r.dry_total;
+          Table.cell_int r.dry_miss;
+        ])
+    rows;
+  Table.print table
+
+let print_techniques rows =
+  let table =
+    Table.create
+      ~title:
+        "Section 3.6 techniques: reducing propagation overhead (10 replicas)"
+      ~columns:
+        [ "technique"; "total"; "overhead"; "miss cost"; "misses"; "justified %" ]
+  in
+  List.iter
+    (fun (r : E.technique_row) ->
+      Table.add_row table
+        [
+          r.technique_label;
+          Table.cell_int r.tech_total;
+          Table.cell_int r.tech_overhead;
+          Table.cell_int r.tech_miss;
+          Table.cell_int r.tech_misses;
+          Table.cell_float ~decimals:1 r.tech_justified_pct;
+        ])
+    rows;
+  Table.print table
+
+let print_justification rows =
+  let table =
+    Table.create
+      ~title:
+        "Section 3.1 check: justified updates vs realized saved/overhead"
+      ~columns:[ "policy"; "rate (q/s)"; "justified %"; "tracked"; "saved/overhead" ]
+  in
+  List.iter
+    (fun (r : E.justification_row) ->
+      Table.add_row table
+        [
+          r.j_policy;
+          Printf.sprintf "%g" r.j_rate;
+          Table.cell_float ~decimals:1 r.j_justified_pct;
+          Table.cell_int r.j_tracked;
+          Table.cell_float r.j_saved_per_overhead;
+        ])
+    rows;
+  Table.print table
+
+let print_overlays rows =
+  let table =
+    Table.create
+      ~title:"CUP over different structured overlays (Section 2.2)"
+      ~columns:
+        [ "overlay"; "policy"; "total"; "miss cost"; "misses"; "miss latency" ]
+  in
+  List.iter
+    (fun (r : E.overlay_row) ->
+      Table.add_row table
+        [
+          r.overlay_label;
+          r.o_policy;
+          Table.cell_int r.o_total;
+          Table.cell_int r.o_miss;
+          Table.cell_int r.o_misses;
+          Table.cell_float ~decimals:1 r.o_latency;
+        ])
+    rows;
+  Table.print table
+
+let print_model rows =
+  let table =
+    Table.create
+      ~title:
+        "Model vs simulation: justified-update probability at level 1"
+      ~columns:[ "rate (q/s)"; "authority fanout"; "measured %"; "model %" ]
+  in
+  List.iter
+    (fun (r : E.model_row) ->
+      Table.add_row table
+        [
+          Printf.sprintf "%g" r.m_rate;
+          Table.cell_int r.m_fanout;
+          Table.cell_float ~decimals:1 r.measured_justified_pct;
+          Table.cell_float ~decimals:1 r.predicted_justified_pct;
+        ])
+    rows;
+  Table.print table
+
+(* {1 Micro-benchmarks (Bechamel)} *)
+
+let micro () =
+  let open Bechamel in
+  let rng = Cup_prng.Rng.create ~seed:99 in
+  let topo =
+    Cup_overlay.Topology.create ~rng ~n:256 ~placement:`Random ()
+  in
+  let ids = Array.of_list (Cup_overlay.Topology.node_ids topo) in
+  let key = Cup_overlay.Key.of_int 7 in
+  let point = Cup_overlay.Key.to_point key in
+  let heap_test =
+    Test.make ~name:"event-heap push+pop x100"
+      (Staged.stage (fun () ->
+           let h = Cup_dess.Event_heap.create () in
+           for i = 0 to 99 do
+             ignore
+               (Cup_dess.Event_heap.push h
+                  ~time:(Cup_dess.Time.of_seconds (float_of_int (i * 7 mod 101)))
+                  i)
+           done;
+           while Cup_dess.Event_heap.pop h <> None do
+             ()
+           done))
+  in
+  let route_test =
+    Test.make ~name:"CAN route (256 nodes)"
+      (Staged.stage (fun () ->
+           ignore (Cup_overlay.Topology.route topo ~from:ids.(0) point)))
+  in
+  let prng_test =
+    Test.make ~name:"prng float x100"
+      (Staged.stage (fun () ->
+           for _ = 1 to 100 do
+             ignore (Cup_prng.Rng.float rng)
+           done))
+  in
+  let node_test =
+    let node =
+      Cup_proto.Node.create
+        ~id:(Cup_overlay.Node_id.of_int 0)
+        Cup_proto.Node.default_config
+    in
+    let neighbor = Cup_overlay.Node_id.of_int 1 in
+    Test.make ~name:"node handle_query (cold)"
+      (Staged.stage (fun () ->
+           ignore
+             (Cup_proto.Node.handle_query node ~now:Cup_dess.Time.zero
+                ~next_hop:(Some neighbor)
+                (Cup_proto.Node.From_neighbor neighbor)
+                key)))
+  in
+  let chord = Cup_overlay.Chord.create ~rng ~n:256 () in
+  let chord_ids = Array.of_list (Cup_overlay.Chord.node_ids chord) in
+  let chord_test =
+    Test.make ~name:"Chord route (256 nodes)"
+      (Staged.stage (fun () ->
+           ignore (Cup_overlay.Chord.route chord ~from:chord_ids.(0) key)))
+  in
+  let pastry = Cup_overlay.Pastry.create ~rng ~n:256 () in
+  let pastry_ids = Array.of_list (Cup_overlay.Pastry.node_ids pastry) in
+  let pastry_test =
+    Test.make ~name:"Pastry route (256 nodes)"
+      (Staged.stage (fun () ->
+           ignore (Cup_overlay.Pastry.route pastry ~from:pastry_ids.(0) key)))
+  in
+  let queue_test =
+    Test.make ~name:"update-queue push+pop x32"
+      (Staged.stage (fun () ->
+           let q =
+             Cup_proto.Update_queue.create Cup_proto.Update_queue.Latency_first
+           in
+           for i = 0 to 31 do
+             let entry =
+               Cup_proto.Entry.make
+                 ~replica:(Cup_proto.Replica_id.of_int i)
+                 ~expiry:(Cup_dess.Time.of_seconds (float_of_int (100 + (i * 13 mod 50))))
+             in
+             Cup_proto.Update_queue.push q
+               (Cup_proto.Update.refresh ~key ~entry ~level:1)
+           done;
+           while
+             Cup_proto.Update_queue.pop q ~now:Cup_dess.Time.zero <> None
+           do
+             ()
+           done))
+  in
+  let tests =
+    Test.make_grouped ~name:"cup" ~fmt:"%s %s"
+      [
+        heap_test; route_test; chord_test; pastry_test; queue_test;
+        prng_test; node_test;
+      ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    let raw_results = Benchmark.all cfg instances tests in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw_results) instances
+    in
+    let results = Analyze.merge ols instances results in
+    results
+  in
+  let results = benchmark () in
+  let table =
+    Table.create ~title:"Micro-benchmarks (Bechamel, monotonic clock)"
+      ~columns:[ "benchmark"; "ns/run" ]
+  in
+  Hashtbl.iter
+    (fun _metric tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Table.add_row table [ name; Printf.sprintf "%.1f" est ]
+          | Some ests ->
+              Table.add_row table
+                [
+                  name;
+                  String.concat ", " (List.map (Printf.sprintf "%.1f") ests);
+                ]
+          | None -> Table.add_row table [ name; "n/a" ])
+        tbl)
+    results;
+  Table.print table
+
+(* {1 Driver} *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = if List.mem "--full" args then E.Full else E.Scaled in
+  let rec strip_csv = function
+    | "--csv" :: dir :: rest ->
+        csv_dir := Some dir;
+        strip_csv rest
+    | a :: rest -> a :: strip_csv rest
+    | [] -> []
+  in
+  let args = strip_csv args in
+  let targets = List.filter (fun a -> a <> "--full") args in
+  let targets = if targets = [] then [ "all" ] else targets in
+  let want name = List.mem "all" targets || List.mem name targets in
+  Printf.printf "CUP benchmark harness (%s)\n" (scale_label scale);
+  let fig3_sweeps = ref [] and fig4_sweeps = ref [] in
+  if want "fig3" then begin
+    section "Figure 3: total and miss cost vs push level (low query rates)";
+    let sweeps = run_push_sweeps scale `Fig3 in
+    fig3_sweeps := sweeps;
+    print_push_sweeps ~log_y:false
+      (Printf.sprintf "Figure 3: cost vs push level (%s q/s)"
+         (String.concat " and "
+            (List.map (Printf.sprintf "%g") (fig_rates scale `Fig3))))
+      sweeps
+  end;
+  if want "fig4" then begin
+    section "Figure 4: total and miss cost vs push level (high query rates)";
+    let sweeps = run_push_sweeps scale `Fig4 in
+    fig4_sweeps := sweeps;
+    print_push_sweeps ~log_y:true
+      "Figure 4: cost vs push level (high rates, log y)" sweeps
+  end;
+  if want "table1" then begin
+    section "Table 1: total cost for varying cut-off policies";
+    let optimal =
+      match !fig3_sweeps @ !fig4_sweeps with [] -> None | s -> Some s
+    in
+    print_table1 scale (E.table1 ?optimal scale)
+  end;
+  if want "table2" then begin
+    section "Table 2: CUP vs standard caching, varying network size";
+    print_table2 (E.table2 scale)
+  end;
+  if want "table3" then begin
+    section "Table 3: naive vs replica-independent cut-off";
+    print_table3 (E.table3 scale)
+  end;
+  if want "fig5" then begin
+    section "Figure 5: total cost vs reduced capacity (low rate)";
+    let rate = List.nth (E.rates scale) 1 in
+    print_capacity ~log_y:false "Figure 5: total cost vs capacity"
+      (E.capacity_sweep scale ~rate)
+  end;
+  if want "fig6" then begin
+    section "Figure 6: total cost vs reduced capacity (high rate, log y)";
+    let rate = List.nth (E.rates scale) (List.length (E.rates scale) - 1) in
+    print_capacity ~log_y:true "Figure 6: total cost vs capacity"
+      (E.capacity_sweep scale ~rate)
+  end;
+  if want "ablations" then begin
+    section "Ablations";
+    print_ablation_ordering (E.ablation_queue_ordering scale);
+    print_ablation_window (E.ablation_log_based_window scale)
+  end;
+  if want "overlays" then begin
+    section "Overlay generality: CUP over CAN, Chord and Pastry";
+    print_overlays (E.overlay_comparison scale)
+  end;
+  if want "techniques" then begin
+    section "Section 3.6 propagation-overhead techniques";
+    print_techniques (E.propagation_techniques scale)
+  end;
+  if want "model" then begin
+    section "Section 3.1 model vs simulation";
+    print_model (E.model_check scale)
+  end;
+  if want "justification" then begin
+    section "Section 3.1 justified-update accounting";
+    print_justification (E.justification scale)
+  end;
+  if want "micro" then begin
+    section "Micro-benchmarks";
+    micro ()
+  end;
+  Printf.printf "\ndone.\n"

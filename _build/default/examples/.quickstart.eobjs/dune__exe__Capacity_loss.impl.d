@@ -1,0 +1,1 @@
+examples/capacity_loss.ml: Array Cup_metrics Cup_overlay Cup_prng Cup_proto Cup_sim Printf

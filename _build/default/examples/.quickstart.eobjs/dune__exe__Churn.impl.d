@@ -1,0 +1,1 @@
+examples/churn.ml: Array Cup_metrics Cup_overlay Cup_prng Cup_sim Format Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cup_dess Cup_metrics Cup_overlay Cup_proto Cup_sim Format List Printf

@@ -1,0 +1,1 @@
+examples/walkthrough.ml: Cup_overlay Cup_sim Format List Printf

@@ -1,0 +1,1 @@
+examples/zipf_workload.ml: Cup_dess Cup_metrics Cup_overlay Cup_proto Cup_sim List Printf String

@@ -1,0 +1,1 @@
+examples/zipf_workload.mli:

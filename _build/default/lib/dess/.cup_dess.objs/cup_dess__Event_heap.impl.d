@@ -1,0 +1,1 @@
+lib/dess/event_heap.ml: Array Time

@@ -1,0 +1,1 @@
+lib/dess/event_heap.mli: Time

@@ -1,0 +1,1 @@
+lib/dess/time.ml: Float Format Stdlib

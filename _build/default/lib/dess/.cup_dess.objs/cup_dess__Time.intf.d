@@ -1,0 +1,1 @@
+lib/dess/time.mli: Format

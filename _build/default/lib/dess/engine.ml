@@ -1,0 +1,59 @@
+type t = {
+  mutable clock : Time.t;
+  mutable executed : int;
+  mutable stopping : bool;
+  queue : (t -> unit) Event_heap.t;
+}
+
+type handle = Event_heap.handle
+
+let create () =
+  {
+    clock = Time.zero;
+    executed = 0;
+    stopping = false;
+    queue = Event_heap.create ();
+  }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  if not (Time.is_finite at) then
+    invalid_arg "Engine.schedule: time must be finite";
+  if Time.(at < t.clock) then
+    invalid_arg "Engine.schedule: cannot schedule in the past";
+  Event_heap.push t.queue ~time:at f
+
+let schedule_after t ~delay f =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(Time.add t.clock delay) f
+
+let cancel t handle = Event_heap.cancel t.queue handle
+
+let stop t = t.stopping <- true
+
+let run ?(until = Time.infinity) ?(max_events = max_int) t =
+  t.stopping <- false;
+  let budget = ref max_events in
+  let rec loop () =
+    if t.stopping || !budget <= 0 then ()
+    else
+      match Event_heap.peek_time t.queue with
+      | None -> ()
+      | Some time when Time.(time > until) ->
+          if Time.is_finite until then t.clock <- Time.max t.clock until
+      | Some _ -> (
+          match Event_heap.pop t.queue with
+          | None -> ()
+          | Some (time, f) ->
+              t.clock <- time;
+              t.executed <- t.executed + 1;
+              decr budget;
+              f t;
+              loop ())
+  in
+  loop ()
+
+let pending t = Event_heap.length t.queue
+
+let events_executed t = t.executed

@@ -1,0 +1,46 @@
+(** Sequential discrete-event simulation engine.
+
+    This replaces the Stanford Narses simulator used by the paper: a
+    single virtual clock and an event queue.  Callbacks scheduled with
+    {!schedule} run at their timestamp in nondecreasing time order;
+    equal timestamps run in scheduling order, so a run is a pure
+    function of its inputs and random seed.
+
+    A callback may schedule further events (including at the current
+    instant) and may cancel pending ones. *)
+
+type t
+
+type handle
+(** A pending event, usable with {!cancel}. *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current virtual time.  [Time.zero] before the first event. *)
+
+val schedule : t -> at:Time.t -> (t -> unit) -> handle
+(** [schedule t ~at f] runs [f t] at virtual time [at].  Raises
+    [Invalid_argument] if [at] is in the past or not finite. *)
+
+val schedule_after : t -> delay:float -> (t -> unit) -> handle
+(** [schedule_after t ~delay f] is [schedule t ~at:(now t + delay) f].
+    Requires [delay >= 0.]. *)
+
+val cancel : t -> handle -> bool
+(** Cancel a pending event; [false] if it already ran or was cancelled. *)
+
+val stop : t -> unit
+(** Stop the current {!run} after the executing callback returns. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** [run t] executes events until the queue empties, [until] is
+    exceeded (events strictly after [until] stay queued and [now]
+    becomes [until]), [max_events] callbacks have run, or {!stop} is
+    called. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-fired, not-cancelled events. *)
+
+val events_executed : t -> int
+(** Total callbacks run since [create]. *)

@@ -1,0 +1,106 @@
+type 'a cell = {
+  time : Time.t;
+  seq : int;
+  value : 'a;
+  mutable cancelled : bool;
+}
+
+type handle = H : 'a cell -> handle
+
+type 'a t = {
+  mutable cells : 'a cell array; (* binary heap, slot 0 is the root *)
+  mutable size : int;
+  mutable live : int;
+  mutable next_seq : int;
+}
+
+let create () = { cells = [||]; size = 0; live = 0; next_seq = 0 }
+
+let length t = t.live
+
+let is_empty t = t.live = 0
+
+let earlier a b =
+  match Time.compare a.time b.time with 0 -> a.seq < b.seq | c -> c < 0
+
+let swap t i j =
+  let tmp = t.cells.(i) in
+  t.cells.(i) <- t.cells.(j);
+  t.cells.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.cells.(i) t.cells.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && earlier t.cells.(left) t.cells.(!smallest) then
+    smallest := left;
+  if right < t.size && earlier t.cells.(right) t.cells.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t cell =
+  let cap = Array.length t.cells in
+  if t.size = cap then begin
+    let new_cap = if cap = 0 then 16 else cap * 2 in
+    let cells = Array.make new_cap cell in
+    Array.blit t.cells 0 cells 0 t.size;
+    t.cells <- cells
+  end
+
+let push t ~time value =
+  let cell = { time; seq = t.next_seq; value; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  grow t cell;
+  t.cells.(t.size) <- cell;
+  t.size <- t.size + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.size - 1);
+  H cell
+
+let cancel t (H cell) =
+  if cell.cancelled then false
+  else begin
+    cell.cancelled <- true;
+    t.live <- t.live - 1;
+    true
+  end
+
+let remove_root t =
+  let root = t.cells.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.cells.(0) <- t.cells.(t.size);
+    sift_down t 0
+  end;
+  root
+
+(* Discard tombstoned cells sitting at the root. *)
+let rec drain_cancelled t =
+  if t.size > 0 && t.cells.(0).cancelled then begin
+    ignore (remove_root t);
+    drain_cancelled t
+  end
+
+let pop t =
+  drain_cancelled t;
+  if t.size = 0 then None
+  else begin
+    let cell = remove_root t in
+    t.live <- t.live - 1;
+    Some (cell.time, cell.value)
+  end
+
+let peek_time t =
+  drain_cancelled t;
+  if t.size = 0 then None else Some t.cells.(0).time

@@ -1,0 +1,35 @@
+(** Binary min-heap of timestamped events.
+
+    The heap orders events by [(time, sequence)] where the sequence
+    number is assigned at insertion: two events scheduled for the same
+    instant fire in insertion order.  That tie-break is what makes the
+    whole simulator deterministic, so it is part of the contract, not an
+    implementation detail.
+
+    Cancellation is O(1) by tombstoning: a cancelled event stays in the
+    array and is discarded lazily when it reaches the top. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event for cancellation. *)
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:Time.t -> 'a -> handle
+(** [push t ~time v] schedules [v] at [time] and returns a handle. *)
+
+val cancel : 'a t -> handle -> bool
+(** [cancel t h] tombstones the event; returns [false] if it already
+    fired or was already cancelled. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** [pop t] removes and returns the earliest live event. *)
+
+val peek_time : 'a t -> Time.t option
+(** Timestamp of the earliest live event, without removing it. *)

@@ -1,0 +1,17 @@
+type t = float
+
+let zero = 0.
+let of_seconds s = s
+let to_seconds t = t
+let add t s = t +. s
+let diff later earlier = later -. earlier
+let ( <= ) = Stdlib.( <= )
+let ( < ) = Stdlib.( < )
+let ( >= ) = Stdlib.( >= )
+let ( > ) = Stdlib.( > )
+let min = Stdlib.min
+let max = Stdlib.max
+let compare = Float.compare
+let is_finite = Float.is_finite
+let infinity = Float.infinity
+let pp fmt t = Format.fprintf fmt "%.3fs" t

@@ -1,0 +1,26 @@
+(** Simulated time.
+
+    Time is a float number of seconds since the start of a run.  A thin
+    module (rather than a bare [float]) so call sites read as time
+    arithmetic and so the representation could change without touching
+    the protocol code. *)
+
+type t = float
+
+val zero : t
+val of_seconds : float -> t
+val to_seconds : t -> float
+val add : t -> float -> t
+val diff : t -> t -> float
+(** [diff later earlier] is [later - earlier] in seconds. *)
+
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val compare : t -> t -> int
+val is_finite : t -> bool
+val infinity : t
+val pp : Format.formatter -> t -> unit

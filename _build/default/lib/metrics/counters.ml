@@ -1,0 +1,107 @@
+type t = {
+  mutable query_hops : int;
+  mutable first_time_answer_hops : int;
+  mutable first_time_proactive_hops : int;
+  mutable refresh_hops : int;
+  mutable delete_hops : int;
+  mutable append_hops : int;
+  mutable clear_bit_hops : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable dropped_updates : int;
+  latency_hops : Welford.t;
+  latency_histogram : Histogram.t;
+}
+
+let create () =
+  {
+    query_hops = 0;
+    first_time_answer_hops = 0;
+    first_time_proactive_hops = 0;
+    refresh_hops = 0;
+    delete_hops = 0;
+    append_hops = 0;
+    clear_bit_hops = 0;
+    hits = 0;
+    misses = 0;
+    dropped_updates = 0;
+    latency_hops = Welford.create ();
+    latency_histogram = Histogram.create ();
+  }
+
+let record_query_hop t = t.query_hops <- t.query_hops + 1
+
+let record_first_time_hop t ~answering =
+  if answering then t.first_time_answer_hops <- t.first_time_answer_hops + 1
+  else t.first_time_proactive_hops <- t.first_time_proactive_hops + 1
+
+let record_update_hop t = function
+  | `Refresh -> t.refresh_hops <- t.refresh_hops + 1
+  | `Delete -> t.delete_hops <- t.delete_hops + 1
+  | `Append -> t.append_hops <- t.append_hops + 1
+
+let record_clear_bit_hop t = t.clear_bit_hops <- t.clear_bit_hops + 1
+let record_hit t = t.hits <- t.hits + 1
+
+let record_miss t ~latency ~hop_delay =
+  t.misses <- t.misses + 1;
+  let hops = if hop_delay > 0. then latency /. hop_delay else 0. in
+  Welford.add t.latency_hops hops;
+  Histogram.add t.latency_histogram hops
+
+let record_dropped_update t = t.dropped_updates <- t.dropped_updates + 1
+
+let query_hops t = t.query_hops
+let first_time_answer_hops t = t.first_time_answer_hops
+let first_time_proactive_hops t = t.first_time_proactive_hops
+let refresh_hops t = t.refresh_hops
+let delete_hops t = t.delete_hops
+let append_hops t = t.append_hops
+let clear_bit_hops t = t.clear_bit_hops
+
+let miss_cost t = t.query_hops + t.first_time_answer_hops
+
+let overhead_cost t =
+  t.first_time_proactive_hops + t.refresh_hops + t.delete_hops
+  + t.append_hops + t.clear_bit_hops
+
+let total_cost t = miss_cost t + overhead_cost t
+
+let hits t = t.hits
+let misses t = t.misses
+let local_queries t = t.hits + t.misses
+let dropped_updates t = t.dropped_updates
+let miss_latency_hops t = t.latency_hops
+let miss_latency_histogram t = t.latency_histogram
+
+let miss_latency_percentile t q = Histogram.quantile t.latency_histogram q
+let avg_miss_latency_hops t = Welford.mean t.latency_hops
+
+let merge a b =
+  {
+    query_hops = a.query_hops + b.query_hops;
+    first_time_answer_hops = a.first_time_answer_hops + b.first_time_answer_hops;
+    first_time_proactive_hops =
+      a.first_time_proactive_hops + b.first_time_proactive_hops;
+    refresh_hops = a.refresh_hops + b.refresh_hops;
+    delete_hops = a.delete_hops + b.delete_hops;
+    append_hops = a.append_hops + b.append_hops;
+    clear_bit_hops = a.clear_bit_hops + b.clear_bit_hops;
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    dropped_updates = a.dropped_updates + b.dropped_updates;
+    latency_hops = Welford.merge a.latency_hops b.latency_hops;
+    latency_histogram = Histogram.merge a.latency_histogram b.latency_histogram;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>miss cost: %d hops (%d query + %d first-time)@,\
+     overhead:  %d hops (%d proactive-ft + %d refresh + %d delete + %d \
+     append + %d clear-bit)@,\
+     total:     %d hops@,\
+     queries:   %d local (%d hits, %d misses), avg miss latency %.2f hops@]"
+    (miss_cost t) t.query_hops t.first_time_answer_hops (overhead_cost t)
+    t.first_time_proactive_hops t.refresh_hops t.delete_hops t.append_hops
+    t.clear_bit_hops (total_cost t) (local_queries t) t.hits t.misses
+    (avg_miss_latency_hops t)

@@ -1,0 +1,79 @@
+(** Hop-cost accounting — the cost model of Section 3.1.
+
+    Every message crossing an overlay edge costs one hop.  Hops are
+    charged to one of two buckets:
+
+    - {b miss cost}: query hops plus the hops of first-time updates
+      that answer a pending query (the "D hops up, D hops down" of the
+      paper's cost-per-query analysis);
+    - {b overhead}: refresh/delete/append propagation hops, clear-bit
+      hops, and first-time-update hops pushed proactively to
+      interested neighbors that were not waiting on a query.
+
+    Total cost is their sum.  In standard caching no updates or
+    clear-bits flow, so total cost = miss cost, exactly as the paper
+    notes.
+
+    A {e miss} is a locally-posted query that could not be answered
+    synchronously from a fresh cache entry (a first-time miss or a
+    freshness miss); its latency runs from posting to answer
+    delivery. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording} *)
+
+val record_query_hop : t -> unit
+val record_first_time_hop : t -> answering:bool -> unit
+(** [answering] is [true] when the receiving node had its
+    Pending-First-Update flag set for the key — the hop is part of
+    delivering an answer, hence miss cost; otherwise it is proactive
+    propagation, hence overhead. *)
+
+val record_update_hop : t -> [ `Refresh | `Delete | `Append ] -> unit
+val record_clear_bit_hop : t -> unit
+val record_hit : t -> unit
+val record_miss : t -> latency:float -> hop_delay:float -> unit
+(** [latency] in seconds; [hop_delay] converts it to the hop count the
+    paper reports. *)
+
+val record_dropped_update : t -> unit
+(** An update suppressed by reduced outgoing capacity. *)
+
+(** {1 Reading} *)
+
+val query_hops : t -> int
+val first_time_answer_hops : t -> int
+val first_time_proactive_hops : t -> int
+val refresh_hops : t -> int
+val delete_hops : t -> int
+val append_hops : t -> int
+val clear_bit_hops : t -> int
+
+val miss_cost : t -> int
+val overhead_cost : t -> int
+val total_cost : t -> int
+
+val hits : t -> int
+val misses : t -> int
+val local_queries : t -> int
+val dropped_updates : t -> int
+
+val miss_latency_hops : t -> Welford.t
+(** Distribution of per-miss latencies, in hops. *)
+
+val miss_latency_histogram : t -> Histogram.t
+(** The same distribution with tail quantiles. *)
+
+val miss_latency_percentile : t -> float -> float
+(** [miss_latency_percentile t 0.99] is the p99 per-miss latency in
+    hops (upper-bound estimate; see {!Histogram.quantile}). *)
+
+val avg_miss_latency_hops : t -> float
+
+val merge : t -> t -> t
+(** Pointwise sum (latency distributions are combined). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+type t = {
+  min_value : float;
+  max_value : float;
+  bins_per_decade : int;
+  counts : int array; (* [0] underflow, [last] overflow *)
+  mutable n : int;
+  mutable sum : float;
+  mutable max_seen : float;
+}
+
+let bin_count ~min_value ~max_value ~bins_per_decade =
+  let decades = log10 (max_value /. min_value) in
+  int_of_float (Float.ceil (decades *. float_of_int bins_per_decade)) + 2
+
+let create ?(min_value = 0.1) ?(max_value = 1e6) ?(bins_per_decade = 20) () =
+  if not (min_value > 0. && max_value > min_value) then
+    invalid_arg "Histogram.create: need 0 < min_value < max_value";
+  if bins_per_decade <= 0 then
+    invalid_arg "Histogram.create: bins_per_decade must be > 0";
+  {
+    min_value;
+    max_value;
+    bins_per_decade;
+    counts = Array.make (bin_count ~min_value ~max_value ~bins_per_decade) 0;
+    n = 0;
+    sum = 0.;
+    max_seen = Float.neg_infinity;
+  }
+
+let bin_of t v =
+  if v < t.min_value then 0
+  else if v >= t.max_value then Array.length t.counts - 1
+  else
+    let idx =
+      1
+      + int_of_float
+          (Float.floor
+             (log10 (v /. t.min_value) *. float_of_int t.bins_per_decade))
+    in
+    (* guard rounding at the edges *)
+    Stdlib.min (Array.length t.counts - 2) (Stdlib.max 1 idx)
+
+(* Upper bound of a bin's value range. *)
+let bin_upper t i =
+  if i = 0 then t.min_value
+  else if i = Array.length t.counts - 1 then t.max_seen
+  else
+    t.min_value
+    *. Float.pow 10. (float_of_int i /. float_of_int t.bins_per_decade)
+
+let add t v =
+  let i = bin_of t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if v > t.max_seen then t.max_seen <- v
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+
+let quantile t q =
+  if q < 0. || q > 1. then invalid_arg "Histogram.quantile: q must be in [0,1]";
+  if t.n = 0 then 0.
+  else begin
+    let target =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int t.n)))
+    in
+    let rec scan i acc =
+      if i >= Array.length t.counts then t.max_seen
+      else
+        let acc = acc + t.counts.(i) in
+        (* the true quantile can never exceed the largest sample *)
+        if acc >= target then Float.min (bin_upper t i) t.max_seen
+        else scan (i + 1) acc
+    in
+    scan 0 0
+  end
+
+let merge a b =
+  if
+    a.min_value <> b.min_value || a.max_value <> b.max_value
+    || a.bins_per_decade <> b.bins_per_decade
+  then invalid_arg "Histogram.merge: incompatible configurations";
+  let m =
+    create ~min_value:a.min_value ~max_value:a.max_value
+      ~bins_per_decade:a.bins_per_decade ()
+  in
+  Array.iteri (fun i c -> m.counts.(i) <- c + b.counts.(i)) a.counts;
+  m.n <- a.n + b.n;
+  m.sum <- a.sum +. b.sum;
+  m.max_seen <- Float.max a.max_seen b.max_seen;
+  m
+
+let pp fmt t =
+  if t.n = 0 then Format.pp_print_string fmt "(empty)"
+  else
+    Format.fprintf fmt
+      "n=%d mean=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f" t.n (mean t)
+      (quantile t 0.5) (quantile t 0.9) (quantile t 0.99) t.max_seen

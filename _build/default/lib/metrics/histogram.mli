@@ -1,0 +1,33 @@
+(** Fixed-memory histograms with approximate quantiles.
+
+    Geometric (log-scale) bins over a positive value range: constant
+    memory regardless of sample count, with relative quantile error
+    bounded by the bin growth factor.  Used for per-miss latency
+    distributions, where averages (all the paper reports) hide the
+    tail that synchronized expirations produce. *)
+
+type t
+
+val create : ?min_value:float -> ?max_value:float -> ?bins_per_decade:int -> unit -> t
+(** Defaults: [min_value = 0.1], [max_value = 1e6],
+    [bins_per_decade = 20] (≈ 12 % relative resolution).  Values below
+    [min_value] land in the underflow bin, above [max_value] in the
+    overflow bin. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [\[0, 1\]]: an upper bound of the bin
+    containing the [q]-th sample.  [0.] when empty.  Raises
+    [Invalid_argument] outside [\[0, 1\]]. *)
+
+val mean : t -> float
+(** Exact (tracked separately from the bins). *)
+
+val merge : t -> t -> t
+(** Requires identical bin configurations. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: count, mean, p50/p90/p99/max estimates. *)

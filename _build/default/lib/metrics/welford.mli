@@ -1,0 +1,28 @@
+(** Running mean / variance / extrema (Welford's online algorithm).
+
+    Used for per-miss latency so runs with millions of misses do not
+    need to retain per-sample data. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** [0.] when empty. *)
+
+val variance : t -> float
+(** Population variance; [0.] with fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+(** [nan] when empty. *)
+
+val max : t -> float
+(** [nan] when empty. *)
+
+val total : t -> float
+
+val merge : t -> t -> t
+(** Exact combination of two sample sets (Chan et al.'s parallel
+    update). *)

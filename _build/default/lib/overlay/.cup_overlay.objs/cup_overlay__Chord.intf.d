@@ -1,0 +1,1 @@
+lib/overlay/chord.mli: Cup_prng Key Node_id

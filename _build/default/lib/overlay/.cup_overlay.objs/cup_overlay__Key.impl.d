@@ -1,0 +1,1 @@
+lib/overlay/key.ml: Cup_prng Format Hashtbl Int Int64 Map Point Set

@@ -1,0 +1,1 @@
+lib/overlay/key.mli: Format Hashtbl Map Point Set

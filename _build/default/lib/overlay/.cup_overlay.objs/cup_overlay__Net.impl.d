@@ -1,0 +1,1 @@
+lib/overlay/net.ml: Chord Key Node_id Pastry Topology

@@ -1,0 +1,1 @@
+lib/overlay/net.mli: Chord Cup_prng Key Node_id Pastry Topology

@@ -1,0 +1,1 @@
+lib/overlay/node_id.ml: Format Hashtbl Int Map Set

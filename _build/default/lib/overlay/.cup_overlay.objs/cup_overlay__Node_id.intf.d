@@ -1,0 +1,1 @@
+lib/overlay/node_id.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/overlay/pastry.ml: Array Cup_prng Format Hashtbl Int64 Key List Map Node_id Result Stdlib

@@ -1,0 +1,1 @@
+lib/overlay/pastry.mli: Cup_prng Key Node_id

@@ -1,0 +1,1 @@
+lib/overlay/point.ml: Float Format

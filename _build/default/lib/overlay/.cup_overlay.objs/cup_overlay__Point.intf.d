@@ -1,0 +1,1 @@
+lib/overlay/point.mli: Format

@@ -1,0 +1,1 @@
+lib/overlay/topology.ml: Cup_prng Float Format Key List Node_id Point Printf Result Zone

@@ -1,0 +1,1 @@
+lib/overlay/topology.mli: Cup_prng Key Node_id Point Zone

@@ -1,0 +1,1 @@
+lib/overlay/zone.ml: Float Format Point

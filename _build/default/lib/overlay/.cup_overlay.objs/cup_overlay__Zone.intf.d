@@ -1,0 +1,1 @@
+lib/overlay/zone.mli: Format Point

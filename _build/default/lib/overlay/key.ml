@@ -1,0 +1,39 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Key.of_int: negative key";
+  i
+
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp fmt t = Format.fprintf fmt "k%d" t
+
+let to_unit_float bits =
+  Int64.to_float (Int64.shift_right_logical bits 11) *. 0x1p-53
+
+let to_point t =
+  let x = to_unit_float (Cup_prng.Splitmix.mix (Int64.of_int t)) in
+  let y =
+    to_unit_float
+      (Cup_prng.Splitmix.mix
+         (Int64.logxor (Int64.of_int t) 0x6A09E667F3BCC909L))
+  in
+  Point.make ~x ~y
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

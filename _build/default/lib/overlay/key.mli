@@ -1,0 +1,25 @@
+(** Keys of the global index.
+
+    A key names a piece of content.  Following the CAN scheme the paper
+    assumes, a key is hashed onto a point of the coordinate space with
+    a uniform hash; the node whose zone contains that point is the
+    key's {e authority node}. *)
+
+type t = private int
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negative input. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val to_point : t -> Point.t
+(** Deterministic uniform hash of the key onto the coordinate space.
+    Same key, same point, on every platform. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,93 @@
+type kind = Can of [ `Random | `Grid ] | Chord | Pastry
+
+type t =
+  | Can_net of Topology.t
+  | Chord_net of Chord.t
+  | Pastry_net of Pastry.t
+
+type change = {
+  subject : Node_id.t;
+  peer : Node_id.t option;
+  affected : Node_id.t list;
+}
+
+let create ?rng ~kind ~n () =
+  match kind with
+  | Can placement -> Can_net (Topology.create ?rng ~n ~placement ())
+  | Chord -> Chord_net (Chord.create ?rng ~n ())
+  | Pastry -> Pastry_net (Pastry.create ?rng ~n ())
+
+let kind = function
+  | Can_net _ -> Can `Random
+  | Chord_net _ -> Chord
+  | Pastry_net _ -> Pastry
+
+let size = function
+  | Can_net t -> Topology.size t
+  | Chord_net c -> Chord.size c
+  | Pastry_net p -> Pastry.size p
+
+let node_ids = function
+  | Can_net t -> Topology.node_ids t
+  | Chord_net c -> Chord.node_ids c
+  | Pastry_net p -> Pastry.node_ids p
+
+let is_alive net id =
+  match net with
+  | Can_net t -> Topology.is_alive t id
+  | Chord_net c -> Chord.is_alive c id
+  | Pastry_net p -> Pastry.is_alive p id
+
+let neighbors net id =
+  match net with
+  | Can_net t -> Topology.neighbors t id
+  | Chord_net c -> Chord.neighbors c id
+  | Pastry_net p -> Pastry.neighbors p id
+
+let owner_of_key net key =
+  match net with
+  | Can_net t -> Topology.owner_of_key t key
+  | Chord_net c -> Chord.owner_of_key c key
+  | Pastry_net p -> Pastry.owner_of_key p key
+
+let next_hop net id key =
+  match net with
+  | Can_net t -> Topology.next_hop t id (Key.to_point key)
+  | Chord_net c -> Chord.next_hop c id key
+  | Pastry_net p -> Pastry.next_hop p id key
+
+let route net ~from key =
+  match net with
+  | Can_net t -> Topology.route t ~from (Key.to_point key)
+  | Chord_net c -> Chord.route c ~from key
+  | Pastry_net p -> Pastry.route p ~from key
+
+let of_can_change (c : Topology.change) =
+  { subject = c.Topology.subject; peer = c.Topology.peer; affected = c.Topology.affected }
+
+let of_chord_change (c : Chord.change) =
+  { subject = c.Chord.subject; peer = c.Chord.peer; affected = c.Chord.affected }
+
+let of_pastry_change (c : Pastry.change) =
+  { subject = c.Pastry.subject; peer = c.Pastry.peer; affected = c.Pastry.affected }
+
+let join_random net ~rng =
+  match net with
+  | Can_net t -> of_can_change (Topology.join_random t ~rng)
+  | Chord_net c -> of_chord_change (Chord.join_random c ~rng)
+  | Pastry_net p -> of_pastry_change (Pastry.join_random p ~rng)
+
+let leave net id =
+  match net with
+  | Can_net t -> of_can_change (Topology.leave t id)
+  | Chord_net c -> of_chord_change (Chord.leave c id)
+  | Pastry_net p -> of_pastry_change (Pastry.leave p id)
+
+let check_invariants = function
+  | Can_net t -> Topology.check_invariants t
+  | Chord_net c -> Chord.check_invariants c
+  | Pastry_net p -> Pastry.check_invariants p
+
+let as_can = function Can_net t -> Some t | Chord_net _ | Pastry_net _ -> None
+let as_chord = function Chord_net c -> Some c | Can_net _ | Pastry_net _ -> None
+let as_pastry = function Pastry_net p -> Some p | Can_net _ | Chord_net _ -> None

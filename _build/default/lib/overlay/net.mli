@@ -1,0 +1,45 @@
+(** Unified overlay interface.
+
+    CUP runs over any structured overlay with deterministic
+    key-rooted routing (Section 2.2); this module lets the protocol
+    and simulation layers treat the CAN, Chord and Pastry substrates
+    uniformly.  All operations dispatch to the underlying overlay. *)
+
+type t
+
+type kind =
+  | Can of [ `Random | `Grid ]  (** 2-d CAN with the given placement *)
+  | Chord  (** 64-bit Chord ring *)
+  | Pastry  (** Pastry-style prefix routing with leaf sets *)
+
+type change = {
+  subject : Node_id.t;
+  peer : Node_id.t option;
+  affected : Node_id.t list;
+}
+
+val create : ?rng:Cup_prng.Rng.t -> kind:kind -> n:int -> unit -> t
+(** [Can `Random] and [Chord] require [rng] for placement ([Chord]
+    falls back to evenly-spaced positions without it). *)
+
+val kind : t -> kind
+val size : t -> int
+val node_ids : t -> Node_id.t list
+val is_alive : t -> Node_id.t -> bool
+val neighbors : t -> Node_id.t -> Node_id.t list
+val owner_of_key : t -> Key.t -> Node_id.t
+
+val next_hop : t -> Node_id.t -> Key.t -> Node_id.t option
+(** [None] when the node's region/range contains the key. *)
+
+val route : t -> from:Node_id.t -> Key.t -> Node_id.t list
+
+val join_random : t -> rng:Cup_prng.Rng.t -> change
+val leave : t -> Node_id.t -> change
+val check_invariants : t -> (unit, string) result
+
+val as_can : t -> Topology.t option
+(** The underlying CAN topology, for CAN-specific inspection. *)
+
+val as_chord : t -> Chord.t option
+val as_pastry : t -> Pastry.t option

@@ -1,0 +1,19 @@
+(** Identifiers for overlay nodes.
+
+    Dense small integers assigned at join time; usable as array indices
+    in per-node state tables. *)
+
+type t = private int
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negative input. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,19 @@
+type t = { x : float; y : float }
+
+let wrap c =
+  let c = Float.rem c 1. in
+  if c < 0. then c +. 1. else c
+
+let make ~x ~y = { x = wrap x; y = wrap y }
+
+let axis_distance a b =
+  let d = Float.abs (a -. b) in
+  Float.min d (1. -. d)
+
+let distance p q =
+  let dx = axis_distance p.x q.x and dy = axis_distance p.y q.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let equal p q = p.x = q.x && p.y = q.y
+
+let pp fmt p = Format.fprintf fmt "(%.4f, %.4f)" p.x p.y

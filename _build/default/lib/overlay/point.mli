@@ -1,0 +1,20 @@
+(** Points of the CAN coordinate space: the 2-d unit torus.
+
+    The CAN paper maps keys onto a d-dimensional torus; the CUP paper
+    evaluates on a two-dimensional one, which we fix here.  All
+    coordinates live in [\[0, 1)]. *)
+
+type t = { x : float; y : float }
+
+val make : x:float -> y:float -> t
+(** Coordinates are wrapped into [\[0, 1)]. *)
+
+val axis_distance : float -> float -> float
+(** Circular distance between two coordinates on the unit circle;
+    always in [\[0, 0.5\]]. *)
+
+val distance : t -> t -> float
+(** Euclidean distance on the torus. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

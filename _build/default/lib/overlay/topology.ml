@@ -1,0 +1,324 @@
+type node = {
+  id : Node_id.t;
+  mutable zones : Zone.t list;
+  mutable neighbors : Node_id.Set.t;
+  mutable alive : bool;
+}
+
+type t = {
+  nodes : node Node_id.Table.t;
+  mutable alive_count : int;
+  mutable next_id : int;
+}
+
+type change = {
+  subject : Node_id.t;
+  peer : Node_id.t option;
+  affected : Node_id.t list;
+}
+
+let get t id =
+  match Node_id.Table.find_opt t.nodes id with
+  | Some node when node.alive -> node
+  | Some _ | None -> raise Not_found
+
+let size t = t.alive_count
+
+let node_ids t =
+  Node_id.Table.fold (fun id node acc -> if node.alive then id :: acc else acc)
+    t.nodes []
+  |> List.sort Node_id.compare
+
+let is_alive t id =
+  match Node_id.Table.find_opt t.nodes id with
+  | Some node -> node.alive
+  | None -> false
+
+let neighbors t id = Node_id.Set.elements (get t id).neighbors
+
+let zones_of t id = (get t id).zones
+
+let nodes_adjacent a b =
+  List.exists
+    (fun za -> List.exists (fun zb -> Zone.adjacent za zb) b.zones)
+    a.zones
+
+let region_distance node p =
+  List.fold_left
+    (fun acc z -> Float.min acc (Zone.distance_to_point z p))
+    Float.infinity node.zones
+
+let region_contains node p = List.exists (fun z -> Zone.contains z p) node.zones
+
+let owner_of_point t p =
+  let found =
+    Node_id.Table.fold
+      (fun id node acc ->
+        if node.alive && region_contains node p then
+          match acc with
+          | Some best when Node_id.compare best id <= 0 -> acc
+          | Some _ | None -> Some id
+        else acc)
+      t.nodes None
+  in
+  match found with
+  | Some id -> id
+  | None -> failwith "Topology.owner_of_point: space not covered"
+
+let owner_of_key t k = owner_of_point t (Key.to_point k)
+
+let next_hop t id p =
+  let node = get t id in
+  if region_contains node p then None
+  else
+    let best =
+      Node_id.Set.fold
+        (fun nid acc ->
+          let d = region_distance (get t nid) p in
+          match acc with
+          | Some (_, best_d) when best_d < d -> acc
+          | Some (best_id, best_d)
+            when best_d = d && Node_id.compare best_id nid <= 0 ->
+              acc
+          | Some _ | None -> Some (nid, d))
+        node.neighbors None
+    in
+    match best with
+    | Some (nid, _) -> Some nid
+    | None -> failwith "Topology.next_hop: node has no neighbors"
+
+let route t ~from p =
+  let limit = (4 * t.alive_count) + 64 in
+  let rec walk current steps acc =
+    if steps > limit then
+      failwith "Topology.route: greedy forwarding did not converge"
+    else
+      match next_hop t current p with
+      | None -> List.rev acc
+      | Some hop -> walk hop (steps + 1) (hop :: acc)
+  in
+  walk from 0 []
+
+(* Recompute the neighbor relation between [node] and every candidate,
+   fixing both directions.  Returns candidates whose sets changed. *)
+let refresh_edges node candidates =
+  List.filter
+    (fun cand ->
+      if not cand.alive || Node_id.equal cand.id node.id then false
+      else begin
+        let linked = nodes_adjacent node cand in
+        let had = Node_id.Set.mem cand.id node.neighbors in
+        if linked && not had then begin
+          node.neighbors <- Node_id.Set.add cand.id node.neighbors;
+          cand.neighbors <- Node_id.Set.add node.id cand.neighbors;
+          true
+        end
+        else if (not linked) && had then begin
+          node.neighbors <- Node_id.Set.remove cand.id node.neighbors;
+          cand.neighbors <- Node_id.Set.remove node.id cand.neighbors;
+          true
+        end
+        else false
+      end)
+    candidates
+
+let fresh_node t zones =
+  let id = Node_id.of_int t.next_id in
+  t.next_id <- t.next_id + 1;
+  let node = { id; zones; neighbors = Node_id.Set.empty; alive = true } in
+  Node_id.Table.replace t.nodes id node;
+  t.alive_count <- t.alive_count + 1;
+  node
+
+let join_at t p =
+  if t.alive_count = 0 then begin
+    let node = fresh_node t [ Zone.unit ] in
+    { subject = node.id; peer = None; affected = [] }
+  end
+  else begin
+    let owner = get t (owner_of_point t p) in
+    let zone =
+      match List.find_opt (fun z -> Zone.contains z p) owner.zones with
+      | Some z -> z
+      | None -> assert false
+    in
+    let low, high = Zone.split zone in
+    let keep, give = if Zone.contains low p then (high, low) else (low, high) in
+    owner.zones <-
+      keep :: List.filter (fun z -> not (Zone.equal z zone)) owner.zones;
+    let node = fresh_node t [ give ] in
+    (* Only previous neighbors of the split node (and the split node
+       itself) can gain or lose an edge. *)
+    let candidates =
+      owner
+      :: List.filter_map
+           (fun id ->
+             match Node_id.Table.find_opt t.nodes id with
+             | Some n when n.alive -> Some n
+             | Some _ | None -> None)
+           (Node_id.Set.elements owner.neighbors)
+    in
+    let touched_new = refresh_edges node candidates in
+    let touched_owner = refresh_edges owner candidates in
+    let affected =
+      List.sort_uniq Node_id.compare
+        (owner.id
+        :: List.map (fun n -> n.id) touched_new
+        @ List.map (fun n -> n.id) touched_owner)
+    in
+    { subject = node.id; peer = Some owner.id; affected }
+  end
+
+let join_random t ~rng =
+  let p =
+    Point.make ~x:(Cup_prng.Rng.float rng) ~y:(Cup_prng.Rng.float rng)
+  in
+  join_at t p
+
+let total_volume node =
+  List.fold_left (fun acc z -> acc +. Zone.volume z) 0. node.zones
+
+let leave t id =
+  let node =
+    try get t id
+    with Not_found -> invalid_arg "Topology.leave: unknown or dead node"
+  in
+  if t.alive_count = 1 then invalid_arg "Topology.leave: cannot remove last node";
+  let neighbor_nodes =
+    List.map (fun nid -> get t nid) (Node_id.Set.elements node.neighbors)
+  in
+  (* CAN takeover rule: the neighbor with the smallest region absorbs
+     the departing zones (lowest id on ties, for determinism). *)
+  let taker =
+    match
+      List.sort
+        (fun a b ->
+          match Float.compare (total_volume a) (total_volume b) with
+          | 0 -> Node_id.compare a.id b.id
+          | c -> c)
+        neighbor_nodes
+    with
+    | [] -> assert false (* alive > 1 implies at least one neighbor *)
+    | taker :: _ -> taker
+  in
+  node.alive <- false;
+  t.alive_count <- t.alive_count - 1;
+  (* Drop the departed node from every neighbor's set. *)
+  List.iter
+    (fun n -> n.neighbors <- Node_id.Set.remove id n.neighbors)
+    neighbor_nodes;
+  taker.zones <- node.zones @ taker.zones;
+  let candidates =
+    List.filter (fun n -> not (Node_id.equal n.id taker.id)) neighbor_nodes
+    @ List.filter_map
+        (fun nid ->
+          match Node_id.Table.find_opt t.nodes nid with
+          | Some n when n.alive -> Some n
+          | Some _ | None -> None)
+        (Node_id.Set.elements taker.neighbors)
+  in
+  let touched = refresh_edges taker candidates in
+  let affected =
+    List.sort_uniq Node_id.compare
+      (taker.id
+      :: List.map (fun n -> n.id) neighbor_nodes
+      @ List.map (fun n -> n.id) touched)
+  in
+  { subject = id; peer = Some taker.id; affected }
+
+let largest_zone_owner t =
+  let best =
+    Node_id.Table.fold
+      (fun _ node acc ->
+        if not node.alive then acc
+        else
+          let v =
+            List.fold_left (fun m z -> Float.max m (Zone.volume z)) 0.
+              node.zones
+          in
+          match acc with
+          | Some (_, best_v) when best_v > v -> acc
+          | Some (best_node, best_v)
+            when best_v = v && Node_id.compare best_node.id node.id <= 0 ->
+              acc
+          | Some _ | None -> Some (node, v))
+      t.nodes None
+  in
+  match best with Some (node, _) -> node | None -> assert false
+
+let create ?rng ~n ~placement () =
+  if n < 1 then invalid_arg "Topology.create: n must be >= 1";
+  let t =
+    { nodes = Node_id.Table.create (2 * n); alive_count = 0; next_id = 0 }
+  in
+  ignore (join_at t (Point.make ~x:0.5 ~y:0.5));
+  for _ = 2 to n do
+    match placement with
+    | `Random -> (
+        match rng with
+        | Some rng -> ignore (join_random t ~rng)
+        | None -> invalid_arg "Topology.create: `Random needs ~rng")
+    | `Grid ->
+        (* Split the largest zone: its high half's center is a point
+           guaranteed to land in that half after the split. *)
+        let owner = largest_zone_owner t in
+        let zone =
+          match
+            List.sort
+              (fun a b -> Float.compare (Zone.volume b) (Zone.volume a))
+              owner.zones
+          with
+          | z :: _ -> z
+          | [] -> assert false
+        in
+        let _, high = Zone.split zone in
+        ignore (join_at t (Zone.center high))
+  done;
+  t
+
+let check_invariants t =
+  let ( let* ) r f = Result.bind r f in
+  let all =
+    Node_id.Table.fold
+      (fun _ node acc -> if node.alive then node :: acc else acc)
+      t.nodes []
+  in
+  let* () =
+    if List.length all = t.alive_count then Ok ()
+    else Error "alive count does not match table"
+  in
+  let volume =
+    List.fold_left (fun acc node -> acc +. total_volume node) 0. all
+  in
+  let* () =
+    if Float.abs (volume -. 1.) < 1e-9 then Ok ()
+    else Error (Printf.sprintf "zones do not tile the torus: volume %f" volume)
+  in
+  let check_node node =
+    let geometric =
+      List.filter
+        (fun other ->
+          (not (Node_id.equal other.id node.id)) && nodes_adjacent node other)
+        all
+      |> List.map (fun n -> n.id)
+      |> Node_id.Set.of_list
+    in
+    if not (Node_id.Set.equal geometric node.neighbors) then
+      Error
+        (Format.asprintf "node %a: neighbor set out of sync" Node_id.pp node.id)
+    else if
+      Node_id.Set.exists
+        (fun nid ->
+          match Node_id.Table.find_opt t.nodes nid with
+          | Some other -> not (Node_id.Set.mem node.id other.neighbors)
+          | None -> true)
+        node.neighbors
+    then
+      Error (Format.asprintf "node %a: asymmetric edge" Node_id.pp node.id)
+    else Ok ()
+  in
+  List.fold_left
+    (fun acc node ->
+      let* () = acc in
+      check_node node)
+    (Ok ()) all

@@ -1,0 +1,79 @@
+(** The "bare-bones" CAN overlay.
+
+    Nodes own rectangular zones that tile the 2-d unit torus.  A node
+    normally owns one zone; after absorbing a departed neighbor's zone
+    it may temporarily own several, exactly as in the CAN takeover
+    rule.  Two nodes are neighbors when any of their zones abut on the
+    torus.  Routing toward a point is greedy: forward to the neighbor
+    whose region is closest to the point, stopping at the node whose
+    region contains it.
+
+    All mutation goes through {!join_random}, {!join_at} and {!leave},
+    which return the set of nodes whose neighbor sets changed so the
+    protocol layer can patch its per-neighbor bookkeeping (interest
+    bit vectors, Section 2.9 of the paper). *)
+
+type t
+
+type change = {
+  subject : Node_id.t;  (** the node that joined or left *)
+  peer : Node_id.t option;
+      (** on join: the node whose zone was split; on leave: the node
+          that took over the zones (if any) *)
+  affected : Node_id.t list;
+      (** alive nodes whose neighbor set changed, including [peer] *)
+}
+
+val create : ?rng:Cup_prng.Rng.t -> n:int -> placement:[ `Random | `Grid ] -> unit -> t
+(** [create ~n ~placement ()] bootstraps an overlay of [n] nodes.
+    [`Random] joins each node at a uniformly random point (requires
+    [rng]); [`Grid] repeatedly splits the largest zone, producing a
+    regular grid when [n] is a power of two.  Requires [n >= 1]. *)
+
+val size : t -> int
+(** Number of alive nodes. *)
+
+val node_ids : t -> Node_id.t list
+(** Alive node ids in increasing order. *)
+
+val is_alive : t -> Node_id.t -> bool
+
+val neighbors : t -> Node_id.t -> Node_id.t list
+(** Neighbor ids in increasing order.  Raises [Not_found] if the node
+    is dead or unknown. *)
+
+val zones_of : t -> Node_id.t -> Zone.t list
+
+val owner_of_point : t -> Point.t -> Node_id.t
+(** The alive node whose region contains the point. *)
+
+val owner_of_key : t -> Key.t -> Node_id.t
+(** [owner_of_point] of the key's hash — the key's authority node. *)
+
+val next_hop : t -> Node_id.t -> Point.t -> Node_id.t option
+(** [next_hop t n p] is [None] when [n]'s region contains [p],
+    otherwise the neighbor to forward to (closest region to [p], ties
+    broken by lowest id). *)
+
+val route : t -> from:Node_id.t -> Point.t -> Node_id.t list
+(** Successive hops from [from] (exclusive) to the owner of the point
+    (inclusive); [\[\]] when [from] is the owner.  Raises [Failure] if
+    greedy forwarding fails to converge, which indicates a topology
+    invariant violation. *)
+
+val join_random : t -> rng:Cup_prng.Rng.t -> change
+(** A new node joins at a uniformly random point: the zone containing
+    the point splits, the new node takes the half containing it. *)
+
+val join_at : t -> Point.t -> change
+(** As {!join_random} with an explicit point. *)
+
+val leave : t -> Node_id.t -> change
+(** Graceful departure: the neighbor owning the smallest region takes
+    over the departing node's zones.  Raises [Invalid_argument] when
+    asked to remove the last node or a dead node. *)
+
+val check_invariants : t -> (unit, string) result
+(** Full O(n^2) consistency check: zones tile the torus (volumes sum
+    to 1), neighbor sets are symmetric and match geometric adjacency.
+    For tests. *)

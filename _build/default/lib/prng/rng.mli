@@ -1,0 +1,46 @@
+(** Simulation random streams.
+
+    A thin stateful wrapper over {!Splitmix} that adds named substreams.
+    Every stochastic component of the simulator (query generator, replica
+    lifecycle, fault injector, per-node tie-breaking, ...) draws from its
+    own substream, so adding draws to one component never perturbs the
+    sequence seen by another.  This keeps experiment runs comparable
+    across configurations that share a master seed. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] is a root stream derived from [seed]. *)
+
+val substream : t -> string -> t
+(** [substream t name] is a stream deterministically derived from [t]'s
+    seed and [name].  Same [(seed, name)] always yields the same stream;
+    repeated calls return fresh, identically-seeded streams. *)
+
+val split : t -> t
+(** [split t] draws a child stream from [t], advancing [t]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi] is uniform in [\[lo, hi)].  Requires [lo < hi]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. *)
+
+val int64 : t -> int64
+(** 64 uniform bits. *)
+
+val bool : t -> bool
+
+val choice : t -> 'a array -> 'a
+(** [choice t arr] picks a uniform element.  Raises [Invalid_argument]
+    on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] is [k] distinct uniform indices
+    from [\[0, n)], in random order.  Requires [0 <= k <= n]. *)

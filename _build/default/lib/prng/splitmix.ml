@@ -1,0 +1,40 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* The SplitMix64 output function: advance by the golden gamma, then
+   apply the murmur-style finalizer to the new state. *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let next_float t =
+  (* 53 high bits -> [0,1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.next_int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let bits = Int64.shift_right_logical (next_int64 t) 1 in
+    let value = Int64.rem bits bound64 in
+    if Int64.(sub (add bits (sub bound64 1L)) value) < 0L then draw ()
+    else Int64.to_int value
+  in
+  draw ()
+
+let split t =
+  let seed = next_int64 t in
+  (* Mixing with a distinct constant decorrelates the child stream. *)
+  { state = mix (Int64.logxor seed 0x5851F42D4C957F2DL) }

@@ -1,0 +1,1 @@
+lib/proto/entry.ml: Cup_dess Format Replica_id

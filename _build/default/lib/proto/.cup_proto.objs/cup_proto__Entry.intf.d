@@ -1,0 +1,1 @@
+lib/proto/entry.mli: Cup_dess Format Replica_id

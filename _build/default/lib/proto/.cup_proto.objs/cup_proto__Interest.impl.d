@@ -1,0 +1,1 @@
+lib/proto/interest.ml: Cup_overlay Format

@@ -1,0 +1,1 @@
+lib/proto/interest.mli: Cup_overlay Format

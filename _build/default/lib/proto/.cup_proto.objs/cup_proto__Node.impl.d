@@ -1,0 +1,1 @@
+lib/proto/node.ml: Cup_dess Cup_overlay Entry Interest List Policy Replica_id Update

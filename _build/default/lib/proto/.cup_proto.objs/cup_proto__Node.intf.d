@@ -1,0 +1,1 @@
+lib/proto/node.mli: Cup_dess Cup_overlay Entry Policy Replica_id Update

@@ -1,0 +1,1 @@
+lib/proto/policy.ml: Format Printf

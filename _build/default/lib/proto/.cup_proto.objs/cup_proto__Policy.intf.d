@@ -1,0 +1,1 @@
+lib/proto/policy.mli: Format

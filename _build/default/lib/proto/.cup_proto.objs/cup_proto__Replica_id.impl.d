@@ -1,0 +1,1 @@
+lib/proto/replica_id.ml: Format Int Map Set

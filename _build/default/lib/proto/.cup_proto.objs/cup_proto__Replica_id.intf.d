@@ -1,0 +1,1 @@
+lib/proto/replica_id.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/proto/update.ml: Cup_overlay Entry Format List

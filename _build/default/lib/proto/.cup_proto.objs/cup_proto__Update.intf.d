@@ -1,0 +1,1 @@
+lib/proto/update.mli: Cup_dess Cup_overlay Entry Format Replica_id

@@ -1,0 +1,1 @@
+lib/proto/update_queue.ml: Cup_dess Entry Int List Update

@@ -1,0 +1,1 @@
+lib/proto/update_queue.mli: Cup_dess Update

@@ -1,0 +1,8 @@
+type t = { replica : Replica_id.t; expiry : Cup_dess.Time.t }
+
+let make ~replica ~expiry = { replica; expiry }
+
+let is_fresh t ~now = Cup_dess.Time.(now < t.expiry)
+
+let pp fmt t =
+  Format.fprintf fmt "%a@%a" Replica_id.pp t.replica Cup_dess.Time.pp t.expiry

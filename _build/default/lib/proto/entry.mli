@@ -1,0 +1,15 @@
+(** Index entries.
+
+    An index entry [(key, replica, expiry)] says "replica [replica]
+    serves the content named by [key], and this claim may be used until
+    [expiry]".  The key is implicit here — entries are always handled
+    grouped under their key. *)
+
+type t = { replica : Replica_id.t; expiry : Cup_dess.Time.t }
+
+val make : replica:Replica_id.t -> expiry:Cup_dess.Time.t -> t
+
+val is_fresh : t -> now:Cup_dess.Time.t -> bool
+(** [is_fresh e ~now] is [true] while [now < e.expiry]. *)
+
+val pp : Format.formatter -> t -> unit

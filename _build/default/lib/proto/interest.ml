@@ -1,0 +1,22 @@
+module Set = Cup_overlay.Node_id.Set
+
+type t = { mutable members : Set.t }
+
+let create () = { members = Set.empty }
+let set t id = t.members <- Set.add id t.members
+let clear t id = t.members <- Set.remove id t.members
+let is_set t id = Set.mem id t.members
+let any t = not (Set.is_empty t.members)
+let cardinal t = Set.cardinal t.members
+let interested t = Set.elements t.members
+
+let remap t ~old_id ~new_id =
+  if Set.mem old_id t.members then
+    t.members <- Set.add new_id (Set.remove old_id t.members)
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       Cup_overlay.Node_id.pp)
+    (interested t)

@@ -1,0 +1,30 @@
+(** Interest bit vectors (Section 2.3).
+
+    One per cached key: records which neighbors want updates for the
+    key.  Represented as a set of neighbor ids rather than a positional
+    bit vector so that the neighbor set can grow, shrink, and be
+    remapped under churn (Section 2.9) without any repacking. *)
+
+type t
+
+val create : unit -> t
+val set : t -> Cup_overlay.Node_id.t -> unit
+val clear : t -> Cup_overlay.Node_id.t -> unit
+val is_set : t -> Cup_overlay.Node_id.t -> bool
+
+val any : t -> bool
+(** [true] if at least one neighbor is interested. *)
+
+val cardinal : t -> int
+
+val interested : t -> Cup_overlay.Node_id.t list
+(** Interested neighbor ids in increasing order (deterministic
+    forwarding order). *)
+
+val remap : t -> old_id:Cup_overlay.Node_id.t -> new_id:Cup_overlay.Node_id.t -> unit
+(** [remap t ~old_id ~new_id] makes the bit that pointed at [old_id]
+    point at [new_id] — the bit-vector patch a node performs when a
+    neighbor's zone is taken over by another node.  No-op when
+    [old_id]'s bit is clear. *)
+
+val pp : Format.formatter -> t -> unit

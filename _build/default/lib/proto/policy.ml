@@ -1,0 +1,49 @@
+type t =
+  | Standard_caching
+  | All_out
+  | Push_level of int
+  | Linear of float
+  | Logarithmic of float
+  | Log_based of int
+
+let second_chance = Log_based 2
+
+type decision = Keep | Cut
+
+let lg x = if x <= 1 then 0. else log (float_of_int x) /. log 2.
+
+let decide t ~distance ~queries_since_update ~dry_updates =
+  match t with
+  | Standard_caching | All_out | Push_level _ -> Keep
+  | Linear alpha ->
+      if float_of_int queries_since_update >= alpha *. float_of_int distance
+      then Keep
+      else Cut
+  | Logarithmic alpha ->
+      if float_of_int queries_since_update >= alpha *. lg distance then Keep
+      else Cut
+  | Log_based n -> if dry_updates >= n then Cut else Keep
+
+let sender_limit = function
+  | Standard_caching -> Some 0
+  | Push_level p -> Some p
+  | All_out | Linear _ | Logarithmic _ | Log_based _ -> None
+
+let uses_clear_bits = function
+  | Standard_caching | All_out | Push_level _ -> false
+  | Linear _ | Logarithmic _ | Log_based _ -> true
+
+let coalesces_queries = function
+  | Standard_caching -> false
+  | All_out | Push_level _ | Linear _ | Logarithmic _ | Log_based _ -> true
+
+let to_string = function
+  | Standard_caching -> "standard-caching"
+  | All_out -> "all-out"
+  | Push_level p -> Printf.sprintf "push-level-%d" p
+  | Linear a -> Printf.sprintf "linear-%g" a
+  | Logarithmic a -> Printf.sprintf "logarithmic-%g" a
+  | Log_based 2 -> "second-chance"
+  | Log_based n -> Printf.sprintf "log-based-%d" n
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

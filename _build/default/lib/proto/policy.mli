@@ -1,0 +1,65 @@
+(** Incentive-based cut-off policies (Sections 3.3–3.4).
+
+    When an update for key [K] arrives at a node whose interest bits
+    for [K] are all clear, the node decides whether [K] is still
+    popular enough to keep receiving updates.  If not, it pushes a
+    Clear-Bit message upstream.
+
+    The popularity inputs are the number of queries received since the
+    last (cut-off-triggering) update and the count of consecutive such
+    updates that arrived with zero intervening queries.
+
+    - [Standard_caching]: the baseline.  No update propagation at all:
+      the authority squelches every non-first-time update at the root,
+      caches live purely on expiration.
+    - [All_out]: never cut off — the maximal-propagation benchmark of
+      Section 3.3.
+    - [Push_level p]: propagate to nodes at most [p] hops from the
+      authority.  Enforced at the sender ([p = 0] is exactly
+      [Standard_caching]), matching the paper's description that at
+      push level 0 "updates from the authority node are immediately
+      squelched".
+    - [Linear alpha]: keep iff at least [alpha * D] queries arrived
+      since the last update, [D] = distance from the authority.
+    - [Logarithmic alpha]: keep iff at least [alpha * lg D] queries.
+    - [Log_based n]: history-based — cut after [n] consecutive update
+      arrivals with no intervening query.  [second_chance] is
+      [Log_based 2]: the first dry update gets a "second chance", the
+      second pushes the clear-bit (the paper describes this as a
+      window of [n = 3] update arrivals). *)
+
+type t =
+  | Standard_caching
+  | All_out
+  | Push_level of int
+  | Linear of float
+  | Logarithmic of float
+  | Log_based of int
+
+val second_chance : t
+
+type decision = Keep | Cut
+
+val decide :
+  t -> distance:int -> queries_since_update:int -> dry_updates:int -> decision
+(** The cut-off test, evaluated on a (cut-off-triggering) update
+    arrival.  [dry_updates] counts this arrival too: it is [>= 1] iff
+    no query arrived since the previous update. *)
+
+val sender_limit : t -> int option
+(** [sender_limit t] is [Some p] when the policy bounds propagation at
+    the sender: a node at distance [d] forwards non-first-time updates
+    only while [d < p].  [Some 0] for [Standard_caching]. *)
+
+val uses_clear_bits : t -> bool
+(** Whether the policy cuts off via Clear-Bit messages (the
+    popularity-driven policies) rather than at the sender. *)
+
+val coalesces_queries : t -> bool
+(** CUP's query channel collapses bursts of queries for one key into a
+    single upstream query (Section 2.5 case 3).  Standard caching has
+    no query channel: every miss query travels on its own, which is
+    exactly the burst behaviour the paper contrasts against. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

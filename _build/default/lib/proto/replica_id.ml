@@ -1,0 +1,19 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Replica_id.of_int: negative id";
+  i
+
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let pp fmt t = Format.fprintf fmt "r%d" t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

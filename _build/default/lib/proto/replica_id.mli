@@ -1,0 +1,19 @@
+(** Identifiers for content replicas.
+
+    A replica is a peer that serves a copy of some content; the global
+    index maps each key to the set of replicas serving it.  The value
+    field of a real index entry would be the replica's IP address; an
+    opaque id is all the protocol needs. *)
+
+type t = private int
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negative input. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

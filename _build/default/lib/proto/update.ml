@@ -1,0 +1,37 @@
+type kind = First_time | Delete | Refresh | Append
+
+type t = {
+  key : Cup_overlay.Key.t;
+  kind : kind;
+  entries : Entry.t list;
+  level : int;
+}
+
+let first_time ~key ~entries ~level = { key; kind = First_time; entries; level }
+let delete ~key ~entry ~level = { key; kind = Delete; entries = [ entry ]; level }
+let refresh ~key ~entry ~level = { key; kind = Refresh; entries = [ entry ]; level }
+let append ~key ~entry ~level = { key; kind = Append; entries = [ entry ]; level }
+
+let forwarded t = { t with level = t.level + 1 }
+
+let subject t =
+  match (t.kind, t.entries) with
+  | First_time, _ -> None
+  | (Delete | Refresh | Append), entry :: _ -> Some entry.Entry.replica
+  | (Delete | Refresh | Append), [] -> None
+
+let is_expired t ~now =
+  match t.kind with
+  | First_time | Delete -> false
+  | Refresh | Append ->
+      not (List.exists (fun e -> Entry.is_fresh e ~now) t.entries)
+
+let kind_to_string = function
+  | First_time -> "first-time"
+  | Delete -> "delete"
+  | Refresh -> "refresh"
+  | Append -> "append"
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%a, level %d, %d entries)" (kind_to_string t.kind)
+    Cup_overlay.Key.pp t.key t.level (List.length t.entries)

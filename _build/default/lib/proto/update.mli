@@ -1,0 +1,47 @@
+(** Updates flowing down the reverse query paths (Section 2.4).
+
+    Four kinds:
+    - {b First_time}: a query response.  Carries the full fresh entry
+      set for the key and always flows to every interested neighbor —
+      it is what answers queries, so it is exempt from cut-off and
+      capacity filtering.
+    - {b Delete}: remove one replica's entry.
+    - {b Refresh}: extend one replica's entry lifetime.
+    - {b Append}: add an entry for a new replica.
+
+    [level] is the recipient's hop distance from the authority node:
+    the authority emits updates with [level = 1]; {!forwarded}
+    increments it.  Probability-based cut-off policies and the
+    push-level benchmark read their distance [D] from it. *)
+
+type kind = First_time | Delete | Refresh | Append
+
+type t = {
+  key : Cup_overlay.Key.t;
+  kind : kind;
+  entries : Entry.t list;
+      (** full set for [First_time]; the single affected entry
+          otherwise *)
+  level : int;  (** recipient's hop distance from the authority *)
+}
+
+val first_time : key:Cup_overlay.Key.t -> entries:Entry.t list -> level:int -> t
+val delete : key:Cup_overlay.Key.t -> entry:Entry.t -> level:int -> t
+val refresh : key:Cup_overlay.Key.t -> entry:Entry.t -> level:int -> t
+val append : key:Cup_overlay.Key.t -> entry:Entry.t -> level:int -> t
+
+val forwarded : t -> t
+(** The same update as pushed one hop further down. *)
+
+val subject : t -> Replica_id.t option
+(** The replica a [Delete]/[Refresh]/[Append] is about; [None] for
+    [First_time]. *)
+
+val is_expired : t -> now:Cup_dess.Time.t -> bool
+(** Case 3 of Section 2.6: an update whose payload entries have all
+    expired in flight.  [First_time] responses are never considered
+    expired (they must answer the waiting query), nor are [Delete]s
+    (retracting an entry is never stale). *)
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+type ordering = Latency_first | Flash_crowd | Fifo
+
+type item = { seq : int; update : Update.t }
+
+type t = {
+  ordering : ordering;
+  mutable items : item list; (* kept sorted by priority, best first *)
+  mutable next_seq : int;
+}
+
+let create ordering = { ordering; items = []; next_seq = 0 }
+
+let length t = List.length t.items
+
+let is_empty t = t.items = []
+
+let kind_rank ordering (kind : Update.kind) =
+  match (ordering, kind) with
+  | (Latency_first | Fifo), First_time -> 0
+  | (Latency_first | Fifo), Delete -> 1
+  | (Latency_first | Fifo), Refresh -> 2
+  | (Latency_first | Fifo), Append -> 3
+  | Flash_crowd, First_time -> 0
+  | Flash_crowd, Append -> 1
+  | Flash_crowd, Delete -> 2
+  | Flash_crowd, Refresh -> 3
+
+let earliest_expiry (u : Update.t) =
+  List.fold_left
+    (fun acc (e : Entry.t) -> Cup_dess.Time.min acc e.expiry)
+    Cup_dess.Time.infinity u.entries
+
+(* Pop order: smaller is better. *)
+let priority t a b =
+  match t.ordering with
+  | Fifo -> Int.compare a.seq b.seq
+  | Latency_first | Flash_crowd -> (
+      match
+        Int.compare
+          (kind_rank t.ordering a.update.kind)
+          (kind_rank t.ordering b.update.kind)
+      with
+      | 0 -> (
+          (* Entries about to expire are the most urgent. *)
+          match
+            Cup_dess.Time.compare (earliest_expiry a.update)
+              (earliest_expiry b.update)
+          with
+          | 0 -> Int.compare a.seq b.seq
+          | c -> c)
+      | c -> c)
+
+let push t update =
+  let item = { seq = t.next_seq; update } in
+  t.next_seq <- t.next_seq + 1;
+  let rec insert = function
+    | [] -> [ item ]
+    | hd :: tl as items ->
+        if priority t item hd < 0 then item :: items else hd :: insert tl
+  in
+  t.items <- insert t.items
+
+let rec pop t ~now =
+  match t.items with
+  | [] -> None
+  | best :: rest ->
+      t.items <- rest;
+      if Update.is_expired best.update ~now then pop t ~now
+      else Some best.update
+
+let drop_expired t ~now =
+  let before = List.length t.items in
+  t.items <-
+    List.filter (fun item -> not (Update.is_expired item.update ~now)) t.items;
+  before - List.length t.items
+
+let peek_all t = List.map (fun item -> item.update) t.items

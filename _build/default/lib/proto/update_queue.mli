@@ -1,0 +1,42 @@
+(** Outgoing update channels under limited capacity (Section 2.8).
+
+    When a node cannot push updates as fast as they arrive, the
+    pending updates wait in a per-neighbor queue.  While queued they
+    may be re-ordered to push the highest-impact updates first, and
+    expired updates are eliminated.  The queue is naturally bounded:
+    every queued update refers to entries with finite lifetimes, so
+    even a fully shut-down channel drains by expiration.
+
+    Orderings ([Section 2.8]):
+    - [Latency_first]: first-time > delete > refresh > append; among
+      refreshes/appends, entries closer to expiry first (they are the
+      ones about to cause freshness misses).
+    - [Flash_crowd]: appends promoted above deletes and refreshes, to
+      spread sudden demand across new replicas faster.
+    - [Fifo]: no re-ordering (ablation baseline). *)
+
+type ordering = Latency_first | Flash_crowd | Fifo
+
+type t
+
+val create : ordering -> t
+
+val length : t -> int
+(** Number of queued updates, including ones that may have expired
+    since they were enqueued. *)
+
+val is_empty : t -> bool
+
+val push : t -> Update.t -> unit
+
+val pop : t -> now:Cup_dess.Time.t -> Update.t option
+(** Highest-priority update still worth sending; expired updates
+    encountered on the way are dropped.  [None] when nothing sendable
+    remains. *)
+
+val drop_expired : t -> now:Cup_dess.Time.t -> int
+(** Eliminate every expired queued update; returns how many were
+    dropped. *)
+
+val peek_all : t -> Update.t list
+(** Queue contents in pop order (ignoring expiry), for tests. *)

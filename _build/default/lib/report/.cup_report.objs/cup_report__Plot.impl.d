@@ -1,0 +1,1 @@
+lib/report/plot.ml: Array Buffer Float List Printf String

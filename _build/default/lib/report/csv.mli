@@ -1,0 +1,11 @@
+(** Minimal CSV output for experiment results.
+
+    Values are quoted only when needed (comma, quote, or newline in
+    the cell), per RFC 4180. *)
+
+val escape : string -> string
+
+val row_to_string : string list -> string
+
+val write : path:string -> header:string list -> string list list -> unit
+(** Write a whole file: header then rows. *)

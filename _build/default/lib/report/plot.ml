@@ -1,0 +1,82 @@
+type series = { label : string; points : (float * float) list }
+
+let markers = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 60) ?(height = 20) ?(log_y = false) ~title ~x_label
+    ~y_label series =
+  let transform y = if log_y then log10 (Float.max y 1e-12) else y in
+  let all_points =
+    List.concat_map (fun s -> List.map (fun (x, y) -> (x, transform y)) s.points)
+      series
+  in
+  if all_points = [] then title ^ "\n(no data)\n"
+  else begin
+    let xs = List.map fst all_points and ys = List.map snd all_points in
+    let x_min = List.fold_left Float.min Float.infinity xs in
+    let x_max = List.fold_left Float.max Float.neg_infinity xs in
+    let y_min = List.fold_left Float.min Float.infinity ys in
+    let y_max = List.fold_left Float.max Float.neg_infinity ys in
+    let x_span = if x_max > x_min then x_max -. x_min else 1. in
+    let y_span = if y_max > y_min then y_max -. y_min else 1. in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si s ->
+        let marker = markers.(si mod Array.length markers) in
+        List.iter
+          (fun (x, y) ->
+            let y = transform y in
+            let col =
+              int_of_float
+                (Float.round ((x -. x_min) /. x_span *. float_of_int (width - 1)))
+            in
+            let row =
+              height - 1
+              - int_of_float
+                  (Float.round
+                     ((y -. y_min) /. y_span *. float_of_int (height - 1)))
+            in
+            if row >= 0 && row < height && col >= 0 && col < width then
+              grid.(row).(col) <- marker)
+          s.points)
+      series;
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n';
+    let y_axis_value row =
+      let frac = float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+      let v = y_min +. (frac *. y_span) in
+      if log_y then Float.pow 10. v else v
+    in
+    Array.iteri
+      (fun row line ->
+        let label =
+          if row = 0 || row = height - 1 || row = height / 2 then
+            Printf.sprintf "%10.4g |" (y_axis_value row)
+          else Printf.sprintf "%10s |" ""
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  %-8.4g%s%8.4g\n" ""
+         x_min
+         (String.make (max 1 (width - 16)) ' ')
+         x_max);
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  x: %s, y: %s%s\n" "" x_label y_label
+         (if log_y then " (log scale)" else ""));
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%10s  %c = %s\n" ""
+             markers.(si mod Array.length markers)
+             s.label))
+      series;
+    Buffer.contents buf
+  end
+
+let print ?width ?height ?log_y ~title ~x_label ~y_label series =
+  print_string (render ?width ?height ?log_y ~title ~x_label ~y_label series);
+  print_newline ()

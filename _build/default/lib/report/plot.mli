@@ -1,0 +1,32 @@
+(** ASCII line plots for the reproduced figures.
+
+    Renders one or more named series of [(x, y)] points onto a
+    character grid — enough to eyeball the shapes the paper's figures
+    show (monotone decrease, interior minimum, graceful degradation)
+    straight from the benchmark output. *)
+
+type series = { label : string; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?log_y:bool ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** [width]/[height] are the plot-area size in characters (defaults
+    60x20).  [log_y] plots log10 of the values (the paper's Figures 4
+    and 6 use log-scale y axes).  Series are drawn with the markers
+    [*], [o], [+], [x], ... in order. *)
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  ?log_y:bool ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  unit

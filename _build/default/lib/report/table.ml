@@ -1,0 +1,81 @@
+type row = Cells of string list | Separator
+
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : row list; (* reverse order *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= '0' && c <= '9')
+         || c = '.' || c = '-' || c = '+' || c = '(' || c = ')' || c = '%'
+         || c = 'e' || c = 'x')
+       s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.columns) in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cells ->
+          List.iteri
+            (fun i cell ->
+              if String.length cell > widths.(i) then
+                widths.(i) <- String.length cell)
+            cells)
+    rows;
+  let buf = Buffer.create 1024 in
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    if looks_numeric cell then String.make n ' ' ^ cell
+    else cell ^ String.make n ' '
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (3 * (Array.length widths - 1))
+  in
+  let hline = String.make (max total_width (String.length t.title)) '-' in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf hline;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.concat " | "
+       (List.mapi (fun i c -> pad i c) t.columns));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf hline;
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Separator ->
+          Buffer.add_string buf hline;
+          Buffer.add_char buf '\n'
+      | Cells cells ->
+          Buffer.add_string buf
+            (String.concat " | " (List.mapi (fun i c -> pad i c) cells));
+          Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_int n = string_of_int n
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_ratio ?(decimals = 2) x = Printf.sprintf "(%.*f)" decimals x

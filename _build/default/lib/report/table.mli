@@ -1,0 +1,27 @@
+(** Paper-style ASCII tables.
+
+    A table is a header row plus data rows of strings; rendering
+    right-aligns numeric-looking cells and pads columns.  Used by the
+    benchmark harness to print each reproduced table in a layout close
+    to the paper's. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the arity differs from [columns]. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout, followed by a blank line. *)
+
+(** {1 Cell formatting helpers} *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_ratio : ?decimals:int -> float -> string
+(** Formats like the paper's parenthesized normalizations: ["(0.27)"]. *)

@@ -1,0 +1,1 @@
+lib/sim/experiments.ml: Analysis Cup_metrics Cup_overlay Cup_proto List Runner Scenario Stdlib

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Cup_dess Cup_metrics Cup_overlay Cup_prng Cup_proto Cup_workload Float Format Hashtbl List Logs Scenario Trace Unix

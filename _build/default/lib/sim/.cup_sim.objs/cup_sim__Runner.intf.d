@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Cup_dess Cup_metrics Cup_overlay Cup_proto Scenario Trace

@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Cup_overlay Cup_proto Float Result Stdlib

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Cup_dess Cup_overlay Cup_proto Format List

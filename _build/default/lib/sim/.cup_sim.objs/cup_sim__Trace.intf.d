@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Cup_dess Cup_overlay Cup_proto Format

@@ -1,0 +1,37 @@
+let justified_probability ~subtree_rate ~window =
+  if subtree_rate < 0. || window < 0. then
+    invalid_arg "Analysis.justified_probability: negative input";
+  1. -. exp (-.subtree_rate *. window)
+
+let miss_cost_per_query ~distance =
+  if distance < 0 then invalid_arg "Analysis.miss_cost_per_query";
+  2. *. float_of_int distance
+
+let expected_queries_per_window ~rate ~window = rate *. window
+
+let second_chance_subscription_span ~lifetime = 2. *. lifetime
+
+let expected_hit_fraction ~node_rate ~lifetime =
+  if node_rate <= 0. then 0.
+  else
+    let usable = second_chance_subscription_span ~lifetime +. lifetime in
+    1. -. exp (-.node_rate *. usable)
+
+let break_even_justified_fraction = 0.5
+
+let optimal_push_level ~rates ~window ~tree_fanout =
+  if Array.length rates = 0 then invalid_arg "Analysis.optimal_push_level";
+  if tree_fanout <= 1. then invalid_arg "Analysis.optimal_push_level: fanout";
+  let network_rate = Array.fold_left ( +. ) 0. rates in
+  (* A node at level i roots a subtree holding roughly a fanout^-i
+     fraction of the network's query mass.  Push one level deeper as
+     long as the marginal update is at least break-even. *)
+  let rec deepest level =
+    let subtree_rate = network_rate /. Float.pow tree_fanout (float_of_int level) in
+    if
+      justified_probability ~subtree_rate ~window
+      >= break_even_justified_fraction
+    then deepest (level + 1)
+    else level - 1
+  in
+  Stdlib.max 0 (deepest 1)

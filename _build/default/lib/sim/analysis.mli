@@ -1,0 +1,47 @@
+(** Closed-form results from the paper's cost model (Section 3.1).
+
+    These are the analytic counterparts of what the simulator
+    measures; the benchmark's model-vs-simulation target checks the
+    two against each other.
+
+    The model: queries for a key arrive at each node of the subtree
+    under node [N] as independent Poisson processes; their sum is a
+    Poisson process with rate [lambda_subtree].  An update pushed to
+    [N] is justified iff at least one query arrives somewhere in
+    [N]'s virtual subtree within the update's critical window [t]. *)
+
+val justified_probability : subtree_rate:float -> window:float -> float
+(** [1 - exp (-. subtree_rate *. window)] — the paper's example:
+    rate 1 q/s and a 6 s window give 0.998. *)
+
+val miss_cost_per_query : distance:int -> float
+(** Standard caching, cold path: [2 * D] hops — [D] up to the
+    authority and [D] back down the reverse path. *)
+
+val expected_queries_per_window : rate:float -> window:float -> float
+
+val second_chance_subscription_span : lifetime:float -> float
+(** How long a second-chance subscription survives after its last
+    query: two dry refresh cycles. *)
+
+val expected_hit_fraction :
+  node_rate:float -> lifetime:float -> float
+(** Probability that a node's next query for a key arrives while its
+    entry is still fresh, given the node queries it at Poisson rate
+    [node_rate] and a second-chance subscription: the entry stays
+    usable for up to [subscription span + lifetime] after a query, so
+    a hit needs the next gap below that. *)
+
+val break_even_justified_fraction : float
+(** The paper's Section 3.1 claim: pushed updates recover their cost
+    when at least this fraction of them is justified (each justified
+    update saves two hops — one up, one down — against one pushed
+    hop). *)
+
+val optimal_push_level :
+  rates:float array -> window:float -> tree_fanout:float -> int
+(** The deepest level [p] at which an update pushed to a level-[p]
+    node is still more likely justified than not, for a regular tree
+    whose level-[i] subtree sees the given per-node query [rates]
+    diluted by [tree_fanout^i].  A coarse analytic analogue of the
+    Figure 3/4 optimum. *)

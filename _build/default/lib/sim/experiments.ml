@@ -1,0 +1,531 @@
+module Policy = Cup_proto.Policy
+module Counters = Cup_metrics.Counters
+
+type scale = Scaled | Full
+
+let base_scenario scale =
+  let nodes = match scale with Scaled -> 256 | Full -> 1024 in
+  {
+    Scenario.default with
+    nodes;
+    total_keys_override = Some 1;
+    query_rate = 1.;
+    drain = 1200.;
+    seed = 42;
+  }
+
+(* Scaled rates keep the per-node query density of the paper's
+   1024-node runs: lambda * 256/1024. *)
+let rates = function
+  | Scaled -> [ 0.25; 2.5; 25.; 250. ]
+  | Full -> [ 1.; 10.; 100.; 1000. ]
+
+let run_counters cfg = (Runner.run cfg).counters
+
+(* {1 Figures 3 and 4} *)
+
+type push_level_point = { level : int; total_cost : int; miss_cost : int }
+
+type push_level_series = {
+  rate : float;
+  points : push_level_point list;
+  optimal_level : int;
+  optimal_total : int;
+}
+
+let default_levels scale =
+  match scale with
+  | Scaled -> [ 0; 1; 2; 3; 4; 5; 6; 8; 10; 12; 14; 16; 20; 24 ]
+  | Full -> [ 0; 1; 2; 3; 4; 5; 6; 8; 10; 12; 15; 18; 21; 24; 27; 30 ]
+
+let push_level_sweep ?levels scale ~rate =
+  let levels =
+    match levels with Some l -> l | None -> default_levels scale
+  in
+  let base = { (base_scenario scale) with query_rate = rate } in
+  let points =
+    List.map
+      (fun level ->
+        let cfg = Scenario.with_policy base (Policy.Push_level level) in
+        let c = run_counters cfg in
+        {
+          level;
+          total_cost = Counters.total_cost c;
+          miss_cost = Counters.miss_cost c;
+        })
+      levels
+  in
+  let optimal =
+    List.fold_left
+      (fun acc p ->
+        match acc with
+        | Some best when best.total_cost <= p.total_cost -> acc
+        | Some _ | None -> Some p)
+      None points
+  in
+  match optimal with
+  | None -> invalid_arg "push_level_sweep: empty level list"
+  | Some best ->
+      {
+        rate;
+        points;
+        optimal_level = best.level;
+        optimal_total = best.total_cost;
+      }
+
+(* {1 Table 1} *)
+
+type policy_cell = { total : int; normalized : float }
+
+type policy_row = {
+  policy_label : string;
+  cells : (float * policy_cell) list;
+}
+
+let table1_policies =
+  [
+    Policy.Standard_caching;
+    Policy.Linear 0.25;
+    Policy.Linear 0.10;
+    Policy.Linear 0.01;
+    Policy.Linear 0.001;
+    Policy.Logarithmic 0.5;
+    Policy.Logarithmic 0.25;
+    Policy.Logarithmic 0.10;
+    Policy.Logarithmic 0.01;
+    Policy.second_chance;
+  ]
+
+let table1 ?optimal scale =
+  let rs = rates scale in
+  let base = base_scenario scale in
+  let totals_for policy =
+    List.map
+      (fun rate ->
+        let cfg =
+          Scenario.with_policy { base with query_rate = rate } policy
+        in
+        (rate, Counters.total_cost (run_counters cfg)))
+      rs
+  in
+  let standard = totals_for Policy.Standard_caching in
+  let normalize rate total =
+    let std = List.assoc rate standard in
+    { total; normalized = float_of_int total /. float_of_int (max 1 std) }
+  in
+  let rows =
+    List.map
+      (fun policy ->
+        let totals =
+          if policy = Policy.Standard_caching then standard
+          else totals_for policy
+        in
+        {
+          policy_label = Policy.to_string policy;
+          cells = List.map (fun (r, t) -> (r, normalize r t)) totals;
+        })
+      table1_policies
+  in
+  let optimal_series =
+    match optimal with
+    | Some series -> series
+    | None -> List.map (fun rate -> push_level_sweep scale ~rate) rs
+  in
+  let optimal_cells =
+    List.filter_map
+      (fun rate ->
+        match
+          List.find_opt (fun s -> s.rate = rate) optimal_series
+        with
+        | Some s -> Some (rate, normalize rate s.optimal_total)
+        | None -> None)
+      rs
+  in
+  rows @ [ { policy_label = "optimal push level"; cells = optimal_cells } ]
+
+(* {1 Table 2} *)
+
+type size_row = {
+  nodes : int;
+  miss_cost_ratio : float;
+  cup_miss_latency : float;
+  std_miss_latency : float;
+  saved_per_overhead : float;
+}
+
+let table2_sizes scale =
+  let max_k = match scale with Scaled -> 10 | Full -> 12 in
+  List.init (max_k - 2) (fun i -> 1 lsl (i + 3))
+
+(* The paper reports miss latency as one-way hops to the answer; our
+   counters measure round-trip elapsed time in hop units. *)
+let one_way hops = hops /. 2.
+
+let table2 scale =
+  List.map
+    (fun nodes ->
+      let base = { (base_scenario scale) with nodes } in
+      let std =
+        run_counters (Scenario.with_policy base Policy.Standard_caching)
+      in
+      let cup = run_counters (Scenario.with_policy base Policy.second_chance) in
+      let std_miss = Counters.miss_cost std in
+      let cup_miss = Counters.miss_cost cup in
+      let overhead = Counters.overhead_cost cup in
+      {
+        nodes;
+        miss_cost_ratio = float_of_int cup_miss /. float_of_int (max 1 std_miss);
+        cup_miss_latency = one_way (Counters.avg_miss_latency_hops cup);
+        std_miss_latency = one_way (Counters.avg_miss_latency_hops std);
+        saved_per_overhead =
+          float_of_int (std_miss - cup_miss) /. float_of_int (max 1 overhead);
+      })
+    (table2_sizes scale)
+
+(* {1 Table 3} *)
+
+type replica_row = {
+  replicas : int;
+  naive_miss_cost : int;
+  naive_misses : int;
+  indep_miss_cost : int;
+  indep_misses : int;
+  indep_total_cost : int;
+}
+
+let table3 scale =
+  let base = base_scenario scale in
+  List.map
+    (fun replicas ->
+      let with_mode replica_independent_cutoff =
+        {
+          base with
+          replicas_per_key = replicas;
+          node_config =
+            {
+              policy = Policy.second_chance;
+              replica_independent_cutoff;
+            };
+        }
+      in
+      let naive = run_counters (with_mode false) in
+      let indep = run_counters (with_mode true) in
+      {
+        replicas;
+        naive_miss_cost = Counters.miss_cost naive;
+        naive_misses = Counters.misses naive;
+        indep_miss_cost = Counters.miss_cost indep;
+        indep_misses = Counters.misses indep;
+        indep_total_cost = Counters.total_cost indep;
+      })
+    [ 100; 50; 10; 5; 2; 1 ]
+
+(* {1 Figures 5 and 6} *)
+
+type capacity_point = {
+  capacity : float;
+  up_and_down_total : int;
+  once_down_total : int;
+}
+
+type capacity_series = {
+  cap_rate : float;
+  std_total : int;
+  cap_points : capacity_point list;
+}
+
+let capacity_sweep ?(capacities = [ 0.; 0.25; 0.5; 0.75; 1. ]) scale ~rate =
+  let base = { (base_scenario scale) with query_rate = rate } in
+  let std =
+    Counters.total_cost
+      (run_counters (Scenario.with_policy base Policy.Standard_caching))
+  in
+  let cap_points =
+    List.map
+      (fun capacity ->
+        let faults mk = { base with faults = Some (mk capacity) } in
+        let up_and_down =
+          faults (fun reduced ->
+              Scenario.Up_and_down
+                {
+                  fraction = 0.2;
+                  reduced;
+                  warmup = 300.;
+                  down = 600.;
+                  gap = 300.;
+                })
+        in
+        let once_down =
+          faults (fun reduced ->
+              Scenario.Once_down { fraction = 0.2; reduced; warmup = 300. })
+        in
+        {
+          capacity;
+          up_and_down_total = Counters.total_cost (run_counters up_and_down);
+          once_down_total = Counters.total_cost (run_counters once_down);
+        })
+      capacities
+  in
+  { cap_rate = rate; std_total = std; cap_points }
+
+(* {1 Ablations} *)
+
+type ordering_row = {
+  ordering_label : string;
+  ord_total : int;
+  ord_miss : int;
+  ord_misses : int;
+}
+
+let ablation_queue_ordering scale =
+  let base = base_scenario scale in
+  (* Starve the update channels so the queues actually build up: five
+     replicas refreshing every 60 s feed far more update traffic than
+     a 0.05 update/s token bucket can carry, so queued updates compete
+     and expire. *)
+  let starved =
+    {
+      base with
+      query_rate = 2.5;
+      total_keys_override = Some 4;
+      replicas_per_key = 5;
+      replica_lifetime = 60.;
+      death_prob = 0.3;
+      capacity_mode = Scenario.Token_bucket 0.05;
+    }
+  in
+  List.map
+    (fun (label, ordering) ->
+      let c = run_counters { starved with queue_ordering = ordering } in
+      {
+        ordering_label = label;
+        ord_total = Counters.total_cost c;
+        ord_miss = Counters.miss_cost c;
+        ord_misses = Counters.misses c;
+      })
+    [
+      ("latency-first", Cup_proto.Update_queue.Latency_first);
+      ("flash-crowd", Cup_proto.Update_queue.Flash_crowd);
+      ("fifo", Cup_proto.Update_queue.Fifo);
+    ]
+
+type dry_row = { dry_window : int; dry_total : int; dry_miss : int }
+
+let ablation_log_based_window scale =
+  let base = base_scenario scale in
+  List.map
+    (fun n ->
+      let c =
+        run_counters (Scenario.with_policy base (Policy.Log_based n))
+      in
+      {
+        dry_window = n;
+        dry_total = Counters.total_cost c;
+        dry_miss = Counters.miss_cost c;
+      })
+    [ 1; 2; 3; 4; 5 ]
+
+(* {1 Section 3.6 techniques and Section 3.1 justification} *)
+
+type technique_row = {
+  technique_label : string;
+  tech_total : int;
+  tech_overhead : int;
+  tech_miss : int;
+  tech_misses : int;
+  tech_justified_pct : float;
+}
+
+let justified_pct (r : Runner.result) =
+  if r.tracked_updates = 0 then 0.
+  else 100. *. float_of_int r.justified_updates /. float_of_int r.tracked_updates
+
+let propagation_techniques scale =
+  let base =
+    {
+      (base_scenario scale) with
+      replicas_per_key = 10;
+      query_rate = List.nth (rates scale) 1;
+    }
+  in
+  let row label cfg =
+    let r = Runner.run cfg in
+    {
+      technique_label = label;
+      tech_total = Counters.total_cost r.counters;
+      tech_overhead = Counters.overhead_cost r.counters;
+      tech_miss = Counters.miss_cost r.counters;
+      tech_misses = Counters.misses r.counters;
+      tech_justified_pct = justified_pct r;
+    }
+  in
+  [
+    row "per-replica refreshes (Table 3 baseline)" base;
+    row "batched refreshes, 5 s window"
+      { base with refresh_batch_window = 5. };
+    row "batched refreshes, 30 s window"
+      { base with refresh_batch_window = 30. };
+    row "suppress half the refreshes" { base with refresh_sample = 0.5 };
+    row "suppress 3/4 of the refreshes" { base with refresh_sample = 0.25 };
+    row "piggybacked clear-bits" { base with piggyback_clear_bits = true };
+  ]
+
+type justification_row = {
+  j_policy : string;
+  j_rate : float;
+  j_justified_pct : float;
+  j_tracked : int;
+  j_saved_per_overhead : float;
+}
+
+let justification scale =
+  let base = base_scenario scale in
+  let rs = [ List.hd (rates scale); List.nth (rates scale) 2 ] in
+  List.concat_map
+    (fun rate ->
+      let std =
+        Runner.run
+          (Scenario.with_policy { base with query_rate = rate }
+             Policy.Standard_caching)
+      in
+      let std_miss = Counters.miss_cost std.counters in
+      List.map
+        (fun policy ->
+          let r =
+            Runner.run
+              (Scenario.with_policy { base with query_rate = rate } policy)
+          in
+          let overhead = Counters.overhead_cost r.counters in
+          {
+            j_policy = Policy.to_string policy;
+            j_rate = rate;
+            j_justified_pct = justified_pct r;
+            j_tracked = r.tracked_updates;
+            j_saved_per_overhead =
+              float_of_int (std_miss - Counters.miss_cost r.counters)
+              /. float_of_int (Stdlib.max 1 overhead);
+          })
+        [ Policy.All_out; Policy.second_chance; Policy.Linear 0.01 ])
+    rs
+
+(* {1 Overlay generality} *)
+
+type overlay_row = {
+  overlay_label : string;
+  o_policy : string;
+  o_total : int;
+  o_miss : int;
+  o_misses : int;
+  o_latency : float;
+}
+
+let overlay_comparison scale =
+  let base =
+    { (base_scenario scale) with query_rate = List.nth (rates scale) 1 }
+  in
+  List.concat_map
+    (fun (overlay_label, overlay) ->
+      List.map
+        (fun policy ->
+          let r =
+            Runner.run
+              (Scenario.with_policy { base with overlay } policy)
+          in
+          {
+            overlay_label;
+            o_policy = Policy.to_string policy;
+            o_total = Counters.total_cost r.counters;
+            o_miss = Counters.miss_cost r.counters;
+            o_misses = Counters.misses r.counters;
+            o_latency = one_way (Counters.avg_miss_latency_hops r.counters);
+          })
+        [ Policy.Standard_caching; Policy.second_chance ])
+    [
+      ("CAN (2-d torus)", Cup_overlay.Net.Can `Random);
+      ("Chord (64-bit ring)", Cup_overlay.Net.Chord);
+      ("Pastry (prefix routing)", Cup_overlay.Net.Pastry);
+    ]
+
+(* {1 Replication across seeds} *)
+
+type replicated = {
+  runs : int;
+  total_mean : float;
+  total_stddev : float;
+  miss_mean : float;
+  miss_stddev : float;
+  misses_mean : float;
+  misses_stddev : float;
+  latency_mean : float;
+  latency_stddev : float;
+}
+
+let replicate cfg ~runs =
+  if runs < 1 then invalid_arg "Experiments.replicate: runs must be >= 1";
+  let total = Cup_metrics.Welford.create () in
+  let miss = Cup_metrics.Welford.create () in
+  let misses = Cup_metrics.Welford.create () in
+  let latency = Cup_metrics.Welford.create () in
+  for i = 0 to runs - 1 do
+    let r = Runner.run { cfg with Scenario.seed = cfg.Scenario.seed + i } in
+    Cup_metrics.Welford.add total (float_of_int (Counters.total_cost r.counters));
+    Cup_metrics.Welford.add miss (float_of_int (Counters.miss_cost r.counters));
+    Cup_metrics.Welford.add misses (float_of_int (Counters.misses r.counters));
+    Cup_metrics.Welford.add latency (Counters.avg_miss_latency_hops r.counters)
+  done;
+  {
+    runs;
+    total_mean = Cup_metrics.Welford.mean total;
+    total_stddev = Cup_metrics.Welford.stddev total;
+    miss_mean = Cup_metrics.Welford.mean miss;
+    miss_stddev = Cup_metrics.Welford.stddev miss;
+    misses_mean = Cup_metrics.Welford.mean misses;
+    misses_stddev = Cup_metrics.Welford.stddev misses;
+    latency_mean = Cup_metrics.Welford.mean latency;
+    latency_stddev = Cup_metrics.Welford.stddev latency;
+  }
+
+(* {1 Model versus simulation} *)
+
+type model_row = {
+  m_rate : float;
+  m_fanout : int;
+  measured_justified_pct : float;
+  predicted_justified_pct : float;
+}
+
+let model_check scale =
+  (* steady state: the model assumes queries keep arriving, so drop
+     the drain period whose refreshes are unjustified by construction *)
+  let base = { (base_scenario scale) with drain = 0. } in
+  List.map
+    (fun rate ->
+      let cfg =
+        Scenario.with_policy { base with query_rate = rate }
+          (Policy.Push_level 1)
+      in
+      (* the topology is a pure function of the seed, so a fresh Live
+         sees the same authority and neighbor count the run will *)
+      let live = Runner.Live.create cfg in
+      let net = Runner.Live.network live in
+      let key = Runner.Live.key_of_index live 0 in
+      let authority = Runner.Live.authority_of live key in
+      let fanout =
+        Stdlib.max 1
+          (List.length (Cup_overlay.Net.neighbors net authority))
+      in
+      let r = Runner.run cfg in
+      let predicted =
+        Analysis.justified_probability
+          ~subtree_rate:(rate /. float_of_int fanout)
+          ~window:base.Scenario.replica_lifetime
+      in
+      {
+        m_rate = rate;
+        m_fanout = fanout;
+        measured_justified_pct = justified_pct r;
+        predicted_justified_pct = 100. *. predicted;
+      })
+    (* rates spanning the regime where P(justified) actually varies:
+       subtree_rate * lifetime from ~0.4 to ~75 *)
+    [ 0.005; 0.01; 0.02; 0.05; 0.1; 0.25; 1. ]

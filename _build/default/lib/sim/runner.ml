@@ -1,0 +1,626 @@
+module Engine = Cup_dess.Engine
+module Time = Cup_dess.Time
+module Net = Cup_overlay.Net
+module Node_id = Cup_overlay.Node_id
+module Key = Cup_overlay.Key
+module Node = Cup_proto.Node
+module Update = Cup_proto.Update
+module Update_queue = Cup_proto.Update_queue
+module Replica_id = Cup_proto.Replica_id
+module Entry = Cup_proto.Entry
+module Counters = Cup_metrics.Counters
+module Rng = Cup_prng.Rng
+module Dist = Cup_prng.Dist
+
+let log_src = Logs.Src.create "cup.sim" ~doc:"CUP simulation runner"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type result = {
+  counters : Counters.t;
+  node_stats : Node.stats;
+  queries_posted : int;
+  replica_events : int;
+  engine_events : int;
+  wallclock : float;
+  tracked_updates : int;
+  justified_updates : int;
+}
+
+(* Token-bucket mode: the Section 2.8 per-neighbor outgoing update
+   channels of one node. *)
+type channel_state = {
+  queues : Update_queue.t Node_id.Table.t;
+  mutable drain_scheduled : bool;
+  mutable last_send : float;
+}
+
+type live = {
+  cfg : Scenario.t;
+  engine : Engine.t;
+  net : Net.t;
+  nodes : Node.t Node_id.Table.t;
+  keys : Key.t array;
+  authority : Node_id.t Key.Table.t;
+  counters : Counters.t;
+  capacity : float Node_id.Table.t; (* absent = full (1.0) *)
+  channels : channel_state Node_id.Table.t;
+  topo_rng : Rng.t;
+  cap_rng : Rng.t;
+  sample_rng : Rng.t;
+  batches : Entry.t list ref Key.Table.t; (* authority-side refresh batching *)
+  justif : (int * int, float list ref) Hashtbl.t;
+      (* (node, key) -> justification deadlines of updates applied
+         there and not yet judged (Section 3.1) *)
+  mutable tracked_updates : int;
+  mutable justified_updates : int;
+  mutable queries_posted : int;
+  mutable replica_events : int;
+  mutable tracer : (Trace.event -> unit) option;
+  started : float; (* host wallclock at creation *)
+}
+
+let emit t event =
+  match t.tracer with Some f -> f event | None -> ()
+
+let get_node t id = Node_id.Table.find t.nodes id
+let now t = Engine.now t.engine
+
+let capacity_of t id =
+  match Node_id.Table.find_opt t.capacity id with
+  | Some c -> c
+  | None -> 1.
+
+let channel_of t id =
+  match Node_id.Table.find_opt t.channels id with
+  | Some ch -> ch
+  | None ->
+      let ch =
+        {
+          queues = Node_id.Table.create 8;
+          drain_scheduled = false;
+          last_send = Float.neg_infinity;
+        }
+      in
+      Node_id.Table.replace t.channels id ch;
+      ch
+
+(* {2 Justified-update accounting (Section 3.1)}
+
+   An update pushed to a node is justified if a query for the key
+   arrives at that node before the update's critical window closes
+   (the carried entries' expiry).  We register a deadline when a
+   non-answering update is applied at a node and judge all pending
+   deadlines at the node's next query for the key. *)
+
+let justif_key node key = (Node_id.to_int node, Key.to_int key)
+
+let register_update_for_justification t ~node (update : Update.t) =
+  let deadline =
+    List.fold_left
+      (fun acc (e : Entry.t) -> Float.max acc (Time.to_seconds e.expiry))
+      0. update.entries
+  in
+  t.tracked_updates <- t.tracked_updates + 1;
+  let k = justif_key node update.key in
+  match Hashtbl.find_opt t.justif k with
+  | Some deadlines -> deadlines := deadline :: !deadlines
+  | None -> Hashtbl.replace t.justif k (ref [ deadline ])
+
+let judge_pending_updates t ~node ~key =
+  let k = justif_key node key in
+  match Hashtbl.find_opt t.justif k with
+  | None -> ()
+  | Some deadlines ->
+      let now = Time.to_seconds (Engine.now t.engine) in
+      List.iter
+        (fun deadline ->
+          if deadline >= now then
+            t.justified_updates <- t.justified_updates + 1)
+        !deadlines;
+      Hashtbl.remove t.justif k
+
+(* {2 Message transport}
+
+   Each [Send_*] action becomes a delivery event one [hop_delay]
+   later.  Hops are recorded at delivery so that first-time-update
+   hops can be classified by the receiver's pending flag. *)
+
+let rec perform t ~from actions =
+  List.iter (fun a -> perform_one t ~from a) actions
+
+and perform_one t ~from = function
+  | Node.Send_query { to_; key } ->
+      Counters.record_query_hop t.counters;
+      ignore
+        (Engine.schedule_after t.engine ~delay:t.cfg.hop_delay (fun _ ->
+             deliver_query t ~from ~to_ key))
+  | Node.Send_clear_bit { to_; key } ->
+      if not t.cfg.piggyback_clear_bits then
+        Counters.record_clear_bit_hop t.counters;
+      ignore
+        (Engine.schedule_after t.engine ~delay:t.cfg.hop_delay (fun _ ->
+             deliver_clear_bit t ~from ~to_ key))
+  | Node.Send_update { to_; update; answering } ->
+      send_update t ~from ~to_ ~answering update
+  | Node.Answer_local { posted_at; hit; key; _ } ->
+      emit t
+        (Trace.Local_answer
+           {
+             at = now t;
+             node = from;
+             key;
+             hit;
+             waiters = List.length posted_at;
+           });
+      if hit then
+        List.iter (fun _ -> Counters.record_hit t.counters) posted_at
+      else begin
+        let n = now t in
+        List.iter
+          (fun posted ->
+            Counters.record_miss t.counters
+              ~latency:(Time.diff n posted)
+              ~hop_delay:t.cfg.hop_delay)
+          posted_at
+      end
+
+and deliver_query t ~from ~to_ key =
+  emit t (Trace.Query_forwarded { at = now t; from_ = from; to_; key });
+  if Net.is_alive t.net to_ then begin
+    judge_pending_updates t ~node:to_ ~key;
+    let node = get_node t to_ in
+    let next_hop = Net.next_hop t.net to_ key in
+    perform t ~from:to_
+      (Node.handle_query node ~now:(now t) ~next_hop (Node.From_neighbor from)
+         key)
+  end
+
+and deliver_clear_bit t ~from ~to_ key =
+  emit t (Trace.Clear_bit_delivered { at = now t; from_ = from; to_; key });
+  if Net.is_alive t.net to_ then begin
+    let node = get_node t to_ in
+    perform t ~from:to_ (Node.handle_clear_bit node ~now:(now t) ~from key)
+  end
+
+and send_update t ~from ~to_ ~answering (update : Update.t) =
+  match (update.kind, t.cfg.capacity_mode) with
+  | Update.First_time, _ when answering ->
+      (* Query answers always flow: a capacity-limited node degrades
+         its dependents to standard caching but still answers them.
+         Proactive first-time pushes are ordinary update propagation
+         and take the capacity-limited paths below. *)
+      transmit_update t ~from ~to_ ~answering update
+  | _, Scenario.Bernoulli ->
+      let c = capacity_of t from in
+      if c >= 1. || Dist.bernoulli t.cap_rng ~p:c then
+        transmit_update t ~from ~to_ update
+      else Counters.record_dropped_update t.counters
+  | _, Scenario.Token_bucket _ ->
+      let ch = channel_of t from in
+      let queue =
+        match Node_id.Table.find_opt ch.queues to_ with
+        | Some q -> q
+        | None ->
+            let q = Update_queue.create t.cfg.queue_ordering in
+            Node_id.Table.replace ch.queues to_ q;
+            q
+      in
+      Update_queue.push queue update;
+      schedule_drain t from ch
+
+and transmit_update t ~from ~to_ ?(answering = false) update =
+  ignore
+    (Engine.schedule_after t.engine ~delay:t.cfg.hop_delay (fun _ ->
+         deliver_update t ~from ~to_ ~answering update))
+
+and deliver_update t ~from ~to_ ~answering (update : Update.t) =
+  emit t
+    (Trace.Update_delivered
+       {
+         at = now t;
+         from_ = from;
+         to_;
+         key = update.key;
+         kind = update.kind;
+         level = update.level;
+         answering;
+       });
+  let node_alive = Net.is_alive t.net to_ in
+  (match update.kind with
+  | Update.First_time -> Counters.record_first_time_hop t.counters ~answering
+  | Update.Refresh -> Counters.record_update_hop t.counters `Refresh
+  | Update.Delete -> Counters.record_update_hop t.counters `Delete
+  | Update.Append -> Counters.record_update_hop t.counters `Append);
+  if node_alive then begin
+    if not answering then register_update_for_justification t ~node:to_ update;
+    let node = get_node t to_ in
+    perform t ~from:to_ (Node.handle_update node ~now:(now t) ~from update)
+  end
+
+(* Token-bucket drain: one update leaves the node per 1/rate seconds,
+   taken from the longest per-neighbor queue (the paper's
+   proportional-share allocation keeps queues equal; always serving
+   the longest is its work-conserving equivalent). *)
+and schedule_drain t node_id ch =
+  if not ch.drain_scheduled then begin
+    let rate =
+      match t.cfg.capacity_mode with
+      | Scenario.Token_bucket full_rate -> capacity_of t node_id *. full_rate
+      | Scenario.Bernoulli -> 0.
+    in
+    if rate > 0. then begin
+      ch.drain_scheduled <- true;
+      let at =
+        Time.max (now t) (Time.of_seconds (ch.last_send +. (1. /. rate)))
+      in
+      ignore
+        (Engine.schedule t.engine ~at (fun _ ->
+             ch.drain_scheduled <- false;
+             drain_once t node_id ch))
+    end
+  end
+
+and drain_once t node_id ch =
+  let longest =
+    Node_id.Table.fold
+      (fun neighbor queue acc ->
+        let len = Update_queue.length queue in
+        if len = 0 then acc
+        else
+          match acc with
+          | Some (_, _, best_len) when best_len >= len -> acc
+          | Some _ | None -> Some (neighbor, queue, len))
+      ch.queues None
+  in
+  match longest with
+  | None -> ()
+  | Some (neighbor, queue, _) ->
+      (match Update_queue.pop queue ~now:(now t) with
+      | Some update ->
+          ch.last_send <- Time.to_seconds (now t);
+          transmit_update t ~from:node_id ~to_:neighbor update
+      | None -> ());
+      let remaining =
+        Node_id.Table.fold
+          (fun _ q acc -> acc + Update_queue.length q)
+          ch.queues 0
+      in
+      if remaining > 0 then schedule_drain t node_id ch
+
+(* {2 Local queries} *)
+
+let post_query t ~node ~key =
+  if Net.is_alive t.net node then begin
+    emit t (Trace.Query_posted { at = now t; node; key });
+    judge_pending_updates t ~node ~key;
+    t.queries_posted <- t.queries_posted + 1;
+    let n = get_node t node in
+    let next_hop = Net.next_hop t.net node key in
+    perform t ~from:node
+      (Node.handle_query n ~now:(now t) ~next_hop
+         (Node.From_local (now t)) key)
+  end
+
+(* {2 Workload pumps}
+
+   Generators are pulled one event at a time: the handler for each
+   event schedules the next, keeping the event heap small. *)
+
+let pump_queries t gen =
+  let rec next () =
+    match Cup_workload.Query_gen.next gen with
+    | None -> ()
+    | Some e ->
+        ignore
+          (Engine.schedule t.engine ~at:e.at (fun _ ->
+               let node = Node_id.of_int e.node_index in
+               let key = t.keys.(e.key_index) in
+               post_query t ~node ~key;
+               next ()))
+  in
+  next ()
+
+let dispatch_replica_event t (e : Cup_workload.Replica_gen.event) =
+  t.replica_events <- t.replica_events + 1;
+  let key = t.keys.(e.key_index) in
+  let auth = Key.Table.find t.authority key in
+  if Net.is_alive t.net auth then begin
+    let node = get_node t auth in
+    let replica = Replica_id.of_int e.replica in
+    match e.kind with
+    | Cup_workload.Replica_gen.Birth ->
+        let entry = Entry.make ~replica ~expiry:(Time.add e.at e.lifetime) in
+        perform t ~from:auth (Node.replica_birth node ~now:(now t) ~key entry)
+    | Cup_workload.Replica_gen.Death ->
+        perform t ~from:auth (Node.replica_death node ~now:(now t) ~key replica)
+    | Cup_workload.Replica_gen.Refresh ->
+        let entry = Entry.make ~replica ~expiry:(Time.add e.at e.lifetime) in
+        if t.cfg.refresh_batch_window > 0. then begin
+          (* Section 3.6 aggregation: buffer this key's refreshes and
+             flush them as one batched update when the window closes. *)
+          match Key.Table.find_opt t.batches key with
+          | Some buffer -> buffer := entry :: !buffer
+          | None ->
+              let buffer = ref [ entry ] in
+              Key.Table.replace t.batches key buffer;
+              ignore
+                (Engine.schedule_after t.engine
+                   ~delay:t.cfg.refresh_batch_window (fun _ ->
+                     Key.Table.remove t.batches key;
+                     let auth = Key.Table.find t.authority key in
+                     if Net.is_alive t.net auth then
+                       perform t ~from:auth
+                         (Node.replica_refresh_batch (get_node t auth)
+                            ~now:(now t) ~key !buffer)))
+        end
+        else begin
+          let actions = Node.replica_refresh node ~now:(now t) ~key entry in
+          if
+            t.cfg.refresh_sample >= 1.
+            || Dist.bernoulli t.sample_rng ~p:t.cfg.refresh_sample
+          then perform t ~from:auth actions
+          else
+            (* Section 3.6 suppression: the directory was updated by
+               [replica_refresh]; drop the propagation. *)
+            List.iter
+              (function
+                | Node.Send_update _ ->
+                    Counters.record_dropped_update t.counters
+                | other -> perform_one t ~from:auth other)
+              actions
+        end
+  end
+
+let pump_replicas t gen =
+  let rec next () =
+    match Cup_workload.Replica_gen.next gen with
+    | None -> ()
+    | Some e ->
+        ignore
+          (Engine.schedule t.engine ~at:e.at (fun _ ->
+               dispatch_replica_event t e;
+               next ()))
+  in
+  next ()
+
+let set_capacity t id c =
+  Log.debug (fun m ->
+      m "t=%a: node %a capacity -> %.2f" Time.pp (now t) Node_id.pp id c);
+  Node_id.Table.replace t.capacity id c;
+  match t.cfg.capacity_mode with
+  | Scenario.Token_bucket _ when c > 0. -> (
+      match Node_id.Table.find_opt t.channels id with
+      | Some ch -> schedule_drain t id ch
+      | None -> ())
+  | Scenario.Token_bucket _ | Scenario.Bernoulli -> ()
+
+let pump_faults t gen =
+  let rec next () =
+    match Cup_workload.Fault_gen.next gen with
+    | None -> ()
+    | Some e ->
+        ignore
+          (Engine.schedule t.engine ~at:e.at (fun _ ->
+               List.iter
+                 (fun { Cup_workload.Fault_gen.node_index; capacity } ->
+                   set_capacity t (Node_id.of_int node_index) capacity)
+                 e.changes;
+               next ()))
+  in
+  next ()
+
+(* {2 Construction} *)
+
+let create cfg =
+  (match Scenario.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runner: invalid scenario: " ^ msg));
+  let root = Rng.create ~seed:cfg.Scenario.seed in
+  let topo_rng = Rng.substream root "topology" in
+  let net = Net.create ~rng:topo_rng ~kind:cfg.overlay ~n:cfg.nodes () in
+  let nodes = Node_id.Table.create cfg.nodes in
+  List.iter
+    (fun id -> Node_id.Table.replace nodes id (Node.create ~id cfg.node_config))
+    (Net.node_ids net);
+  let keys = Array.init (Scenario.total_keys cfg) Key.of_int in
+  let authority = Key.Table.create (Array.length keys) in
+  Array.iter
+    (fun key ->
+      let owner = Net.owner_of_key net key in
+      Key.Table.replace authority key owner;
+      Node.add_local_key (Node_id.Table.find nodes owner) key)
+    keys;
+  let t =
+    {
+      cfg;
+      engine = Engine.create ();
+      net;
+      nodes;
+      keys;
+      authority;
+      counters = Counters.create ();
+      capacity = Node_id.Table.create 16;
+      channels = Node_id.Table.create 16;
+      topo_rng;
+      cap_rng = Rng.substream root "capacity";
+      sample_rng = Rng.substream root "refresh-sample";
+      batches = Key.Table.create 16;
+      justif = Hashtbl.create 1024;
+      tracked_updates = 0;
+      justified_updates = 0;
+      queries_posted = 0;
+      replica_events = 0;
+      tracer = None;
+      started = Unix.gettimeofday ();
+    }
+  in
+  let stop = Time.of_seconds (Scenario.sim_end cfg) in
+  pump_replicas t
+    (Cup_workload.Replica_gen.create
+       ~rng:(Rng.substream root "replicas")
+       ~keys:(Array.length keys) ~replicas_per_key:cfg.replicas_per_key
+       ~lifetime:cfg.replica_lifetime ~stop ~death_prob:cfg.death_prob ());
+  let key_dist =
+    match cfg.key_dist with
+    | `Uniform -> Cup_workload.Query_gen.Uniform (Array.length keys)
+    | `Zipf s -> Cup_workload.Query_gen.Zipf (Array.length keys, s)
+  in
+  pump_queries t
+    (Cup_workload.Query_gen.create
+       ~rng:(Rng.substream root "queries")
+       ~rate:cfg.query_rate
+       ~start:(Time.of_seconds cfg.query_start)
+       ~stop:(Time.of_seconds (cfg.query_start +. cfg.query_duration))
+       ~nodes:cfg.nodes ~key_dist);
+  (match cfg.faults with
+  | None -> ()
+  | Some (Scenario.Up_and_down { fraction; reduced; warmup; down; gap }) ->
+      pump_faults t
+        (Cup_workload.Fault_gen.up_and_down
+           ~rng:(Rng.substream root "faults")
+           ~nodes:cfg.nodes ~fraction ~reduced
+           ~warmup:(cfg.query_start +. warmup)
+           ~down ~gap
+           ~stop:(Time.of_seconds (cfg.query_start +. cfg.query_duration)))
+  | Some (Scenario.Once_down { fraction; reduced; warmup }) ->
+      pump_faults t
+        (Cup_workload.Fault_gen.once_down
+           ~rng:(Rng.substream root "faults")
+           ~nodes:cfg.nodes ~fraction ~reduced
+           ~warmup:(cfg.query_start +. warmup)));
+  t
+
+let aggregate_stats t =
+  let total : Node.stats =
+    {
+      queries_in = 0;
+      queries_coalesced = 0;
+      cache_answers = 0;
+      updates_in = 0;
+      updates_forwarded = 0;
+      clear_bits_sent = 0;
+      clear_bits_in = 0;
+      expired_updates_dropped = 0;
+    }
+  in
+  Node_id.Table.iter
+    (fun _ node ->
+      let s = Node.stats node in
+      total.queries_in <- total.queries_in + s.queries_in;
+      total.queries_coalesced <- total.queries_coalesced + s.queries_coalesced;
+      total.cache_answers <- total.cache_answers + s.cache_answers;
+      total.updates_in <- total.updates_in + s.updates_in;
+      total.updates_forwarded <- total.updates_forwarded + s.updates_forwarded;
+      total.clear_bits_sent <- total.clear_bits_sent + s.clear_bits_sent;
+      total.clear_bits_in <- total.clear_bits_in + s.clear_bits_in;
+      total.expired_updates_dropped <-
+        total.expired_updates_dropped + s.expired_updates_dropped)
+    t.nodes;
+  total
+
+let finish t =
+  Engine.run t.engine;
+  {
+    counters = t.counters;
+    node_stats = aggregate_stats t;
+    queries_posted = t.queries_posted;
+    replica_events = t.replica_events;
+    engine_events = Engine.events_executed t.engine;
+    wallclock = Unix.gettimeofday () -. t.started;
+    tracked_updates = t.tracked_updates;
+    justified_updates = t.justified_updates;
+  }
+
+let run cfg = finish (create cfg)
+
+(* {2 Churn (Section 2.9)} *)
+
+(* Re-point every key whose routing owner no longer matches the
+   recorded authority, handing the directory over (or dropping it when
+   the old authority crashed).  Per-key, because a membership change
+   can move different keys to different nodes (e.g. a Pastry join
+   takes keys from both ring sides). *)
+let reassign_authorities ?(handover = true) t =
+  Key.Table.iter
+    (fun key auth ->
+      let owner = Net.owner_of_key t.net key in
+      if not (Node_id.equal owner auth) then begin
+        (match Node_id.Table.find_opt t.nodes auth with
+        | Some old_node ->
+            let entries = Node.handover_local old_node key in
+            if handover then Node.receive_local (get_node t owner) key entries
+            else Node.add_local_key (get_node t owner) key
+        | None -> Node.add_local_key (get_node t owner) key);
+        Key.Table.replace t.authority key owner
+      end)
+    t.authority
+
+let patch_affected t affected =
+  List.iter
+    (fun id ->
+      if Net.is_alive t.net id then
+        match Node_id.Table.find_opt t.nodes id with
+        | Some node -> Node.retain_neighbors node (Net.neighbors t.net id)
+        | None -> ())
+    affected
+
+let node_join t =
+  let change = Net.join_random t.net ~rng:t.topo_rng in
+  Log.info (fun m ->
+      m "t=%a: node %a joined (split %a, %d nodes patched)" Time.pp (now t)
+        Node_id.pp change.subject
+        (Format.pp_print_option Node_id.pp)
+        change.peer
+        (List.length change.affected));
+  let node = Node.create ~id:change.subject t.cfg.node_config in
+  Node_id.Table.replace t.nodes change.subject node;
+  reassign_authorities t;
+  patch_affected t (change.subject :: change.affected);
+  change.subject
+
+let node_leave ?(graceful = true) t id =
+  let change = Net.leave t.net id in
+  Log.info (fun m ->
+      m "t=%a: node %a left %s (taker %a, %d nodes patched)" Time.pp (now t)
+        Node_id.pp id
+        (if graceful then "gracefully" else "by crashing")
+        (Format.pp_print_option Node_id.pp)
+        change.peer
+        (List.length change.affected));
+  (* Graceful departure hands directories over; a crash loses them and
+     the replicas' keep-alives rebuild the index at the new owner. *)
+  reassign_authorities ~handover:graceful t;
+  (match change.peer with
+  | Some taker ->
+      (* Bits that pointed at the departed node now point at the node
+         that took over its zone (Section 2.9). *)
+      List.iter
+        (fun a ->
+          if Net.is_alive t.net a then
+            Node.remap_neighbor (get_node t a) ~old_id:id ~new_id:taker)
+        change.affected
+  | None -> ());
+  patch_affected t change.affected
+
+module Live = struct
+  type t = live
+
+  let create = create
+  let engine t = t.engine
+  let network t = t.net
+  let node t id = get_node t id
+  let counters t = t.counters
+  let key_of_index t i = t.keys.(i)
+  let authority_of t key = Key.Table.find t.authority key
+  let post_query t ~node ~key = post_query t ~node ~key
+  let set_capacity t id c = set_capacity t id c
+
+  let run_until t at =
+    Engine.run ~until:(Time.of_seconds at) t.engine
+
+  let finish = finish
+  let node_join = node_join
+  let node_leave ?graceful t id = node_leave ?graceful t id
+  let set_tracer t tracer = t.tracer <- tracer
+end

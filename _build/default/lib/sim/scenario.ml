@@ -1,0 +1,129 @@
+type capacity_mode = Bernoulli | Token_bucket of float
+
+type fault_spec =
+  | Up_and_down of {
+      fraction : float;
+      reduced : float;
+      warmup : float;
+      down : float;
+      gap : float;
+    }
+  | Once_down of { fraction : float; reduced : float; warmup : float }
+
+type t = {
+  seed : int;
+  nodes : int;
+  overlay : Cup_overlay.Net.kind;
+  keys_per_node : float;
+  total_keys_override : int option;
+  replicas_per_key : int;
+  replica_lifetime : float;
+  death_prob : float;
+  node_config : Cup_proto.Node.config;
+  hop_delay : float;
+  query_rate : float;
+  query_start : float;
+  query_duration : float;
+  drain : float;
+  key_dist : [ `Uniform | `Zipf of float ];
+  capacity_mode : capacity_mode;
+  queue_ordering : Cup_proto.Update_queue.ordering;
+  faults : fault_spec option;
+  refresh_batch_window : float;
+  refresh_sample : float;
+  piggyback_clear_bits : bool;
+}
+
+let default =
+  {
+    seed = 1;
+    nodes = 256;
+    overlay = Cup_overlay.Net.Can `Random;
+    keys_per_node = 1.;
+    total_keys_override = None;
+    replicas_per_key = 1;
+    replica_lifetime = 300.;
+    death_prob = 0.;
+    node_config = Cup_proto.Node.default_config;
+    hop_delay = 0.01;
+    query_rate = 1.;
+    query_start = 300.;
+    query_duration = 3000.;
+    drain = 600.;
+    key_dist = `Uniform;
+    capacity_mode = Bernoulli;
+    queue_ordering = Cup_proto.Update_queue.Latency_first;
+    faults = None;
+    refresh_batch_window = 0.;
+    refresh_sample = 1.;
+    piggyback_clear_bits = false;
+  }
+
+let sim_end t = t.query_start +. t.query_duration +. t.drain
+
+let total_keys t =
+  match t.total_keys_override with
+  | Some k -> k
+  | None ->
+      Stdlib.max 1
+        (int_of_float (Float.round (float_of_int t.nodes *. t.keys_per_node)))
+
+let with_policy t policy =
+  { t with node_config = { t.node_config with policy } }
+
+let validate t =
+  let check cond msg = if cond then Ok () else Error msg in
+  let ( let* ) = Result.bind in
+  let* () = check (t.nodes >= 1) "nodes must be >= 1" in
+  let* () = check (t.keys_per_node > 0.) "keys_per_node must be > 0" in
+  let* () =
+    check
+      (match t.total_keys_override with Some k -> k >= 1 | None -> true)
+      "total_keys_override must be >= 1"
+  in
+  let* () = check (t.replicas_per_key >= 1) "replicas_per_key must be >= 1" in
+  let* () = check (t.replica_lifetime > 0.) "replica_lifetime must be > 0" in
+  let* () =
+    check
+      (t.death_prob >= 0. && t.death_prob <= 1.)
+      "death_prob must be in [0, 1]"
+  in
+  let* () = check (t.hop_delay >= 0.) "hop_delay must be >= 0" in
+  let* () = check (t.query_rate > 0.) "query_rate must be > 0" in
+  let* () = check (t.query_start >= 0.) "query_start must be >= 0" in
+  let* () = check (t.query_duration > 0.) "query_duration must be > 0" in
+  let* () = check (t.drain >= 0.) "drain must be >= 0" in
+  let* () =
+    check (t.refresh_batch_window >= 0.) "refresh_batch_window must be >= 0"
+  in
+  let* () =
+    check
+      (t.refresh_sample >= 0. && t.refresh_sample <= 1.)
+      "refresh_sample must be in [0, 1]"
+  in
+  let* () =
+    match t.capacity_mode with
+    | Bernoulli -> Ok ()
+    | Token_bucket rate ->
+        check (rate > 0.) "token bucket rate must be > 0"
+  in
+  match t.faults with
+  | None -> Ok ()
+  | Some (Up_and_down { fraction; reduced; warmup; down; gap }) ->
+      let* () =
+        check (fraction >= 0. && fraction <= 1.) "fraction must be in [0, 1]"
+      in
+      let* () =
+        check (reduced >= 0. && reduced <= 1.) "reduced must be in [0, 1]"
+      in
+      check
+        (warmup >= 0. && down > 0. && gap >= 0.)
+        "fault timing must be nonnegative (down > 0)"
+  | Some (Once_down { fraction; reduced; warmup }) ->
+      let* () =
+        check (fraction >= 0. && fraction <= 1.) "fraction must be in [0, 1]"
+      in
+      let* () =
+        check (reduced >= 0. && reduced <= 1.) "reduced must be in [0, 1]"
+      in
+      check (warmup >= 0.) "warmup must be >= 0"

@@ -1,0 +1,92 @@
+(** Simulation scenarios: everything that defines one run.
+
+    The timeline of a run is
+
+    {v
+    0 ............ query_start ............ +query_duration ....... +drain
+    | replica births (staggered) |  queries posted (Poisson)  | cool-down |
+    v}
+
+    Replica refreshes flow for the whole run.  All costs are accounted
+    over the whole run, as in the paper (whose simulations ran longer
+    than the querying window). *)
+
+type capacity_mode =
+  | Bernoulli
+      (** a node with capacity [c] forwards each non-first-time update
+          with probability [c] — the paper's "only pushing out
+          one-fourth the updates it receives" (Section 3.7) *)
+  | Token_bucket of float
+      (** a node with capacity [c] pushes at most [c *. rate] updates
+          per second through the Section 2.8 priority queues; the
+          float is the full-capacity [rate] *)
+
+type fault_spec =
+  | Up_and_down of {
+      fraction : float;
+      reduced : float;
+      warmup : float;
+      down : float;
+      gap : float;
+    }
+  | Once_down of { fraction : float; reduced : float; warmup : float }
+
+type t = {
+  seed : int;
+  nodes : int;
+  overlay : Cup_overlay.Net.kind;
+      (** which structured overlay CUP runs over (Section 2.2): a 2-d
+          CAN with random or grid placement, or a Chord ring *)
+  keys_per_node : float;
+  total_keys_override : int option;
+      (** when set, the exact number of keys in the global index; the
+          paper's evaluation workloads exercise a single key's CUP
+          tree, i.e. [Some 1] *)
+  replicas_per_key : int;
+  replica_lifetime : float;  (** seconds; the paper uses 300 *)
+  death_prob : float;
+      (** probability a replica dies (instead of refreshing) at each
+          expiration; a replacement is born to keep the population *)
+  node_config : Cup_proto.Node.config;
+  hop_delay : float;  (** seconds per overlay hop *)
+  query_rate : float;  (** network-wide Poisson rate, queries/second *)
+  query_start : float;
+  query_duration : float;
+  drain : float;  (** extra simulated time after querying stops *)
+  key_dist : [ `Uniform | `Zipf of float ];
+  capacity_mode : capacity_mode;
+  queue_ordering : Cup_proto.Update_queue.ordering;
+  faults : fault_spec option;
+  refresh_batch_window : float;
+      (** Section 3.6's aggregation technique: when [> 0.], the
+          authority buffers replica refreshes for a key and propagates
+          them as one batched update once the window closes.  [0.]
+          sends every replica refresh separately, as in the paper's
+          Table 3 runs. *)
+  refresh_sample : float;
+      (** Section 3.6's suppression technique: the authority
+          propagates each replica refresh with this probability
+          (its local directory is always updated).  [1.] propagates
+          everything. *)
+  piggyback_clear_bits : bool;
+      (** When [true], clear-bit hops are not charged to the overhead
+          (Section 2.7 allows piggy-backing them onto queries or
+          updates; the paper's accounting conservatively does not). *)
+}
+
+val default : t
+(** 256 random-placement CAN nodes, 1 key/node, 1 replica/key, lifetime
+    300 s, second-chance policy with replica-independent cut-off,
+    10 ms hops, 1 query/s for 3000 s after a 300 s start, 600 s drain,
+    uniform keys, Bernoulli capacity (all nodes at full), latency-first
+    queue ordering, no faults, no refresh batching or sampling. *)
+
+val sim_end : t -> float
+(** [query_start + query_duration + drain]. *)
+
+val total_keys : t -> int
+
+val with_policy : t -> Cup_proto.Policy.t -> t
+(** Convenience: replace the cut-off policy, keeping the rest. *)
+
+val validate : t -> (unit, string) result

@@ -1,0 +1,115 @@
+module Time = Cup_dess.Time
+module Node_id = Cup_overlay.Node_id
+module Key = Cup_overlay.Key
+
+type event =
+  | Query_posted of { at : Time.t; node : Node_id.t; key : Key.t }
+  | Query_forwarded of {
+      at : Time.t;
+      from_ : Node_id.t;
+      to_ : Node_id.t;
+      key : Key.t;
+    }
+  | Update_delivered of {
+      at : Time.t;
+      from_ : Node_id.t;
+      to_ : Node_id.t;
+      key : Key.t;
+      kind : Cup_proto.Update.kind;
+      level : int;
+      answering : bool;
+    }
+  | Clear_bit_delivered of {
+      at : Time.t;
+      from_ : Node_id.t;
+      to_ : Node_id.t;
+      key : Key.t;
+    }
+  | Local_answer of {
+      at : Time.t;
+      node : Node_id.t;
+      key : Key.t;
+      hit : bool;
+      waiters : int;
+    }
+
+let event_time = function
+  | Query_posted { at; _ }
+  | Query_forwarded { at; _ }
+  | Update_delivered { at; _ }
+  | Clear_bit_delivered { at; _ }
+  | Local_answer { at; _ } ->
+      at
+
+let pp_event fmt = function
+  | Query_posted { at; node; key } ->
+      Format.fprintf fmt "%a  %a: local client queries %a" Time.pp at
+        Node_id.pp node Key.pp key
+  | Query_forwarded { at; from_; to_; key } ->
+      Format.fprintf fmt "%a  %a -> %a: query for %a" Time.pp at Node_id.pp
+        from_ Node_id.pp to_ Key.pp key
+  | Update_delivered { at; from_; to_; key; kind; level; answering } ->
+      Format.fprintf fmt "%a  %a -> %a: %s update for %a (level %d%s)"
+        Time.pp at Node_id.pp from_ Node_id.pp to_
+        (Cup_proto.Update.kind_to_string kind)
+        Key.pp key level
+        (if answering then ", answering" else "")
+  | Clear_bit_delivered { at; from_; to_; key } ->
+      Format.fprintf fmt "%a  %a -> %a: clear-bit for %a" Time.pp at
+        Node_id.pp from_ Node_id.pp to_ Key.pp key
+  | Local_answer { at; node; key; hit; waiters } ->
+      Format.fprintf fmt "%a  %a: %s for %a (%d client%s)" Time.pp at
+        Node_id.pp node
+        (if hit then "cache hit" else "answer delivered")
+        Key.pp key waiters
+        (if waiters = 1 then "" else "s")
+
+type t = {
+  ring : event option array;
+  mutable next : int;
+  mutable stored : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be > 0";
+  { ring = Array.make capacity None; next = 0; stored = 0; dropped = 0 }
+
+let record t event =
+  let capacity = Array.length t.ring in
+  if t.stored = capacity then t.dropped <- t.dropped + 1
+  else t.stored <- t.stored + 1;
+  t.ring.(t.next) <- Some event;
+  t.next <- (t.next + 1) mod capacity
+
+let length t = t.stored
+let dropped t = t.dropped
+
+let events t =
+  let capacity = Array.length t.ring in
+  let start = (t.next - t.stored + capacity) mod capacity in
+  List.init t.stored (fun i ->
+      match t.ring.((start + i) mod capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0;
+  t.stored <- 0;
+  t.dropped <- 0
+
+let filter_key t key =
+  List.filter
+    (fun e ->
+      let k =
+        match e with
+        | Query_posted { key; _ }
+        | Query_forwarded { key; _ }
+        | Update_delivered { key; _ }
+        | Clear_bit_delivered { key; _ }
+        | Local_answer { key; _ } ->
+            key
+      in
+      Key.equal k key)
+    (events t)

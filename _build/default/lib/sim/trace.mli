@@ -1,0 +1,67 @@
+(** Structured protocol traces.
+
+    A tracer observes every protocol event the runner performs —
+    queries posted and forwarded, updates delivered, clear-bits,
+    local answers — as typed events.  Attach one to a live simulation
+    with {!Runner.Live.set_tracer} to debug protocol behaviour or to
+    narrate it (see [examples/walkthrough.ml]).
+
+    {!t} is a bounded ring buffer of events: constant memory no matter
+    how long the run, keeping the most recent [capacity] events. *)
+
+type event =
+  | Query_posted of {
+      at : Cup_dess.Time.t;
+      node : Cup_overlay.Node_id.t;
+      key : Cup_overlay.Key.t;
+    }
+  | Query_forwarded of {
+      at : Cup_dess.Time.t;
+      from_ : Cup_overlay.Node_id.t;
+      to_ : Cup_overlay.Node_id.t;
+      key : Cup_overlay.Key.t;
+    }
+  | Update_delivered of {
+      at : Cup_dess.Time.t;
+      from_ : Cup_overlay.Node_id.t;
+      to_ : Cup_overlay.Node_id.t;
+      key : Cup_overlay.Key.t;
+      kind : Cup_proto.Update.kind;
+      level : int;
+      answering : bool;
+    }
+  | Clear_bit_delivered of {
+      at : Cup_dess.Time.t;
+      from_ : Cup_overlay.Node_id.t;
+      to_ : Cup_overlay.Node_id.t;
+      key : Cup_overlay.Key.t;
+    }
+  | Local_answer of {
+      at : Cup_dess.Time.t;
+      node : Cup_overlay.Node_id.t;
+      key : Cup_overlay.Key.t;
+      hit : bool;
+      waiters : int;
+    }
+
+val event_time : event -> Cup_dess.Time.t
+val pp_event : Format.formatter -> event -> unit
+
+type t
+(** A bounded event ring. *)
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 4096 events. *)
+
+val record : t -> event -> unit
+val length : t -> int
+val dropped : t -> int
+(** Events that fell off the ring because it was full. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val clear : t -> unit
+
+val filter_key : t -> Cup_overlay.Key.t -> event list
+(** Retained events touching one key, oldest first. *)

@@ -1,0 +1,1 @@
+lib/workload/churn_gen.ml: Cup_dess Cup_prng

@@ -1,0 +1,1 @@
+lib/workload/fault_gen.ml: Array Cup_dess Cup_prng Float List

@@ -1,0 +1,1 @@
+lib/workload/fault_gen.mli: Cup_dess Cup_prng

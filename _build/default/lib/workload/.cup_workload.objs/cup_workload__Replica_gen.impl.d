@@ -1,0 +1,1 @@
+lib/workload/replica_gen.ml: Cup_dess Cup_prng

@@ -1,0 +1,44 @@
+module Time = Cup_dess.Time
+module Dist = Cup_prng.Dist
+
+type event_kind = Join | Leave
+
+type event = { at : Time.t; kind : event_kind }
+
+type t = {
+  rng : Cup_prng.Rng.t;
+  join_rate : float;
+  leave_rate : float;
+  stop : Time.t;
+  mutable next_join : Time.t;
+  mutable next_leave : Time.t;
+}
+
+let draw rng clock rate =
+  if rate > 0. then Time.add clock (Dist.exponential rng ~rate)
+  else Time.infinity
+
+let create ~rng ~join_rate ~leave_rate ~start ~stop =
+  if join_rate < 0. || leave_rate < 0. then
+    invalid_arg "Churn_gen.create: negative rate";
+  {
+    rng;
+    join_rate;
+    leave_rate;
+    stop;
+    next_join = draw rng start join_rate;
+    next_leave = draw rng start leave_rate;
+  }
+
+let next t =
+  let at, kind =
+    if Time.(t.next_join <= t.next_leave) then (t.next_join, Join)
+    else (t.next_leave, Leave)
+  in
+  if (not (Time.is_finite at)) || Time.(at > t.stop) then None
+  else begin
+    (match kind with
+    | Join -> t.next_join <- draw t.rng at t.join_rate
+    | Leave -> t.next_leave <- draw t.rng at t.leave_rate);
+    Some { at; kind }
+  end

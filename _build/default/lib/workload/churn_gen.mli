@@ -1,0 +1,23 @@
+(** Node arrival/departure workload (Section 2.9).
+
+    Joins and leaves each arrive as independent Poisson processes.
+    The generator emits abstract events; the simulation decides which
+    concrete node leaves (uniformly at random among the alive ones)
+    because it owns the current membership. *)
+
+type event_kind = Join | Leave
+
+type event = { at : Cup_dess.Time.t; kind : event_kind }
+
+type t
+
+val create :
+  rng:Cup_prng.Rng.t ->
+  join_rate:float ->
+  leave_rate:float ->
+  start:Cup_dess.Time.t ->
+  stop:Cup_dess.Time.t ->
+  t
+(** Rates in events/second; a rate of [0.] disables that kind. *)
+
+val next : t -> event option

@@ -1,0 +1,49 @@
+module Time = Cup_dess.Time
+module Rng = Cup_prng.Rng
+
+type change = { node_index : int; capacity : float }
+
+type event = { at : Time.t; changes : change list }
+
+type t = { mutable events : event list }
+
+let check ~nodes ~fraction ~reduced =
+  if nodes <= 0 then invalid_arg "Fault_gen: nodes must be > 0";
+  if fraction < 0. || fraction > 1. then
+    invalid_arg "Fault_gen: fraction must be in [0, 1]";
+  if reduced < 0. || reduced > 1. then
+    invalid_arg "Fault_gen: reduced capacity must be in [0, 1]"
+
+let pick_set rng ~nodes ~fraction ~capacity =
+  let k = int_of_float (Float.round (fraction *. float_of_int nodes)) in
+  let chosen = Rng.sample_without_replacement rng k nodes in
+  Array.to_list (Array.map (fun i -> { node_index = i; capacity }) chosen)
+
+let up_and_down ~rng ~nodes ~fraction ~reduced ~warmup ~down ~gap ~stop =
+  check ~nodes ~fraction ~reduced;
+  let events = ref [] in
+  let t = ref warmup in
+  while Time.(Time.of_seconds !t < stop) do
+    let degraded = pick_set rng ~nodes ~fraction ~capacity:reduced in
+    events := { at = Time.of_seconds !t; changes = degraded } :: !events;
+    let restore_at = !t +. down in
+    let restored =
+      List.map (fun c -> { c with capacity = 1. }) degraded
+    in
+    if Time.(Time.of_seconds restore_at < stop) then
+      events := { at = Time.of_seconds restore_at; changes = restored } :: !events;
+    t := restore_at +. gap
+  done;
+  { events = List.rev !events }
+
+let once_down ~rng ~nodes ~fraction ~reduced ~warmup =
+  check ~nodes ~fraction ~reduced;
+  let degraded = pick_set rng ~nodes ~fraction ~capacity:reduced in
+  { events = [ { at = Time.of_seconds warmup; changes = degraded } ] }
+
+let next t =
+  match t.events with
+  | [] -> None
+  | e :: rest ->
+      t.events <- rest;
+      Some e

@@ -1,0 +1,42 @@
+(** Outgoing-capacity fault schedules (Section 3.7).
+
+    Both experiments degrade a random 20 % of the nodes to a reduced
+    outgoing update capacity [c]:
+
+    - {b Up-And-Down}: after a warm-up period, a random set is
+      degraded for [down] seconds, restored, the network stabilizes
+      for [gap] seconds, then a fresh random set is degraded — for as
+      long as queries are posted.
+    - {b Once-Down-Always-Down}: after the warm-up a single random set
+      is degraded and never restored.
+
+    The stream yields batches of capacity changes in time order. *)
+
+type change = { node_index : int; capacity : float }
+
+type event = { at : Cup_dess.Time.t; changes : change list }
+
+type t
+
+val up_and_down :
+  rng:Cup_prng.Rng.t ->
+  nodes:int ->
+  fraction:float ->
+  reduced:float ->
+  warmup:float ->
+  down:float ->
+  gap:float ->
+  stop:Cup_dess.Time.t ->
+  t
+(** The paper's configuration is [fraction = 0.2], [warmup = 300.]
+    (five minutes), [down = 600.] (ten minutes), [gap = 300.]. *)
+
+val once_down :
+  rng:Cup_prng.Rng.t ->
+  nodes:int ->
+  fraction:float ->
+  reduced:float ->
+  warmup:float ->
+  t
+
+val next : t -> event option

@@ -1,0 +1,56 @@
+module Time = Cup_dess.Time
+module Rng = Cup_prng.Rng
+module Dist = Cup_prng.Dist
+
+type key_dist = Uniform of int | Zipf of int * float | Fixed of int
+
+type event = { at : Time.t; key_index : int; node_index : int }
+
+type sampler = Uniform_s of int | Zipf_s of Dist.zipf | Fixed_s of int
+
+type t = {
+  rng : Rng.t;
+  rate : float;
+  stop : Time.t;
+  nodes : int;
+  sampler : sampler;
+  mutable clock : Time.t;
+}
+
+let create ~rng ~rate ~start ~stop ~nodes ~key_dist =
+  if not (rate > 0.) then invalid_arg "Query_gen.create: rate must be > 0";
+  if nodes <= 0 then invalid_arg "Query_gen.create: nodes must be > 0";
+  if Time.(stop < start) then invalid_arg "Query_gen.create: stop < start";
+  let sampler =
+    match key_dist with
+    | Uniform n ->
+        if n <= 0 then invalid_arg "Query_gen.create: need >= 1 key";
+        Uniform_s n
+    | Zipf (n, s) -> Zipf_s (Dist.zipf ~n ~s)
+    | Fixed i ->
+        if i < 0 then invalid_arg "Query_gen.create: negative key index";
+        Fixed_s i
+  in
+  { rng; rate; stop; nodes; sampler; clock = start }
+
+let sample_key t =
+  match t.sampler with
+  | Uniform_s n -> Rng.int t.rng n
+  | Zipf_s z -> Dist.zipf_sample z t.rng
+  | Fixed_s i -> i
+
+let next t =
+  let gap = Dist.exponential t.rng ~rate:t.rate in
+  let at = Time.add t.clock gap in
+  if Time.(at > t.stop) then begin
+    t.clock <- t.stop;
+    None
+  end
+  else begin
+    t.clock <- at;
+    Some { at; key_index = sample_key t; node_index = Rng.int t.rng t.nodes }
+  end
+
+let fold t ~init ~f =
+  let rec loop acc = match next t with None -> acc | Some e -> loop (f acc e) in
+  loop init

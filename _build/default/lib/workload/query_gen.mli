@@ -1,0 +1,36 @@
+(** Search-query workload (Section 3.2).
+
+    Queries arrive network-wide as a Poisson process with rate
+    [rate] queries/second between [start] and [stop].  Each query
+    picks a key from the configured popularity distribution and a
+    posting node uniformly from [0, nodes) — "nodes were randomly
+    selected to post the queries".
+
+    The generator is a pull stream so the simulator can schedule one
+    arrival at a time instead of materializing millions of events. *)
+
+type key_dist =
+  | Uniform of int  (** uniform over [n] keys *)
+  | Zipf of int * float  (** [n] keys with Zipf exponent [s] *)
+  | Fixed of int  (** every query targets key index [i] (flash crowd) *)
+
+type event = { at : Cup_dess.Time.t; key_index : int; node_index : int }
+
+type t
+
+val create :
+  rng:Cup_prng.Rng.t ->
+  rate:float ->
+  start:Cup_dess.Time.t ->
+  stop:Cup_dess.Time.t ->
+  nodes:int ->
+  key_dist:key_dist ->
+  t
+(** Requires [rate > 0.], [nodes > 0], [start <= stop]. *)
+
+val next : t -> event option
+(** The next arrival, or [None] once past [stop].  Arrival times are
+    strictly increasing. *)
+
+val fold : t -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** Drain the stream (for tests and non-interactive analyses). *)

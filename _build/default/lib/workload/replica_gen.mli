@@ -1,0 +1,44 @@
+(** Replica lifecycle workload (Sections 2.1, 3.2, 3.6).
+
+    Each key is served by a population of replicas.  A replica is born
+    at a staggered time in the first lifetime window and then sends a
+    keep-alive {e refresh} to the authority exactly when its index
+    entry expires — "for all experiments, refreshes of index entries
+    occur at expiration".  Optionally a replica dies at a refresh
+    point with probability [death_prob]; a replacement replica is born
+    at the same instant so the population per key stays constant (the
+    paper's "replicas of existing content are continuously added").
+
+    The stream yields events in nondecreasing time order. *)
+
+type event_kind =
+  | Birth  (** the replica starts serving the key *)
+  | Refresh  (** keep-alive extending the entry by one lifetime *)
+  | Death  (** the replica stops serving (emits a deletion) *)
+
+type event = {
+  at : Cup_dess.Time.t;
+  kind : event_kind;
+  key_index : int;
+  replica : int;  (** globally unique replica number *)
+  lifetime : float;  (** entry lifetime granted by Birth/Refresh *)
+}
+
+type t
+
+val create :
+  rng:Cup_prng.Rng.t ->
+  keys:int ->
+  replicas_per_key:int ->
+  lifetime:float ->
+  stop:Cup_dess.Time.t ->
+  ?death_prob:float ->
+  unit ->
+  t
+(** Requires [keys > 0], [replicas_per_key > 0], [lifetime > 0.],
+    [0. <= death_prob <= 1.] (default [0.]). *)
+
+val next : t -> event option
+(** Next lifecycle event, or [None] once the stream reaches [stop]. *)
+
+val fold : t -> init:'a -> f:('a -> event -> 'a) -> 'a

@@ -1,0 +1,1 @@
+test/test_dess.ml: Alcotest Cup_dess Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Cup_metrics Float Format Gen List Printf QCheck QCheck_alcotest String

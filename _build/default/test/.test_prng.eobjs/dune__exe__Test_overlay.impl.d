@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest Array Cup_overlay Cup_prng Hashtbl Int64 List Printf QCheck QCheck_alcotest

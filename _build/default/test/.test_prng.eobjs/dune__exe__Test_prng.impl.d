@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Cup_prng Float Int64 List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Cup_dess Cup_overlay Cup_proto Format List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Cup_report Filename Fun List String Sys

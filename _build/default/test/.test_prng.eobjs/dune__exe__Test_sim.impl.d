@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cup_dess Cup_metrics Cup_overlay Cup_proto Cup_sim Float List Printf QCheck QCheck_alcotest

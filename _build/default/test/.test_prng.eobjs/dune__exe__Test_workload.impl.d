@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cup_dess Cup_prng Cup_workload Hashtbl List Stdlib

@@ -1,0 +1,261 @@
+(* Tests for Cup_dess: the event heap and the simulation engine. *)
+
+module Heap = Cup_dess.Event_heap
+module Engine = Cup_dess.Engine
+module Time = Cup_dess.Time
+
+(* {1 Time} *)
+
+let test_time_arithmetic () =
+  let t = Time.of_seconds 10. in
+  Alcotest.(check (float 1e-9)) "add" 12.5 (Time.to_seconds (Time.add t 2.5));
+  Alcotest.(check (float 1e-9)) "diff" 2.5 (Time.diff (Time.add t 2.5) t);
+  Alcotest.(check bool) "compare" true Time.(t < Time.add t 1.);
+  Alcotest.(check bool) "infinity not finite" false
+    (Time.is_finite Time.infinity)
+
+(* {1 Event heap} *)
+
+let drain heap =
+  let rec go acc =
+    match Heap.pop heap with
+    | None -> List.rev acc
+    | Some (t, v) -> go ((t, v) :: acc)
+  in
+  go []
+
+let test_heap_orders_by_time () =
+  let h = Heap.create () in
+  List.iter
+    (fun (t, v) -> ignore (Heap.push h ~time:(Time.of_seconds t) v))
+    [ (5., "e"); (1., "a"); (3., "c"); (2., "b"); (4., "d") ];
+  Alcotest.(check (list string))
+    "sorted pop order"
+    [ "a"; "b"; "c"; "d"; "e" ]
+    (List.map snd (drain h))
+
+let test_heap_fifo_on_ties () =
+  let h = Heap.create () in
+  let t = Time.of_seconds 1. in
+  List.iter (fun v -> ignore (Heap.push h ~time:t v)) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int))
+    "equal timestamps pop in insertion order" [ 1; 2; 3; 4; 5 ]
+    (List.map snd (drain h))
+
+let test_heap_cancel () =
+  let h = Heap.create () in
+  let _a = Heap.push h ~time:(Time.of_seconds 1.) "a" in
+  let b = Heap.push h ~time:(Time.of_seconds 2.) "b" in
+  let _c = Heap.push h ~time:(Time.of_seconds 3.) "c" in
+  Alcotest.(check bool) "cancel succeeds" true (Heap.cancel h b);
+  Alcotest.(check bool) "second cancel fails" false (Heap.cancel h b);
+  Alcotest.(check int) "live count" 2 (Heap.length h);
+  Alcotest.(check (list string)) "b skipped" [ "a"; "c" ]
+    (List.map snd (drain h))
+
+let test_heap_cancel_root () =
+  let h = Heap.create () in
+  let a = Heap.push h ~time:(Time.of_seconds 1.) "a" in
+  ignore (Heap.push h ~time:(Time.of_seconds 2.) "b");
+  ignore (Heap.cancel h a);
+  Alcotest.(check (option (float 1e-9))) "peek skips cancelled root"
+    (Some 2.) (Heap.peek_time h)
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option (pair (float 1e-9) int))) "pop empty" None
+    (Heap.pop h);
+  Alcotest.(check (option (float 1e-9))) "peek empty" None (Heap.peek_time h)
+
+let test_heap_interleaved_push_pop () =
+  let h = Heap.create () in
+  ignore (Heap.push h ~time:(Time.of_seconds 10.) 10);
+  ignore (Heap.push h ~time:(Time.of_seconds 5.) 5);
+  (match Heap.pop h with
+  | Some (_, 5) -> ()
+  | _ -> Alcotest.fail "expected 5 first");
+  ignore (Heap.push h ~time:(Time.of_seconds 1.) 1);
+  (match Heap.pop h with
+  | Some (_, 1) -> ()
+  | _ -> Alcotest.fail "expected 1 next");
+  match Heap.pop h with
+  | Some (_, 10) -> ()
+  | _ -> Alcotest.fail "expected 10 last"
+
+let prop_heap_sorts =
+  QCheck.Test.make ~count:300 ~name:"heap pops nondecreasing times"
+    QCheck.(list (float_range 0. 1000.))
+    (fun times ->
+      let h = Heap.create () in
+      List.iter
+        (fun t -> ignore (Heap.push h ~time:(Time.of_seconds t) t))
+        times;
+      let popped = List.map fst (drain h) in
+      List.length popped = List.length times
+      && popped = List.sort Float.compare popped)
+
+let prop_heap_cancel_half =
+  QCheck.Test.make ~count:200 ~name:"cancelled events never pop"
+    QCheck.(list (float_range 0. 100.))
+    (fun times ->
+      let h = Heap.create () in
+      let handles =
+        List.mapi
+          (fun i t -> (i, Heap.push h ~time:(Time.of_seconds t) i))
+          times
+      in
+      let cancelled =
+        List.filter_map
+          (fun (i, handle) ->
+            if i mod 2 = 0 then begin
+              ignore (Heap.cancel h handle);
+              Some i
+            end
+            else None)
+          handles
+      in
+      let popped = List.map snd (drain h) in
+      List.for_all (fun i -> not (List.mem i popped)) cancelled
+      && List.length popped = List.length times - List.length cancelled)
+
+(* {1 Engine} *)
+
+let test_engine_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let record tag _ = log := tag :: !log in
+  ignore (Engine.schedule e ~at:(Time.of_seconds 3.) (record "c"));
+  ignore (Engine.schedule e ~at:(Time.of_seconds 1.) (record "a"));
+  ignore (Engine.schedule e ~at:(Time.of_seconds 2.) (record "b"));
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 3.
+    (Time.to_seconds (Engine.now e))
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  ignore
+    (Engine.schedule e ~at:(Time.of_seconds 5.) (fun e ->
+         Alcotest.check_raises "past schedule"
+           (Invalid_argument "Engine.schedule: cannot schedule in the past")
+           (fun () -> ignore (Engine.schedule e ~at:(Time.of_seconds 1.) (fun _ -> ())))));
+  Engine.run e
+
+let test_engine_rejects_negative_delay () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule_after: negative delay") (fun () ->
+      ignore (Engine.schedule_after e ~delay:(-1.) (fun _ -> ())))
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let ran = ref [] in
+  List.iter
+    (fun t ->
+      ignore
+        (Engine.schedule e ~at:(Time.of_seconds t) (fun _ ->
+             ran := t :: !ran)))
+    [ 1.; 2.; 3.; 4. ];
+  Engine.run ~until:(Time.of_seconds 2.5) e;
+  Alcotest.(check (list (float 1e-9))) "only events <= until" [ 1.; 2. ]
+    (List.rev !ran);
+  Alcotest.(check (float 1e-9)) "clock advanced to until" 2.5
+    (Time.to_seconds (Engine.now e));
+  Alcotest.(check int) "rest still pending" 2 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Engine.pending e)
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore
+      (Engine.schedule e ~at:(Time.of_seconds (float_of_int i)) (fun e ->
+           incr count;
+           if !count = 3 then Engine.stop e))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "stopped after 3" 3 !count;
+  (* run again resumes *)
+  Engine.run e;
+  Alcotest.(check int) "resumed" 10 !count
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore
+      (Engine.schedule e ~at:(Time.of_seconds (float_of_int i)) (fun _ ->
+           incr count))
+  done;
+  Engine.run ~max_events:4 e;
+  Alcotest.(check int) "budget respected" 4 !count
+
+let test_engine_cancel_pending () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~at:(Time.of_seconds 1.) (fun _ -> fired := true) in
+  Alcotest.(check bool) "cancel" true (Engine.cancel e h);
+  Engine.run e;
+  Alcotest.(check bool) "did not fire" false !fired
+
+let test_engine_schedule_now_from_callback () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~at:(Time.of_seconds 1.) (fun e ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule e ~at:(Engine.now e) (fun _ ->
+                log := "inner" :: !log))));
+  ignore
+    (Engine.schedule e ~at:(Time.of_seconds 1.) (fun _ ->
+         log := "peer" :: !log));
+  Engine.run e;
+  (* The same-time event scheduled from the callback runs after the
+     already-queued peer (insertion order). *)
+  Alcotest.(check (list string)) "deterministic same-time order"
+    [ "outer"; "peer"; "inner" ] (List.rev !log)
+
+let test_engine_events_executed () =
+  let e = Engine.create () in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~at:(Time.of_seconds (float_of_int i)) (fun _ -> ()))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "executed count" 5 (Engine.events_executed e)
+
+let () =
+  Alcotest.run "cup_dess"
+    [
+      ("time", [ Alcotest.test_case "arithmetic" `Quick test_time_arithmetic ]);
+      ( "event_heap",
+        [
+          Alcotest.test_case "orders by time" `Quick test_heap_orders_by_time;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_on_ties;
+          Alcotest.test_case "cancel" `Quick test_heap_cancel;
+          Alcotest.test_case "cancel root" `Quick test_heap_cancel_root;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "interleaved" `Quick
+            test_heap_interleaved_push_pop;
+        ] );
+      ( "heap properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_heap_sorts; prop_heap_cancel_half ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+          Alcotest.test_case "rejects negative delay" `Quick
+            test_engine_rejects_negative_delay;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "stop/resume" `Quick test_engine_stop;
+          Alcotest.test_case "max events" `Quick test_engine_max_events;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel_pending;
+          Alcotest.test_case "same-time from callback" `Quick
+            test_engine_schedule_now_from_callback;
+          Alcotest.test_case "executed count" `Quick
+            test_engine_events_executed;
+        ] );
+    ]

@@ -1,0 +1,236 @@
+(* Tests for Cup_metrics: Welford statistics and the hop-cost
+   counters of the Section 3.1 cost model. *)
+
+module Welford = Cup_metrics.Welford
+module Counters = Cup_metrics.Counters
+
+let close = Alcotest.(check (float 1e-9))
+
+(* {1 Welford} *)
+
+let test_welford_empty () =
+  let w = Welford.create () in
+  Alcotest.(check int) "count" 0 (Welford.count w);
+  close "mean" 0. (Welford.mean w);
+  close "variance" 0. (Welford.variance w);
+  Alcotest.(check bool) "min is nan" true (Float.is_nan (Welford.min w))
+
+let test_welford_single () =
+  let w = Welford.create () in
+  Welford.add w 5.;
+  close "mean" 5. (Welford.mean w);
+  close "variance" 0. (Welford.variance w);
+  close "min" 5. (Welford.min w);
+  close "max" 5. (Welford.max w)
+
+let direct_stats xs =
+  let n = float_of_int (List.length xs) in
+  let mean = List.fold_left ( +. ) 0. xs /. n in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. n
+  in
+  (mean, var)
+
+let test_welford_matches_direct () =
+  let xs = [ 1.5; 2.5; 3.5; 10.; -4.; 0.; 7.25 ] in
+  let w = Welford.create () in
+  List.iter (Welford.add w) xs;
+  let mean, var = direct_stats xs in
+  Alcotest.(check (float 1e-9)) "mean" mean (Welford.mean w);
+  Alcotest.(check (float 1e-9)) "variance" var (Welford.variance w);
+  close "total" (List.fold_left ( +. ) 0. xs) (Welford.total w);
+  close "min" (-4.) (Welford.min w);
+  close "max" 10. (Welford.max w)
+
+let prop_welford_mean_variance =
+  QCheck.Test.make ~count:300 ~name:"welford matches direct computation"
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let w = Welford.create () in
+      List.iter (Welford.add w) xs;
+      let mean, var = direct_stats xs in
+      Float.abs (mean -. Welford.mean w) < 1e-6
+      && Float.abs (var -. Welford.variance w) < 1e-5)
+
+let prop_welford_merge_equals_sequential =
+  QCheck.Test.make ~count:300 ~name:"merge(a,b) = add all of a then b"
+    QCheck.(pair (list (float_range 0. 50.)) (list (float_range 0. 50.)))
+    (fun (xs, ys) ->
+      let a = Welford.create () and b = Welford.create () in
+      List.iter (Welford.add a) xs;
+      List.iter (Welford.add b) ys;
+      let merged = Welford.merge a b in
+      let seq = Welford.create () in
+      List.iter (Welford.add seq) (xs @ ys);
+      Welford.count merged = Welford.count seq
+      && Float.abs (Welford.mean merged -. Welford.mean seq) < 1e-6
+      && Float.abs (Welford.variance merged -. Welford.variance seq) < 1e-4)
+
+(* {1 Histogram} *)
+
+module Histogram = Cup_metrics.Histogram
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  close "quantile of empty" 0. (Histogram.quantile h 0.5)
+
+let test_histogram_quantiles_bracket () =
+  let h = Histogram.create () in
+  for v = 1 to 1000 do
+    Histogram.add h (float_of_int v)
+  done;
+  let p50 = Histogram.quantile h 0.5 in
+  let p99 = Histogram.quantile h 0.99 in
+  (* log-scale bins: upper-bound estimates within ~12% *)
+  Alcotest.(check bool) (Printf.sprintf "p50=%.1f near 500" p50) true
+    (p50 >= 500. && p50 <= 600.);
+  Alcotest.(check bool) (Printf.sprintf "p99=%.1f near 990" p99) true
+    (p99 >= 990. && p99 <= 1150.);
+  close "p100 is the max" 1000. (Histogram.quantile h 1.)
+
+let test_histogram_mean_exact () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1.; 2.; 3.; 4. ];
+  close "mean tracked exactly" 2.5 (Histogram.mean h)
+
+let test_histogram_under_overflow () =
+  let h = Histogram.create ~min_value:1. ~max_value:100. () in
+  Histogram.add h 0.001;
+  Histogram.add h 1e9;
+  Alcotest.(check int) "both counted" 2 (Histogram.count h);
+  close "overflow quantile reports the max" 1e9 (Histogram.quantile h 1.)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.add a) [ 1.; 2. ];
+  List.iter (Histogram.add b) [ 100.; 200. ];
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "count" 4 (Histogram.count m);
+  close "total" 303. (Histogram.total m);
+  Alcotest.(check bool) "median between the groups" true
+    (Histogram.quantile m 0.5 < 100.)
+
+let test_histogram_quantile_validation () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Histogram.quantile: q must be in [0,1]") (fun () ->
+      ignore (Histogram.quantile h 1.5))
+
+let prop_histogram_quantile_monotone =
+  QCheck.Test.make ~count:200 ~name:"quantiles are monotone in q"
+    QCheck.(list_of_size Gen.(int_range 1 100) (float_range 0.5 10000.))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let qs = [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1. ] in
+      let vs = List.map (Histogram.quantile h) qs in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono vs)
+
+(* {1 Counters} *)
+
+let test_counters_cost_buckets () =
+  let c = Counters.create () in
+  Counters.record_query_hop c;
+  Counters.record_query_hop c;
+  Counters.record_first_time_hop c ~answering:true;
+  Counters.record_first_time_hop c ~answering:false;
+  Counters.record_update_hop c `Refresh;
+  Counters.record_update_hop c `Delete;
+  Counters.record_update_hop c `Append;
+  Counters.record_clear_bit_hop c;
+  Alcotest.(check int) "miss cost = query + answering-ft" 3
+    (Counters.miss_cost c);
+  Alcotest.(check int) "overhead = proactive-ft + updates + clear-bits" 5
+    (Counters.overhead_cost c);
+  Alcotest.(check int) "total" 8 (Counters.total_cost c)
+
+let test_counters_miss_latency () =
+  let c = Counters.create () in
+  Counters.record_miss c ~latency:0.5 ~hop_delay:0.05;
+  Counters.record_miss c ~latency:0.3 ~hop_delay:0.05;
+  Alcotest.(check int) "misses" 2 (Counters.misses c);
+  Alcotest.(check (float 1e-6)) "latency in hops" 8.
+    (Counters.avg_miss_latency_hops c);
+  Alcotest.(check bool) "p100 covers the worst miss" true
+    (Counters.miss_latency_percentile c 1. >= 10.);
+  Counters.record_hit c;
+  Alcotest.(check int) "hits" 1 (Counters.hits c);
+  Alcotest.(check int) "local queries" 3 (Counters.local_queries c)
+
+let test_counters_zero_hop_delay () =
+  let c = Counters.create () in
+  Counters.record_miss c ~latency:1.0 ~hop_delay:0.;
+  Alcotest.(check (float 1e-9)) "degenerate hop delay yields 0" 0.
+    (Counters.avg_miss_latency_hops c)
+
+let test_counters_merge () =
+  let a = Counters.create () and b = Counters.create () in
+  Counters.record_query_hop a;
+  Counters.record_update_hop a `Refresh;
+  Counters.record_miss a ~latency:0.2 ~hop_delay:0.1;
+  Counters.record_query_hop b;
+  Counters.record_clear_bit_hop b;
+  Counters.record_hit b;
+  Counters.record_dropped_update b;
+  let m = Counters.merge a b in
+  Alcotest.(check int) "query hops" 2 (Counters.query_hops m);
+  Alcotest.(check int) "refresh hops" 1 (Counters.refresh_hops m);
+  Alcotest.(check int) "clear-bit hops" 1 (Counters.clear_bit_hops m);
+  Alcotest.(check int) "hits" 1 (Counters.hits m);
+  Alcotest.(check int) "misses" 1 (Counters.misses m);
+  Alcotest.(check int) "dropped" 1 (Counters.dropped_updates m);
+  Alcotest.(check (float 1e-9)) "latency kept" 2.
+    (Counters.avg_miss_latency_hops m)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_counters_pp_smoke () =
+  let c = Counters.create () in
+  Counters.record_query_hop c;
+  let s = Format.asprintf "%a" Counters.pp c in
+  Alcotest.(check bool) "pp mentions miss cost" true
+    (contains ~needle:"miss cost" s)
+
+let () =
+  Alcotest.run "cup_metrics"
+    [
+      ( "welford",
+        [
+          Alcotest.test_case "empty" `Quick test_welford_empty;
+          Alcotest.test_case "single" `Quick test_welford_single;
+          Alcotest.test_case "matches direct" `Quick
+            test_welford_matches_direct;
+          QCheck_alcotest.to_alcotest prop_welford_mean_variance;
+          QCheck_alcotest.to_alcotest prop_welford_merge_equals_sequential;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "quantiles bracket" `Quick
+            test_histogram_quantiles_bracket;
+          Alcotest.test_case "mean exact" `Quick test_histogram_mean_exact;
+          Alcotest.test_case "under/overflow" `Quick
+            test_histogram_under_overflow;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "validation" `Quick
+            test_histogram_quantile_validation;
+          QCheck_alcotest.to_alcotest prop_histogram_quantile_monotone;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "cost buckets" `Quick test_counters_cost_buckets;
+          Alcotest.test_case "miss latency" `Quick test_counters_miss_latency;
+          Alcotest.test_case "zero hop delay" `Quick
+            test_counters_zero_hop_delay;
+          Alcotest.test_case "merge" `Quick test_counters_merge;
+          Alcotest.test_case "pp" `Quick test_counters_pp_smoke;
+        ] );
+    ]

@@ -1,0 +1,597 @@
+(* Tests for Cup_overlay: torus geometry, zones, keys, and the CAN
+   topology (join/leave/routing). *)
+
+module Point = Cup_overlay.Point
+module Zone = Cup_overlay.Zone
+module Key = Cup_overlay.Key
+module Node_id = Cup_overlay.Node_id
+module T = Cup_overlay.Topology
+module Rng = Cup_prng.Rng
+
+(* {1 Point} *)
+
+let test_point_wraps () =
+  let p = Point.make ~x:1.25 ~y:(-0.25) in
+  Alcotest.(check (float 1e-9)) "x wrapped" 0.25 p.Point.x;
+  Alcotest.(check (float 1e-9)) "y wrapped" 0.75 p.Point.y
+
+let test_axis_distance () =
+  Alcotest.(check (float 1e-9)) "plain" 0.2 (Point.axis_distance 0.1 0.3);
+  Alcotest.(check (float 1e-9)) "around the seam" 0.2
+    (Point.axis_distance 0.9 0.1);
+  Alcotest.(check (float 1e-9)) "max is 1/2" 0.5 (Point.axis_distance 0. 0.5)
+
+let test_point_distance_symmetric () =
+  let p = Point.make ~x:0.1 ~y:0.9 and q = Point.make ~x:0.8 ~y:0.2 in
+  Alcotest.(check (float 1e-9)) "symmetry" (Point.distance p q)
+    (Point.distance q p);
+  Alcotest.(check (float 1e-9)) "self distance" 0. (Point.distance p p)
+
+(* {1 Zone} *)
+
+let test_zone_make_validates () =
+  Alcotest.check_raises "inverted bounds"
+    (Invalid_argument "Zone.make: bounds must satisfy 0 <= lo < hi <= 1")
+    (fun () -> ignore (Zone.make ~x_lo:0.5 ~x_hi:0.2 ~y_lo:0. ~y_hi:1.))
+
+let test_zone_contains_half_open () =
+  let z = Zone.make ~x_lo:0. ~x_hi:0.5 ~y_lo:0. ~y_hi:0.5 in
+  Alcotest.(check bool) "inside" true (Zone.contains z (Point.make ~x:0.25 ~y:0.25));
+  Alcotest.(check bool) "low edge included" true
+    (Zone.contains z (Point.make ~x:0. ~y:0.));
+  Alcotest.(check bool) "high edge excluded" false
+    (Zone.contains z (Point.make ~x:0.5 ~y:0.25))
+
+let test_zone_split_halves_longer_dim () =
+  let z = Zone.make ~x_lo:0. ~x_hi:1. ~y_lo:0. ~y_hi:0.5 in
+  let low, high = Zone.split z in
+  Alcotest.(check (float 1e-9)) "volumes halve" (Zone.volume z /. 2.)
+    (Zone.volume low);
+  Alcotest.(check (float 1e-9)) "low x_hi" 0.5 low.Zone.x_hi;
+  Alcotest.(check (float 1e-9)) "high x_lo" 0.5 high.Zone.x_lo;
+  (* square splits along x *)
+  let sq = Zone.make ~x_lo:0. ~x_hi:0.5 ~y_lo:0. ~y_hi:0.5 in
+  let l, _ = Zone.split sq in
+  Alcotest.(check (float 1e-9)) "square splits x first" 0.25 l.Zone.x_hi
+
+let test_zone_adjacent_basic () =
+  let a = Zone.make ~x_lo:0. ~x_hi:0.5 ~y_lo:0. ~y_hi:0.5 in
+  let b = Zone.make ~x_lo:0.5 ~x_hi:1. ~y_lo:0. ~y_hi:0.5 in
+  let c = Zone.make ~x_lo:0.5 ~x_hi:1. ~y_lo:0.5 ~y_hi:1. in
+  Alcotest.(check bool) "side by side" true (Zone.adjacent a b);
+  Alcotest.(check bool) "diagonal is not adjacent" false (Zone.adjacent a c);
+  Alcotest.(check bool) "symmetric" (Zone.adjacent b a) (Zone.adjacent a b)
+
+let test_zone_adjacent_across_seam () =
+  let left = Zone.make ~x_lo:0. ~x_hi:0.25 ~y_lo:0. ~y_hi:1. in
+  let right = Zone.make ~x_lo:0.75 ~x_hi:1. ~y_lo:0. ~y_hi:1. in
+  Alcotest.(check bool) "wraps around the torus seam" true
+    (Zone.adjacent left right)
+
+let test_zone_distance_to_point () =
+  let z = Zone.make ~x_lo:0.25 ~x_hi:0.5 ~y_lo:0.25 ~y_hi:0.5 in
+  Alcotest.(check (float 1e-9)) "inside is zero" 0.
+    (Zone.distance_to_point z (Point.make ~x:0.3 ~y:0.3));
+  Alcotest.(check (float 1e-9)) "axis-aligned outside" 0.1
+    (Zone.distance_to_point z (Point.make ~x:0.6 ~y:0.3));
+  (* wrap-around shortcut: point at x=0.9 is 0.15 from x_lo=0.25 going
+     left across the seam... actually 0.35 left vs 0.4 right; distance
+     to the interval is min(dist to 0.25, dist to 0.5) = min(0.35, 0.4). *)
+  Alcotest.(check (float 1e-9)) "wraparound distance" 0.35
+    (Zone.distance_to_point z (Point.make ~x:0.9 ~y:0.3))
+
+(* {1 Key} *)
+
+let test_key_point_deterministic () =
+  let k = Key.of_int 12345 in
+  Alcotest.(check bool) "same key same point" true
+    (Point.equal (Key.to_point k) (Key.to_point k));
+  Alcotest.(check bool) "different keys differ" false
+    (Point.equal (Key.to_point (Key.of_int 1)) (Key.to_point (Key.of_int 2)))
+
+let test_key_points_spread () =
+  (* Hash quality: 1000 keys should land in most of a 4x4 bucket grid. *)
+  let buckets = Hashtbl.create 16 in
+  for k = 0 to 999 do
+    let p = Key.to_point (Key.of_int k) in
+    let bx = int_of_float (p.Point.x *. 4.) and by = int_of_float (p.Point.y *. 4.) in
+    Hashtbl.replace buckets (bx, by) ()
+  done;
+  Alcotest.(check int) "all 16 buckets hit" 16 (Hashtbl.length buckets)
+
+let test_key_negative_rejected () =
+  Alcotest.check_raises "negative key"
+    (Invalid_argument "Key.of_int: negative key") (fun () ->
+      ignore (Key.of_int (-1)))
+
+(* {1 Topology} *)
+
+let check_invariants t label =
+  match T.check_invariants t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" label msg
+
+let test_topo_single_node () =
+  let t = T.create ~n:1 ~placement:`Grid () in
+  Alcotest.(check int) "size" 1 (T.size t);
+  let id = List.hd (T.node_ids t) in
+  Alcotest.(check (list int)) "no neighbors" []
+    (List.map Node_id.to_int (T.neighbors t id));
+  Alcotest.(check bool) "owns everything" true
+    (T.next_hop t id (Point.make ~x:0.9 ~y:0.1) = None)
+
+let test_topo_grid_build () =
+  List.iter
+    (fun n ->
+      let t = T.create ~n ~placement:`Grid () in
+      Alcotest.(check int) "size" n (T.size t);
+      check_invariants t (Printf.sprintf "grid %d" n))
+    [ 2; 4; 16; 64; 100 ]
+
+let test_topo_random_build () =
+  let rng = Rng.create ~seed:17 in
+  List.iter
+    (fun n ->
+      let t = T.create ~rng ~n ~placement:`Random () in
+      Alcotest.(check int) "size" n (T.size t);
+      check_invariants t (Printf.sprintf "random %d" n))
+    [ 2; 3; 7; 33; 128 ]
+
+let test_topo_random_needs_rng () =
+  Alcotest.check_raises "no rng"
+    (Invalid_argument "Topology.create: `Random needs ~rng") (fun () ->
+      ignore (T.create ~n:4 ~placement:`Random ()))
+
+let test_topo_route_reaches_owner () =
+  let rng = Rng.create ~seed:18 in
+  let t = T.create ~rng ~n:64 ~placement:`Random () in
+  let ids = Array.of_list (T.node_ids t) in
+  for k = 0 to 99 do
+    let key = Key.of_int k in
+    let from = ids.(k mod Array.length ids) in
+    let owner = T.owner_of_key t key in
+    match List.rev (T.route t ~from (Key.to_point key)) with
+    | [] ->
+        Alcotest.(check bool) "already owner" true (Node_id.equal from owner)
+    | last :: _ ->
+        Alcotest.(check bool) "route ends at owner" true
+          (Node_id.equal last owner)
+  done
+
+let test_topo_next_hop_is_neighbor () =
+  let rng = Rng.create ~seed:19 in
+  let t = T.create ~rng ~n:32 ~placement:`Random () in
+  List.iter
+    (fun id ->
+      let p = Key.to_point (Key.of_int 5) in
+      match T.next_hop t id p with
+      | None -> ()
+      | Some hop ->
+          Alcotest.(check bool) "hop is a neighbor" true
+            (List.exists (Node_id.equal hop) (T.neighbors t id)))
+    (T.node_ids t)
+
+let test_topo_join_returns_change () =
+  let rng = Rng.create ~seed:20 in
+  let t = T.create ~rng ~n:8 ~placement:`Random () in
+  let change = T.join_random t ~rng in
+  Alcotest.(check int) "size grew" 9 (T.size t);
+  Alcotest.(check bool) "subject alive" true (T.is_alive t change.T.subject);
+  (match change.T.peer with
+  | Some peer ->
+      Alcotest.(check bool) "peer is a neighbor of subject" true
+        (List.exists (Node_id.equal peer) (T.neighbors t change.T.subject))
+  | None -> Alcotest.fail "join must report the split node");
+  check_invariants t "after join"
+
+let test_topo_leave_hands_over () =
+  let rng = Rng.create ~seed:21 in
+  let t = T.create ~rng ~n:8 ~placement:`Random () in
+  let victim = List.hd (T.node_ids t) in
+  let volume_before =
+    List.fold_left (fun acc z -> acc +. Zone.volume z) 0. (T.zones_of t victim)
+  in
+  let change = T.leave t victim in
+  Alcotest.(check int) "size shrank" 7 (T.size t);
+  Alcotest.(check bool) "victim dead" false (T.is_alive t victim);
+  (match change.T.peer with
+  | Some taker ->
+      let taker_volume =
+        List.fold_left (fun acc z -> acc +. Zone.volume z) 0.
+          (T.zones_of t taker)
+      in
+      Alcotest.(check bool) "taker absorbed the volume" true
+        (taker_volume >= volume_before)
+  | None -> Alcotest.fail "leave must report the taker");
+  check_invariants t "after leave"
+
+let test_topo_leave_last_rejected () =
+  let t = T.create ~n:1 ~placement:`Grid () in
+  let id = List.hd (T.node_ids t) in
+  Alcotest.check_raises "cannot remove last"
+    (Invalid_argument "Topology.leave: cannot remove last node") (fun () ->
+      ignore (T.leave t id))
+
+let test_topo_leave_dead_rejected () =
+  let rng = Rng.create ~seed:22 in
+  let t = T.create ~rng ~n:4 ~placement:`Random () in
+  let victim = List.hd (T.node_ids t) in
+  ignore (T.leave t victim);
+  Alcotest.check_raises "dead node"
+    (Invalid_argument "Topology.leave: unknown or dead node") (fun () ->
+      ignore (T.leave t victim))
+
+let prop_churn_preserves_invariants =
+  QCheck.Test.make ~count:25 ~name:"random churn keeps the topology valid"
+    QCheck.(pair small_int (list bool))
+    (fun (seed, moves) ->
+      let rng = Rng.create ~seed in
+      let t = T.create ~rng ~n:12 ~placement:`Random () in
+      List.iter
+        (fun join ->
+          if join || T.size t <= 2 then ignore (T.join_random t ~rng)
+          else begin
+            let ids = Array.of_list (T.node_ids t) in
+            ignore (T.leave t ids.(Rng.int rng (Array.length ids)))
+          end)
+        moves;
+      T.check_invariants t = Ok ())
+
+let prop_route_terminates =
+  QCheck.Test.make ~count:50 ~name:"greedy routing reaches the key owner"
+    QCheck.(pair small_int (int_bound 10_000))
+    (fun (seed, key) ->
+      let rng = Rng.create ~seed in
+      let t = T.create ~rng ~n:48 ~placement:`Random () in
+      let key = Key.of_int key in
+      let owner = T.owner_of_key t key in
+      List.for_all
+        (fun from ->
+          match List.rev (T.route t ~from (Key.to_point key)) with
+          | [] -> Node_id.equal from owner
+          | last :: _ -> Node_id.equal last owner)
+        (T.node_ids t))
+
+(* {1 Chord} *)
+
+module Chord = Cup_overlay.Chord
+module Net = Cup_overlay.Net
+
+let chord_invariants c label =
+  match Chord.check_invariants c with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" label msg
+
+let test_chord_single_node () =
+  let c = Chord.create ~n:1 () in
+  Alcotest.(check int) "size" 1 (Chord.size c);
+  let id = List.hd (Chord.node_ids c) in
+  Alcotest.(check bool) "owns everything" true
+    (Chord.next_hop c id (Key.of_int 42) = None);
+  Alcotest.(check bool) "self successor" true
+    (Node_id.equal (Chord.successor c id) id)
+
+let test_chord_even_and_random_build () =
+  List.iter
+    (fun n ->
+      let even = Chord.create ~n () in
+      Alcotest.(check int) "even size" n (Chord.size even);
+      chord_invariants even (Printf.sprintf "even %d" n))
+    [ 2; 3; 8; 33 ];
+  let rng = Rng.create ~seed:23 in
+  List.iter
+    (fun n ->
+      let c = Chord.create ~rng ~n () in
+      Alcotest.(check int) "random size" n (Chord.size c);
+      chord_invariants c (Printf.sprintf "random %d" n))
+    [ 2; 7; 64 ]
+
+let test_chord_ring_order () =
+  let rng = Rng.create ~seed:24 in
+  let c = Chord.create ~rng ~n:16 () in
+  (* walking successors visits every node exactly once *)
+  let start = List.hd (Chord.node_ids c) in
+  let rec walk current seen =
+    let next = Chord.successor c current in
+    if Node_id.equal next start then List.rev (current :: seen)
+    else walk next (current :: seen)
+  in
+  let tour = walk start [] in
+  Alcotest.(check int) "tour covers the ring" 16 (List.length tour);
+  (* successor and predecessor are inverse *)
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "pred (succ x) = x" true
+        (Node_id.equal (Chord.predecessor c (Chord.successor c id)) id))
+    (Chord.node_ids c)
+
+let test_chord_route_reaches_owner () =
+  let rng = Rng.create ~seed:25 in
+  let c = Chord.create ~rng ~n:64 () in
+  let ids = Array.of_list (Chord.node_ids c) in
+  for k = 0 to 199 do
+    let key = Key.of_int k in
+    let from = ids.(k mod Array.length ids) in
+    let owner = Chord.owner_of_key c key in
+    match List.rev (Chord.route c ~from key) with
+    | [] -> Alcotest.(check bool) "already owner" true (Node_id.equal from owner)
+    | last :: _ ->
+        Alcotest.(check bool) "route ends at owner" true
+          (Node_id.equal last owner)
+  done
+
+let test_chord_path_length_logarithmic () =
+  let rng = Rng.create ~seed:26 in
+  let c = Chord.create ~rng ~n:256 () in
+  let ids = Array.of_list (Chord.node_ids c) in
+  let total = ref 0 in
+  for k = 0 to 99 do
+    let from = ids.(Rng.int rng (Array.length ids)) in
+    total := !total + List.length (Chord.route c ~from (Key.of_int k))
+  done;
+  let avg = float_of_int !total /. 100. in
+  (* expected ~ (log2 n)/2 = 4; generous upper bound well below the
+     linear-scan regime *)
+  Alcotest.(check bool) (Printf.sprintf "avg path %.1f is logarithmic" avg)
+    true
+    (avg < 12.)
+
+let test_chord_neighbors_symmetric () =
+  let rng = Rng.create ~seed:27 in
+  let c = Chord.create ~rng ~n:32 () in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun nb ->
+          Alcotest.(check bool) "neighbor relation symmetric" true
+            (List.exists (Node_id.equal id) (Chord.neighbors c nb)))
+        (Chord.neighbors c id))
+    (Chord.node_ids c)
+
+let test_chord_join_leave () =
+  let rng = Rng.create ~seed:28 in
+  let c = Chord.create ~rng ~n:8 () in
+  let change = Chord.join_random c ~rng in
+  Alcotest.(check int) "grew" 9 (Chord.size c);
+  Alcotest.(check bool) "peer reported" true (change.Chord.peer <> None);
+  chord_invariants c "after join";
+  let victim = List.hd (Chord.node_ids c) in
+  let change = Chord.leave c victim in
+  Alcotest.(check int) "shrank" 8 (Chord.size c);
+  Alcotest.(check bool) "taker reported" true (change.Chord.peer <> None);
+  Alcotest.(check bool) "victim dead" false (Chord.is_alive c victim);
+  chord_invariants c "after leave";
+  let only = Chord.create ~n:1 () in
+  Alcotest.check_raises "last node protected"
+    (Invalid_argument "Chord.leave: cannot remove last node") (fun () ->
+      ignore (Chord.leave only (List.hd (Chord.node_ids only))))
+
+let prop_chord_churn_invariants =
+  QCheck.Test.make ~count:20 ~name:"chord churn keeps the ring valid"
+    QCheck.(pair small_int (list bool))
+    (fun (seed, moves) ->
+      let rng = Rng.create ~seed in
+      let c = Chord.create ~rng ~n:10 () in
+      List.iter
+        (fun join ->
+          if join || Chord.size c <= 2 then ignore (Chord.join_random c ~rng)
+          else begin
+            let ids = Array.of_list (Chord.node_ids c) in
+            ignore (Chord.leave c ids.(Rng.int rng (Array.length ids)))
+          end)
+        moves;
+      Chord.check_invariants c = Ok ())
+
+(* {1 Pastry} *)
+
+module Pastry = Cup_overlay.Pastry
+
+let pastry_invariants p label =
+  match Pastry.check_invariants p with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" label msg
+
+let test_pastry_builds () =
+  List.iter
+    (fun n ->
+      let p = Pastry.create ~n () in
+      Alcotest.(check int) "even size" n (Pastry.size p);
+      pastry_invariants p (Printf.sprintf "even %d" n))
+    [ 1; 2; 3; 9; 32 ];
+  let rng = Rng.create ~seed:31 in
+  List.iter
+    (fun n ->
+      let p = Pastry.create ~rng ~n () in
+      pastry_invariants p (Printf.sprintf "random %d" n))
+    [ 2; 17; 64 ]
+
+let test_pastry_route_reaches_owner () =
+  let rng = Rng.create ~seed:32 in
+  let p = Pastry.create ~rng ~n:64 () in
+  let ids = Array.of_list (Pastry.node_ids p) in
+  for k = 0 to 199 do
+    let key = Key.of_int k in
+    let from = ids.(k mod Array.length ids) in
+    let owner = Pastry.owner_of_key p key in
+    match List.rev (Pastry.route p ~from key) with
+    | [] -> Alcotest.(check bool) "already owner" true (Node_id.equal from owner)
+    | last :: _ ->
+        Alcotest.(check bool) "route ends at owner" true
+          (Node_id.equal last owner)
+  done
+
+let test_pastry_paths_short () =
+  let rng = Rng.create ~seed:33 in
+  let p = Pastry.create ~rng ~n:256 () in
+  let ids = Array.of_list (Pastry.node_ids p) in
+  let total = ref 0 in
+  for k = 0 to 99 do
+    let from = ids.(Rng.int rng (Array.length ids)) in
+    total := !total + List.length (Pastry.route p ~from (Key.of_int k))
+  done;
+  let avg = float_of_int !total /. 100. in
+  (* prefix routing resolves ~a hex digit per hop: log16(256) = 2 *)
+  Alcotest.(check bool) (Printf.sprintf "avg path %.2f ~ log16 n" avg) true
+    (avg < 4.)
+
+let test_pastry_owner_is_numerically_closest () =
+  let rng = Rng.create ~seed:34 in
+  let p = Pastry.create ~rng ~n:32 () in
+  let key = Key.of_int 77 in
+  let owner = Pastry.owner_of_key p key in
+  let target = Cup_prng.Splitmix.mix 77L in
+  let dist id =
+    let a = Pastry.ident p id in
+    let d1 = Int64.sub a target and d2 = Int64.sub target a in
+    if Int64.unsigned_compare d1 d2 <= 0 then d1 else d2
+  in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "owner minimizes ring distance" true
+        (Int64.unsigned_compare (dist owner) (dist id) <= 0))
+    (Pastry.node_ids p)
+
+let test_pastry_join_leave () =
+  let rng = Rng.create ~seed:35 in
+  let p = Pastry.create ~rng ~n:8 () in
+  ignore (Pastry.join_random p ~rng);
+  Alcotest.(check int) "grew" 9 (Pastry.size p);
+  pastry_invariants p "after join";
+  let victim = List.hd (Pastry.node_ids p) in
+  let change = Pastry.leave p victim in
+  Alcotest.(check bool) "taker reported" true (change.Pastry.peer <> None);
+  pastry_invariants p "after leave"
+
+let prop_pastry_churn_invariants =
+  QCheck.Test.make ~count:15 ~name:"pastry churn keeps tables valid"
+    QCheck.(pair small_int (list bool))
+    (fun (seed, moves) ->
+      let rng = Rng.create ~seed in
+      let p = Pastry.create ~rng ~n:10 () in
+      List.iter
+        (fun join ->
+          if join || Pastry.size p <= 2 then ignore (Pastry.join_random p ~rng)
+          else begin
+            let ids = Array.of_list (Pastry.node_ids p) in
+            ignore (Pastry.leave p ids.(Rng.int rng (Array.length ids)))
+          end)
+        moves;
+      Pastry.check_invariants p = Ok ())
+
+(* {1 Net dispatch} *)
+
+let test_net_dispatch () =
+  let rng = Rng.create ~seed:29 in
+  List.iter
+    (fun kind ->
+      let net = Net.create ~rng ~kind ~n:32 () in
+      Alcotest.(check int) "size" 32 (Net.size net);
+      (match Net.check_invariants net with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      let key = Key.of_int 3 in
+      let owner = Net.owner_of_key net key in
+      Alcotest.(check bool) "owner owns" true (Net.next_hop net owner key = None);
+      List.iter
+        (fun from ->
+          match List.rev (Net.route net ~from key) with
+          | [] -> Alcotest.(check bool) "self" true (Node_id.equal from owner)
+          | last :: _ ->
+              Alcotest.(check bool) "ends at owner" true
+                (Node_id.equal last owner))
+        (Net.node_ids net))
+    [ Net.Can `Random; Net.Chord; Net.Pastry ]
+
+let test_net_inspectors () =
+  let rng = Rng.create ~seed:30 in
+  let can = Net.create ~rng ~kind:(Net.Can `Grid) ~n:4 () in
+  Alcotest.(check bool) "can is can" true (Net.as_can can <> None);
+  Alcotest.(check bool) "can is not chord" true (Net.as_chord can = None);
+  let ch = Net.create ~rng ~kind:Net.Chord ~n:4 () in
+  Alcotest.(check bool) "chord is chord" true (Net.as_chord ch <> None);
+  let pa = Net.create ~rng ~kind:Net.Pastry ~n:4 () in
+  Alcotest.(check bool) "pastry is pastry" true (Net.as_pastry pa <> None);
+  Alcotest.(check bool) "pastry is not can" true (Net.as_can pa = None)
+
+let () =
+  Alcotest.run "cup_overlay"
+    [
+      ( "point",
+        [
+          Alcotest.test_case "wraps" `Quick test_point_wraps;
+          Alcotest.test_case "axis distance" `Quick test_axis_distance;
+          Alcotest.test_case "distance symmetric" `Quick
+            test_point_distance_symmetric;
+        ] );
+      ( "zone",
+        [
+          Alcotest.test_case "make validates" `Quick test_zone_make_validates;
+          Alcotest.test_case "contains half-open" `Quick
+            test_zone_contains_half_open;
+          Alcotest.test_case "split" `Quick test_zone_split_halves_longer_dim;
+          Alcotest.test_case "adjacency" `Quick test_zone_adjacent_basic;
+          Alcotest.test_case "adjacency across seam" `Quick
+            test_zone_adjacent_across_seam;
+          Alcotest.test_case "distance to point" `Quick
+            test_zone_distance_to_point;
+        ] );
+      ( "key",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_key_point_deterministic;
+          Alcotest.test_case "spread" `Quick test_key_points_spread;
+          Alcotest.test_case "negative rejected" `Quick
+            test_key_negative_rejected;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "single node" `Quick test_topo_single_node;
+          Alcotest.test_case "grid build" `Quick test_topo_grid_build;
+          Alcotest.test_case "random build" `Quick test_topo_random_build;
+          Alcotest.test_case "random needs rng" `Quick
+            test_topo_random_needs_rng;
+          Alcotest.test_case "route reaches owner" `Quick
+            test_topo_route_reaches_owner;
+          Alcotest.test_case "next hop is neighbor" `Quick
+            test_topo_next_hop_is_neighbor;
+          Alcotest.test_case "join" `Quick test_topo_join_returns_change;
+          Alcotest.test_case "leave" `Quick test_topo_leave_hands_over;
+          Alcotest.test_case "leave last rejected" `Quick
+            test_topo_leave_last_rejected;
+          Alcotest.test_case "leave dead rejected" `Quick
+            test_topo_leave_dead_rejected;
+        ] );
+      ( "topology properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_churn_preserves_invariants; prop_route_terminates ] );
+      ( "chord",
+        [
+          Alcotest.test_case "single node" `Quick test_chord_single_node;
+          Alcotest.test_case "builds" `Quick test_chord_even_and_random_build;
+          Alcotest.test_case "ring order" `Quick test_chord_ring_order;
+          Alcotest.test_case "route reaches owner" `Quick
+            test_chord_route_reaches_owner;
+          Alcotest.test_case "logarithmic paths" `Quick
+            test_chord_path_length_logarithmic;
+          Alcotest.test_case "neighbors symmetric" `Quick
+            test_chord_neighbors_symmetric;
+          Alcotest.test_case "join/leave" `Quick test_chord_join_leave;
+          QCheck_alcotest.to_alcotest prop_chord_churn_invariants;
+        ] );
+      ( "pastry",
+        [
+          Alcotest.test_case "builds" `Quick test_pastry_builds;
+          Alcotest.test_case "route reaches owner" `Quick
+            test_pastry_route_reaches_owner;
+          Alcotest.test_case "short paths" `Quick test_pastry_paths_short;
+          Alcotest.test_case "owner closest" `Quick
+            test_pastry_owner_is_numerically_closest;
+          Alcotest.test_case "join/leave" `Quick test_pastry_join_leave;
+          QCheck_alcotest.to_alcotest prop_pastry_churn_invariants;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "dispatch" `Quick test_net_dispatch;
+          Alcotest.test_case "inspectors" `Quick test_net_inspectors;
+        ] );
+    ]

@@ -1,0 +1,1072 @@
+(* Tests for Cup_proto: policies, queues, interest vectors, and the
+   node state machine — every case of Sections 2.5-2.7 plus the
+   Section 3.6 replica-independent cut-off. *)
+
+module Policy = Cup_proto.Policy
+module Update = Cup_proto.Update
+module Update_queue = Cup_proto.Update_queue
+module Interest = Cup_proto.Interest
+module Entry = Cup_proto.Entry
+module Replica_id = Cup_proto.Replica_id
+module Node = Cup_proto.Node
+module Node_id = Cup_overlay.Node_id
+module Key = Cup_overlay.Key
+module Time = Cup_dess.Time
+
+let nid = Node_id.of_int
+let key k = Key.of_int k
+let rid = Replica_id.of_int
+let entry ?(replica = 0) expiry =
+  Entry.make ~replica:(rid replica) ~expiry:(Time.of_seconds expiry)
+
+(* {1 Policy} *)
+
+let decision = Alcotest.testable
+    (fun fmt -> function
+      | Policy.Keep -> Format.pp_print_string fmt "Keep"
+      | Policy.Cut -> Format.pp_print_string fmt "Cut")
+    ( = )
+
+let test_policy_all_out_keeps () =
+  Alcotest.check decision "always keep" Policy.Keep
+    (Policy.decide Policy.All_out ~distance:30 ~queries_since_update:0
+       ~dry_updates:100)
+
+let test_policy_linear () =
+  let p = Policy.Linear 0.5 in
+  Alcotest.check decision "enough queries" Policy.Keep
+    (Policy.decide p ~distance:10 ~queries_since_update:5 ~dry_updates:0);
+  Alcotest.check decision "too few" Policy.Cut
+    (Policy.decide p ~distance:10 ~queries_since_update:4 ~dry_updates:0);
+  Alcotest.check decision "close to root is lenient" Policy.Keep
+    (Policy.decide p ~distance:1 ~queries_since_update:1 ~dry_updates:0)
+
+let test_policy_logarithmic () =
+  let p = Policy.Logarithmic 2.0 in
+  (* lg 8 = 3, threshold 6 *)
+  Alcotest.check decision "at threshold" Policy.Keep
+    (Policy.decide p ~distance:8 ~queries_since_update:6 ~dry_updates:0);
+  Alcotest.check decision "below threshold" Policy.Cut
+    (Policy.decide p ~distance:8 ~queries_since_update:5 ~dry_updates:0);
+  (* lg 1 = 0: always popular at distance 1 *)
+  Alcotest.check decision "distance 1" Policy.Keep
+    (Policy.decide p ~distance:1 ~queries_since_update:0 ~dry_updates:0)
+
+let test_policy_log_more_lenient_than_linear () =
+  (* Same alpha: at distance 16, linear needs 16a queries, log needs
+     4a — the paper's "logarithmic threshold is more lenient". *)
+  let queries = 5 in
+  Alcotest.check decision "linear cuts" Policy.Cut
+    (Policy.decide (Policy.Linear 1.) ~distance:16
+       ~queries_since_update:queries ~dry_updates:0);
+  Alcotest.check decision "logarithmic keeps" Policy.Keep
+    (Policy.decide (Policy.Logarithmic 1.) ~distance:16
+       ~queries_since_update:queries ~dry_updates:0)
+
+let test_policy_second_chance () =
+  let p = Policy.second_chance in
+  Alcotest.check decision "first dry update gets a second chance"
+    Policy.Keep
+    (Policy.decide p ~distance:5 ~queries_since_update:0 ~dry_updates:1);
+  Alcotest.check decision "second dry update cuts" Policy.Cut
+    (Policy.decide p ~distance:5 ~queries_since_update:0 ~dry_updates:2);
+  Alcotest.check decision "queries reset the streak" Policy.Keep
+    (Policy.decide p ~distance:5 ~queries_since_update:3 ~dry_updates:0)
+
+let test_policy_sender_limit () =
+  Alcotest.(check (option int)) "standard squelches at the root" (Some 0)
+    (Policy.sender_limit Policy.Standard_caching);
+  Alcotest.(check (option int)) "push level" (Some 7)
+    (Policy.sender_limit (Policy.Push_level 7));
+  Alcotest.(check (option int)) "second chance unbounded" None
+    (Policy.sender_limit Policy.second_chance)
+
+let test_policy_classification () =
+  Alcotest.(check bool) "second-chance uses clear bits" true
+    (Policy.uses_clear_bits Policy.second_chance);
+  Alcotest.(check bool) "push-level does not" false
+    (Policy.uses_clear_bits (Policy.Push_level 3));
+  Alcotest.(check bool) "standard does not coalesce" false
+    (Policy.coalesces_queries Policy.Standard_caching);
+  Alcotest.(check bool) "cup coalesces" true
+    (Policy.coalesces_queries Policy.All_out)
+
+(* {1 Update} *)
+
+let test_update_forwarded_increments_level () =
+  let u = Update.refresh ~key:(key 1) ~entry:(entry 100.) ~level:3 in
+  Alcotest.(check int) "level + 1" 4 (Update.forwarded u).Update.level
+
+let test_update_subject () =
+  let e = entry ~replica:9 50. in
+  Alcotest.(check (option int)) "refresh subject" (Some 9)
+    (Option.map Replica_id.to_int
+       (Update.subject (Update.refresh ~key:(key 1) ~entry:e ~level:1)));
+  Alcotest.(check (option int)) "first-time has none" None
+    (Option.map Replica_id.to_int
+       (Update.subject (Update.first_time ~key:(key 1) ~entries:[ e ] ~level:1)))
+
+let test_update_expiry () =
+  let u = Update.refresh ~key:(key 1) ~entry:(entry 10.) ~level:1 in
+  Alcotest.(check bool) "fresh before expiry" false
+    (Update.is_expired u ~now:(Time.of_seconds 9.));
+  Alcotest.(check bool) "expired at expiry" true
+    (Update.is_expired u ~now:(Time.of_seconds 10.));
+  let d = Update.delete ~key:(key 1) ~entry:(entry 10.) ~level:1 in
+  Alcotest.(check bool) "deletes never expire" false
+    (Update.is_expired d ~now:(Time.of_seconds 99.));
+  let ft = Update.first_time ~key:(key 1) ~entries:[] ~level:1 in
+  Alcotest.(check bool) "first-time never expires" false
+    (Update.is_expired ft ~now:(Time.of_seconds 99.))
+
+(* {1 Update queue} *)
+
+let kinds q = List.map (fun (u : Update.t) -> u.Update.kind) (Update_queue.peek_all q)
+
+let test_queue_latency_first_ordering () =
+  let q = Update_queue.create Update_queue.Latency_first in
+  Update_queue.push q (Update.append ~key:(key 1) ~entry:(entry 100.) ~level:1);
+  Update_queue.push q (Update.refresh ~key:(key 1) ~entry:(entry 100.) ~level:1);
+  Update_queue.push q (Update.delete ~key:(key 1) ~entry:(entry 100.) ~level:1);
+  Update_queue.push q (Update.first_time ~key:(key 1) ~entries:[ entry 100. ] ~level:1);
+  Alcotest.(check (list string))
+    "first-time > delete > refresh > append"
+    [ "first-time"; "delete"; "refresh"; "append" ]
+    (List.map Update.kind_to_string (kinds q))
+
+let test_queue_flash_crowd_promotes_appends () =
+  let q = Update_queue.create Update_queue.Flash_crowd in
+  Update_queue.push q (Update.refresh ~key:(key 1) ~entry:(entry 100.) ~level:1);
+  Update_queue.push q (Update.append ~key:(key 1) ~entry:(entry 100.) ~level:1);
+  Update_queue.push q (Update.delete ~key:(key 1) ~entry:(entry 100.) ~level:1);
+  Alcotest.(check (list string)) "append > delete > refresh"
+    [ "append"; "delete"; "refresh" ]
+    (List.map Update.kind_to_string (kinds q))
+
+let test_queue_fifo () =
+  let q = Update_queue.create Update_queue.Fifo in
+  Update_queue.push q (Update.append ~key:(key 1) ~entry:(entry 100.) ~level:1);
+  Update_queue.push q (Update.first_time ~key:(key 1) ~entries:[] ~level:1);
+  Alcotest.(check (list string)) "insertion order"
+    [ "append"; "first-time" ]
+    (List.map Update.kind_to_string (kinds q))
+
+let test_queue_expiry_urgency () =
+  let q = Update_queue.create Update_queue.Latency_first in
+  Update_queue.push q (Update.refresh ~key:(key 1) ~entry:(entry ~replica:1 200.) ~level:1);
+  Update_queue.push q (Update.refresh ~key:(key 2) ~entry:(entry ~replica:2 50.) ~level:1);
+  match Update_queue.pop q ~now:Time.zero with
+  | Some u ->
+      Alcotest.(check (option int)) "closest to expiry first" (Some 2)
+        (Option.map Replica_id.to_int (Update.subject u))
+  | None -> Alcotest.fail "queue should pop"
+
+let test_queue_pop_drops_expired () =
+  let q = Update_queue.create Update_queue.Latency_first in
+  Update_queue.push q (Update.refresh ~key:(key 1) ~entry:(entry 10.) ~level:1);
+  Update_queue.push q (Update.refresh ~key:(key 2) ~entry:(entry 100.) ~level:1);
+  (match Update_queue.pop q ~now:(Time.of_seconds 50.) with
+  | Some u -> Alcotest.(check int) "expired skipped" 2 (Key.to_int u.Update.key)
+  | None -> Alcotest.fail "fresh update expected");
+  Alcotest.(check bool) "drained" true (Update_queue.is_empty q)
+
+let test_queue_drop_expired () =
+  let q = Update_queue.create Update_queue.Fifo in
+  Update_queue.push q (Update.refresh ~key:(key 1) ~entry:(entry 10.) ~level:1);
+  Update_queue.push q (Update.refresh ~key:(key 2) ~entry:(entry 100.) ~level:1);
+  Update_queue.push q (Update.append ~key:(key 3) ~entry:(entry 5.) ~level:1);
+  Alcotest.(check int) "two dropped" 2
+    (Update_queue.drop_expired q ~now:(Time.of_seconds 50.));
+  Alcotest.(check int) "one left" 1 (Update_queue.length q)
+
+let prop_queue_pop_order_stable =
+  QCheck.Test.make ~count:200
+    ~name:"queue pop order: rank, then expiry, then FIFO"
+    QCheck.(list (pair (int_bound 3) (float_range 1. 1000.)))
+    (fun items ->
+      let q = Update_queue.create Update_queue.Latency_first in
+      List.iteri
+        (fun i (kind, expiry) ->
+          let e = Entry.make ~replica:(rid i) ~expiry:(Time.of_seconds expiry) in
+          let u =
+            match kind with
+            | 0 -> Update.first_time ~key:(key 1) ~entries:[ e ] ~level:1
+            | 1 -> Update.delete ~key:(key 1) ~entry:e ~level:1
+            | 2 -> Update.refresh ~key:(key 1) ~entry:e ~level:1
+            | _ -> Update.append ~key:(key 1) ~entry:e ~level:1
+          in
+          Update_queue.push q u)
+        items;
+      let rank (u : Update.t) =
+        match u.Update.kind with
+        | Update.First_time -> 0
+        | Update.Delete -> 1
+        | Update.Refresh -> 2
+        | Update.Append -> 3
+      in
+      let popped = Update_queue.peek_all q in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> rank a <= rank b && nondecreasing rest
+        | _ -> true
+      in
+      nondecreasing popped && List.length popped = List.length items)
+
+(* {1 Interest} *)
+
+let test_interest_ops () =
+  let i = Interest.create () in
+  Alcotest.(check bool) "empty" false (Interest.any i);
+  Interest.set i (nid 3);
+  Interest.set i (nid 1);
+  Interest.set i (nid 3);
+  Alcotest.(check int) "set is idempotent" 2 (Interest.cardinal i);
+  Alcotest.(check (list int)) "sorted" [ 1; 3 ]
+    (List.map Node_id.to_int (Interest.interested i));
+  Interest.clear i (nid 1);
+  Alcotest.(check bool) "membership" false (Interest.is_set i (nid 1));
+  Alcotest.(check bool) "others kept" true (Interest.is_set i (nid 3))
+
+let test_interest_remap () =
+  let i = Interest.create () in
+  Interest.set i (nid 5);
+  Interest.remap i ~old_id:(nid 5) ~new_id:(nid 9);
+  Alcotest.(check (list int)) "bit moved" [ 9 ]
+    (List.map Node_id.to_int (Interest.interested i));
+  Interest.remap i ~old_id:(nid 5) ~new_id:(nid 7);
+  Alcotest.(check (list int)) "remap of clear bit is no-op" [ 9 ]
+    (List.map Node_id.to_int (Interest.interested i))
+
+(* {1 Node state machine}
+
+   Helpers to run handlers and classify the returned actions. *)
+
+let cup_config = Node.default_config
+
+let std_config =
+  { Node.policy = Policy.Standard_caching; replica_independent_cutoff = true }
+
+let queries_sent actions =
+  List.filter_map
+    (function Node.Send_query { to_; key } -> Some (to_, key) | _ -> None)
+    actions
+
+let updates_sent actions =
+  List.filter_map
+    (function
+      | Node.Send_update { to_; update; answering } ->
+          Some (to_, update, answering)
+      | _ -> None)
+    actions
+
+let clear_bits_sent actions =
+  List.filter_map
+    (function Node.Send_clear_bit { to_; key } -> Some (to_, key) | _ -> None)
+    actions
+
+let local_answers actions =
+  List.filter_map
+    (function
+      | Node.Answer_local { posted_at; hit; entries; _ } ->
+          Some (posted_at, hit, entries)
+      | _ -> None)
+    actions
+
+let t0 = Time.of_seconds 0.
+let at s = Time.of_seconds s
+
+(* A node with one cached fresh entry for [key 1], learned at distance
+   [level] from neighbor [up]. *)
+let node_with_cached ?(config = cup_config) ?(level = 3) ~up () =
+  let n = Node.create ~id:(nid 0) config in
+  (* A local query creates the pending state and pushes upstream... *)
+  let actions =
+    Node.handle_query n ~now:t0 ~next_hop:(Some up) (Node.From_local t0) (key 1)
+  in
+  assert (queries_sent actions = [ (up, key 1) ]);
+  (* ...and the first-time update answers it. *)
+  let ft =
+    Update.first_time ~key:(key 1) ~entries:[ entry ~replica:0 300. ] ~level
+  in
+  let actions = Node.handle_update n ~now:(at 1.) ~from:up ft in
+  assert (local_answers actions <> []);
+  n
+
+(* {2 handle_query} *)
+
+let test_query_case1_fresh_cache_answers_neighbor () =
+  let up = nid 9 in
+  let n = node_with_cached ~up () in
+  let actions =
+    Node.handle_query n ~now:(at 2.) ~next_hop:(Some up)
+      (Node.From_neighbor (nid 2)) (key 1)
+  in
+  (match updates_sent actions with
+  | [ (to_, u, answering) ] ->
+      Alcotest.(check int) "answer to querier" 2 (Node_id.to_int to_);
+      Alcotest.(check bool) "it is an answer" true answering;
+      Alcotest.(check string) "first-time" "first-time"
+        (Update.kind_to_string u.Update.kind);
+      Alcotest.(check int) "level is my distance + 1" 4 u.Update.level
+  | _ -> Alcotest.fail "expected exactly one response");
+  Alcotest.(check (list int)) "no query pushed" []
+    (List.map (fun (t, _) -> Node_id.to_int t) (queries_sent actions));
+  Alcotest.(check (list int)) "interest bit set" [ 2 ]
+    (List.map Node_id.to_int (Node.interested_neighbors n (key 1)))
+
+let test_query_case1_local_hit () =
+  let up = nid 9 in
+  let n = node_with_cached ~up () in
+  let actions =
+    Node.handle_query n ~now:(at 2.) ~next_hop:(Some up)
+      (Node.From_local (at 2.)) (key 1)
+  in
+  match local_answers actions with
+  | [ (posted, true, entries) ] ->
+      Alcotest.(check int) "one waiter" 1 (List.length posted);
+      Alcotest.(check int) "entries returned" 1 (List.length entries)
+  | _ -> Alcotest.fail "expected a synchronous hit"
+
+let test_query_case2_cold_pushes_and_sets_pending () =
+  let n = Node.create ~id:(nid 0) cup_config in
+  let actions =
+    Node.handle_query n ~now:t0 ~next_hop:(Some (nid 7))
+      (Node.From_neighbor (nid 2)) (key 1)
+  in
+  Alcotest.(check int) "one query up" 1 (List.length (queries_sent actions));
+  Alcotest.(check bool) "pending set" true (Node.pending_first n (key 1))
+
+let test_query_case2_coalesces () =
+  let n = Node.create ~id:(nid 0) cup_config in
+  ignore
+    (Node.handle_query n ~now:t0 ~next_hop:(Some (nid 7))
+       (Node.From_neighbor (nid 2)) (key 1));
+  let again =
+    Node.handle_query n ~now:(at 0.1) ~next_hop:(Some (nid 7))
+      (Node.From_neighbor (nid 3)) (key 1)
+  in
+  Alcotest.(check int) "burst coalesced" 0 (List.length (queries_sent again));
+  Alcotest.(check int) "coalesce counted" 1 (Node.stats n).queries_coalesced;
+  Alcotest.(check (list int)) "both interested" [ 2; 3 ]
+    (List.map Node_id.to_int (Node.interested_neighbors n (key 1)))
+
+let test_query_standard_does_not_coalesce () =
+  let n = Node.create ~id:(nid 0) std_config in
+  ignore
+    (Node.handle_query n ~now:t0 ~next_hop:(Some (nid 7))
+       (Node.From_neighbor (nid 2)) (key 1));
+  let again =
+    Node.handle_query n ~now:(at 0.1) ~next_hop:(Some (nid 7))
+      (Node.From_neighbor (nid 3)) (key 1)
+  in
+  Alcotest.(check int) "second query also pushed" 1
+    (List.length (queries_sent again))
+
+let test_query_case3_expired_repushes () =
+  let up = nid 9 in
+  let n = node_with_cached ~up () in
+  (* entry expires at t=300 *)
+  let actions =
+    Node.handle_query n ~now:(at 301.) ~next_hop:(Some up)
+      (Node.From_local (at 301.)) (key 1)
+  in
+  Alcotest.(check int) "freshness miss pushes query" 1
+    (List.length (queries_sent actions));
+  Alcotest.(check bool) "pending again" true (Node.pending_first n (key 1))
+
+let test_query_authority_answers_from_directory () =
+  let n = Node.create ~id:(nid 0) cup_config in
+  Node.add_local_key n (key 1);
+  ignore (Node.replica_birth n ~now:t0 ~key:(key 1) (entry ~replica:4 500.));
+  let actions =
+    Node.handle_query n ~now:(at 1.) ~next_hop:None
+      (Node.From_neighbor (nid 2)) (key 1)
+  in
+  match updates_sent actions with
+  | [ (to_, u, true) ] ->
+      Alcotest.(check int) "answer to querier" 2 (Node_id.to_int to_);
+      Alcotest.(check int) "level 1 from authority" 1 u.Update.level;
+      Alcotest.(check int) "carries the entry" 1 (List.length u.Update.entries)
+  | _ -> Alcotest.fail "expected an authoritative response"
+
+let test_query_becomes_empty_authority () =
+  (* next_hop = None but the key is unknown: the node's zone contains
+     the key, so it answers as an empty authority. *)
+  let n = Node.create ~id:(nid 0) cup_config in
+  let actions =
+    Node.handle_query n ~now:t0 ~next_hop:None (Node.From_neighbor (nid 2))
+      (key 5)
+  in
+  Alcotest.(check bool) "now owns the key" true (Node.owns n (key 5));
+  match updates_sent actions with
+  | [ (_, u, true) ] ->
+      Alcotest.(check int) "empty answer" 0 (List.length u.Update.entries)
+  | _ -> Alcotest.fail "expected an (empty) response"
+
+(* {2 handle_update} *)
+
+let test_update_first_time_answers_waiters_and_forwards () =
+  let n = Node.create ~id:(nid 0) cup_config in
+  ignore
+    (Node.handle_query n ~now:t0 ~next_hop:(Some (nid 7))
+       (Node.From_local t0) (key 1));
+  ignore
+    (Node.handle_query n ~now:(at 0.1) ~next_hop:(Some (nid 7))
+       (Node.From_neighbor (nid 2)) (key 1));
+  let ft =
+    Update.first_time ~key:(key 1) ~entries:[ entry 300. ] ~level:2
+  in
+  let actions = Node.handle_update n ~now:(at 0.5) ~from:(nid 7) ft in
+  (match local_answers actions with
+  | [ (posted, false, _) ] ->
+      Alcotest.(check int) "local waiter answered" 1 (List.length posted)
+  | _ -> Alcotest.fail "expected exactly one local answer");
+  (match updates_sent actions with
+  | [ (to_, u, answering) ] ->
+      Alcotest.(check int) "waiting neighbor gets the response" 2
+        (Node_id.to_int to_);
+      Alcotest.(check bool) "classified as answer" true answering;
+      Alcotest.(check int) "level incremented for the next hop" 3
+        u.Update.level
+  | _ -> Alcotest.fail "expected one forwarded response");
+  Alcotest.(check bool) "pending cleared" false (Node.pending_first n (key 1));
+  Alcotest.(check (option int)) "distance learned" (Some 2)
+    (Node.distance_of n (key 1))
+
+let test_update_refresh_extends_freshness () =
+  let up = nid 9 in
+  let n = node_with_cached ~up () in
+  let refresh =
+    Update.refresh ~key:(key 1) ~entry:(entry ~replica:0 600.) ~level:3
+  in
+  ignore (Node.handle_update n ~now:(at 299.) ~from:up refresh);
+  Alcotest.(check int) "entry still fresh after old expiry" 1
+    (List.length (Node.fresh_entries n ~now:(at 400.) (key 1)))
+
+let test_update_delete_removes_entry () =
+  let up = nid 9 in
+  let n = node_with_cached ~up () in
+  let delete =
+    Update.delete ~key:(key 1) ~entry:(entry ~replica:0 300.) ~level:3
+  in
+  ignore (Node.handle_update n ~now:(at 10.) ~from:up delete);
+  Alcotest.(check int) "entry gone" 0
+    (List.length (Node.fresh_entries n ~now:(at 11.) (key 1)))
+
+let test_update_expired_dropped () =
+  let up = nid 9 in
+  let n = node_with_cached ~up () in
+  (* interest from a neighbor so a forward would otherwise happen *)
+  ignore
+    (Node.handle_query n ~now:(at 2.) ~next_hop:(Some up)
+       (Node.From_neighbor (nid 2)) (key 1));
+  let stale =
+    Update.refresh ~key:(key 1) ~entry:(entry ~replica:0 5.) ~level:3
+  in
+  let actions = Node.handle_update n ~now:(at 10.) ~from:up stale in
+  Alcotest.(check int) "nothing forwarded" 0 (List.length (updates_sent actions));
+  Alcotest.(check int) "drop counted" 1
+    (Node.stats n).expired_updates_dropped
+
+let test_update_forwards_to_interested_only () =
+  let up = nid 9 in
+  let n = node_with_cached ~up () in
+  ignore
+    (Node.handle_query n ~now:(at 2.) ~next_hop:(Some up)
+       (Node.From_neighbor (nid 2)) (key 1));
+  let refresh =
+    Update.refresh ~key:(key 1) ~entry:(entry ~replica:0 600.) ~level:3
+  in
+  let actions = Node.handle_update n ~now:(at 3.) ~from:up refresh in
+  (match updates_sent actions with
+  | [ (to_, u, false) ] ->
+      Alcotest.(check int) "forwarded to the interested neighbor" 2
+        (Node_id.to_int to_);
+      Alcotest.(check int) "level incremented" 4 u.Update.level
+  | _ -> Alcotest.fail "expected one forward");
+  (* Clear the neighbor's bit: next refresh must not forward.  With
+     recent queries the node itself stays subscribed. *)
+  ignore (Node.handle_clear_bit n ~now:(at 4.) ~from:(nid 2) (key 1));
+  ignore
+    (Node.handle_query n ~now:(at 5.) ~next_hop:(Some up)
+       (Node.From_local (at 5.)) (key 1));
+  let actions = Node.handle_update n ~now:(at 6.) ~from:up refresh in
+  Alcotest.(check int) "no forward after clear-bit" 0
+    (List.length (updates_sent actions))
+
+let test_update_second_chance_cuts_after_two_dry () =
+  let up = nid 9 in
+  let n = node_with_cached ~up () in
+  let refresh l =
+    Update.refresh ~key:(key 1) ~entry:(entry ~replica:0 l) ~level:3
+  in
+  (* no queries since the first-time update: first dry refresh passes *)
+  let a1 = Node.handle_update n ~now:(at 10.) ~from:up (refresh 400.) in
+  Alcotest.(check int) "second chance: no clear-bit yet" 0
+    (List.length (clear_bits_sent a1));
+  let a2 = Node.handle_update n ~now:(at 20.) ~from:up (refresh 500.) in
+  (match clear_bits_sent a2 with
+  | [ (to_, k) ] ->
+      Alcotest.(check int) "clear-bit to the sender" 9 (Node_id.to_int to_);
+      Alcotest.(check int) "for the key" 1 (Key.to_int k)
+  | _ -> Alcotest.fail "expected the cut-off clear-bit");
+  (* while cut, further updates do not produce duplicate clear-bits *)
+  let a3 = Node.handle_update n ~now:(at 30.) ~from:up (refresh 600.) in
+  Alcotest.(check int) "no duplicate clear-bit" 0
+    (List.length (clear_bits_sent a3))
+
+let test_update_query_resets_dry_streak () =
+  let up = nid 9 in
+  let n = node_with_cached ~up () in
+  let refresh l =
+    Update.refresh ~key:(key 1) ~entry:(entry ~replica:0 l) ~level:3
+  in
+  ignore (Node.handle_update n ~now:(at 10.) ~from:up (refresh 400.));
+  (* a query arrives: the streak resets *)
+  ignore
+    (Node.handle_query n ~now:(at 15.) ~next_hop:(Some up)
+       (Node.From_local (at 15.)) (key 1));
+  let a = Node.handle_update n ~now:(at 20.) ~from:up (refresh 500.) in
+  Alcotest.(check int) "no cut after intervening query" 0
+    (List.length (clear_bits_sent a))
+
+let test_update_push_level_limits_forwarding () =
+  let config = { cup_config with Node.policy = Policy.Push_level 3 } in
+  let up = nid 9 in
+  (* Node at distance 3: forwarding to level 4 exceeds the bound. *)
+  let n = node_with_cached ~config ~level:3 ~up () in
+  ignore
+    (Node.handle_query n ~now:(at 2.) ~next_hop:(Some up)
+       (Node.From_neighbor (nid 2)) (key 1));
+  let refresh =
+    Update.refresh ~key:(key 1) ~entry:(entry ~replica:0 600.) ~level:3
+  in
+  let actions = Node.handle_update n ~now:(at 3.) ~from:up refresh in
+  Alcotest.(check int) "push level bounds the forward" 0
+    (List.length (updates_sent actions));
+  Alcotest.(check int) "but no clear-bit either" 0
+    (List.length (clear_bits_sent actions))
+
+let test_update_push_level_boundary_allows_forward () =
+  (* a node at distance 3 may forward to level 4 under Push_level 4 *)
+  let config = { cup_config with Node.policy = Policy.Push_level 4 } in
+  let up = nid 9 in
+  let n = node_with_cached ~config ~level:3 ~up () in
+  ignore
+    (Node.handle_query n ~now:(at 2.) ~next_hop:(Some up)
+       (Node.From_neighbor (nid 2)) (key 1));
+  let refresh =
+    Update.refresh ~key:(key 1) ~entry:(entry ~replica:0 600.) ~level:3
+  in
+  let actions = Node.handle_update n ~now:(at 3.) ~from:up refresh in
+  Alcotest.(check int) "boundary level still forwards" 1
+    (List.length (updates_sent actions))
+
+let test_authority_local_query_is_free_hit () =
+  let n = Node.create ~id:(nid 0) cup_config in
+  Node.add_local_key n (key 1);
+  ignore (Node.replica_birth n ~now:t0 ~key:(key 1) (entry 500.));
+  let actions =
+    Node.handle_query n ~now:(at 1.) ~next_hop:None (Node.From_local (at 1.))
+      (key 1)
+  in
+  match local_answers actions with
+  | [ (_, true, entries) ] ->
+      Alcotest.(check int) "authority serves its directory" 1
+        (List.length entries)
+  | _ -> Alcotest.fail "expected a zero-cost hit at the authority"
+
+let test_update_naive_vs_independent_cutoff () =
+  (* With two replicas refreshing alternately and no queries, the
+     naive node sees twice the update rate and cuts sooner. *)
+  let run ~independent =
+    let config =
+      { Node.policy = Policy.second_chance;
+        replica_independent_cutoff = independent }
+    in
+    let up = nid 9 in
+    let n = node_with_cached ~config ~up () in
+    let cuts = ref 0 and sent = ref 0 in
+    (* alternate refreshes for replicas 0 and 1 *)
+    for i = 1 to 4 do
+      let replica = i mod 2 in
+      let u =
+        Update.refresh ~key:(key 1)
+          ~entry:(entry ~replica (300. +. (100. *. float_of_int i)))
+          ~level:3
+      in
+      let actions = Node.handle_update n ~now:(at (10. *. float_of_int i)) ~from:up u in
+      incr sent;
+      if clear_bits_sent actions <> [] then incr cuts
+    done;
+    !cuts
+  in
+  Alcotest.(check bool) "naive cuts within four mixed updates" true
+    (run ~independent:false >= 1);
+  (* Independent mode triggers only on replica-0 updates (i = 2, 4):
+     dry streak reaches 2 only at the fourth update. *)
+  Alcotest.(check int) "independent cuts exactly once, later" 1
+    (run ~independent:true)
+
+let test_update_delete_of_trigger_elects_new_trigger () =
+  let up = nid 9 in
+  let n = node_with_cached ~up () in
+  (* The first per-replica update adopts its replica as the trigger:
+     this dry append for replica 1 counts as dry update #1. *)
+  let append =
+    Update.append ~key:(key 1) ~entry:(entry ~replica:1 500.) ~level:3
+  in
+  let a0 = Node.handle_update n ~now:(at 5.) ~from:up append in
+  Alcotest.(check int) "first dry update tolerated" 0
+    (List.length (clear_bits_sent a0));
+  (* deleting the OTHER replica must not touch the decision state *)
+  let delete =
+    Update.delete ~key:(key 1) ~entry:(entry ~replica:0 300.) ~level:3
+  in
+  let a1 = Node.handle_update n ~now:(at 6.) ~from:up delete in
+  Alcotest.(check int) "non-trigger delete is silent" 0
+    (List.length (clear_bits_sent a1));
+  (* the next dry update for the trigger replica is dry update #2:
+     second-chance cuts *)
+  let refresh =
+    Update.refresh ~key:(key 1) ~entry:(entry ~replica:1 600.) ~level:3
+  in
+  let a2 = Node.handle_update n ~now:(at 7.) ~from:up refresh in
+  Alcotest.(check int) "trigger replica drives the cut-off" 1
+    (List.length (clear_bits_sent a2));
+  (* now delete the trigger itself: the remaining replica is adopted,
+     and a fresh query re-arms the subscription machinery *)
+  let delete_trigger =
+    Update.delete ~key:(key 1) ~entry:(entry ~replica:1 600.) ~level:3
+  in
+  let a3 = Node.handle_update n ~now:(at 8.) ~from:up delete_trigger in
+  Alcotest.(check int) "no duplicate clear-bit while cut" 0
+    (List.length (clear_bits_sent a3))
+
+(* {2 handle_clear_bit} *)
+
+let test_clear_bit_cascades_up () =
+  let up = nid 9 in
+  let n = node_with_cached ~up () in
+  ignore
+    (Node.handle_query n ~now:(at 2.) ~next_hop:(Some up)
+       (Node.From_neighbor (nid 2)) (key 1));
+  (* exhaust the node's own popularity: the first refresh absorbs the
+     neighbor's query, the next two are dry, while the downstream
+     neighbor's bit holds the subscription open *)
+  let refresh l =
+    Update.refresh ~key:(key 1) ~entry:(entry ~replica:0 l) ~level:3
+  in
+  ignore (Node.handle_update n ~now:(at 10.) ~from:up (refresh 400.));
+  ignore (Node.handle_update n ~now:(at 20.) ~from:up (refresh 500.));
+  ignore (Node.handle_update n ~now:(at 25.) ~from:up (refresh 600.));
+  (* the downstream neighbor loses interest -> we are dry and
+     bit-less -> cascade the clear-bit upstream *)
+  let actions = Node.handle_clear_bit n ~now:(at 30.) ~from:(nid 2) (key 1) in
+  match clear_bits_sent actions with
+  | [ (to_, _) ] ->
+      Alcotest.(check int) "cascaded to upstream" 9 (Node_id.to_int to_)
+  | _ -> Alcotest.fail "expected the cascade"
+
+let test_clear_bit_stops_at_popular_node () =
+  let up = nid 9 in
+  let n = node_with_cached ~up () in
+  ignore
+    (Node.handle_query n ~now:(at 2.) ~next_hop:(Some up)
+       (Node.From_neighbor (nid 2)) (key 1));
+  (* the node itself is popular (fresh queries since last update) *)
+  ignore
+    (Node.handle_query n ~now:(at 3.) ~next_hop:(Some up)
+       (Node.From_local (at 3.)) (key 1));
+  let actions = Node.handle_clear_bit n ~now:(at 4.) ~from:(nid 2) (key 1) in
+  Alcotest.(check int) "popularity stops the cascade" 0
+    (List.length (clear_bits_sent actions))
+
+let test_clear_bit_at_authority () =
+  let n = Node.create ~id:(nid 0) cup_config in
+  Node.add_local_key n (key 1);
+  ignore (Node.replica_birth n ~now:t0 ~key:(key 1) (entry 500.));
+  ignore
+    (Node.handle_query n ~now:(at 1.) ~next_hop:None
+       (Node.From_neighbor (nid 2)) (key 1));
+  let actions = Node.handle_clear_bit n ~now:(at 2.) ~from:(nid 2) (key 1) in
+  Alcotest.(check int) "authority absorbs the clear-bit" 0
+    (List.length actions);
+  (* subsequent refresh no longer goes to node 2 *)
+  let a = Node.replica_refresh n ~now:(at 3.) ~key:(key 1) (entry 900.) in
+  Alcotest.(check int) "unsubscribed neighbor skipped" 0
+    (List.length (updates_sent a))
+
+(* {2 Authority origination} *)
+
+let test_authority_origination () =
+  let n = Node.create ~id:(nid 0) cup_config in
+  Node.add_local_key n (key 1);
+  ignore
+    (Node.handle_query n ~now:t0 ~next_hop:None (Node.From_neighbor (nid 2))
+       (key 1));
+  let birth = Node.replica_birth n ~now:(at 1.) ~key:(key 1) (entry ~replica:7 400.) in
+  (match updates_sent birth with
+  | [ (to_, u, false) ] ->
+      Alcotest.(check int) "append to interested" 2 (Node_id.to_int to_);
+      Alcotest.(check string) "kind" "append" (Update.kind_to_string u.Update.kind)
+  | _ -> Alcotest.fail "expected one append");
+  let refresh = Node.replica_refresh n ~now:(at 2.) ~key:(key 1) (entry ~replica:7 800.) in
+  Alcotest.(check int) "refresh propagated" 1 (List.length (updates_sent refresh));
+  let death = Node.replica_death n ~now:(at 3.) ~key:(key 1) (rid 7) in
+  (match updates_sent death with
+  | [ (_, u, false) ] ->
+      Alcotest.(check string) "delete" "delete" (Update.kind_to_string u.Update.kind)
+  | _ -> Alcotest.fail "expected one delete");
+  Alcotest.(check int) "directory empty" 0
+    (List.length (Node.local_directory n (key 1)));
+  Alcotest.(check int) "death of unknown replica is a no-op" 0
+    (List.length (Node.replica_death n ~now:(at 4.) ~key:(key 1) (rid 99)))
+
+let test_authority_refresh_batch () =
+  let n = Node.create ~id:(nid 0) cup_config in
+  Node.add_local_key n (key 1);
+  ignore
+    (Node.handle_query n ~now:t0 ~next_hop:None (Node.From_neighbor (nid 2))
+       (key 1));
+  let entries = [ entry ~replica:1 400.; entry ~replica:2 500. ] in
+  let actions = Node.replica_refresh_batch n ~now:(at 1.) ~key:(key 1) entries in
+  (match updates_sent actions with
+  | [ (_, u, false) ] ->
+      Alcotest.(check string) "one refresh update" "refresh"
+        (Update.kind_to_string u.Update.kind);
+      Alcotest.(check int) "carries both entries" 2
+        (List.length u.Update.entries)
+  | _ -> Alcotest.fail "expected exactly one batched update");
+  Alcotest.(check int) "directory holds both" 2
+    (List.length (Node.local_directory n (key 1)));
+  Alcotest.(check int) "empty batch is a no-op" 0
+    (List.length (Node.replica_refresh_batch n ~now:(at 2.) ~key:(key 1) []));
+  Alcotest.check_raises "unowned key rejected"
+    (Invalid_argument "Node.replica_refresh_batch: key not owned") (fun () ->
+      ignore (Node.replica_refresh_batch n ~now:(at 3.) ~key:(key 9) entries))
+
+let test_authority_standard_caching_squelches () =
+  let n = Node.create ~id:(nid 0) std_config in
+  Node.add_local_key n (key 1);
+  ignore
+    (Node.handle_query n ~now:t0 ~next_hop:None (Node.From_neighbor (nid 2))
+       (key 1));
+  let refresh = Node.replica_refresh n ~now:(at 1.) ~key:(key 1) (entry 400.) in
+  Alcotest.(check int) "standard caching pushes nothing" 0
+    (List.length refresh)
+
+(* {2 Churn support} *)
+
+let test_churn_remap_and_retain () =
+  let up = nid 9 in
+  let n = node_with_cached ~up () in
+  ignore
+    (Node.handle_query n ~now:(at 2.) ~next_hop:(Some up)
+       (Node.From_neighbor (nid 2)) (key 1));
+  Node.remap_neighbor n ~old_id:(nid 2) ~new_id:(nid 12);
+  Alcotest.(check (list int)) "bit remapped" [ 12 ]
+    (List.map Node_id.to_int (Node.interested_neighbors n (key 1)));
+  Node.retain_neighbors n [ nid 9 ];
+  Alcotest.(check (list int)) "stale bits dropped" []
+    (List.map Node_id.to_int (Node.interested_neighbors n (key 1)))
+
+let test_churn_retain_resets_stuck_pending () =
+  let n = Node.create ~id:(nid 0) cup_config in
+  ignore
+    (Node.handle_query n ~now:t0 ~next_hop:(Some (nid 7))
+       (Node.From_local t0) (key 1));
+  Alcotest.(check bool) "pending set" true (Node.pending_first n (key 1));
+  (* we never hear back; the upstream neighbor disappears *)
+  Node.drop_neighbor n (nid 7);
+  (* the upstream was only recorded on update receipt, so dropping a
+     neighbor that never answered cannot clear it; a retain without
+     the neighbor can *)
+  Node.retain_neighbors n [];
+  Alcotest.(check bool) "a later query can re-push" true
+    (queries_sent
+       (Node.handle_query n ~now:(at 1.) ~next_hop:(Some (nid 8))
+          (Node.From_local (at 1.)) (key 1))
+    <> [])
+
+let test_churn_handover_merges_directories () =
+  let a = Node.create ~id:(nid 0) cup_config in
+  Node.add_local_key a (key 1);
+  ignore (Node.replica_birth a ~now:t0 ~key:(key 1) (entry ~replica:1 100.));
+  ignore (Node.replica_birth a ~now:t0 ~key:(key 1) (entry ~replica:2 200.));
+  let moved = Node.handover_local a (key 1) in
+  Alcotest.(check int) "entries extracted" 2 (List.length moved);
+  Alcotest.(check bool) "ownership dropped" false (Node.owns a (key 1));
+  let b = Node.create ~id:(nid 1) cup_config in
+  Node.add_local_key b (key 1);
+  ignore (Node.replica_birth b ~now:t0 ~key:(key 1) (entry ~replica:2 500.));
+  Node.receive_local b (key 1) moved;
+  let dir = Node.local_directory b (key 1) in
+  Alcotest.(check int) "merged without duplicates" 2 (List.length dir);
+  let r2 =
+    List.find (fun (e : Entry.t) -> Replica_id.to_int e.Entry.replica = 2) dir
+  in
+  Alcotest.(check (float 1e-9)) "later expiry wins" 500.
+    (Time.to_seconds r2.Entry.expiry)
+
+let test_duplicate_update_delivery_is_idempotent () =
+  (* retransmission safety: delivering the same refresh twice leaves
+     the same cache state and produces no extra clear-bits *)
+  let up = nid 9 in
+  let n = node_with_cached ~up () in
+  ignore
+    (Node.handle_query n ~now:(at 2.) ~next_hop:(Some up)
+       (Node.From_neighbor (nid 2)) (key 1));
+  let refresh =
+    Update.refresh ~key:(key 1) ~entry:(entry ~replica:0 600.) ~level:3
+  in
+  let a1 = Node.handle_update n ~now:(at 3.) ~from:up refresh in
+  let entries_after_first = Node.fresh_entries n ~now:(at 4.) (key 1) in
+  let a2 = Node.handle_update n ~now:(at 4.) ~from:up refresh in
+  Alcotest.(check int) "same forwards both times"
+    (List.length (updates_sent a1))
+    (List.length (updates_sent a2));
+  Alcotest.(check int) "no clear-bits from duplicates" 0
+    (List.length (clear_bits_sent a1) + List.length (clear_bits_sent a2));
+  Alcotest.(check int) "cache state unchanged"
+    (List.length entries_after_first)
+    (List.length (Node.fresh_entries n ~now:(at 5.) (key 1)))
+
+(* {1 Protocol fuzzing}
+
+   Throw random-but-well-formed event sequences at a node and check
+   that no handler raises and the visible invariants hold:
+   - local waiters exist only while the pending flag is set;
+   - every action addresses some other node (never self);
+   - fresh_entries never returns an expired entry. *)
+
+type fuzz_op =
+  | Op_local_query
+  | Op_neighbor_query of int
+  | Op_first_time of int * int (* neighbor, lifetime *)
+  | Op_refresh of int * int * int (* neighbor, replica, lifetime *)
+  | Op_append of int * int * int
+  | Op_delete of int * int
+  | Op_clear_bit of int
+  | Op_advance of int (* seconds *)
+
+let fuzz_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return Op_local_query);
+        (3, map (fun n -> Op_neighbor_query (n mod 4)) small_nat);
+        ( 2,
+          map2 (fun n l -> Op_first_time (n mod 4, 1 + (l mod 400))) small_nat
+            small_nat );
+        ( 3,
+          map3
+            (fun n r l -> Op_refresh (n mod 4, r mod 3, 1 + (l mod 400)))
+            small_nat small_nat small_nat );
+        ( 2,
+          map3
+            (fun n r l -> Op_append (n mod 4, r mod 3, 1 + (l mod 400)))
+            small_nat small_nat small_nat );
+        (1, map2 (fun n r -> Op_delete (n mod 4, r mod 3)) small_nat small_nat);
+        (2, map (fun n -> Op_clear_bit (n mod 4)) small_nat);
+        (3, map (fun s -> Op_advance (1 + (s mod 100))) small_nat);
+      ])
+
+let fuzz_policy_gen =
+  QCheck.Gen.oneofl
+    [
+      Policy.Standard_caching;
+      Policy.All_out;
+      Policy.Push_level 2;
+      Policy.Linear 0.1;
+      Policy.Logarithmic 0.25;
+      Policy.second_chance;
+      Policy.Log_based 4;
+    ]
+
+let prop_node_fuzz =
+  let gen =
+    QCheck.Gen.(triple fuzz_policy_gen bool (list_size (int_range 1 60) fuzz_op_gen))
+  in
+  let arb = QCheck.make gen in
+  QCheck.Test.make ~count:300 ~name:"random protocol traces keep invariants"
+    arb
+    (fun (policy, independent, ops) ->
+      let config =
+        { Node.policy; replica_independent_cutoff = independent }
+      in
+      let n = Node.create ~id:(nid 0) config in
+      let k = key 1 in
+      let clock = ref 0. in
+      let neighbor i = nid (i + 1) in
+      let check_actions actions =
+        List.for_all
+          (function
+            | Node.Send_query { to_; _ }
+            | Node.Send_update { to_; _ }
+            | Node.Send_clear_bit { to_; _ } ->
+                not (Node_id.equal to_ (nid 0))
+            | Node.Answer_local _ -> true)
+          actions
+      in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          let now = at !clock in
+          let actions =
+            match op with
+            | Op_local_query ->
+                Node.handle_query n ~now ~next_hop:(Some (neighbor 0))
+                  (Node.From_local now) k
+            | Op_neighbor_query i ->
+                Node.handle_query n ~now ~next_hop:(Some (neighbor 0))
+                  (Node.From_neighbor (neighbor i))
+                  k
+            | Op_first_time (i, l) ->
+                Node.handle_update n ~now ~from:(neighbor i)
+                  (Update.first_time ~key:k
+                     ~entries:[ entry ~replica:0 (!clock +. float_of_int l) ]
+                     ~level:2)
+            | Op_refresh (i, r, l) ->
+                Node.handle_update n ~now ~from:(neighbor i)
+                  (Update.refresh ~key:k
+                     ~entry:(entry ~replica:r (!clock +. float_of_int l))
+                     ~level:2)
+            | Op_append (i, r, l) ->
+                Node.handle_update n ~now ~from:(neighbor i)
+                  (Update.append ~key:k
+                     ~entry:(entry ~replica:r (!clock +. float_of_int l))
+                     ~level:2)
+            | Op_delete (i, r) ->
+                Node.handle_update n ~now ~from:(neighbor i)
+                  (Update.delete ~key:k ~entry:(entry ~replica:r !clock)
+                     ~level:2)
+            | Op_clear_bit i ->
+                Node.handle_clear_bit n ~now ~from:(neighbor i) k
+            | Op_advance s ->
+                clock := !clock +. float_of_int s;
+                []
+          in
+          if not (check_actions actions) then ok := false;
+          (* fresh entries really are fresh *)
+          if
+            List.exists
+              (fun (e : Entry.t) -> not (Entry.is_fresh e ~now:(at !clock)))
+              (Node.fresh_entries n ~now:(at !clock) k)
+          then ok := false)
+        ops;
+      !ok)
+
+let () =
+  Alcotest.run "cup_proto"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "all-out" `Quick test_policy_all_out_keeps;
+          Alcotest.test_case "linear" `Quick test_policy_linear;
+          Alcotest.test_case "logarithmic" `Quick test_policy_logarithmic;
+          Alcotest.test_case "log more lenient" `Quick
+            test_policy_log_more_lenient_than_linear;
+          Alcotest.test_case "second chance" `Quick test_policy_second_chance;
+          Alcotest.test_case "sender limit" `Quick test_policy_sender_limit;
+          Alcotest.test_case "classification" `Quick
+            test_policy_classification;
+        ] );
+      ( "update",
+        [
+          Alcotest.test_case "forwarded level" `Quick
+            test_update_forwarded_increments_level;
+          Alcotest.test_case "subject" `Quick test_update_subject;
+          Alcotest.test_case "expiry" `Quick test_update_expiry;
+        ] );
+      ( "update_queue",
+        [
+          Alcotest.test_case "latency-first order" `Quick
+            test_queue_latency_first_ordering;
+          Alcotest.test_case "flash-crowd order" `Quick
+            test_queue_flash_crowd_promotes_appends;
+          Alcotest.test_case "fifo" `Quick test_queue_fifo;
+          Alcotest.test_case "expiry urgency" `Quick test_queue_expiry_urgency;
+          Alcotest.test_case "pop drops expired" `Quick
+            test_queue_pop_drops_expired;
+          Alcotest.test_case "drop expired" `Quick test_queue_drop_expired;
+          QCheck_alcotest.to_alcotest prop_queue_pop_order_stable;
+        ] );
+      ( "interest",
+        [
+          Alcotest.test_case "ops" `Quick test_interest_ops;
+          Alcotest.test_case "remap" `Quick test_interest_remap;
+        ] );
+      ( "node queries",
+        [
+          Alcotest.test_case "case 1: neighbor" `Quick
+            test_query_case1_fresh_cache_answers_neighbor;
+          Alcotest.test_case "case 1: local hit" `Quick
+            test_query_case1_local_hit;
+          Alcotest.test_case "case 2: cold" `Quick
+            test_query_case2_cold_pushes_and_sets_pending;
+          Alcotest.test_case "case 2: coalesce" `Quick
+            test_query_case2_coalesces;
+          Alcotest.test_case "standard never coalesces" `Quick
+            test_query_standard_does_not_coalesce;
+          Alcotest.test_case "case 3: expired" `Quick
+            test_query_case3_expired_repushes;
+          Alcotest.test_case "authority answers" `Quick
+            test_query_authority_answers_from_directory;
+          Alcotest.test_case "empty authority" `Quick
+            test_query_becomes_empty_authority;
+        ] );
+      ( "node updates",
+        [
+          Alcotest.test_case "first-time answers + forwards" `Quick
+            test_update_first_time_answers_waiters_and_forwards;
+          Alcotest.test_case "refresh extends" `Quick
+            test_update_refresh_extends_freshness;
+          Alcotest.test_case "delete removes" `Quick
+            test_update_delete_removes_entry;
+          Alcotest.test_case "expired dropped" `Quick
+            test_update_expired_dropped;
+          Alcotest.test_case "forward to interested only" `Quick
+            test_update_forwards_to_interested_only;
+          Alcotest.test_case "second chance cut" `Quick
+            test_update_second_chance_cuts_after_two_dry;
+          Alcotest.test_case "query resets streak" `Quick
+            test_update_query_resets_dry_streak;
+          Alcotest.test_case "push level bound" `Quick
+            test_update_push_level_limits_forwarding;
+          Alcotest.test_case "push level boundary" `Quick
+            test_update_push_level_boundary_allows_forward;
+          Alcotest.test_case "naive vs independent" `Quick
+            test_update_naive_vs_independent_cutoff;
+          Alcotest.test_case "trigger re-election" `Quick
+            test_update_delete_of_trigger_elects_new_trigger;
+          Alcotest.test_case "duplicate delivery idempotent" `Quick
+            test_duplicate_update_delivery_is_idempotent;
+        ] );
+      ( "clear bits",
+        [
+          Alcotest.test_case "cascades up" `Quick test_clear_bit_cascades_up;
+          Alcotest.test_case "stops at popular node" `Quick
+            test_clear_bit_stops_at_popular_node;
+          Alcotest.test_case "authority" `Quick test_clear_bit_at_authority;
+        ] );
+      ( "authority",
+        [
+          Alcotest.test_case "origination" `Quick test_authority_origination;
+          Alcotest.test_case "local query is free" `Quick
+            test_authority_local_query_is_free_hit;
+          Alcotest.test_case "refresh batch" `Quick
+            test_authority_refresh_batch;
+          Alcotest.test_case "standard squelches" `Quick
+            test_authority_standard_caching_squelches;
+        ] );
+      ("fuzz", [ QCheck_alcotest.to_alcotest prop_node_fuzz ]);
+      ( "churn",
+        [
+          Alcotest.test_case "remap + retain" `Quick
+            test_churn_remap_and_retain;
+          Alcotest.test_case "stuck pending reset" `Quick
+            test_churn_retain_resets_stuck_pending;
+          Alcotest.test_case "handover merge" `Quick
+            test_churn_handover_merges_directories;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+(* Tests for Cup_report: table rendering, plots, and CSV quoting. *)
+
+module Table = Cup_report.Table
+module Plot = Cup_report.Plot
+module Csv = Cup_report.Csv
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+(* {1 Table} *)
+
+let test_table_renders_rows () =
+  let t = Table.create ~title:"demo" ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "beta"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "title" true (contains ~needle:"demo" s);
+  Alcotest.(check bool) "row 1" true (contains ~needle:"alpha" s);
+  Alcotest.(check bool) "row 2" true (contains ~needle:"22" s)
+
+let test_table_arity_checked () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let test_table_numeric_right_aligned () =
+  let t = Table.create ~title:"demo" ~columns:[ "label"; "number" ] in
+  Table.add_row t [ "x"; "5" ];
+  Table.add_row t [ "y"; "12345" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  let row_x = List.find (fun l -> contains ~needle:"x" l) lines in
+  (* the short number is padded on the left up to the column width *)
+  Alcotest.(check bool) "right aligned" true
+    (contains ~needle:"     5" row_x)
+
+let test_table_separator () =
+  let t = Table.create ~title:"demo" ~columns:[ "a" ] in
+  Table.add_row t [ "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "2" ];
+  let dashes =
+    List.filter
+      (fun l -> l <> "" && String.for_all (fun c -> c = '-') l)
+      (String.split_on_char '\n' (Table.render t))
+  in
+  (* two header rules plus the explicit separator *)
+  Alcotest.(check int) "three rules" 3 (List.length dashes)
+
+let test_cell_formatters () =
+  Alcotest.(check string) "int" "42" (Table.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Table.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "ratio" "(0.27)" (Table.cell_ratio 0.272)
+
+(* {1 Plot} *)
+
+let test_plot_renders () =
+  let s =
+    Plot.render ~title:"t" ~x_label:"x" ~y_label:"y"
+      [
+        { Plot.label = "up"; points = [ (0., 0.); (1., 1.); (2., 4.) ] };
+        { Plot.label = "down"; points = [ (0., 4.); (2., 0.) ] };
+      ]
+  in
+  Alcotest.(check bool) "legend series 1" true (contains ~needle:"* = up" s);
+  Alcotest.(check bool) "legend series 2" true (contains ~needle:"o = down" s);
+  Alcotest.(check bool) "has marks" true (contains ~needle:"*" s)
+
+let test_plot_empty () =
+  let s = Plot.render ~title:"t" ~x_label:"x" ~y_label:"y" [] in
+  Alcotest.(check bool) "no data notice" true (contains ~needle:"no data" s)
+
+let test_plot_log_scale () =
+  let s =
+    Plot.render ~log_y:true ~title:"t" ~x_label:"x" ~y_label:"y"
+      [ { Plot.label = "s"; points = [ (0., 10.); (1., 100000.) ] } ]
+  in
+  Alcotest.(check bool) "log annotation" true (contains ~needle:"log scale" s)
+
+let test_plot_flat_series () =
+  (* constant series must not divide by a zero span *)
+  let s =
+    Plot.render ~title:"t" ~x_label:"x" ~y_label:"y"
+      [ { Plot.label = "flat"; points = [ (0., 5.); (1., 5.) ] } ]
+  in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+(* {1 Csv} *)
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.escape "a\nb")
+
+let test_csv_row () =
+  Alcotest.(check string) "row" "a,\"b,c\",d"
+    (Csv.row_to_string [ "a"; "b,c"; "d" ])
+
+let test_csv_write_roundtrip () =
+  let path = Filename.temp_file "cup_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.write ~path ~header:[ "k"; "v" ] [ [ "a"; "1" ]; [ "b"; "2" ] ];
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check (list string)) "content"
+        [ "k,v"; "a,1"; "b,2" ]
+        (List.rev !lines))
+
+let () =
+  Alcotest.run "cup_report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "renders" `Quick test_table_renders_rows;
+          Alcotest.test_case "arity" `Quick test_table_arity_checked;
+          Alcotest.test_case "alignment" `Quick
+            test_table_numeric_right_aligned;
+          Alcotest.test_case "separator" `Quick test_table_separator;
+          Alcotest.test_case "cells" `Quick test_cell_formatters;
+        ] );
+      ( "plot",
+        [
+          Alcotest.test_case "renders" `Quick test_plot_renders;
+          Alcotest.test_case "empty" `Quick test_plot_empty;
+          Alcotest.test_case "log scale" `Quick test_plot_log_scale;
+          Alcotest.test_case "flat series" `Quick test_plot_flat_series;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "row" `Quick test_csv_row;
+          Alcotest.test_case "write" `Quick test_csv_write_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,714 @@
+(* Integration tests: whole simulations through Cup_sim.Runner.
+
+   These exercise the protocol, overlay, workloads and accounting
+   together on small networks and assert the system-level invariants
+   the paper's evaluation relies on. *)
+
+module Scenario = Cup_sim.Scenario
+module Runner = Cup_sim.Runner
+module E = Cup_sim.Experiments
+module Counters = Cup_metrics.Counters
+module Policy = Cup_proto.Policy
+module T = Cup_overlay.Net
+
+(* A small, fast base scenario: 48 nodes, one key, short run. *)
+let base =
+  {
+    Scenario.default with
+    nodes = 48;
+    total_keys_override = Some 1;
+    query_rate = 0.5;
+    query_start = 300.;
+    query_duration = 900.;
+    drain = 300.;
+    seed = 1001;
+  }
+
+let run policy = Runner.run (Scenario.with_policy base policy)
+
+(* {1 Determinism} *)
+
+let test_same_seed_same_costs () =
+  let a = run Policy.second_chance and b = run Policy.second_chance in
+  Alcotest.(check int) "total cost" (Counters.total_cost a.counters)
+    (Counters.total_cost b.counters);
+  Alcotest.(check int) "misses" (Counters.misses a.counters)
+    (Counters.misses b.counters);
+  Alcotest.(check int) "engine events" a.engine_events b.engine_events
+
+let test_different_seed_differs () =
+  let a = run Policy.second_chance in
+  let b =
+    Runner.run (Scenario.with_policy { base with seed = 2002 } Policy.second_chance)
+  in
+  Alcotest.(check bool) "different workloads" true
+    (a.queries_posted <> b.queries_posted
+    || Counters.total_cost a.counters <> Counters.total_cost b.counters)
+
+(* {1 Conservation laws} *)
+
+let test_every_query_answered () =
+  List.iter
+    (fun policy ->
+      let r = run policy in
+      Alcotest.(check int)
+        (Policy.to_string policy ^ ": hits + misses = queries posted")
+        r.queries_posted
+        (Counters.local_queries r.counters))
+    [ Policy.Standard_caching; Policy.second_chance; Policy.All_out ]
+
+let test_forwarded_equals_delivered_plus_dropped () =
+  (* In Bernoulli capacity mode every emitted update is either
+     delivered (one hop recorded) or dropped at the gate. *)
+  let cfg =
+    Scenario.with_policy
+      { base with faults = Some (Scenario.Once_down { fraction = 0.3; reduced = 0.25; warmup = 100. }) }
+      Policy.second_chance
+  in
+  let r = Runner.run cfg in
+  let c = r.counters in
+  let delivered =
+    Counters.first_time_answer_hops c
+    + Counters.first_time_proactive_hops c
+    + Counters.refresh_hops c + Counters.delete_hops c
+    + Counters.append_hops c
+  in
+  Alcotest.(check int) "emissions = deliveries + drops"
+    r.node_stats.updates_forwarded
+    (delivered + Counters.dropped_updates c)
+
+let test_clear_bit_stats_match_hops () =
+  let r = run Policy.second_chance in
+  Alcotest.(check int) "clear-bits sent = clear-bit hops"
+    r.node_stats.clear_bits_sent
+    (Counters.clear_bit_hops r.counters)
+
+(* {1 Baseline invariants} *)
+
+let test_standard_caching_zero_overhead () =
+  let r = run Policy.Standard_caching in
+  Alcotest.(check int) "total = miss cost" (Counters.miss_cost r.counters)
+    (Counters.total_cost r.counters);
+  Alcotest.(check int) "no overhead" 0 (Counters.overhead_cost r.counters)
+
+let test_push_level_zero_squelches () =
+  let r = run (Policy.Push_level 0) in
+  Alcotest.(check int) "no update propagation at level 0" 0
+    (Counters.refresh_hops r.counters
+    + Counters.delete_hops r.counters
+    + Counters.append_hops r.counters
+    + Counters.first_time_proactive_hops r.counters);
+  Alcotest.(check int) "no clear-bits either" 0
+    (Counters.clear_bit_hops r.counters)
+
+let test_zero_capacity_falls_back_to_standard () =
+  (* Section 3.7: with every node at zero outgoing capacity the
+     network degrades to expiration-based caching — zero propagation
+     overhead. *)
+  let cfg =
+    Scenario.with_policy
+      {
+        base with
+        faults = Some (Scenario.Once_down { fraction = 1.0; reduced = 0.; warmup = 0. });
+      }
+      Policy.second_chance
+  in
+  let r = Runner.run cfg in
+  Alcotest.(check int) "no propagation overhead" 0
+    (Counters.overhead_cost r.counters);
+  Alcotest.(check bool) "updates were suppressed" true
+    (Counters.dropped_updates r.counters > 0);
+  let std = run Policy.Standard_caching in
+  (* identical workload, so the miss profile differs only by CUP's
+     query coalescing *)
+  let delta =
+    abs (Counters.misses r.counters - Counters.misses std.counters)
+  in
+  Alcotest.(check bool) "miss count close to standard caching" true
+    (delta * 20 <= Counters.misses std.counters)
+
+(* {1 CUP benefits (fixed seed, deterministic)} *)
+
+let test_cup_reduces_misses_and_latency () =
+  let std = run Policy.Standard_caching in
+  let cup = run Policy.second_chance in
+  Alcotest.(check bool) "fewer misses" true
+    (Counters.misses cup.counters < Counters.misses std.counters);
+  Alcotest.(check bool) "lower miss cost" true
+    (Counters.miss_cost cup.counters < Counters.miss_cost std.counters);
+  (* The latency benefit needs a network deep enough for the
+     subscribed region to shorten miss paths. *)
+  let dense = { base with nodes = 128; query_rate = 2. } in
+  let std = Runner.run (Scenario.with_policy dense Policy.Standard_caching) in
+  let cup = Runner.run (Scenario.with_policy dense Policy.second_chance) in
+  Alcotest.(check bool) "lower miss latency (dense run)" true
+    (Counters.avg_miss_latency_hops cup.counters
+    < Counters.avg_miss_latency_hops std.counters)
+
+let test_more_propagation_fewer_misses () =
+  let all_out = run Policy.All_out in
+  let sc = run Policy.second_chance in
+  let std = run Policy.Standard_caching in
+  Alcotest.(check bool) "all-out <= second-chance misses" true
+    (Counters.misses all_out.counters <= Counters.misses sc.counters);
+  Alcotest.(check bool) "second-chance < standard misses" true
+    (Counters.misses sc.counters < Counters.misses std.counters)
+
+let test_coalescing_only_in_cup () =
+  let burst =
+    { base with query_rate = 50.; query_duration = 60.; drain = 100. }
+  in
+  let cup = Runner.run (Scenario.with_policy burst Policy.second_chance) in
+  let std = Runner.run (Scenario.with_policy burst Policy.Standard_caching) in
+  Alcotest.(check bool) "cup coalesces bursts" true
+    (cup.node_stats.queries_coalesced > 0);
+  Alcotest.(check int) "standard never coalesces" 0
+    std.node_stats.queries_coalesced
+
+(* {1 Token-bucket capacity mode} *)
+
+let test_token_bucket_completes_and_bounds () =
+  (* Five replicas on a 60 s lifetime generate far more update demand
+     than a 0.05 update/s channel can carry: queued updates expire in
+     the Section 2.8 queues instead of being delivered. *)
+  let starved_base =
+    { base with replicas_per_key = 5; replica_lifetime = 60. }
+  in
+  let cfg =
+    Scenario.with_policy
+      { starved_base with capacity_mode = Scenario.Token_bucket 0.05 }
+      Policy.second_chance
+  in
+  let r = Runner.run cfg in
+  Alcotest.(check int) "every query answered" r.queries_posted
+    (Counters.local_queries r.counters);
+  Alcotest.(check bool) "some update flow" true
+    (Counters.overhead_cost r.counters > 0);
+  let free = Runner.run (Scenario.with_policy starved_base Policy.second_chance) in
+  Alcotest.(check bool) "starved channel delivers far fewer refreshes" true
+    (Counters.refresh_hops r.counters * 2 < Counters.refresh_hops free.counters)
+
+(* {1 Section 3.6 techniques and Section 3.1 justification} *)
+
+let test_refresh_batching_reduces_overhead () =
+  let many = { base with replicas_per_key = 10 } in
+  let plain = Runner.run (Scenario.with_policy many Policy.second_chance) in
+  let batched =
+    Runner.run
+      (Scenario.with_policy { many with refresh_batch_window = 60. }
+         Policy.second_chance)
+  in
+  Alcotest.(check bool) "batching cuts refresh hops" true
+    (Counters.refresh_hops batched.counters
+    < Counters.refresh_hops plain.counters / 2);
+  Alcotest.(check bool) "miss cost stays comparable" true
+    (Counters.miss_cost batched.counters
+    <= (3 * Counters.miss_cost plain.counters / 2) + 50)
+
+let test_refresh_sampling_drops_half () =
+  let many = { base with replicas_per_key = 10 } in
+  let sampled =
+    Runner.run
+      (Scenario.with_policy { many with refresh_sample = 0.5 }
+         Policy.second_chance)
+  in
+  Alcotest.(check bool) "suppressions are recorded as drops" true
+    (Counters.dropped_updates sampled.counters > 0);
+  (* the emission/delivery/drop conservation law must survive *)
+  let delivered =
+    Counters.first_time_answer_hops sampled.counters
+    + Counters.first_time_proactive_hops sampled.counters
+    + Counters.refresh_hops sampled.counters
+    + Counters.delete_hops sampled.counters
+    + Counters.append_hops sampled.counters
+  in
+  Alcotest.(check int) "conservation with sampling"
+    sampled.node_stats.updates_forwarded
+    (delivered + Counters.dropped_updates sampled.counters)
+
+let test_piggybacked_clear_bits_uncharged () =
+  let cfg =
+    Scenario.with_policy { base with piggyback_clear_bits = true }
+      Policy.second_chance
+  in
+  let r = Runner.run cfg in
+  Alcotest.(check bool) "clear-bits were sent" true
+    (r.node_stats.clear_bits_sent > 0);
+  Alcotest.(check int) "but not charged" 0
+    (Counters.clear_bit_hops r.counters)
+
+let test_justification_accounting () =
+  let std = run Policy.Standard_caching in
+  Alcotest.(check int) "standard caching tracks nothing" 0
+    std.tracked_updates;
+  let cup = run Policy.second_chance in
+  Alcotest.(check bool) "cup tracks its propagation" true
+    (cup.tracked_updates > 0);
+  Alcotest.(check bool) "justified <= tracked" true
+    (cup.justified_updates <= cup.tracked_updates);
+  (* a denser workload justifies a larger fraction *)
+  let dense =
+    Runner.run
+      (Scenario.with_policy { base with query_rate = 10. }
+         Policy.second_chance)
+  in
+  let pct (r : Runner.result) =
+    float_of_int r.justified_updates
+    /. float_of_int (max 1 r.tracked_updates)
+  in
+  Alcotest.(check bool) "justified fraction grows with query rate" true
+    (pct dense > pct cup)
+
+(* {1 Live interface and churn} *)
+
+let test_live_manual_query () =
+  let live = Runner.Live.create base in
+  let key = Runner.Live.key_of_index live 0 in
+  Runner.Live.run_until live 300.;
+  let querier =
+    List.find
+      (fun id ->
+        not
+          (Cup_overlay.Node_id.equal id (Runner.Live.authority_of live key)))
+      (T.node_ids (Runner.Live.network live))
+  in
+  Runner.Live.post_query live ~node:querier ~key;
+  Runner.Live.run_until live 310.;
+  let node = Runner.Live.node live querier in
+  Alcotest.(check int) "querier cached the answer" 1
+    (List.length
+       (Cup_proto.Node.fresh_entries node ~now:(Cup_dess.Time.of_seconds 310.)
+          key));
+  ignore (Runner.Live.finish live)
+
+let test_live_churn_preserves_consistency () =
+  (* the same churn sequence must keep every overlay's authority table
+     in sync with routing ownership — including Pastry, where one join
+     can take keys from both ring sides *)
+  List.iter
+    (fun overlay ->
+      let live =
+        Runner.Live.create
+          { base with nodes = 24; query_rate = 1.; overlay;
+            total_keys_override = Some 6 }
+      in
+      Runner.Live.run_until live 400.;
+      let added = Runner.Live.node_join live in
+      Runner.Live.run_until live 450.;
+      ignore (Runner.Live.node_join live);
+      Runner.Live.run_until live 500.;
+      (* remove a node that is not the newest one *)
+      let victim =
+        List.find
+          (fun id -> not (Cup_overlay.Node_id.equal id added))
+          (T.node_ids (Runner.Live.network live))
+      in
+      Runner.Live.node_leave live victim;
+      (match T.check_invariants (Runner.Live.network live) with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      for i = 0 to 5 do
+        let key = Runner.Live.key_of_index live i in
+        Alcotest.(check bool) "authority table tracks ownership" true
+          (Cup_overlay.Node_id.equal
+             (Runner.Live.authority_of live key)
+             (T.owner_of_key (Runner.Live.network live) key))
+      done;
+      let r = Runner.Live.finish live in
+      Alcotest.(check bool) "run completed with queries served" true
+        (Counters.local_queries r.counters > 0))
+    [ Cup_overlay.Net.Can `Random; Cup_overlay.Net.Chord;
+      Cup_overlay.Net.Pastry ]
+
+let test_authority_departure_hands_over_directory () =
+  let live = Runner.Live.create { base with nodes = 16 } in
+  Runner.Live.run_until live 400.;
+  let key = Runner.Live.key_of_index live 0 in
+  let auth = Runner.Live.authority_of live key in
+  let dir_before =
+    Cup_proto.Node.local_directory (Runner.Live.node live auth) key
+  in
+  Alcotest.(check bool) "authority has directory entries" true
+    (dir_before <> []);
+  Runner.Live.node_leave live auth;
+  let new_auth = Runner.Live.authority_of live key in
+  Alcotest.(check bool) "authority moved" false
+    (Cup_overlay.Node_id.equal auth new_auth);
+  let dir_after =
+    Cup_proto.Node.local_directory (Runner.Live.node live new_auth) key
+  in
+  Alcotest.(check int) "directory handed over" (List.length dir_before)
+    (List.length dir_after);
+  ignore (Runner.Live.finish live)
+
+(* {1 Overlay generality} *)
+
+let test_cup_over_chord () =
+  let chord_base = { base with overlay = Cup_overlay.Net.Chord } in
+  let std = Runner.run (Scenario.with_policy chord_base Policy.Standard_caching) in
+  let cup = Runner.run (Scenario.with_policy chord_base Policy.second_chance) in
+  Alcotest.(check int) "all queries answered over chord" std.queries_posted
+    (Counters.local_queries std.counters);
+  Alcotest.(check int) "standard stays overhead-free on chord" 0
+    (Counters.overhead_cost std.counters);
+  Alcotest.(check bool) "cup beats standard on chord misses" true
+    (Counters.misses cup.counters < Counters.misses std.counters)
+
+let test_authority_crash_loses_then_recovers_directory () =
+  let live = Runner.Live.create { base with nodes = 16 } in
+  Runner.Live.run_until live 400.;
+  let key = Runner.Live.key_of_index live 0 in
+  let auth = Runner.Live.authority_of live key in
+  Alcotest.(check bool) "directory populated" true
+    (Cup_proto.Node.local_directory (Runner.Live.node live auth) key <> []);
+  Runner.Live.node_leave ~graceful:false live auth;
+  let new_auth = Runner.Live.authority_of live key in
+  Alcotest.(check int) "crash loses the directory" 0
+    (List.length
+       (Cup_proto.Node.local_directory (Runner.Live.node live new_auth) key));
+  (* the replica's next keep-alive (at its expiry, within one
+     lifetime) rebuilds the index at the new authority *)
+  Runner.Live.run_until live (400. +. base.replica_lifetime +. 1.);
+  Alcotest.(check bool) "keep-alives rebuild the directory" true
+    (Cup_proto.Node.local_directory (Runner.Live.node live new_auth) key <> []);
+  ignore (Runner.Live.finish live)
+
+(* {1 Replication} *)
+
+let test_replicate_statistics () =
+  let cfg = Scenario.with_policy base Policy.second_chance in
+  let r = E.replicate cfg ~runs:3 in
+  Alcotest.(check int) "runs" 3 r.E.runs;
+  Alcotest.(check bool) "means positive" true
+    (r.E.total_mean > 0. && r.E.miss_mean > 0.);
+  Alcotest.(check bool) "stddev finite" true
+    (Float.is_finite r.E.total_stddev);
+  (* replicate with a single run reproduces Runner.run exactly *)
+  let single = E.replicate cfg ~runs:1 in
+  let direct = Runner.run cfg in
+  Alcotest.(check (float 1e-9)) "single run matches"
+    (float_of_int (Counters.total_cost direct.counters))
+    single.E.total_mean;
+  Alcotest.check_raises "zero runs rejected"
+    (Invalid_argument "Experiments.replicate: runs must be >= 1") (fun () ->
+      ignore (E.replicate cfg ~runs:0))
+
+(* {1 Trace} *)
+
+module Trace = Cup_sim.Trace
+
+let test_trace_ring_bounds () =
+  let tr = Trace.create ~capacity:3 () in
+  for i = 0 to 4 do
+    Trace.record tr
+      (Trace.Query_posted
+         {
+           at = Cup_dess.Time.of_seconds (float_of_int i);
+           node = Cup_overlay.Node_id.of_int i;
+           key = Cup_overlay.Key.of_int 0;
+         })
+  done;
+  Alcotest.(check int) "keeps capacity" 3 (Trace.length tr);
+  Alcotest.(check int) "counts drops" 2 (Trace.dropped tr);
+  (match Trace.events tr with
+  | Trace.Query_posted { node; _ } :: _ ->
+      Alcotest.(check int) "oldest retained is #2" 2
+        (Cup_overlay.Node_id.to_int node)
+  | _ -> Alcotest.fail "unexpected events");
+  Trace.clear tr;
+  Alcotest.(check int) "clear empties" 0 (Trace.length tr)
+
+let test_trace_captures_protocol_cycle () =
+  let live = Runner.Live.create { base with query_rate = 0.001 } in
+  let tr = Trace.create () in
+  Runner.Live.set_tracer live (Some (Trace.record tr));
+  let key = Runner.Live.key_of_index live 0 in
+  Runner.Live.run_until live 350.;
+  Trace.clear tr;
+  let querier =
+    List.find
+      (fun id ->
+        not (Cup_overlay.Node_id.equal id (Runner.Live.authority_of live key)))
+      (T.node_ids (Runner.Live.network live))
+  in
+  Runner.Live.post_query live ~node:querier ~key;
+  Runner.Live.run_until live 352.;
+  let events = Trace.filter_key tr key in
+  let has f = List.exists f events in
+  Alcotest.(check bool) "query posted" true
+    (has (function Trace.Query_posted _ -> true | _ -> false));
+  Alcotest.(check bool) "answer flowed" true
+    (has (function
+      | Trace.Update_delivered { answering = true; _ } -> true
+      | _ -> false));
+  Alcotest.(check bool) "local client answered" true
+    (has (function Trace.Local_answer { hit = false; _ } -> true | _ -> false));
+  (* events are time-ordered *)
+  let times = List.map Trace.event_time events in
+  Alcotest.(check bool) "ordered" true
+    (List.sort compare times = times);
+  (* detach works: nothing new after *)
+  Runner.Live.set_tracer live None;
+  Trace.clear tr;
+  Runner.Live.post_query live ~node:querier ~key;
+  Runner.Live.run_until live 353.;
+  Alcotest.(check int) "detached" 0 (Trace.length tr);
+  ignore (Runner.Live.finish live)
+
+(* {1 End-to-end property: random scenarios keep the system laws} *)
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* nodes = int_range 4 48 in
+    let* keys = int_range 1 4 in
+    let* replicas = int_range 1 3 in
+    let* rate10 = int_range 1 20 in
+    let* policy_ix = int_range 0 5 in
+    let* overlay_ix = int_range 0 2 in
+    let* seed = int_range 0 10_000 in
+    let policy =
+      List.nth
+        [ Policy.Standard_caching; Policy.All_out; Policy.Push_level 3;
+          Policy.Linear 0.1; Policy.second_chance; Policy.Log_based 3 ]
+        policy_ix
+    in
+    let overlay =
+      List.nth
+        [ Cup_overlay.Net.Can `Random; Cup_overlay.Net.Chord;
+          Cup_overlay.Net.Pastry ]
+        overlay_ix
+    in
+    return
+      (Scenario.with_policy
+         {
+           Scenario.default with
+           nodes;
+           total_keys_override = Some keys;
+           replicas_per_key = replicas;
+           query_rate = float_of_int rate10 /. 10.;
+           query_start = 100.;
+           query_duration = 400.;
+           drain = 100.;
+           replica_lifetime = 60.;
+           seed;
+           overlay;
+         }
+         policy))
+
+let prop_random_scenarios_obey_laws =
+  QCheck.Test.make ~count:25 ~name:"random scenarios obey the system laws"
+    (QCheck.make scenario_gen)
+    (fun cfg ->
+      let r = Runner.run cfg in
+      let c = r.counters in
+      (* every local query is answered exactly once *)
+      Counters.local_queries c = r.queries_posted
+      (* cost buckets are consistent *)
+      && Counters.total_cost c
+         = Counters.miss_cost c + Counters.overhead_cost c
+      (* emitted updates are delivered or dropped, never lost *)
+      && r.node_stats.updates_forwarded
+         = Counters.first_time_answer_hops c
+           + Counters.first_time_proactive_hops c
+           + Counters.refresh_hops c + Counters.delete_hops c
+           + Counters.append_hops c + Counters.dropped_updates c
+      (* clear-bit accounting matches the node stats *)
+      && r.node_stats.clear_bits_sent = Counters.clear_bit_hops c
+      (* justification never exceeds what was tracked *)
+      && r.justified_updates <= r.tracked_updates
+      (* determinism: an identical rerun reproduces the costs *)
+      && Counters.total_cost (Runner.run cfg).counters
+         = Counters.total_cost c)
+
+(* {1 Analysis (Section 3.1 closed forms)} *)
+
+module Analysis = Cup_sim.Analysis
+
+let test_analysis_justified_probability () =
+  (* the paper's example: rate 1 q/s, window 6 s -> 99 percent *)
+  let p = Analysis.justified_probability ~subtree_rate:1. ~window:6. in
+  Alcotest.(check bool) (Printf.sprintf "paper example: %.4f" p) true
+    (p > 0.99 && p < 1.);
+  Alcotest.(check (float 1e-9)) "zero window" 0.
+    (Analysis.justified_probability ~subtree_rate:5. ~window:0.);
+  Alcotest.(check bool) "monotone in rate" true
+    (Analysis.justified_probability ~subtree_rate:2. ~window:1.
+    > Analysis.justified_probability ~subtree_rate:1. ~window:1.)
+
+let test_analysis_miss_cost () =
+  Alcotest.(check (float 1e-9)) "2D hops" 18.
+    (Analysis.miss_cost_per_query ~distance:9);
+  Alcotest.(check (float 1e-9)) "authority is free" 0.
+    (Analysis.miss_cost_per_query ~distance:0)
+
+let test_analysis_break_even () =
+  Alcotest.(check (float 1e-9)) "half the updates justified" 0.5
+    Analysis.break_even_justified_fraction
+
+let test_analysis_optimal_push_level () =
+  let rates = Array.make 1024 (1. /. 1024.) in
+  let shallow =
+    Analysis.optimal_push_level ~rates ~window:30. ~tree_fanout:2.
+  in
+  let deep =
+    Analysis.optimal_push_level ~rates ~window:3000. ~tree_fanout:2.
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "longer windows push deeper (%d vs %d)" shallow deep)
+    true (deep > shallow);
+  Alcotest.(check bool) "levels are nonnegative" true (shallow >= 0)
+
+let test_analysis_model_tracks_simulation () =
+  (* one mid-curve point: measured within ~20 points of the model *)
+  match
+    List.find_opt
+      (fun (r : E.model_row) -> r.m_rate = 0.02)
+      (E.model_check E.Scaled)
+  with
+  | None -> Alcotest.fail "missing model point"
+  | Some r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "measured %.1f vs model %.1f"
+           r.measured_justified_pct r.predicted_justified_pct)
+        true
+        (Float.abs (r.measured_justified_pct -. r.predicted_justified_pct)
+        < 20.)
+
+(* {1 Scenario validation} *)
+
+let test_invalid_scenarios_rejected () =
+  let expect_invalid cfg =
+    match Scenario.validate cfg with
+    | Ok () -> Alcotest.fail "expected a validation error"
+    | Error _ -> ()
+  in
+  expect_invalid { base with nodes = 0 };
+  expect_invalid { base with query_rate = 0. };
+  expect_invalid { base with replica_lifetime = 0. };
+  expect_invalid { base with death_prob = 2. };
+  expect_invalid { base with total_keys_override = Some 0 };
+  expect_invalid
+    { base with capacity_mode = Scenario.Token_bucket 0. };
+  expect_invalid { base with refresh_batch_window = -1. };
+  expect_invalid { base with refresh_sample = 1.5 };
+  expect_invalid
+    {
+      base with
+      faults = Some (Scenario.Once_down { fraction = 2.; reduced = 0.5; warmup = 0. });
+    }
+
+let test_runner_rejects_invalid () =
+  Alcotest.check_raises "runner validates"
+    (Invalid_argument "Runner: invalid scenario: nodes must be >= 1")
+    (fun () -> ignore (Runner.run { base with nodes = 0 }))
+
+(* {1 Experiment plumbing (tiny instances)} *)
+
+let test_push_level_sweep_structure () =
+  let s = E.push_level_sweep ~levels:[ 0; 2; 8 ] E.Scaled ~rate:0.25 in
+  Alcotest.(check int) "three points" 3 (List.length s.points);
+  Alcotest.(check bool) "optimal is one of the levels" true
+    (List.exists (fun (p : E.push_level_point) -> p.level = s.optimal_level) s.points);
+  let at l =
+    (List.find (fun (p : E.push_level_point) -> p.level = l) s.points).miss_cost
+  in
+  Alcotest.(check bool) "miss cost decreases with push level" true
+    (at 8 <= at 2 && at 2 <= at 0)
+
+let () =
+  Alcotest.run "cup_sim"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed" `Quick test_same_seed_same_costs;
+          Alcotest.test_case "different seed" `Quick
+            test_different_seed_differs;
+        ] );
+      ( "conservation",
+        [
+          Alcotest.test_case "every query answered" `Quick
+            test_every_query_answered;
+          Alcotest.test_case "forwarded = delivered + dropped" `Quick
+            test_forwarded_equals_delivered_plus_dropped;
+          Alcotest.test_case "clear-bit stats" `Quick
+            test_clear_bit_stats_match_hops;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "standard zero overhead" `Quick
+            test_standard_caching_zero_overhead;
+          Alcotest.test_case "push level 0 squelches" `Quick
+            test_push_level_zero_squelches;
+          Alcotest.test_case "zero capacity fallback" `Quick
+            test_zero_capacity_falls_back_to_standard;
+        ] );
+      ( "cup benefits",
+        [
+          Alcotest.test_case "fewer misses, lower latency" `Quick
+            test_cup_reduces_misses_and_latency;
+          Alcotest.test_case "propagation monotonicity" `Quick
+            test_more_propagation_fewer_misses;
+          Alcotest.test_case "coalescing" `Quick test_coalescing_only_in_cup;
+        ] );
+      ( "token bucket",
+        [
+          Alcotest.test_case "completes and limits" `Quick
+            test_token_bucket_completes_and_bounds;
+        ] );
+      ( "techniques",
+        [
+          Alcotest.test_case "refresh batching" `Quick
+            test_refresh_batching_reduces_overhead;
+          Alcotest.test_case "refresh sampling" `Quick
+            test_refresh_sampling_drops_half;
+          Alcotest.test_case "piggybacked clear-bits" `Quick
+            test_piggybacked_clear_bits_uncharged;
+          Alcotest.test_case "justification" `Quick
+            test_justification_accounting;
+        ] );
+      ( "live + churn",
+        [
+          Alcotest.test_case "manual query" `Quick test_live_manual_query;
+          Alcotest.test_case "churn consistency" `Quick
+            test_live_churn_preserves_consistency;
+          Alcotest.test_case "authority departure" `Quick
+            test_authority_departure_hands_over_directory;
+        ] );
+      ( "overlay generality",
+        [
+          Alcotest.test_case "cup over chord" `Quick test_cup_over_chord;
+          Alcotest.test_case "authority crash recovery" `Quick
+            test_authority_crash_loses_then_recovers_directory;
+        ] );
+      ( "replication",
+        [ Alcotest.test_case "statistics" `Quick test_replicate_statistics ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring bounds" `Quick test_trace_ring_bounds;
+          Alcotest.test_case "captures a cycle" `Quick
+            test_trace_captures_protocol_cycle;
+        ] );
+      ( "system laws",
+        [ QCheck_alcotest.to_alcotest prop_random_scenarios_obey_laws ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "justified probability" `Quick
+            test_analysis_justified_probability;
+          Alcotest.test_case "miss cost" `Quick test_analysis_miss_cost;
+          Alcotest.test_case "break even" `Quick test_analysis_break_even;
+          Alcotest.test_case "optimal push level" `Quick
+            test_analysis_optimal_push_level;
+          Alcotest.test_case "model tracks simulation" `Slow
+            test_analysis_model_tracks_simulation;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "scenarios" `Quick test_invalid_scenarios_rejected;
+          Alcotest.test_case "runner" `Quick test_runner_rejects_invalid;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "push level sweep" `Slow
+            test_push_level_sweep_structure;
+        ] );
+    ]
