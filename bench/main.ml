@@ -430,6 +430,98 @@ let print_model rows =
     rows;
   Table.print table
 
+(* {1 Engine throughput and profiling probes} *)
+
+(* Events/sec and heap high-water per named scenario: the baseline
+   every perf PR measures itself against (BENCH_*.json trajectories). *)
+let profile_targets scale =
+  let module Scenario = Cup_sim.Scenario in
+  let module Policy = Cup_proto.Policy in
+  let nodes, rate =
+    match scale with E.Scaled -> (256, 4.) | E.Full -> (1024, 10.)
+  in
+  let base =
+    {
+      Scenario.default with
+      nodes;
+      total_keys_override = Some 1;
+      query_rate = rate;
+      query_duration = 1000.;
+    }
+  in
+  [
+    ("cup-second-chance", Scenario.with_policy base Policy.second_chance);
+    ("standard-caching", Scenario.with_policy base Policy.Standard_caching);
+    ( "token-bucket",
+      Scenario.with_policy
+        {
+          base with
+          replicas_per_key = 5;
+          replica_lifetime = 60.;
+          capacity_mode = Scenario.Token_bucket 0.5;
+        }
+        Policy.second_chance );
+    ( "zipf-16-keys",
+      Scenario.with_policy
+        { base with total_keys_override = Some 16; key_dist = `Zipf 0.9 }
+        Policy.second_chance );
+  ]
+
+let print_profiles scale =
+  let table =
+    Table.create ~title:"Engine throughput (profiling probes enabled)"
+      ~columns:
+        [ "scenario"; "engine events"; "wallclock (s)"; "events/sec";
+          "heap high-water" ]
+  in
+  let rows =
+    List.map
+      (fun (name, cfg) ->
+        let live = Cup_sim.Runner.Live.create cfg in
+        Cup_dess.Engine.enable_profiling (Cup_sim.Runner.Live.engine live);
+        let r = Cup_sim.Runner.Live.finish live in
+        let high_water =
+          match r.profile with
+          | Some p -> p.Cup_dess.Engine.heap_high_water
+          | None -> 0
+        in
+        Table.add_row table
+          [
+            name;
+            Table.cell_int r.engine_events;
+            Printf.sprintf "%.3f" r.wallclock;
+            Printf.sprintf "%.0f" r.events_per_sec;
+            Table.cell_int high_water;
+          ];
+        (name, r))
+      (profile_targets scale)
+  in
+  Table.print table;
+  write_csv "engine_profile"
+    ~header:[ "scenario"; "engine_events"; "wallclock"; "events_per_sec";
+              "heap_high_water" ]
+    (List.map
+       (fun (name, (r : Cup_sim.Runner.result)) ->
+         [
+           name;
+           string_of_int r.engine_events;
+           Printf.sprintf "%.4f" r.wallclock;
+           Printf.sprintf "%.0f" r.events_per_sec;
+           string_of_int
+             (match r.profile with
+             | Some p -> p.Cup_dess.Engine.heap_high_water
+             | None -> 0);
+         ])
+       rows);
+  List.iter
+    (fun (name, (r : Cup_sim.Runner.result)) ->
+      match r.profile with
+      | Some p ->
+          Printf.printf "\n%s, per-label host time:\n" name;
+          Format.printf "%a@." Cup_dess.Engine.pp_profile p
+      | None -> ())
+    rows
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro () =
@@ -643,6 +735,10 @@ let () =
   if want "justification" then begin
     section "Section 3.1 justified-update accounting";
     print_justification (E.justification scale)
+  end;
+  if want "profile" then begin
+    section "Engine throughput and profiling probes";
+    print_profiles scale
   end;
   if want "micro" then begin
     section "Micro-benchmarks";

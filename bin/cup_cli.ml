@@ -1,9 +1,10 @@
 (* The `cup` command-line interface.
 
    Subcommands:
-     cup run   — run one simulation with explicit parameters
-     cup sweep — sweep the push level for one query rate
-     cup exp   — run a named paper experiment (fig3 fig4 table1 ...)
+     cup run    — run one simulation with explicit parameters
+     cup sweep  — sweep the push level for one query rate
+     cup exp    — run a named paper experiment (fig3 fig4 table1 ...)
+     cup replay — pretty-print a JSONL protocol trace
 *)
 
 open Cmdliner
@@ -13,6 +14,8 @@ module Runner = Cup_sim.Runner
 module E = Cup_sim.Experiments
 module Counters = Cup_metrics.Counters
 module Policy = Cup_proto.Policy
+module Sink = Cup_obs.Sink
+module Timeseries = Cup_obs.Timeseries
 
 (* {1 Shared argument definitions} *)
 
@@ -165,8 +168,14 @@ let print_result (r : Runner.result) =
       /. float_of_int r.tracked_updates);
   Printf.printf
     "queries posted: %d, replica events: %d, engine events: %d, wallclock: \
-     %.2fs\n"
-    r.queries_posted r.replica_events r.engine_events r.wallclock;
+     %.2fs (%.0f events/s)\n"
+    r.queries_posted r.replica_events r.engine_events r.wallclock
+    r.events_per_sec;
+  (match r.profile with
+  | Some profile ->
+      Format.printf "engine profile:@.%a@."
+        Cup_dess.Engine.pp_profile profile
+  | None -> ());
   let s = r.node_stats in
   Printf.printf
     "node totals: queries=%d coalesced=%d cache-answers=%d updates=%d \
@@ -176,14 +185,111 @@ let print_result (r : Runner.result) =
 
 (* {1 cup run} *)
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Stream every protocol event to $(docv) as JSONL (one \
+           self-describing JSON object per line); replay with $(b,cup \
+           replay).")
+
+let sample_interval =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "sample-interval" ] ~docv:"SECS"
+        ~doc:
+          "Sample cost/hit/queue counters every $(docv) virtual seconds and \
+           print a cost-vs-time plot after the run.")
+
+let sample_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sample-out" ] ~docv:"FILE"
+        ~doc:
+          "Also write the time series to $(docv) as CSV (implies \
+           --sample-interval 10 unless given).")
+
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Enable the engine profiling probes and print per-label callback \
+           counts, host time, and the event-heap high-water mark.")
+
+(* A run that needs live observability: attach sinks/samplers/probes
+   before driving the engine to completion. *)
+let run_observed cfg ~trace_out ~sample_interval ~sample_out ~profile =
+  let live = Runner.Live.create cfg in
+  if profile then
+    Cup_dess.Engine.enable_profiling (Runner.Live.engine live);
+  let sink =
+    match trace_out with
+    | None -> None
+    | Some path ->
+        let sink = Sink.jsonl_file path in
+        Sink.attach live sink;
+        Some (path, sink)
+  in
+  let sampler =
+    let interval =
+      match (sample_interval, sample_out) with
+      | Some i, _ -> Some i
+      | None, Some _ -> Some 10.
+      | None, None -> None
+    in
+    Option.map (fun interval -> Timeseries.attach ~interval live) interval
+  in
+  let result = Runner.Live.finish live in
+  print_result result;
+  (match sink with
+  | None -> ()
+  | Some (path, sink) ->
+      Sink.close sink;
+      Printf.printf "trace: %d events -> %s\n" (Sink.events_seen sink) path);
+  match sampler with
+  | None -> ()
+  | Some ts ->
+      (match sample_out with
+      | None -> ()
+      | Some path ->
+          Timeseries.write_csv ts ~path;
+          Printf.printf "time series: %d samples -> %s\n"
+            (List.length (Timeseries.samples ts))
+            path);
+      print_newline ();
+      print_string (Timeseries.cost_plot ts)
+
 let run_cmd =
   let action seed nodes keys rate duration lifetime replicas policy overlay
-      runs =
+      runs trace_out sample_interval sample_out profile =
     let cfg =
       scenario_of ~seed ~nodes ~keys ~rate ~duration ~lifetime ~replicas
         ~policy ~overlay
     in
-    if runs <= 1 then print_result (Runner.run cfg)
+    let observed =
+      trace_out <> None || sample_interval <> None || sample_out <> None
+      || profile
+    in
+    (match sample_interval with
+    | Some i when i <= 0. ->
+        prerr_endline "cup run: --sample-interval must be > 0";
+        exit 1
+    | _ -> ());
+    if runs > 1 && observed then
+      prerr_endline
+        "cup run: note: --trace-out/--sample-*/--profile apply only to \
+         single runs; ignored with --runs > 1";
+    if runs <= 1 && observed then
+      try run_observed cfg ~trace_out ~sample_interval ~sample_out ~profile
+      with Sys_error msg ->
+        prerr_endline ("cup run: " ^ msg);
+        exit 1
+    else if runs <= 1 then print_result (Runner.run cfg)
     else begin
       let r = E.replicate cfg ~runs in
       Printf.printf "over %d seeds (mean +/- stddev):\n" r.runs;
@@ -200,10 +306,90 @@ let run_cmd =
   let term =
     Term.(
       const action $ seed $ nodes $ keys $ rate $ duration $ lifetime
-      $ replicas $ policy $ overlay $ runs)
+      $ replicas $ policy $ overlay $ runs $ trace_out $ sample_interval
+      $ sample_out $ profile_flag)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one CUP simulation and print its cost summary.")
+    term
+
+(* {1 cup replay} *)
+
+let replay_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE.jsonl"
+          ~doc:"JSONL protocol trace written by $(b,cup run --trace-out).")
+  in
+  let key_filter =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "key" ] ~docv:"K" ~doc:"Only show events touching key $(docv).")
+  in
+  let action file key_filter =
+    let ic = open_in file in
+    let by_type = Hashtbl.create 8 in
+    let shown = ref 0 and total = ref 0 and bad = ref 0 in
+    let wanted (e : Cup_sim.Trace.event) =
+      match key_filter with
+      | None -> true
+      | Some k -> (
+          match e with
+          | Query_posted { key; _ }
+          | Query_forwarded { key; _ }
+          | Update_delivered { key; _ }
+          | Clear_bit_delivered { key; _ }
+          | Local_answer { key; _ } ->
+              Cup_overlay.Key.to_int key = k)
+    in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if String.trim line <> "" then begin
+              incr total;
+              match Cup_obs.Event_json.of_string line with
+              | Ok event ->
+                  let typ =
+                    match Cup_obs.Json.of_string line with
+                    | Ok j ->
+                        Option.value ~default:"?"
+                          (Option.bind (Cup_obs.Json.member "type" j)
+                             Cup_obs.Json.to_str)
+                    | Error _ -> "?"
+                  in
+                  Hashtbl.replace by_type typ
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt by_type typ));
+                  if wanted event then begin
+                    incr shown;
+                    Format.printf "%a@." Cup_sim.Trace.pp_event event
+                  end
+              | Error msg ->
+                  incr bad;
+                  Printf.eprintf "line %d: %s\n" !total msg
+            end
+          done
+        with End_of_file -> ());
+    Printf.printf "-- %d events (%d shown%s)"
+      !total !shown
+      (if !bad > 0 then Printf.sprintf ", %d unparseable" !bad else "");
+    Hashtbl.fold (fun typ n acc -> (typ, n) :: acc) by_type []
+    |> List.sort compare
+    |> List.iter (fun (typ, n) -> Printf.printf ", %s: %d" typ n);
+    print_newline ();
+    if !bad > 0 then exit 1
+  in
+  let term = Term.(const action $ file $ key_filter) in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Pretty-print a JSONL protocol trace written by $(b,cup run \
+          --trace-out).")
     term
 
 (* {1 cup sweep} *)
@@ -379,4 +565,6 @@ let () =
         "CUP: Controlled Update Propagation in peer-to-peer networks — \
          simulator and experiment runner."
   in
-  exit (Cmd.eval (Cmd.group ~default info [ run_cmd; sweep_cmd; exp_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info [ run_cmd; sweep_cmd; exp_cmd; replay_cmd ]))

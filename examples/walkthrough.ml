@@ -1,11 +1,16 @@
 (* Protocol walkthrough: watch one query/update cycle, message by
    message.
 
-   Attaches a tracer to a tiny network, posts one query, and prints
-   every protocol event it causes: the query hopping toward the
-   authority, the first-time update cascading back along the reverse
-   path, the refresh keeping the caches warm, and — once the querier
-   loses interest — the clear-bits cutting the subscription.
+   Attaches a ring-buffer trace sink to a tiny network, posts one
+   query, and prints every protocol event it causes: the query hopping
+   toward the authority, the first-time update cascading back along
+   the reverse path, the refresh keeping the caches warm, and — once
+   the querier loses interest — the clear-bits cutting the
+   subscription.
+
+   The sink API (Cup_obs.Sink) is pluggable: swap [Sink.ring] for
+   [Sink.jsonl_file "trace.jsonl"] to stream the same events to disk,
+   or [Sink.fanout] to do both at once.
 
    Run with:  dune exec examples/walkthrough.exe
 *)
@@ -13,6 +18,7 @@
 module Live = Cup_sim.Runner.Live
 module Scenario = Cup_sim.Scenario
 module Trace = Cup_sim.Trace
+module Sink = Cup_obs.Sink
 module Net = Cup_overlay.Net
 
 let () =
@@ -31,7 +37,8 @@ let () =
   in
   let live = Live.create cfg in
   let trace = Trace.create ~capacity:256 () in
-  Live.set_tracer live (Some (Trace.record trace));
+  let sink = Sink.ring trace in
+  Sink.attach live sink;
   let key = Live.key_of_index live 0 in
   let net = Live.network live in
   let authority = Live.authority_of live key in
@@ -77,5 +84,8 @@ let () =
     (fun e -> Format.printf "  %a@." Trace.pp_event e)
     (Trace.filter_key trace key);
   ignore (Live.finish live);
+  Sink.close sink;
   Printf.printf "\n(the clear-bit above is the node telling its upstream to\n\
-                 \ stop sending updates - Section 2.7 of the paper)\n"
+                 \ stop sending updates - Section 2.7 of the paper)\n";
+  Printf.printf "(%d protocol events flowed through the sink in total)\n"
+    (Sink.events_seen sink)

@@ -1,0 +1,133 @@
+module Trace = Cup_sim.Trace
+module Time = Cup_dess.Time
+module Node_id = Cup_overlay.Node_id
+module Key = Cup_overlay.Key
+module Update = Cup_proto.Update
+
+let kind_of_string = function
+  | "first-time" -> Some Update.First_time
+  | "delete" -> Some Update.Delete
+  | "refresh" -> Some Update.Refresh
+  | "append" -> Some Update.Append
+  | _ -> None
+
+let to_json (e : Trace.event) : Json.t =
+  let at t = ("at", Json.Float (Time.to_seconds t)) in
+  let node name id = (name, Json.Int (Node_id.to_int id)) in
+  let key k = ("key", Json.Int (Key.to_int k)) in
+  match e with
+  | Trace.Query_posted { at = t; node = n; key = k } ->
+      Json.Obj
+        [ ("type", Json.String "query_posted"); at t; node "node" n; key k ]
+  | Trace.Query_forwarded { at = t; from_; to_; key = k } ->
+      Json.Obj
+        [
+          ("type", Json.String "query_forwarded");
+          at t;
+          node "from" from_;
+          node "to" to_;
+          key k;
+        ]
+  | Trace.Update_delivered { at = t; from_; to_; key = k; kind; level; answering }
+    ->
+      Json.Obj
+        [
+          ("type", Json.String "update_delivered");
+          at t;
+          node "from" from_;
+          node "to" to_;
+          key k;
+          ("kind", Json.String (Update.kind_to_string kind));
+          ("level", Json.Int level);
+          ("answering", Json.Bool answering);
+        ]
+  | Trace.Clear_bit_delivered { at = t; from_; to_; key = k } ->
+      Json.Obj
+        [
+          ("type", Json.String "clear_bit_delivered");
+          at t;
+          node "from" from_;
+          node "to" to_;
+          key k;
+        ]
+  | Trace.Local_answer { at = t; node = n; key = k; hit; waiters } ->
+      Json.Obj
+        [
+          ("type", Json.String "local_answer");
+          at t;
+          node "node" n;
+          key k;
+          ("hit", Json.Bool hit);
+          ("waiters", Json.Int waiters);
+        ]
+
+let to_string e = Json.to_string (to_json e)
+
+let of_json (j : Json.t) : (Trace.event, string) result =
+  let ( let* ) = Result.bind in
+  let field name decode =
+    match Option.bind (Json.member name j) decode with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+  in
+  let time name =
+    let* f = field name Json.to_float in
+    Ok (Time.of_seconds f)
+  in
+  let node name =
+    let* i = field name Json.to_int in
+    if i < 0 then Error (Printf.sprintf "negative node id in %S" name)
+    else Ok (Node_id.of_int i)
+  in
+  let key () =
+    let* i = field "key" Json.to_int in
+    if i < 0 then Error "negative key" else Ok (Key.of_int i)
+  in
+  let* typ = field "type" Json.to_str in
+  match typ with
+  | "query_posted" ->
+      let* at = time "at" in
+      let* n = node "node" in
+      let* k = key () in
+      Ok (Trace.Query_posted { at; node = n; key = k })
+  | "query_forwarded" ->
+      let* at = time "at" in
+      let* from_ = node "from" in
+      let* to_ = node "to" in
+      let* k = key () in
+      Ok (Trace.Query_forwarded { at; from_; to_; key = k })
+  | "update_delivered" ->
+      let* at = time "at" in
+      let* from_ = node "from" in
+      let* to_ = node "to" in
+      let* k = key () in
+      let* kind_s = field "kind" Json.to_str in
+      let* kind =
+        match kind_of_string kind_s with
+        | Some kind -> Ok kind
+        | None -> Error (Printf.sprintf "unknown update kind %S" kind_s)
+      in
+      let* level = field "level" Json.to_int in
+      let* answering = field "answering" Json.to_bool in
+      Ok
+        (Trace.Update_delivered
+           { at; from_; to_; key = k; kind; level; answering })
+  | "clear_bit_delivered" ->
+      let* at = time "at" in
+      let* from_ = node "from" in
+      let* to_ = node "to" in
+      let* k = key () in
+      Ok (Trace.Clear_bit_delivered { at; from_; to_; key = k })
+  | "local_answer" ->
+      let* at = time "at" in
+      let* n = node "node" in
+      let* k = key () in
+      let* hit = field "hit" Json.to_bool in
+      let* waiters = field "waiters" Json.to_int in
+      Ok (Trace.Local_answer { at; node = n; key = k; hit; waiters })
+  | other -> Error (Printf.sprintf "unknown event type %S" other)
+
+let of_string s =
+  match Json.of_string s with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok j -> of_json j

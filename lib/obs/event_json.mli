@@ -1,0 +1,19 @@
+(** Self-describing JSON encoding of {!Cup_sim.Trace} events.
+
+    Every event becomes one flat JSON object whose ["type"] field
+    names the event, e.g.
+
+    {v
+    {"type":"update_delivered","at":350.2,"from":3,"to":7,
+     "key":0,"kind":"refresh","level":2,"answering":false}
+    v}
+
+    The encoding round-trips: [of_string (to_string e) = Ok e].  One
+    event per line is the JSONL format {!Sink.jsonl} streams and
+    [cup replay] reads back. *)
+
+val to_json : Cup_sim.Trace.event -> Json.t
+val to_string : Cup_sim.Trace.event -> string
+
+val of_json : Json.t -> (Cup_sim.Trace.event, string) result
+val of_string : string -> (Cup_sim.Trace.event, string) result

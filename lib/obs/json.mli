@@ -1,0 +1,36 @@
+(** A minimal JSON tree, printer and parser.
+
+    Just enough JSON for the observability layer's self-describing
+    trace lines — no external dependency, deterministic output (the
+    same value always prints to the same bytes, so trace files diff
+    cleanly across runs).  Floats print with the shortest decimal
+    representation that round-trips. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error. *)
+
+(** {1 Accessors}
+
+    Tolerant readers used by decoders: [Int] is accepted where a float
+    is asked for. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] when the value is not an object or lacks the
+    field. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_str : t -> string option

@@ -1,0 +1,47 @@
+module Trace = Cup_sim.Trace
+
+type t = {
+  emit_fn : Trace.event -> unit;
+  close_fn : unit -> unit;
+  mutable seen : int;
+  mutable closed : bool;
+}
+
+let emit t event =
+  if t.closed then invalid_arg "Sink.emit: sink is closed";
+  t.seen <- t.seen + 1;
+  t.emit_fn event
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.close_fn ()
+  end
+
+let events_seen t = t.seen
+
+let of_callback ?(close = Fun.id) f =
+  { emit_fn = f; close_fn = close; seen = 0; closed = false }
+
+let ring trace = of_callback (Trace.record trace)
+
+let jsonl ?(close_channel = false) oc =
+  of_callback
+    ~close:(fun () -> if close_channel then close_out oc else flush oc)
+    (fun event ->
+      output_string oc (Event_json.to_string event);
+      output_char oc '\n')
+
+let jsonl_file path = jsonl ~close_channel:true (open_out path)
+
+let fanout sinks =
+  of_callback
+    ~close:(fun () -> List.iter close sinks)
+    (fun event -> List.iter (fun sink -> emit sink event) sinks)
+
+let null () = of_callback ignore
+
+let attach live sink =
+  Cup_sim.Runner.Live.set_tracer live (Some (emit sink))
+
+let detach live = Cup_sim.Runner.Live.set_tracer live None

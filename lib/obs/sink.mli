@@ -1,0 +1,59 @@
+(** Pluggable consumers of {!Cup_sim.Trace} events.
+
+    A sink is where a live simulation's protocol trace goes.  Attach
+    one with {!attach} (or pass [Sink.emit sink] to
+    {!Cup_sim.Runner.Live.set_tracer} directly) and pick the backend:
+
+    - {!ring} keeps the most recent events in a bounded
+      {!Cup_sim.Trace.t} ring — constant memory, good for interactive
+      inspection (the pre-existing behaviour);
+    - {!jsonl} / {!jsonl_file} stream every event as one
+      self-describing JSON object per line ({!Event_json}) — constant
+      memory no matter the run length, replayable with [cup replay];
+    - {!fanout} feeds several sinks at once;
+    - {!of_callback} wraps any [Trace.event -> unit] function.
+
+    Call {!close} when the run finishes so buffered output is flushed
+    and owned files are closed.  [close] is idempotent; emitting into
+    a closed sink raises [Invalid_argument]. *)
+
+type t
+
+val emit : t -> Cup_sim.Trace.event -> unit
+val close : t -> unit
+
+val events_seen : t -> int
+(** Events emitted into this sink so far (counted before any
+    filtering or ring eviction downstream). *)
+
+(** {1 Backends} *)
+
+val of_callback :
+  ?close:(unit -> unit) -> (Cup_sim.Trace.event -> unit) -> t
+
+val ring : Cup_sim.Trace.t -> t
+(** Record into a caller-owned bounded ring; {!close} leaves the ring
+    readable. *)
+
+val jsonl : ?close_channel:bool -> out_channel -> t
+(** Stream JSONL onto a caller-owned channel.  {!close} flushes, and
+    also closes the channel when [close_channel] is [true] (default
+    [false]). *)
+
+val jsonl_file : string -> t
+(** [jsonl_file path] truncates/creates [path] and streams JSONL into
+    it; {!close} closes the file. *)
+
+val fanout : t list -> t
+(** Emit to every sink, in order; {!close} closes them all. *)
+
+val null : unit -> t
+(** Discards everything (still counts {!events_seen}). *)
+
+(** {1 Wiring} *)
+
+val attach : Cup_sim.Runner.Live.t -> t -> unit
+(** [attach live sink] routes every protocol event of [live] into
+    [sink], replacing any previous tracer. *)
+
+val detach : Cup_sim.Runner.Live.t -> unit

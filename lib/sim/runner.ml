@@ -23,8 +23,10 @@ type result = {
   replica_events : int;
   engine_events : int;
   wallclock : float;
+  events_per_sec : float;
   tracked_updates : int;
   justified_updates : int;
+  profile : Engine.profile option;
 }
 
 (* Token-bucket mode: the Section 2.8 per-neighbor outgoing update
@@ -133,14 +135,14 @@ and perform_one t ~from = function
   | Node.Send_query { to_; key } ->
       Counters.record_query_hop t.counters;
       ignore
-        (Engine.schedule_after t.engine ~delay:t.cfg.hop_delay (fun _ ->
-             deliver_query t ~from ~to_ key))
+        (Engine.schedule_after ~label:"deliver.query" t.engine
+           ~delay:t.cfg.hop_delay (fun _ -> deliver_query t ~from ~to_ key))
   | Node.Send_clear_bit { to_; key } ->
       if not t.cfg.piggyback_clear_bits then
         Counters.record_clear_bit_hop t.counters;
       ignore
-        (Engine.schedule_after t.engine ~delay:t.cfg.hop_delay (fun _ ->
-             deliver_clear_bit t ~from ~to_ key))
+        (Engine.schedule_after ~label:"deliver.clear_bit" t.engine
+           ~delay:t.cfg.hop_delay (fun _ -> deliver_clear_bit t ~from ~to_ key))
   | Node.Send_update { to_; update; answering } ->
       send_update t ~from ~to_ ~answering update
   | Node.Answer_local { posted_at; hit; key; _ } ->
@@ -211,7 +213,8 @@ and send_update t ~from ~to_ ~answering (update : Update.t) =
 
 and transmit_update t ~from ~to_ ?(answering = false) update =
   ignore
-    (Engine.schedule_after t.engine ~delay:t.cfg.hop_delay (fun _ ->
+    (Engine.schedule_after ~label:"deliver.update" t.engine
+       ~delay:t.cfg.hop_delay (fun _ ->
          deliver_update t ~from ~to_ ~answering update))
 
 and deliver_update t ~from ~to_ ~answering (update : Update.t) =
@@ -255,7 +258,7 @@ and schedule_drain t node_id ch =
         Time.max (now t) (Time.of_seconds (ch.last_send +. (1. /. rate)))
       in
       ignore
-        (Engine.schedule t.engine ~at (fun _ ->
+        (Engine.schedule ~label:"channel.drain" t.engine ~at (fun _ ->
              ch.drain_scheduled <- false;
              drain_once t node_id ch))
     end
@@ -313,7 +316,7 @@ let pump_queries t gen =
     | None -> ()
     | Some e ->
         ignore
-          (Engine.schedule t.engine ~at:e.at (fun _ ->
+          (Engine.schedule ~label:"pump.query" t.engine ~at:e.at (fun _ ->
                let node = Node_id.of_int e.node_index in
                let key = t.keys.(e.key_index) in
                post_query t ~node ~key;
@@ -345,7 +348,7 @@ let dispatch_replica_event t (e : Cup_workload.Replica_gen.event) =
               let buffer = ref [ entry ] in
               Key.Table.replace t.batches key buffer;
               ignore
-                (Engine.schedule_after t.engine
+                (Engine.schedule_after ~label:"refresh.batch" t.engine
                    ~delay:t.cfg.refresh_batch_window (fun _ ->
                      Key.Table.remove t.batches key;
                      let auth = Key.Table.find t.authority key in
@@ -378,7 +381,7 @@ let pump_replicas t gen =
     | None -> ()
     | Some e ->
         ignore
-          (Engine.schedule t.engine ~at:e.at (fun _ ->
+          (Engine.schedule ~label:"pump.replica" t.engine ~at:e.at (fun _ ->
                dispatch_replica_event t e;
                next ()))
   in
@@ -401,7 +404,7 @@ let pump_faults t gen =
     | None -> ()
     | Some e ->
         ignore
-          (Engine.schedule t.engine ~at:e.at (fun _ ->
+          (Engine.schedule ~label:"pump.fault" t.engine ~at:e.at (fun _ ->
                List.iter
                  (fun { Cup_workload.Fault_gen.node_index; capacity } ->
                    set_capacity t (Node_id.of_int node_index) capacity)
@@ -521,15 +524,20 @@ let aggregate_stats t =
 
 let finish t =
   Engine.run t.engine;
+  let engine_events = Engine.events_executed t.engine in
+  let wallclock = Unix.gettimeofday () -. t.started in
   {
     counters = t.counters;
     node_stats = aggregate_stats t;
     queries_posted = t.queries_posted;
     replica_events = t.replica_events;
-    engine_events = Engine.events_executed t.engine;
-    wallclock = Unix.gettimeofday () -. t.started;
+    engine_events;
+    wallclock;
+    events_per_sec =
+      (if wallclock > 0. then float_of_int engine_events /. wallclock else 0.);
     tracked_updates = t.tracked_updates;
     justified_updates = t.justified_updates;
+    profile = Engine.profile t.engine;
   }
 
 let run cfg = finish (create cfg)
@@ -608,7 +616,20 @@ module Live = struct
 
   let create = create
   let engine t = t.engine
+  let scenario t = t.cfg
   let network t = t.net
+
+  let update_queue_depths t =
+    Node_id.Table.fold
+      (fun id ch acc ->
+        let depth =
+          Node_id.Table.fold
+            (fun _ q acc -> acc + Update_queue.length q)
+            ch.queues 0
+        in
+        if depth > 0 then (id, depth) :: acc else acc)
+      t.channels []
+    |> List.sort (fun (a, _) (b, _) -> Node_id.compare a b)
   let node t id = get_node t id
   let counters t = t.counters
   let key_of_index t i = t.keys.(i)

@@ -19,12 +19,18 @@ type result = {
   replica_events : int;
   engine_events : int;
   wallclock : float;  (** host seconds the run took *)
+  events_per_sec : float;
+      (** [engine_events / wallclock]; [0.] when the wallclock rounded
+          to zero — the simulator's throughput baseline *)
   tracked_updates : int;
       (** propagated (non-answering) updates registered for the
           Section 3.1 justification test *)
   justified_updates : int;
       (** of those, how many saw a query at the receiving node within
           their critical window *)
+  profile : Cup_dess.Engine.profile option;
+      (** engine probe data; [None] unless profiling was enabled on
+          the live engine (see {!Cup_dess.Engine.enable_profiling}) *)
 }
 
 val run : Scenario.t -> result
@@ -41,7 +47,14 @@ module Live : sig
 
   val create : Scenario.t -> t
   val engine : t -> Cup_dess.Engine.t
+  val scenario : t -> Scenario.t
   val network : t -> Cup_overlay.Net.t
+
+  val update_queue_depths : t -> (Cup_overlay.Node_id.t * int) list
+  (** Nodes with a nonempty Section 2.8 outgoing update channel and
+      the total number of updates queued there, in node order.  Always
+      empty outside token-bucket capacity mode. *)
+
   val node : t -> Cup_overlay.Node_id.t -> Cup_proto.Node.t
   val counters : t -> Cup_metrics.Counters.t
   val key_of_index : t -> int -> Cup_overlay.Key.t

@@ -226,6 +226,92 @@ let test_engine_events_executed () =
   Engine.run e;
   Alcotest.(check int) "executed count" 5 (Engine.events_executed e)
 
+(* {1 Profiling probes} *)
+
+let test_profile_none_when_disabled () =
+  let e = Engine.create () in
+  for i = 1 to 5 do
+    ignore
+      (Engine.schedule ~label:"tick" e
+         ~at:(Time.of_seconds (float_of_int i))
+         (fun _ -> ()))
+  done;
+  Engine.run e;
+  Alcotest.(check bool) "not enabled" false (Engine.profiling_enabled e);
+  Alcotest.(check bool) "no profile" true (Engine.profile e = None)
+
+let test_profile_counts_by_label () =
+  let e = Engine.create () in
+  Engine.enable_profiling e;
+  Alcotest.(check bool) "enabled" true (Engine.profiling_enabled e);
+  for i = 1 to 6 do
+    ignore
+      (Engine.schedule ~label:"tick" e
+         ~at:(Time.of_seconds (float_of_int i))
+         (fun _ -> ()))
+  done;
+  for i = 1 to 2 do
+    ignore
+      (Engine.schedule ~label:"tock" e
+         ~at:(Time.of_seconds (10. +. float_of_int i))
+         (fun _ -> ()))
+  done;
+  ignore (Engine.schedule e ~at:(Time.of_seconds 20.) (fun _ -> ()));
+  Engine.run e;
+  match Engine.profile e with
+  | None -> Alcotest.fail "profile expected"
+  | Some p ->
+      Alcotest.(check int) "high water = peak pending" 9 p.heap_high_water;
+      let calls label =
+        match List.assoc_opt label p.by_label with
+        | Some (s : Engine.label_stats) -> s.calls
+        | None -> 0
+      in
+      Alcotest.(check int) "tick calls" 6 (calls "tick");
+      Alcotest.(check int) "tock calls" 2 (calls "tock");
+      Alcotest.(check int) "unlabeled bucket" 1 (calls "(unlabeled)");
+      Alcotest.(check bool) "host time non-negative" true
+        (List.for_all
+           (fun (_, (s : Engine.label_stats)) -> s.host_seconds >= 0.)
+           p.by_label)
+
+let test_profile_disable_stops_collecting () =
+  let e = Engine.create () in
+  Engine.enable_profiling e;
+  ignore
+    (Engine.schedule ~label:"before" e ~at:(Time.of_seconds 1.) (fun _ -> ()));
+  Engine.run e;
+  Engine.disable_profiling e;
+  Alcotest.(check bool) "disabled" false (Engine.profiling_enabled e);
+  ignore
+    (Engine.schedule ~label:"after" e ~at:(Time.of_seconds 2.) (fun _ -> ()));
+  Engine.run e;
+  match Engine.profile e with
+  | None -> Alcotest.fail "snapshot survives disabling"
+  | Some p ->
+      Alcotest.(check bool) "before recorded" true
+        (List.mem_assoc "before" p.by_label);
+      Alcotest.(check bool) "after not recorded" false
+        (List.mem_assoc "after" p.by_label)
+
+let test_profile_does_not_change_execution () =
+  (* the same schedule runs identically with probes on: order,
+     clock, executed count *)
+  let trace enable =
+    let e = Engine.create () in
+    if enable then Engine.enable_profiling e;
+    let log = ref [] in
+    List.iter
+      (fun (t, tag) ->
+        ignore
+          (Engine.schedule ~label:tag e ~at:(Time.of_seconds t) (fun e ->
+               log := (tag, Time.to_seconds (Engine.now e)) :: !log)))
+      [ (3., "c"); (1., "a"); (2., "b"); (1., "a2") ];
+    Engine.run e;
+    (List.rev !log, Engine.events_executed e)
+  in
+  Alcotest.(check bool) "identical trajectory" true (trace false = trace true)
+
 let () =
   Alcotest.run "cup_dess"
     [
@@ -257,5 +343,16 @@ let () =
             test_engine_schedule_now_from_callback;
           Alcotest.test_case "executed count" `Quick
             test_engine_events_executed;
+        ] );
+      ( "profiling",
+        [
+          Alcotest.test_case "off by default" `Quick
+            test_profile_none_when_disabled;
+          Alcotest.test_case "counts by label" `Quick
+            test_profile_counts_by_label;
+          Alcotest.test_case "disable stops collecting" `Quick
+            test_profile_disable_stops_collecting;
+          Alcotest.test_case "no behavioural change" `Quick
+            test_profile_does_not_change_execution;
         ] );
     ]

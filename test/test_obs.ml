@@ -1,0 +1,412 @@
+(* Tests for Cup_obs: JSON codec, trace sinks, and in-run time-series
+   sampling. *)
+
+module Json = Cup_obs.Json
+module Event_json = Cup_obs.Event_json
+module Sink = Cup_obs.Sink
+module Timeseries = Cup_obs.Timeseries
+module Trace = Cup_sim.Trace
+module Runner = Cup_sim.Runner
+module Scenario = Cup_sim.Scenario
+module Counters = Cup_metrics.Counters
+module Policy = Cup_proto.Policy
+module Time = Cup_dess.Time
+module Node_id = Cup_overlay.Node_id
+module Key = Cup_overlay.Key
+
+let base =
+  {
+    Scenario.default with
+    nodes = 48;
+    total_keys_override = Some 1;
+    query_rate = 0.5;
+    query_start = 300.;
+    query_duration = 900.;
+    drain = 300.;
+    seed = 1001;
+  }
+
+(* {1 JSON} *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Float 3.25;
+      Json.Float 300.39042724950792;
+      Json.String "plain";
+      Json.String "with \"quotes\", \\slashes\\ and\nnewlines\t";
+      Json.List [ Json.Int 1; Json.Bool false; Json.Null ];
+      Json.Obj
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.Obj [ ("b", Json.List [ Json.Float 0.5 ]) ]);
+        ];
+      Json.List [];
+      Json.Obj [];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Json.to_string v in
+      match Json.of_string s with
+      | Ok v' ->
+          Alcotest.(check string)
+            ("round-trip " ^ s) s (Json.to_string v')
+      | Error e -> Alcotest.fail (Printf.sprintf "parse %s: %s" s e))
+    cases
+
+let test_json_float_precision () =
+  (* floats survive print/parse exactly, including awkward ones *)
+  List.iter
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') ->
+          Alcotest.(check bool) (Printf.sprintf "%h exact" f) true (f = f')
+      | Ok (Json.Int i) ->
+          Alcotest.(check bool) "integral float" true (float_of_int i = f)
+      | Ok _ -> Alcotest.fail "wrong constructor"
+      | Error e -> Alcotest.fail e)
+    [ 0.; 1. /. 3.; 300.39042724950792; 1e-9; 123456789.123456789; 1e22 ]
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\":}"; "1 2"; "nul"; "\"unterminated" ]
+
+(* {1 Event JSON round-trip} *)
+
+let all_events =
+  let at = Time.of_seconds 350.125 in
+  let n i = Node_id.of_int i in
+  let k = Key.of_int 3 in
+  [
+    Trace.Query_posted { at; node = n 4; key = k };
+    Trace.Query_forwarded { at; from_ = n 4; to_ = n 9; key = k };
+    Trace.Update_delivered
+      {
+        at;
+        from_ = n 9;
+        to_ = n 4;
+        key = k;
+        kind = Cup_proto.Update.First_time;
+        level = 1;
+        answering = true;
+      };
+    Trace.Update_delivered
+      {
+        at;
+        from_ = n 9;
+        to_ = n 4;
+        key = k;
+        kind = Cup_proto.Update.Refresh;
+        level = 3;
+        answering = false;
+      };
+    Trace.Update_delivered
+      {
+        at;
+        from_ = n 9;
+        to_ = n 4;
+        key = k;
+        kind = Cup_proto.Update.Delete;
+        level = 2;
+        answering = false;
+      };
+    Trace.Update_delivered
+      {
+        at;
+        from_ = n 9;
+        to_ = n 4;
+        key = k;
+        kind = Cup_proto.Update.Append;
+        level = 7;
+        answering = false;
+      };
+    Trace.Clear_bit_delivered { at; from_ = n 4; to_ = n 9; key = k };
+    Trace.Local_answer { at; node = n 4; key = k; hit = false; waiters = 2 };
+  ]
+
+let test_event_json_roundtrip () =
+  List.iter
+    (fun event ->
+      let line = Event_json.to_string event in
+      match Event_json.of_string line with
+      | Ok event' ->
+          Alcotest.(check bool) line true (event = event');
+          (* the line is one self-describing object with a type field *)
+          (match Json.of_string line with
+          | Ok j ->
+              Alcotest.(check bool) "has type field" true
+                (Option.is_some
+                   (Option.bind (Json.member "type" j) Json.to_str))
+          | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (line ^ ": " ^ e))
+    all_events
+
+let test_event_json_rejects_bad_events () =
+  List.iter
+    (fun s ->
+      match Event_json.of_string s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+      | Error _ -> ())
+    [
+      "{}";
+      "{\"type\":\"warp_drive\",\"at\":1.0}";
+      "{\"type\":\"query_posted\",\"at\":1.0,\"node\":1}";
+      "{\"type\":\"query_posted\",\"at\":1.0,\"node\":-1,\"key\":0}";
+      "{\"type\":\"update_delivered\",\"at\":1.0,\"from\":0,\"to\":1,\
+       \"key\":0,\"kind\":\"sideways\",\"level\":1,\"answering\":false}";
+      "not json at all";
+    ]
+
+(* {1 Sinks} *)
+
+let test_sink_fanout_and_counts () =
+  let ring_a = Trace.create ~capacity:4 () in
+  let ring_b = Trace.create ~capacity:100 () in
+  let a = Sink.ring ring_a and b = Sink.ring ring_b in
+  let fan = Sink.fanout [ a; b ] in
+  List.iter (Sink.emit fan) all_events;
+  Alcotest.(check int) "fanout saw all" (List.length all_events)
+    (Sink.events_seen fan);
+  Alcotest.(check int) "child a saw all" (List.length all_events)
+    (Sink.events_seen a);
+  Alcotest.(check int) "small ring kept capacity" 4 (Trace.length ring_a);
+  Alcotest.(check int) "big ring kept everything" (List.length all_events)
+    (Trace.length ring_b);
+  Sink.close fan;
+  Sink.close fan;
+  (* idempotent *)
+  Alcotest.check_raises "emit after close"
+    (Invalid_argument "Sink.emit: sink is closed") (fun () ->
+      Sink.emit fan (List.hd all_events))
+
+let test_jsonl_sink_roundtrip () =
+  (* write a synthetic stream, read it back line by line *)
+  let path = Filename.temp_file "cup_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let sink = Sink.jsonl_file path in
+      List.iter (Sink.emit sink) all_events;
+      Sink.close sink;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let parsed =
+        List.rev_map
+          (fun line ->
+            match Event_json.of_string line with
+            | Ok e -> e
+            | Error msg -> Alcotest.fail (line ^ ": " ^ msg))
+          !lines
+      in
+      Alcotest.(check bool) "events survive the file round-trip" true
+        (parsed = all_events))
+
+let test_jsonl_sink_on_live_run_matches_counters () =
+  (* stream a whole simulation to JSONL; re-read it and check the
+     per-type event counts against the run's own accounting *)
+  let path = Filename.temp_file "cup_run" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let live = Runner.Live.create (Scenario.with_policy base Policy.second_chance) in
+      let sink = Sink.jsonl_file path in
+      Sink.attach live sink;
+      let r = Runner.Live.finish live in
+      Sink.close sink;
+      let counts = Hashtbl.create 8 in
+      let total = ref 0 in
+      let ic = open_in path in
+      (try
+         while true do
+           let line = input_line ic in
+           incr total;
+           match Event_json.of_string line with
+           | Error msg -> Alcotest.fail (line ^ ": " ^ msg)
+           | Ok event ->
+               let typ =
+                 match event with
+                 | Trace.Query_posted _ -> "query_posted"
+                 | Trace.Query_forwarded _ -> "query_forwarded"
+                 | Trace.Update_delivered _ -> "update_delivered"
+                 | Trace.Clear_bit_delivered _ -> "clear_bit"
+                 | Trace.Local_answer _ -> "local_answer"
+               in
+               Hashtbl.replace counts typ
+                 (1 + Option.value ~default:0 (Hashtbl.find_opt counts typ))
+         done
+       with End_of_file -> close_in ic);
+      let count typ = Option.value ~default:0 (Hashtbl.find_opt counts typ) in
+      Alcotest.(check int) "sink saw every line it wrote" !total
+        (Sink.events_seen sink);
+      Alcotest.(check int) "query hops" (Counters.query_hops r.counters)
+        (count "query_forwarded");
+      Alcotest.(check int) "delivered updates"
+        (Counters.first_time_answer_hops r.counters
+        + Counters.first_time_proactive_hops r.counters
+        + Counters.refresh_hops r.counters
+        + Counters.delete_hops r.counters
+        + Counters.append_hops r.counters)
+        (count "update_delivered");
+      Alcotest.(check int) "clear-bits"
+        (Counters.clear_bit_hops r.counters)
+        (count "clear_bit"))
+
+(* {1 Time series} *)
+
+let quiet_base =
+  (* all protocol activity finishes well before sim_end, so the last
+     sample tick sees the final counter values *)
+  Scenario.with_policy
+    {
+      base with
+      query_duration = 400.;
+      drain = 300.;
+      replica_lifetime = 10000.;
+    }
+    Policy.Standard_caching
+
+let test_timeseries_deltas_sum_to_totals () =
+  let live = Runner.Live.create quiet_base in
+  let ts = Timeseries.attach ~interval:50. live in
+  let r = Runner.Live.finish live in
+  let samples = Timeseries.samples ts in
+  Alcotest.(check int) "one sample per interval" 20 (List.length samples);
+  let sum get = List.fold_left (fun acc s -> acc + get s) 0 samples in
+  Alcotest.(check int) "total cost deltas sum to the run total"
+    (Counters.total_cost r.counters)
+    (sum (fun (s : Timeseries.sample) -> s.total_cost));
+  Alcotest.(check int) "miss deltas"
+    (Counters.miss_cost r.counters)
+    (sum (fun (s : Timeseries.sample) -> s.miss_cost));
+  Alcotest.(check int) "hit deltas" (Counters.hits r.counters)
+    (sum (fun (s : Timeseries.sample) -> s.hits));
+  Alcotest.(check int) "miss count deltas" (Counters.misses r.counters)
+    (sum (fun (s : Timeseries.sample) -> s.misses));
+  (* timestamps advance by exactly one interval *)
+  let rec check_spacing = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check (float 1e-9)) "spacing" 50.
+          (b.Timeseries.at -. a.Timeseries.at);
+        check_spacing rest
+    | _ -> ()
+  in
+  check_spacing samples;
+  (* sampling is pure observation: the run's costs match an
+     unsampled run of the same scenario *)
+  let plain = Runner.run quiet_base in
+  Alcotest.(check int) "sampling does not perturb the run"
+    (Counters.total_cost plain.counters)
+    (Counters.total_cost r.counters)
+
+let test_timeseries_deterministic_and_csv () =
+  let rows_of () =
+    let live = Runner.Live.create quiet_base in
+    let ts = Timeseries.attach ~interval:50. live in
+    ignore (Runner.Live.finish live);
+    Timeseries.csv_rows ts
+  in
+  let a = rows_of () and b = rows_of () in
+  Alcotest.(check bool) "same seed, identical rows" true (a = b);
+  let path = Filename.temp_file "cup_ts" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let live = Runner.Live.create quiet_base in
+      let ts = Timeseries.attach ~interval:50. live in
+      ignore (Runner.Live.finish live);
+      Timeseries.write_csv ts ~path;
+      let ic = open_in path in
+      let header = input_line ic in
+      let n = ref 0 in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr n
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check string) "header" (String.concat "," Timeseries.csv_header)
+        header;
+      Alcotest.(check int) "one line per sample"
+        (List.length (Timeseries.samples ts))
+        !n)
+
+let test_timeseries_queue_depths_under_token_bucket () =
+  let starved =
+    Scenario.with_policy
+      {
+        base with
+        replicas_per_key = 5;
+        replica_lifetime = 60.;
+        capacity_mode = Scenario.Token_bucket 0.05;
+      }
+      Policy.second_chance
+  in
+  let live = Runner.Live.create starved in
+  let ts = Timeseries.attach ~interval:50. live in
+  ignore (Runner.Live.finish live);
+  Alcotest.(check bool) "starved channels show queued updates" true
+    (List.exists
+       (fun (s : Timeseries.sample) -> s.queued_updates > 0)
+       (Timeseries.samples ts));
+  Alcotest.(check bool) "max depth bounded by total" true
+    (List.for_all
+       (fun (s : Timeseries.sample) -> s.max_queue_depth <= s.queued_updates)
+       (Timeseries.samples ts))
+
+let test_timeseries_rejects_bad_interval () =
+  let live = Runner.Live.create quiet_base in
+  Alcotest.check_raises "zero interval"
+    (Invalid_argument "Timeseries.attach: interval must be > 0") (fun () ->
+      ignore (Timeseries.attach ~interval:0. live));
+  ignore (Runner.Live.finish live)
+
+let () =
+  Alcotest.run "cup_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "float precision" `Quick
+            test_json_float_precision;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "event json",
+        [
+          Alcotest.test_case "round trip" `Quick test_event_json_roundtrip;
+          Alcotest.test_case "rejects bad events" `Quick
+            test_event_json_rejects_bad_events;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "fanout and counts" `Quick
+            test_sink_fanout_and_counts;
+          Alcotest.test_case "jsonl round trip" `Quick
+            test_jsonl_sink_roundtrip;
+          Alcotest.test_case "live run matches counters" `Quick
+            test_jsonl_sink_on_live_run_matches_counters;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "deltas sum to totals" `Quick
+            test_timeseries_deltas_sum_to_totals;
+          Alcotest.test_case "deterministic csv" `Quick
+            test_timeseries_deterministic_and_csv;
+          Alcotest.test_case "token-bucket queue depths" `Quick
+            test_timeseries_queue_depths_under_token_bucket;
+          Alcotest.test_case "bad interval" `Quick
+            test_timeseries_rejects_bad_interval;
+        ] );
+    ]

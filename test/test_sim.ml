@@ -418,6 +418,42 @@ let test_trace_ring_bounds () =
   Trace.clear tr;
   Alcotest.(check int) "clear empties" 0 (Trace.length tr)
 
+let test_trace_wraparound_order_and_filter () =
+  (* wrap a small ring several times over; the survivors must be the
+     newest [capacity] events, oldest first, and filter_key must
+     respect that order on the wrapped ring *)
+  let capacity = 4 in
+  let total = 11 in
+  let tr = Trace.create ~capacity () in
+  for i = 0 to total - 1 do
+    Trace.record tr
+      (Trace.Query_posted
+         {
+           at = Cup_dess.Time.of_seconds (float_of_int i);
+           node = Cup_overlay.Node_id.of_int i;
+           key = Cup_overlay.Key.of_int (i mod 2);
+         })
+  done;
+  Alcotest.(check int) "dropped = total - capacity" (total - capacity)
+    (Trace.dropped tr);
+  let nodes =
+    List.map
+      (function
+        | Trace.Query_posted { node; _ } -> Cup_overlay.Node_id.to_int node
+        | _ -> Alcotest.fail "unexpected event")
+      (Trace.events tr)
+  in
+  Alcotest.(check (list int)) "newest four, oldest first" [ 7; 8; 9; 10 ]
+    nodes;
+  let odd_nodes =
+    List.map
+      (function
+        | Trace.Query_posted { node; _ } -> Cup_overlay.Node_id.to_int node
+        | _ -> Alcotest.fail "unexpected event")
+      (Trace.filter_key tr (Cup_overlay.Key.of_int 1))
+  in
+  Alcotest.(check (list int)) "filter_key on wrapped ring" [ 7; 9 ] odd_nodes
+
 let test_trace_captures_protocol_cycle () =
   let live = Runner.Live.create { base with query_rate = 0.001 } in
   let tr = Trace.create () in
@@ -685,6 +721,8 @@ let () =
       ( "trace",
         [
           Alcotest.test_case "ring bounds" `Quick test_trace_ring_bounds;
+          Alcotest.test_case "wraparound order + filter" `Quick
+            test_trace_wraparound_order_and_filter;
           Alcotest.test_case "captures a cycle" `Quick
             test_trace_captures_protocol_cycle;
         ] );
