@@ -7,13 +7,29 @@
      dune exec bench/main.exe -- table1 fig5      # selected targets
      dune exec bench/main.exe -- --full           # paper-scale runs
      dune exec bench/main.exe -- --csv results    # also write CSV files
-*)
+     dune exec bench/main.exe -- table1 --jobs 4  # fan runs over 4 domains
+     dune exec bench/main.exe -- harness          # sequential-vs-parallel timing
+
+   Independent simulator runs fan out across a Cup_parallel domain
+   pool ([--jobs N]; default: one job per core, [--jobs 1] is fully
+   sequential).  Results are byte-identical whatever the job count.
+   Every invocation writes BENCH_harness.json — wall time per target,
+   the job count, and (for the [harness] and [micro] targets) measured
+   speedup and data-structure timings — so perf changes leave a
+   machine-readable trail. *)
 
 module E = Cup_sim.Experiments
 module Table = Cup_report.Table
 module Plot = Cup_report.Plot
+module Pool = Cup_parallel.Pool
+module Json = Cup_obs.Json
 
 let csv_dir : string option ref = ref None
+
+(* Accumulated for BENCH_harness.json, in execution order. *)
+let target_timings : (string * float) list ref = ref []
+let harness_json : (string * Json.t) list ref = ref []
+let micro_json : (string * float) list ref = ref []
 
 let write_csv name ~header rows =
   match !csv_dir with
@@ -40,8 +56,10 @@ let fig_rates scale which =
   | `Fig3 -> List.filteri (fun i _ -> i < 2) rs
   | `Fig4 -> List.filteri (fun i _ -> i >= 2) rs
 
-let run_push_sweeps scale which =
-  List.map (fun rate -> E.push_level_sweep scale ~rate) (fig_rates scale which)
+let run_push_sweeps ?pool scale which =
+  List.map
+    (fun rate -> E.push_level_sweep ?pool scale ~rate)
+    (fig_rates scale which)
 
 let print_push_sweeps ~log_y title sweeps =
   let table =
@@ -522,7 +540,86 @@ let print_profiles scale =
       | None -> ())
     rows
 
+(* {1 Parallel-harness speedup measurement} *)
+
+(* Time one representative fan-out workload sequentially and across
+   the pool; the same-bytes check and the measured speedup go to
+   BENCH_harness.json.  This is the perf-trajectory anchor: re-run
+   [harness] before and after a perf change. *)
+let harness ?pool scale =
+  let rate = List.nth (E.rates scale) 1 in
+  let workload pool = E.push_level_sweep ?pool scale ~rate in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let seq, seq_s = time (fun () -> workload None) in
+  let jobs = match pool with None -> 1 | Some p -> Pool.jobs p in
+  let par, par_s = time (fun () -> workload pool) in
+  let deterministic = seq = par in
+  let speedup = if par_s > 0. then seq_s /. par_s else 1. in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "Harness: push-level sweep at %g q/s, 1 vs %d job(s)"
+           rate jobs)
+      ~columns:[ "jobs"; "wall (s)"; "speedup"; "same results" ]
+  in
+  Table.add_row table
+    [ "1"; Printf.sprintf "%.2f" seq_s; Table.cell_float 1.0; "-" ];
+  Table.add_row table
+    [
+      string_of_int jobs;
+      Printf.sprintf "%.2f" par_s;
+      Table.cell_float speedup;
+      (if deterministic then "yes" else "NO (determinism violated)");
+    ];
+  Table.print table;
+  harness_json :=
+    [
+      ("workload", Json.String (Printf.sprintf "push-level sweep @ %g q/s" rate));
+      ("sequential_seconds", Json.Float seq_s);
+      ("parallel_seconds", Json.Float par_s);
+      ("jobs", Json.Int jobs);
+      ("speedup", Json.Float speedup);
+      ("deterministic", Json.Bool deterministic);
+    ];
+  if not deterministic then begin
+    prerr_endline
+      "harness: parallel sweep diverged from sequential sweep — \
+       determinism contract broken";
+    exit 1
+  end
+
 (* {1 Micro-benchmarks (Bechamel)} *)
+
+(* An update queue pre-filled with [pending] live refreshes; each
+   measured run pushes one more and pops the best, so the queue stays
+   at [pending] items and the timing isolates enqueue/dequeue cost at
+   that depth. *)
+let queue_at_depth_test ~key ~pending =
+  let open Bechamel in
+  let q = Cup_proto.Update_queue.create Cup_proto.Update_queue.Latency_first in
+  let mk_update i =
+    let entry =
+      Cup_proto.Entry.make
+        ~replica:(Cup_proto.Replica_id.of_int (i mod 64))
+        ~expiry:
+          (Cup_dess.Time.of_seconds (float_of_int (1_000_000 + (i * 13 mod 997))))
+    in
+    Cup_proto.Update.refresh ~key ~entry ~level:(i mod 4)
+  in
+  for i = 0 to pending - 1 do
+    Cup_proto.Update_queue.push q (mk_update i)
+  done;
+  let counter = ref pending in
+  Test.make
+    ~name:(Printf.sprintf "update-queue push+pop @%d pending" pending)
+    (Staged.stage (fun () ->
+         incr counter;
+         Cup_proto.Update_queue.push q (mk_update !counter);
+         ignore (Cup_proto.Update_queue.pop q ~now:Cup_dess.Time.zero)))
 
 let micro () =
   let open Bechamel in
@@ -551,6 +648,16 @@ let micro () =
     Test.make ~name:"CAN route (256 nodes)"
       (Staged.stage (fun () ->
            ignore (Cup_overlay.Topology.route topo ~from:ids.(0) point)))
+  in
+  let topo_1024 =
+    Cup_overlay.Topology.create ~rng ~n:1024 ~placement:`Random ()
+  in
+  let ids_1024 = Array.of_list (Cup_overlay.Topology.node_ids topo_1024) in
+  let route_1024_test =
+    Test.make ~name:"CAN route (1024 nodes)"
+      (Staged.stage (fun () ->
+           ignore
+             (Cup_overlay.Topology.route topo_1024 ~from:ids_1024.(0) point)))
   in
   let prng_test =
     Test.make ~name:"prng float x100"
@@ -612,7 +719,11 @@ let micro () =
   let tests =
     Test.make_grouped ~name:"cup" ~fmt:"%s %s"
       [
-        heap_test; route_test; chord_test; pastry_test; queue_test;
+        heap_test; route_test; route_1024_test; chord_test; pastry_test;
+        queue_test;
+        queue_at_depth_test ~key ~pending:10;
+        queue_at_depth_test ~key ~pending:100;
+        queue_at_depth_test ~key ~pending:1000;
         prng_test; node_test;
       ]
   in
@@ -632,116 +743,173 @@ let micro () =
     results
   in
   let results = benchmark () in
-  let table =
-    Table.create ~title:"Micro-benchmarks (Bechamel, monotonic clock)"
-      ~columns:[ "benchmark"; "ns/run" ]
-  in
+  let rows = ref [] in
   Hashtbl.iter
     (fun _metric tbl ->
       Hashtbl.iter
         (fun name ols ->
           match Bechamel.Analyze.OLS.estimates ols with
-          | Some [ est ] -> Table.add_row table [ name; Printf.sprintf "%.1f" est ]
-          | Some ests ->
-              Table.add_row table
-                [
-                  name;
-                  String.concat ", " (List.map (Printf.sprintf "%.1f") ests);
-                ]
-          | None -> Table.add_row table [ name; "n/a" ])
+          | Some (est :: _) -> rows := (name, est) :: !rows
+          | Some [] | None -> ())
         tbl)
     results;
+  let rows = List.sort compare !rows in
+  micro_json := rows;
+  let table =
+    Table.create ~title:"Micro-benchmarks (Bechamel, monotonic clock)"
+      ~columns:[ "benchmark"; "ns/run" ]
+  in
+  List.iter
+    (fun (name, est) -> Table.add_row table [ name; Printf.sprintf "%.1f" est ])
+    rows;
   Table.print table
 
 (* {1 Driver} *)
 
+let write_harness_json ~jobs ~scale =
+  let path = "BENCH_harness.json" in
+  let json =
+    Json.Obj
+      ([
+         ("schema", Json.String "cup-bench-harness/1");
+         ("jobs", Json.Int jobs);
+         ( "recommended_domain_count",
+           Json.Int (Pool.default_jobs ()) );
+         ( "scale",
+           Json.String (match scale with E.Scaled -> "scaled" | E.Full -> "full")
+         );
+         ( "targets",
+           Json.List
+             (List.rev_map
+                (fun (name, seconds) ->
+                  Json.Obj
+                    [
+                      ("name", Json.String name);
+                      ("seconds", Json.Float seconds);
+                    ])
+                !target_timings) );
+       ]
+      @ (match !harness_json with
+        | [] -> []
+        | fields -> [ ("harness", Json.Obj fields) ])
+      @
+      match !micro_json with
+      | [] -> []
+      | rows ->
+          [
+            ( "micro_ns_per_run",
+              Json.List
+                (List.map
+                   (fun (name, ns) ->
+                     Json.Obj
+                       [ ("name", Json.String name); ("ns", Json.Float ns) ])
+                   rows) );
+          ])
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(wrote %s)\n" path
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = if List.mem "--full" args then E.Full else E.Scaled in
-  let rec strip_csv = function
+  let jobs = ref 0 in
+  let rec strip_opts = function
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
-        strip_csv rest
-    | a :: rest -> a :: strip_csv rest
+        strip_opts rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 ->
+            jobs := n;
+            strip_opts rest
+        | Some _ | None ->
+            prerr_endline "bench: --jobs expects a non-negative integer";
+            exit 2)
+    | a :: rest -> a :: strip_opts rest
     | [] -> []
   in
-  let args = strip_csv args in
+  let args = strip_opts args in
+  let jobs = if !jobs = 0 then Pool.default_jobs () else !jobs in
   let targets = List.filter (fun a -> a <> "--full") args in
   let targets = if targets = [] then [ "all" ] else targets in
   let want name = List.mem "all" targets || List.mem name targets in
-  Printf.printf "CUP benchmark harness (%s)\n" (scale_label scale);
+  Printf.printf "CUP benchmark harness (%s, %d job%s)\n" (scale_label scale)
+    jobs
+    (if jobs = 1 then "" else "s");
+  let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
+  let timed name f =
+    if want name then begin
+      let t0 = Unix.gettimeofday () in
+      f ();
+      target_timings := (name, Unix.gettimeofday () -. t0) :: !target_timings
+    end
+  in
   let fig3_sweeps = ref [] and fig4_sweeps = ref [] in
-  if want "fig3" then begin
-    section "Figure 3: total and miss cost vs push level (low query rates)";
-    let sweeps = run_push_sweeps scale `Fig3 in
-    fig3_sweeps := sweeps;
-    print_push_sweeps ~log_y:false
-      (Printf.sprintf "Figure 3: cost vs push level (%s q/s)"
-         (String.concat " and "
-            (List.map (Printf.sprintf "%g") (fig_rates scale `Fig3))))
-      sweeps
-  end;
-  if want "fig4" then begin
-    section "Figure 4: total and miss cost vs push level (high query rates)";
-    let sweeps = run_push_sweeps scale `Fig4 in
-    fig4_sweeps := sweeps;
-    print_push_sweeps ~log_y:true
-      "Figure 4: cost vs push level (high rates, log y)" sweeps
-  end;
-  if want "table1" then begin
-    section "Table 1: total cost for varying cut-off policies";
-    let optimal =
-      match !fig3_sweeps @ !fig4_sweeps with [] -> None | s -> Some s
-    in
-    print_table1 scale (E.table1 ?optimal scale)
-  end;
-  if want "table2" then begin
-    section "Table 2: CUP vs standard caching, varying network size";
-    print_table2 (E.table2 scale)
-  end;
-  if want "table3" then begin
-    section "Table 3: naive vs replica-independent cut-off";
-    print_table3 (E.table3 scale)
-  end;
-  if want "fig5" then begin
-    section "Figure 5: total cost vs reduced capacity (low rate)";
-    let rate = List.nth (E.rates scale) 1 in
-    print_capacity ~log_y:false "Figure 5: total cost vs capacity"
-      (E.capacity_sweep scale ~rate)
-  end;
-  if want "fig6" then begin
-    section "Figure 6: total cost vs reduced capacity (high rate, log y)";
-    let rate = List.nth (E.rates scale) (List.length (E.rates scale) - 1) in
-    print_capacity ~log_y:true "Figure 6: total cost vs capacity"
-      (E.capacity_sweep scale ~rate)
-  end;
-  if want "ablations" then begin
-    section "Ablations";
-    print_ablation_ordering (E.ablation_queue_ordering scale);
-    print_ablation_window (E.ablation_log_based_window scale)
-  end;
-  if want "overlays" then begin
-    section "Overlay generality: CUP over CAN, Chord and Pastry";
-    print_overlays (E.overlay_comparison scale)
-  end;
-  if want "techniques" then begin
-    section "Section 3.6 propagation-overhead techniques";
-    print_techniques (E.propagation_techniques scale)
-  end;
-  if want "model" then begin
-    section "Section 3.1 model vs simulation";
-    print_model (E.model_check scale)
-  end;
-  if want "justification" then begin
-    section "Section 3.1 justified-update accounting";
-    print_justification (E.justification scale)
-  end;
-  if want "profile" then begin
-    section "Engine throughput and profiling probes";
-    print_profiles scale
-  end;
-  if want "micro" then begin
-    section "Micro-benchmarks";
-    micro ()
-  end;
+  timed "fig3" (fun () ->
+      section "Figure 3: total and miss cost vs push level (low query rates)";
+      let sweeps = run_push_sweeps ?pool scale `Fig3 in
+      fig3_sweeps := sweeps;
+      print_push_sweeps ~log_y:false
+        (Printf.sprintf "Figure 3: cost vs push level (%s q/s)"
+           (String.concat " and "
+              (List.map (Printf.sprintf "%g") (fig_rates scale `Fig3))))
+        sweeps);
+  timed "fig4" (fun () ->
+      section "Figure 4: total and miss cost vs push level (high query rates)";
+      let sweeps = run_push_sweeps ?pool scale `Fig4 in
+      fig4_sweeps := sweeps;
+      print_push_sweeps ~log_y:true
+        "Figure 4: cost vs push level (high rates, log y)" sweeps);
+  timed "table1" (fun () ->
+      section "Table 1: total cost for varying cut-off policies";
+      let optimal =
+        match !fig3_sweeps @ !fig4_sweeps with [] -> None | s -> Some s
+      in
+      print_table1 scale (E.table1 ?pool ?optimal scale));
+  timed "table2" (fun () ->
+      section "Table 2: CUP vs standard caching, varying network size";
+      print_table2 (E.table2 ?pool scale));
+  timed "table3" (fun () ->
+      section "Table 3: naive vs replica-independent cut-off";
+      print_table3 (E.table3 ?pool scale));
+  timed "fig5" (fun () ->
+      section "Figure 5: total cost vs reduced capacity (low rate)";
+      let rate = List.nth (E.rates scale) 1 in
+      print_capacity ~log_y:false "Figure 5: total cost vs capacity"
+        (E.capacity_sweep ?pool scale ~rate));
+  timed "fig6" (fun () ->
+      section "Figure 6: total cost vs reduced capacity (high rate, log y)";
+      let rate = List.nth (E.rates scale) (List.length (E.rates scale) - 1) in
+      print_capacity ~log_y:true "Figure 6: total cost vs capacity"
+        (E.capacity_sweep ?pool scale ~rate));
+  timed "ablations" (fun () ->
+      section "Ablations";
+      print_ablation_ordering (E.ablation_queue_ordering ?pool scale);
+      print_ablation_window (E.ablation_log_based_window ?pool scale));
+  timed "overlays" (fun () ->
+      section "Overlay generality: CUP over CAN, Chord and Pastry";
+      print_overlays (E.overlay_comparison ?pool scale));
+  timed "techniques" (fun () ->
+      section "Section 3.6 propagation-overhead techniques";
+      print_techniques (E.propagation_techniques ?pool scale));
+  timed "model" (fun () ->
+      section "Section 3.1 model vs simulation";
+      print_model (E.model_check ?pool scale));
+  timed "justification" (fun () ->
+      section "Section 3.1 justified-update accounting";
+      print_justification (E.justification ?pool scale));
+  timed "profile" (fun () ->
+      section "Engine throughput and profiling probes";
+      print_profiles scale);
+  timed "harness" (fun () ->
+      section "Parallel harness: sequential vs pooled wall time";
+      harness ?pool scale);
+  timed "micro" (fun () ->
+      section "Micro-benchmarks";
+      micro ());
+  Option.iter Pool.shutdown pool;
+  write_harness_json ~jobs ~scale;
   Printf.printf "\ndone.\n"

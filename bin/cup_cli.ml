@@ -136,6 +136,23 @@ let full =
     value & flag
     & info [ "full" ] ~doc:"Run experiments at the paper's full scale.")
 
+let jobs =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan the experiment's independent simulations across $(docv) \
+           domains (0, the default, means one per core; 1 runs \
+           sequentially).  Results are byte-identical for every value — \
+           only wall-clock time changes.")
+
+(* Run [f] with a domain pool of the requested size ([None] when the
+   fan-out would be trivial), shutting the pool down afterwards. *)
+let with_jobs jobs f =
+  let jobs = if jobs = 0 then Cup_parallel.Pool.default_jobs () else jobs in
+  if jobs <= 1 then f None
+  else Cup_parallel.Pool.with_pool ~jobs (fun pool -> f (Some pool))
+
 let scenario_of ~seed ~nodes ~keys ~rate ~duration ~lifetime ~replicas ~policy
     ~overlay =
   Scenario.with_policy
@@ -266,7 +283,7 @@ let run_observed cfg ~trace_out ~sample_interval ~sample_out ~profile =
 
 let run_cmd =
   let action seed nodes keys rate duration lifetime replicas policy overlay
-      runs trace_out sample_interval sample_out profile =
+      runs jobs trace_out sample_interval sample_out profile =
     let cfg =
       scenario_of ~seed ~nodes ~keys ~rate ~duration ~lifetime ~replicas
         ~policy ~overlay
@@ -291,7 +308,7 @@ let run_cmd =
         exit 1
     else if runs <= 1 then print_result (Runner.run cfg)
     else begin
-      let r = E.replicate cfg ~runs in
+      let r = with_jobs jobs (fun pool -> E.replicate ?pool cfg ~runs) in
       Printf.printf "over %d seeds (mean +/- stddev):\n" r.runs;
       Printf.printf "  total cost:   %.1f +/- %.1f hops\n" r.total_mean
         r.total_stddev;
@@ -306,8 +323,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ seed $ nodes $ keys $ rate $ duration $ lifetime
-      $ replicas $ policy $ overlay $ runs $ trace_out $ sample_interval
-      $ sample_out $ profile_flag)
+      $ replicas $ policy $ overlay $ runs $ jobs $ trace_out
+      $ sample_interval $ sample_out $ profile_flag)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one CUP simulation and print its cost summary.")
@@ -395,9 +412,11 @@ let replay_cmd =
 (* {1 cup sweep} *)
 
 let sweep_cmd =
-  let action full rate =
+  let action full rate jobs =
     let scale = if full then E.Full else E.Scaled in
-    let s = E.push_level_sweep scale ~rate in
+    let s =
+      with_jobs jobs (fun pool -> E.push_level_sweep ?pool scale ~rate)
+    in
     let table =
       Cup_report.Table.create
         ~title:(Printf.sprintf "push-level sweep, %g q/s" rate)
@@ -416,7 +435,7 @@ let sweep_cmd =
     Printf.printf "optimal level: %d (total %d)\n" s.optimal_level
       s.optimal_total
   in
-  let term = Term.(const action $ full $ rate) in
+  let term = Term.(const action $ full $ rate $ jobs) in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Sweep the push level at one query rate (Figures 3/4 style).")
@@ -434,7 +453,7 @@ let exp_cmd =
             "One of: fig3, fig4, table1, table2, table3, fig5, fig6, \
              ablations, techniques, justification, overlays, model.")
   in
-  let action full name =
+  let action full jobs name =
     let scale = if full then E.Full else E.Scaled in
     let known =
       [ "fig3"; "fig4"; "table1"; "table2"; "table3"; "fig5"; "fig6";
@@ -447,6 +466,7 @@ let exp_cmd =
     end;
     (* Reuse the benchmark harness driver by exec-ing its logic is not
        possible from here; run the experiment directly. *)
+    with_jobs jobs @@ fun pool ->
     match name with
     | "table2" ->
         List.iter
@@ -456,7 +476,7 @@ let exp_cmd =
                saved/overhead=%.2f\n"
               r.nodes r.miss_cost_ratio r.cup_miss_latency r.std_miss_latency
               r.saved_per_overhead)
-          (E.table2 scale)
+          (E.table2 ?pool scale)
     | "table3" ->
         List.iter
           (fun (r : E.replica_row) ->
@@ -465,7 +485,7 @@ let exp_cmd =
                indep-total=%d\n"
               r.replicas r.naive_miss_cost r.naive_misses r.indep_miss_cost
               r.indep_misses r.indep_total_cost)
-          (E.table3 scale)
+          (E.table3 ?pool scale)
     | "table1" ->
         List.iter
           (fun (row : E.policy_row) ->
@@ -476,7 +496,7 @@ let exp_cmd =
                   cell.normalized)
               row.cells;
             print_newline ())
-          (E.table1 scale)
+          (E.table1 ?pool scale)
     | "fig3" | "fig4" ->
         let rates =
           let rs = E.rates scale in
@@ -485,7 +505,7 @@ let exp_cmd =
         in
         List.iter
           (fun rate ->
-            let s = E.push_level_sweep scale ~rate in
+            let s = E.push_level_sweep ?pool scale ~rate in
             Printf.printf "rate %g q/s: optimal level %d (total %d)\n" rate
               s.optimal_level s.optimal_total;
             List.iter
@@ -500,7 +520,7 @@ let exp_cmd =
           if name = "fig5" then List.hd rates
           else List.nth rates (List.length rates - 1)
         in
-        let s = E.capacity_sweep scale ~rate in
+        let s = E.capacity_sweep ?pool scale ~rate in
         Printf.printf "rate %g q/s, standard caching total %d\n" s.cap_rate
           s.std_total;
         List.iter
@@ -514,7 +534,7 @@ let exp_cmd =
             Printf.printf
               "rate=%g fanout=%d measured=%.1f%% model=%.1f%%\n" r.m_rate
               r.m_fanout r.measured_justified_pct r.predicted_justified_pct)
-          (E.model_check scale)
+          (E.model_check ?pool scale)
     | "overlays" ->
         List.iter
           (fun (r : E.overlay_row) ->
@@ -522,7 +542,7 @@ let exp_cmd =
               "%-20s %-16s total=%d miss=%d misses=%d latency=%.1f\n"
               r.overlay_label r.o_policy r.o_total r.o_miss r.o_misses
               r.o_latency)
-          (E.overlay_comparison scale)
+          (E.overlay_comparison ?pool scale)
     | "techniques" ->
         List.iter
           (fun (r : E.technique_row) ->
@@ -530,7 +550,7 @@ let exp_cmd =
               "%-42s total=%d overhead=%d miss=%d misses=%d justified=%.1f%%\n"
               r.technique_label r.tech_total r.tech_overhead r.tech_miss
               r.tech_misses r.tech_justified_pct)
-          (E.propagation_techniques scale)
+          (E.propagation_techniques ?pool scale)
     | "justification" ->
         List.iter
           (fun (r : E.justification_row) ->
@@ -538,21 +558,21 @@ let exp_cmd =
               "%-16s rate=%g justified=%.1f%% tracked=%d saved/overhead=%.2f\n"
               r.j_policy r.j_rate r.j_justified_pct r.j_tracked
               r.j_saved_per_overhead)
-          (E.justification scale)
+          (E.justification ?pool scale)
     | "ablations" ->
         List.iter
           (fun (r : E.ordering_row) ->
             Printf.printf "ordering %-14s total=%d miss=%d misses=%d\n"
               r.ordering_label r.ord_total r.ord_miss r.ord_misses)
-          (E.ablation_queue_ordering scale);
+          (E.ablation_queue_ordering ?pool scale);
         List.iter
           (fun (r : E.dry_row) ->
             Printf.printf "log-based window %d: total=%d miss=%d\n"
               r.dry_window r.dry_total r.dry_miss)
-          (E.ablation_log_based_window scale)
+          (E.ablation_log_based_window ?pool scale)
     | _ -> assert false
   in
-  let term = Term.(const action $ full $ target) in
+  let term = Term.(const action $ full $ jobs $ target) in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run one of the paper's experiments by name.")
     term

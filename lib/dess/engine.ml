@@ -59,16 +59,18 @@ let schedule ?label t ~at f =
     invalid_arg "Engine.schedule: time must be finite";
   if Time.(at < t.clock) then
     invalid_arg "Engine.schedule: cannot schedule in the past";
+  (* One branch on the common (profiling-off) path: a probe that
+     exists but is not collecting takes the same bare push as no probe
+     at all, instead of wrapping the callback just to test
+     [collecting] again at execution time. *)
   match t.probe with
-  | None -> Event_heap.push t.queue ~time:at f
-  | Some probe ->
+  | Some probe when probe.collecting ->
       let label = Option.value label ~default:default_label in
       let handle = Event_heap.push t.queue ~time:at (instrument probe label f) in
-      if probe.collecting then begin
-        let len = Event_heap.length t.queue in
-        if len > probe.high_water then probe.high_water <- len
-      end;
+      let len = Event_heap.length t.queue in
+      if len > probe.high_water then probe.high_water <- len;
       handle
+  | Some _ | None -> Event_heap.push t.queue ~time:at f
 
 let schedule_after ?label t ~delay f =
   if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";

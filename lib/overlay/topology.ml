@@ -1,7 +1,16 @@
+(* Neighbor bookkeeping: each node keeps its neighbors as a
+   [Node_id]-keyed map from id to the neighbor's node record.  The map
+   only ever contains alive nodes ([leave] removes the departing node
+   from every neighbor's map), so the routing hot path — [next_hop]
+   folds over the current node's neighbors once per hop — touches no
+   hashtable and performs no per-neighbor [get].  Key order of the map
+   preserves the old [Node_id.Set] iteration order, so routing
+   tie-breaks and all published neighbor lists are unchanged. *)
+
 type node = {
   id : Node_id.t;
   mutable zones : Zone.t list;
-  mutable neighbors : Node_id.Set.t;
+  mutable neighbors : node Node_id.Map.t;
   mutable alive : bool;
 }
 
@@ -34,7 +43,12 @@ let is_alive t id =
   | Some node -> node.alive
   | None -> false
 
-let neighbors t id = Node_id.Set.elements (get t id).neighbors
+let neighbors t id =
+  List.rev
+    (Node_id.Map.fold (fun nid _ acc -> nid :: acc) (get t id).neighbors [])
+
+let neighbor_nodes node =
+  List.rev (Node_id.Map.fold (fun _ n acc -> n :: acc) node.neighbors [])
 
 let zones_of t id = (get t id).zones
 
@@ -72,9 +86,9 @@ let next_hop t id p =
   if region_contains node p then None
   else
     let best =
-      Node_id.Set.fold
-        (fun nid acc ->
-          let d = region_distance (get t nid) p in
+      Node_id.Map.fold
+        (fun nid nnode acc ->
+          let d = region_distance nnode p in
           match acc with
           | Some (_, best_d) when best_d < d -> acc
           | Some (best_id, best_d)
@@ -107,15 +121,15 @@ let refresh_edges node candidates =
       if not cand.alive || Node_id.equal cand.id node.id then false
       else begin
         let linked = nodes_adjacent node cand in
-        let had = Node_id.Set.mem cand.id node.neighbors in
+        let had = Node_id.Map.mem cand.id node.neighbors in
         if linked && not had then begin
-          node.neighbors <- Node_id.Set.add cand.id node.neighbors;
-          cand.neighbors <- Node_id.Set.add node.id cand.neighbors;
+          node.neighbors <- Node_id.Map.add cand.id cand node.neighbors;
+          cand.neighbors <- Node_id.Map.add node.id node cand.neighbors;
           true
         end
         else if (not linked) && had then begin
-          node.neighbors <- Node_id.Set.remove cand.id node.neighbors;
-          cand.neighbors <- Node_id.Set.remove node.id cand.neighbors;
+          node.neighbors <- Node_id.Map.remove cand.id node.neighbors;
+          cand.neighbors <- Node_id.Map.remove node.id cand.neighbors;
           true
         end
         else false
@@ -125,7 +139,7 @@ let refresh_edges node candidates =
 let fresh_node t zones =
   let id = Node_id.of_int t.next_id in
   t.next_id <- t.next_id + 1;
-  let node = { id; zones; neighbors = Node_id.Set.empty; alive = true } in
+  let node = { id; zones; neighbors = Node_id.Map.empty; alive = true } in
   Node_id.Table.replace t.nodes id node;
   t.alive_count <- t.alive_count + 1;
   node
@@ -149,15 +163,7 @@ let join_at t p =
     let node = fresh_node t [ give ] in
     (* Only previous neighbors of the split node (and the split node
        itself) can gain or lose an edge. *)
-    let candidates =
-      owner
-      :: List.filter_map
-           (fun id ->
-             match Node_id.Table.find_opt t.nodes id with
-             | Some n when n.alive -> Some n
-             | Some _ | None -> None)
-           (Node_id.Set.elements owner.neighbors)
-    in
+    let candidates = owner :: neighbor_nodes owner in
     let touched_new = refresh_edges node candidates in
     let touched_owner = refresh_edges owner candidates in
     let affected =
@@ -184,44 +190,42 @@ let leave t id =
     with Not_found -> invalid_arg "Topology.leave: unknown or dead node"
   in
   if t.alive_count = 1 then invalid_arg "Topology.leave: cannot remove last node";
-  let neighbor_nodes =
-    List.map (fun nid -> get t nid) (Node_id.Set.elements node.neighbors)
-  in
+  let departing_neighbors = neighbor_nodes node in
   (* CAN takeover rule: the neighbor with the smallest region absorbs
-     the departing zones (lowest id on ties, for determinism). *)
+     the departing zones (lowest id on ties, for determinism).  A
+     single fold instead of sorting the whole neighbor list. *)
   let taker =
     match
-      List.sort
-        (fun a b ->
-          match Float.compare (total_volume a) (total_volume b) with
-          | 0 -> Node_id.compare a.id b.id
-          | c -> c)
-        neighbor_nodes
+      List.fold_left
+        (fun acc n ->
+          let v = total_volume n in
+          match acc with
+          | Some (_, best_v) when best_v < v -> acc
+          | Some (best, best_v)
+            when best_v = v && Node_id.compare best.id n.id <= 0 ->
+              acc
+          | Some _ | None -> Some (n, v))
+        None departing_neighbors
     with
-    | [] -> assert false (* alive > 1 implies at least one neighbor *)
-    | taker :: _ -> taker
+    | None -> assert false (* alive > 1 implies at least one neighbor *)
+    | Some (taker, _) -> taker
   in
   node.alive <- false;
   t.alive_count <- t.alive_count - 1;
-  (* Drop the departed node from every neighbor's set. *)
+  (* Drop the departed node from every neighbor's map. *)
   List.iter
-    (fun n -> n.neighbors <- Node_id.Set.remove id n.neighbors)
-    neighbor_nodes;
+    (fun n -> n.neighbors <- Node_id.Map.remove id n.neighbors)
+    departing_neighbors;
   taker.zones <- node.zones @ taker.zones;
   let candidates =
-    List.filter (fun n -> not (Node_id.equal n.id taker.id)) neighbor_nodes
-    @ List.filter_map
-        (fun nid ->
-          match Node_id.Table.find_opt t.nodes nid with
-          | Some n when n.alive -> Some n
-          | Some _ | None -> None)
-        (Node_id.Set.elements taker.neighbors)
+    List.filter (fun n -> not (Node_id.equal n.id taker.id)) departing_neighbors
+    @ neighbor_nodes taker
   in
   let touched = refresh_edges taker candidates in
   let affected =
     List.sort_uniq Node_id.compare
       (taker.id
-      :: List.map (fun n -> n.id) neighbor_nodes
+      :: List.map (fun n -> n.id) departing_neighbors
       @ List.map (fun n -> n.id) touched)
   in
   { subject = id; peer = Some taker.id; affected }
@@ -303,18 +307,27 @@ let check_invariants t =
       |> List.map (fun n -> n.id)
       |> Node_id.Set.of_list
     in
-    if not (Node_id.Set.equal geometric node.neighbors) then
+    let recorded =
+      Node_id.Map.fold
+        (fun nid _ acc -> Node_id.Set.add nid acc)
+        node.neighbors Node_id.Set.empty
+    in
+    if not (Node_id.Set.equal geometric recorded) then
       Error
         (Format.asprintf "node %a: neighbor set out of sync" Node_id.pp node.id)
     else if
-      Node_id.Set.exists
-        (fun nid ->
+      Node_id.Map.exists
+        (fun nid nnode ->
+          (not nnode.alive)
+          || (not (Node_id.Map.mem node.id nnode.neighbors))
+          ||
           match Node_id.Table.find_opt t.nodes nid with
-          | Some other -> not (Node_id.Set.mem node.id other.neighbors)
+          | Some other -> not (other == nnode)
           | None -> true)
         node.neighbors
     then
-      Error (Format.asprintf "node %a: asymmetric edge" Node_id.pp node.id)
+      Error
+        (Format.asprintf "node %a: asymmetric or stale edge" Node_id.pp node.id)
     else Ok ()
   in
   List.fold_left

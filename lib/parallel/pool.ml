@@ -1,0 +1,127 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  wake : Condition.t;  (* a task was queued, or shutdown began *)
+  tasks : (unit -> unit) Queue.t;
+  mutable down : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Set while a domain is executing a pool task, so a nested [map] can
+   be rejected instead of deadlocking the fixed-size pool. *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let jobs t = t.jobs
+
+let exec_task task =
+  Domain.DLS.set in_task true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_task false) task
+
+(* Workers never see task exceptions: [map] wraps each task so every
+   outcome, including a raise, is recorded into that map's results. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    match Queue.take_opt t.tasks with
+    | Some task ->
+        Mutex.unlock t.mutex;
+        exec_task task;
+        worker_loop t
+    | None ->
+        if t.down then Mutex.unlock t.mutex
+        else begin
+          Condition.wait t.wake t.mutex;
+          next ()
+        end
+  in
+  next ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      tasks = Queue.create ();
+      down = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let already = t.down in
+  t.down <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  if not already then List.iter Domain.join t.workers
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map t f items =
+  if t.down then invalid_arg "Pool.map: pool is shut down";
+  if Domain.DLS.get in_task then
+    invalid_arg "Pool.map: nested map inside a pool task";
+  match items with
+  | [] -> []
+  | _ ->
+      let arr = Array.of_list items in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let pending = ref n in
+      let first_error = ref None in
+      let finished = Condition.create () in
+      let run_one i () =
+        let outcome =
+          match f arr.(i) with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock t.mutex;
+        (match outcome with
+        | Ok v -> results.(i) <- Some v
+        | Error (e, bt) -> (
+            (* Keep the lowest-indexed failure: which exception [map]
+               re-raises must not depend on domain scheduling. *)
+            match !first_error with
+            | Some (j, _, _) when j < i -> ()
+            | Some _ | None -> first_error := Some (i, e, bt)));
+        decr pending;
+        if !pending = 0 then Condition.broadcast finished;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      for i = 0 to n - 1 do
+        Queue.add (run_one i) t.tasks
+      done;
+      Condition.broadcast t.wake;
+      (* The calling domain is a worker too: drain tasks until the
+         queue is empty, then wait out the in-flight ones.  With
+         [jobs = 1] there are no other domains and this loop runs the
+         whole map sequentially, in input order. *)
+      let rec drain () =
+        match Queue.take_opt t.tasks with
+        | Some task ->
+            Mutex.unlock t.mutex;
+            exec_task task;
+            Mutex.lock t.mutex;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      while !pending > 0 do
+        Condition.wait finished t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      (match !first_error with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list
+        (Array.map (function Some v -> v | None -> assert false) results)

@@ -1,0 +1,58 @@
+(** A fixed-size domain work pool for embarrassingly parallel
+    experiment fan-out.
+
+    Built on the stdlib only ([Domain], [Mutex], [Condition]); no
+    domainslib.  The pool exists to run {e independent} simulations —
+    each with its own engine, topology and RNG — across cores, so the
+    contract is deliberately narrow:
+
+    {b Deterministic merge.}  [map pool f items] returns exactly
+    [List.map f items]: results are delivered in input order, whatever
+    order the domains finish in.  When [f] is a pure function of its
+    argument (every [Runner.run] is: a run is a pure function of its
+    scenario and seed), the output of a parallel map is byte-identical
+    to the sequential one — [jobs] changes wall-clock time and nothing
+    else.
+
+    {b Exception propagation.}  If one or more applications of [f]
+    raise, every task still runs to completion, then [map] re-raises
+    the exception of the {e lowest-indexed} failing item with its
+    backtrace — again independent of scheduling.
+
+    {b No nesting.}  Calling [map] from inside a pool task raises
+    [Invalid_argument]: nested fan-out deadlocks a fixed-size pool and
+    never makes independent-run sweeps faster.  Parallelize the outer
+    loop only.
+
+    A pool with [jobs = 1] spawns no domains at all; [map] then runs
+    every task in the calling domain, in order — exactly the
+    sequential behaviour, with no synchronization beyond an uncontended
+    mutex. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains; the caller's own
+    domain is the remaining worker, participating in every {!map}.
+    Raises [Invalid_argument] when [jobs < 1]. *)
+
+val jobs : t -> int
+(** The parallelism this pool was created with. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: one job per core the runtime
+    believes it can use. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f items] applies [f] to every item across the pool's
+    domains and returns the results in input order.  See the
+    determinism, exception and nesting contracts above. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  Calling {!map}
+    after [shutdown] raises [Invalid_argument].  Must not be called
+    while a [map] is in flight. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)

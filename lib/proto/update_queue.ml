@@ -1,18 +1,27 @@
 type ordering = Latency_first | Flash_crowd | Fifo
 
-type item = { seq : int; update : Update.t }
+(* [expiry] caches [earliest_expiry item.update] so comparisons do not
+   re-walk the update's entry list. *)
+type item = { seq : int; update : Update.t; expiry : Cup_dess.Time.t }
+
+(* Pairing heap: O(1) push, O(log n) amortized pop, keyed by the
+   [priority] order below.  The priority is a total order (ties broken
+   by the insertion sequence number), so pop order is exactly the
+   sorted order the old list representation maintained eagerly. *)
+type heap = Empty | Node of item * heap list
 
 type t = {
   ordering : ordering;
-  mutable items : item list; (* kept sorted by priority, best first *)
+  mutable heap : heap;
+  mutable count : int;  (* cached: number of items in [heap] *)
   mutable next_seq : int;
 }
 
-let create ordering = { ordering; items = []; next_seq = 0 }
+let create ordering = { ordering; heap = Empty; count = 0; next_seq = 0 }
 
-let length t = List.length t.items
+let length t = t.count
 
-let is_empty t = t.items = []
+let is_empty t = t.count = 0
 
 let kind_rank ordering (kind : Update.kind) =
   match (ordering, kind) with
@@ -31,47 +40,78 @@ let earliest_expiry (u : Update.t) =
     Cup_dess.Time.infinity u.entries
 
 (* Pop order: smaller is better. *)
-let priority t a b =
-  match t.ordering with
+let priority ordering a b =
+  match ordering with
   | Fifo -> Int.compare a.seq b.seq
   | Latency_first | Flash_crowd -> (
       match
         Int.compare
-          (kind_rank t.ordering a.update.kind)
-          (kind_rank t.ordering b.update.kind)
+          (kind_rank ordering a.update.kind)
+          (kind_rank ordering b.update.kind)
       with
       | 0 -> (
           (* Entries about to expire are the most urgent. *)
-          match
-            Cup_dess.Time.compare (earliest_expiry a.update)
-              (earliest_expiry b.update)
-          with
+          match Cup_dess.Time.compare a.expiry b.expiry with
           | 0 -> Int.compare a.seq b.seq
           | c -> c)
       | c -> c)
 
+let merge ordering a b =
+  match (a, b) with
+  | Empty, h | h, Empty -> h
+  | Node (ia, ca), Node (ib, cb) ->
+      if priority ordering ia ib < 0 then Node (ia, b :: ca)
+      else Node (ib, a :: cb)
+
+let rec merge_pairs ordering = function
+  | [] -> Empty
+  | [ h ] -> h
+  | h1 :: h2 :: rest ->
+      merge ordering (merge ordering h1 h2) (merge_pairs ordering rest)
+
 let push t update =
-  let item = { seq = t.next_seq; update } in
-  t.next_seq <- t.next_seq + 1;
-  let rec insert = function
-    | [] -> [ item ]
-    | hd :: tl as items ->
-        if priority t item hd < 0 then item :: items else hd :: insert tl
+  let item =
+    { seq = t.next_seq; update; expiry = earliest_expiry update }
   in
-  t.items <- insert t.items
+  t.next_seq <- t.next_seq + 1;
+  t.heap <- merge t.ordering t.heap (Node (item, []));
+  t.count <- t.count + 1
 
 let rec pop t ~now =
-  match t.items with
-  | [] -> None
-  | best :: rest ->
-      t.items <- rest;
+  match t.heap with
+  | Empty -> None
+  | Node (best, children) ->
+      t.heap <- merge_pairs t.ordering children;
+      t.count <- t.count - 1;
       if Update.is_expired best.update ~now then pop t ~now
       else Some best.update
 
-let drop_expired t ~now =
-  let before = List.length t.items in
-  t.items <-
-    List.filter (fun item -> not (Update.is_expired item.update ~now)) t.items;
-  before - List.length t.items
+let rec heap_items acc = function
+  | Empty -> acc
+  | Node (item, children) -> List.fold_left heap_items (item :: acc) children
 
-let peek_all t = List.map (fun item -> item.update) t.items
+let drop_expired t ~now =
+  let live =
+    List.filter
+      (fun item -> not (Update.is_expired item.update ~now))
+      (heap_items [] t.heap)
+  in
+  let kept = List.length live in
+  let dropped = t.count - kept in
+  if dropped > 0 then begin
+    t.heap <-
+      List.fold_left
+        (fun h item -> merge t.ordering h (Node (item, [])))
+        Empty live;
+    t.count <- kept
+  end;
+  dropped
+
+let peek_all t =
+  let rec drain h acc =
+    match h with
+    | Empty -> List.rev acc
+    | Node (item, children) ->
+        drain (merge_pairs t.ordering children) (item.update :: acc)
+  in
+  drain t.heap []

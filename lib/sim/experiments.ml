@@ -1,7 +1,19 @@
 module Policy = Cup_proto.Policy
 module Counters = Cup_metrics.Counters
+module Pool = Cup_parallel.Pool
 
 type scale = Scaled | Full
+
+(* Every experiment below fans its independent [Runner.run] calls over
+   [pmap].  A run is a pure function of its scenario (own engine,
+   topology, RNG), so with a pool the only thing that changes is
+   wall-clock time: [Pool.map] returns results in input order and the
+   assembly below is sequential, keeping parallel output byte-identical
+   to sequential output. *)
+let pmap ?pool f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some pool -> Pool.map pool f xs
 
 let base_scenario scale =
   let nodes = match scale with Scaled -> 256 | Full -> 1024 in
@@ -38,13 +50,13 @@ let default_levels scale =
   | Scaled -> [ 0; 1; 2; 3; 4; 5; 6; 8; 10; 12; 14; 16; 20; 24 ]
   | Full -> [ 0; 1; 2; 3; 4; 5; 6; 8; 10; 12; 15; 18; 21; 24; 27; 30 ]
 
-let push_level_sweep ?levels scale ~rate =
+let push_level_sweep ?pool ?levels scale ~rate =
   let levels =
     match levels with Some l -> l | None -> default_levels scale
   in
   let base = { (base_scenario scale) with query_rate = rate } in
   let points =
-    List.map
+    pmap ?pool
       (fun level ->
         let cfg = Scenario.with_policy base (Policy.Push_level level) in
         let c = run_counters cfg in
@@ -96,17 +108,23 @@ let table1_policies =
     Policy.second_chance;
   ]
 
-let table1 ?optimal scale =
+let table1 ?pool ?optimal scale =
   let rs = rates scale in
   let base = base_scenario scale in
-  let totals_for policy =
-    List.map
-      (fun rate ->
+  (* One flat (policy, rate) grid so the whole table fans out at once. *)
+  let totals =
+    pmap ?pool
+      (fun (policy, rate) ->
         let cfg =
           Scenario.with_policy { base with query_rate = rate } policy
         in
-        (rate, Counters.total_cost (run_counters cfg)))
-      rs
+        ((policy, rate), Counters.total_cost (run_counters cfg)))
+      (List.concat_map
+         (fun policy -> List.map (fun rate -> (policy, rate)) rs)
+         table1_policies)
+  in
+  let totals_for policy =
+    List.map (fun rate -> (rate, List.assoc (policy, rate) totals)) rs
   in
   let standard = totals_for Policy.Standard_caching in
   let normalize rate total =
@@ -129,7 +147,7 @@ let table1 ?optimal scale =
   let optimal_series =
     match optimal with
     | Some series -> series
-    | None -> List.map (fun rate -> push_level_sweep scale ~rate) rs
+    | None -> List.map (fun rate -> push_level_sweep ?pool scale ~rate) rs
   in
   let optimal_cells =
     List.filter_map
@@ -161,14 +179,22 @@ let table2_sizes scale =
    counters measure round-trip elapsed time in hop units. *)
 let one_way hops = hops /. 2.
 
-let table2 scale =
+let table2 ?pool scale =
+  (* Flatten to one run per task: (nodes, policy) pairs. *)
+  let runs =
+    pmap ?pool
+      (fun (nodes, policy) ->
+        let base = { (base_scenario scale) with nodes } in
+        ((nodes, policy), run_counters (Scenario.with_policy base policy)))
+      (List.concat_map
+         (fun nodes ->
+           [ (nodes, Policy.Standard_caching); (nodes, Policy.second_chance) ])
+         (table2_sizes scale))
+  in
   List.map
     (fun nodes ->
-      let base = { (base_scenario scale) with nodes } in
-      let std =
-        run_counters (Scenario.with_policy base Policy.Standard_caching)
-      in
-      let cup = run_counters (Scenario.with_policy base Policy.second_chance) in
+      let std = List.assoc (nodes, Policy.Standard_caching) runs in
+      let cup = List.assoc (nodes, Policy.second_chance) runs in
       let std_miss = Counters.miss_cost std in
       let cup_miss = Counters.miss_cost cup in
       let overhead = Counters.overhead_cost cup in
@@ -193,23 +219,33 @@ type replica_row = {
   indep_total_cost : int;
 }
 
-let table3 scale =
+let table3_replicas = [ 100; 50; 10; 5; 2; 1 ]
+
+let table3 ?pool scale =
   let base = base_scenario scale in
+  let runs =
+    pmap ?pool
+      (fun (replicas, replica_independent_cutoff) ->
+        let cfg =
+          {
+            base with
+            replicas_per_key = replicas;
+            node_config =
+              {
+                policy = Policy.second_chance;
+                replica_independent_cutoff;
+              };
+          }
+        in
+        ((replicas, replica_independent_cutoff), run_counters cfg))
+      (List.concat_map
+         (fun replicas -> [ (replicas, false); (replicas, true) ])
+         table3_replicas)
+  in
   List.map
     (fun replicas ->
-      let with_mode replica_independent_cutoff =
-        {
-          base with
-          replicas_per_key = replicas;
-          node_config =
-            {
-              policy = Policy.second_chance;
-              replica_independent_cutoff;
-            };
-        }
-      in
-      let naive = run_counters (with_mode false) in
-      let indep = run_counters (with_mode true) in
+      let naive = List.assoc (replicas, false) runs in
+      let indep = List.assoc (replicas, true) runs in
       {
         replicas;
         naive_miss_cost = Counters.miss_cost naive;
@@ -218,7 +254,7 @@ let table3 scale =
         indep_misses = Counters.misses indep;
         indep_total_cost = Counters.total_cost indep;
       })
-    [ 100; 50; 10; 5; 2; 1 ]
+    table3_replicas
 
 (* {1 Figures 5 and 6} *)
 
@@ -234,39 +270,61 @@ type capacity_series = {
   cap_points : capacity_point list;
 }
 
-let capacity_sweep ?(capacities = [ 0.; 0.25; 0.5; 0.75; 1. ]) scale ~rate =
+let capacity_sweep ?pool ?(capacities = [ 0.; 0.25; 0.5; 0.75; 1. ]) scale
+    ~rate =
   let base = { (base_scenario scale) with query_rate = rate } in
-  let std =
-    Counters.total_cost
-      (run_counters (Scenario.with_policy base Policy.Standard_caching))
+  (* The standard-caching reference run rides in the same fan-out as
+     the per-capacity fault runs. *)
+  let tasks =
+    `Std
+    :: List.concat_map
+         (fun capacity -> [ `Up_and_down capacity; `Once_down capacity ])
+         capacities
   in
-  let cap_points =
-    List.map
-      (fun capacity ->
-        let faults mk = { base with faults = Some (mk capacity) } in
-        let up_and_down =
-          faults (fun reduced ->
-              Scenario.Up_and_down
-                {
-                  fraction = 0.2;
-                  reduced;
-                  warmup = 300.;
-                  down = 600.;
-                  gap = 300.;
-                })
-        in
-        let once_down =
-          faults (fun reduced ->
-              Scenario.Once_down { fraction = 0.2; reduced; warmup = 300. })
-        in
-        {
-          capacity;
-          up_and_down_total = Counters.total_cost (run_counters up_and_down);
-          once_down_total = Counters.total_cost (run_counters once_down);
-        })
-      capacities
+  let results =
+    pmap ?pool
+      (fun task ->
+        let faulted mk capacity = { base with faults = Some (mk capacity) } in
+        match task with
+        | `Std ->
+            Counters.total_cost
+              (run_counters (Scenario.with_policy base Policy.Standard_caching))
+        | `Up_and_down capacity ->
+            Counters.total_cost
+              (run_counters
+                 (faulted
+                    (fun reduced ->
+                      Scenario.Up_and_down
+                        {
+                          fraction = 0.2;
+                          reduced;
+                          warmup = 300.;
+                          down = 600.;
+                          gap = 300.;
+                        })
+                    capacity))
+        | `Once_down capacity ->
+            Counters.total_cost
+              (run_counters
+                 (faulted
+                    (fun reduced ->
+                      Scenario.Once_down
+                        { fraction = 0.2; reduced; warmup = 300. })
+                    capacity)))
+      tasks
   in
-  { cap_rate = rate; std_total = std; cap_points }
+  match results with
+  | std :: rest ->
+      let rec pair capacities totals =
+        match (capacities, totals) with
+        | [], [] -> []
+        | capacity :: cs, up :: down :: ts ->
+            { capacity; up_and_down_total = up; once_down_total = down }
+            :: pair cs ts
+        | _ -> assert false
+      in
+      { cap_rate = rate; std_total = std; cap_points = pair capacities rest }
+  | [] -> assert false
 
 (* {1 Ablations} *)
 
@@ -277,7 +335,7 @@ type ordering_row = {
   ord_misses : int;
 }
 
-let ablation_queue_ordering scale =
+let ablation_queue_ordering ?pool scale =
   let base = base_scenario scale in
   (* Starve the update channels so the queues actually build up: five
      replicas refreshing every 60 s feed far more update traffic than
@@ -294,7 +352,7 @@ let ablation_queue_ordering scale =
       capacity_mode = Scenario.Token_bucket 0.05;
     }
   in
-  List.map
+  pmap ?pool
     (fun (label, ordering) ->
       let c = run_counters { starved with queue_ordering = ordering } in
       {
@@ -311,9 +369,9 @@ let ablation_queue_ordering scale =
 
 type dry_row = { dry_window : int; dry_total : int; dry_miss : int }
 
-let ablation_log_based_window scale =
+let ablation_log_based_window ?pool scale =
   let base = base_scenario scale in
-  List.map
+  pmap ?pool
     (fun n ->
       let c =
         run_counters (Scenario.with_policy base (Policy.Log_based n))
@@ -340,7 +398,7 @@ let justified_pct (r : Runner.result) =
   if r.tracked_updates = 0 then 0.
   else 100. *. float_of_int r.justified_updates /. float_of_int r.tracked_updates
 
-let propagation_techniques scale =
+let propagation_techniques ?pool scale =
   let base =
     {
       (base_scenario scale) with
@@ -348,27 +406,27 @@ let propagation_techniques scale =
       query_rate = List.nth (rates scale) 1;
     }
   in
-  let row label cfg =
-    let r = Runner.run cfg in
-    {
-      technique_label = label;
-      tech_total = Counters.total_cost r.counters;
-      tech_overhead = Counters.overhead_cost r.counters;
-      tech_miss = Counters.miss_cost r.counters;
-      tech_misses = Counters.misses r.counters;
-      tech_justified_pct = justified_pct r;
-    }
-  in
-  [
-    row "per-replica refreshes (Table 3 baseline)" base;
-    row "batched refreshes, 5 s window"
-      { base with refresh_batch_window = 5. };
-    row "batched refreshes, 30 s window"
-      { base with refresh_batch_window = 30. };
-    row "suppress half the refreshes" { base with refresh_sample = 0.5 };
-    row "suppress 3/4 of the refreshes" { base with refresh_sample = 0.25 };
-    row "piggybacked clear-bits" { base with piggyback_clear_bits = true };
-  ]
+  pmap ?pool
+    (fun (label, cfg) ->
+      let r = Runner.run cfg in
+      {
+        technique_label = label;
+        tech_total = Counters.total_cost r.counters;
+        tech_overhead = Counters.overhead_cost r.counters;
+        tech_miss = Counters.miss_cost r.counters;
+        tech_misses = Counters.misses r.counters;
+        tech_justified_pct = justified_pct r;
+      })
+    [
+      ("per-replica refreshes (Table 3 baseline)", base);
+      ( "batched refreshes, 5 s window",
+        { base with refresh_batch_window = 5. } );
+      ( "batched refreshes, 30 s window",
+        { base with refresh_batch_window = 30. } );
+      ("suppress half the refreshes", { base with refresh_sample = 0.5 });
+      ("suppress 3/4 of the refreshes", { base with refresh_sample = 0.25 });
+      ("piggybacked clear-bits", { base with piggyback_clear_bits = true });
+    ]
 
 type justification_row = {
   j_policy : string;
@@ -378,34 +436,42 @@ type justification_row = {
   j_saved_per_overhead : float;
 }
 
-let justification scale =
+let justification ?pool scale =
   let base = base_scenario scale in
   let rs = [ List.hd (rates scale); List.nth (rates scale) 2 ] in
+  let policies = [ Policy.All_out; Policy.second_chance; Policy.Linear 0.01 ] in
+  (* One run per (rate, policy) cell plus the per-rate standard-caching
+     reference, all in one fan-out. *)
+  let runs =
+    pmap ?pool
+      (fun (rate, policy) ->
+        ( (rate, policy),
+          Runner.run
+            (Scenario.with_policy { base with query_rate = rate } policy) ))
+      (List.concat_map
+         (fun rate ->
+           (rate, Policy.Standard_caching)
+           :: List.map (fun p -> (rate, p)) policies)
+         rs)
+  in
   List.concat_map
     (fun rate ->
-      let std =
-        Runner.run
-          (Scenario.with_policy { base with query_rate = rate }
-             Policy.Standard_caching)
-      in
-      let std_miss = Counters.miss_cost std.counters in
+      let std = List.assoc (rate, Policy.Standard_caching) runs in
+      let std_miss = Counters.miss_cost std.Runner.counters in
       List.map
         (fun policy ->
-          let r =
-            Runner.run
-              (Scenario.with_policy { base with query_rate = rate } policy)
-          in
-          let overhead = Counters.overhead_cost r.counters in
+          let r = List.assoc (rate, policy) runs in
+          let overhead = Counters.overhead_cost r.Runner.counters in
           {
             j_policy = Policy.to_string policy;
             j_rate = rate;
             j_justified_pct = justified_pct r;
             j_tracked = r.tracked_updates;
             j_saved_per_overhead =
-              float_of_int (std_miss - Counters.miss_cost r.counters)
+              float_of_int (std_miss - Counters.miss_cost r.Runner.counters)
               /. float_of_int (Stdlib.max 1 overhead);
           })
-        [ Policy.All_out; Policy.second_chance; Policy.Linear 0.01 ])
+        policies)
     rs
 
 (* {1 Overlay generality} *)
@@ -419,32 +485,33 @@ type overlay_row = {
   o_latency : float;
 }
 
-let overlay_comparison scale =
+let overlay_comparison ?pool scale =
   let base =
     { (base_scenario scale) with query_rate = List.nth (rates scale) 1 }
   in
-  List.concat_map
-    (fun (overlay_label, overlay) ->
-      List.map
-        (fun policy ->
-          let r =
-            Runner.run
-              (Scenario.with_policy { base with overlay } policy)
-          in
-          {
-            overlay_label;
-            o_policy = Policy.to_string policy;
-            o_total = Counters.total_cost r.counters;
-            o_miss = Counters.miss_cost r.counters;
-            o_misses = Counters.misses r.counters;
-            o_latency = one_way (Counters.avg_miss_latency_hops r.counters);
-          })
-        [ Policy.Standard_caching; Policy.second_chance ])
-    [
-      ("CAN (2-d torus)", Cup_overlay.Net.Can `Random);
-      ("Chord (64-bit ring)", Cup_overlay.Net.Chord);
-      ("Pastry (prefix routing)", Cup_overlay.Net.Pastry);
-    ]
+  pmap ?pool
+    (fun ((overlay_label, overlay), policy) ->
+      let r =
+        Runner.run (Scenario.with_policy { base with overlay } policy)
+      in
+      {
+        overlay_label;
+        o_policy = Policy.to_string policy;
+        o_total = Counters.total_cost r.counters;
+        o_miss = Counters.miss_cost r.counters;
+        o_misses = Counters.misses r.counters;
+        o_latency = one_way (Counters.avg_miss_latency_hops r.counters);
+      })
+    (List.concat_map
+       (fun overlay ->
+         List.map
+           (fun policy -> (overlay, policy))
+           [ Policy.Standard_caching; Policy.second_chance ])
+       [
+         ("CAN (2-d torus)", Cup_overlay.Net.Can `Random);
+         ("Chord (64-bit ring)", Cup_overlay.Net.Chord);
+         ("Pastry (prefix routing)", Cup_overlay.Net.Pastry);
+       ])
 
 (* {1 Replication across seeds} *)
 
@@ -460,19 +527,26 @@ type replicated = {
   latency_stddev : float;
 }
 
-let replicate cfg ~runs =
+let replicate ?pool cfg ~runs =
   if runs < 1 then invalid_arg "Experiments.replicate: runs must be >= 1";
+  let results =
+    pmap ?pool
+      (fun i -> Runner.run { cfg with Scenario.seed = cfg.Scenario.seed + i })
+      (List.init runs Fun.id)
+  in
   let total = Cup_metrics.Welford.create () in
   let miss = Cup_metrics.Welford.create () in
   let misses = Cup_metrics.Welford.create () in
   let latency = Cup_metrics.Welford.create () in
-  for i = 0 to runs - 1 do
-    let r = Runner.run { cfg with Scenario.seed = cfg.Scenario.seed + i } in
-    Cup_metrics.Welford.add total (float_of_int (Counters.total_cost r.counters));
-    Cup_metrics.Welford.add miss (float_of_int (Counters.miss_cost r.counters));
-    Cup_metrics.Welford.add misses (float_of_int (Counters.misses r.counters));
-    Cup_metrics.Welford.add latency (Counters.avg_miss_latency_hops r.counters)
-  done;
+  (* Accumulate in seed order: the reported moments are independent of
+     the pool's scheduling. *)
+  List.iter
+    (fun (r : Runner.result) ->
+      Cup_metrics.Welford.add total (float_of_int (Counters.total_cost r.counters));
+      Cup_metrics.Welford.add miss (float_of_int (Counters.miss_cost r.counters));
+      Cup_metrics.Welford.add misses (float_of_int (Counters.misses r.counters));
+      Cup_metrics.Welford.add latency (Counters.avg_miss_latency_hops r.counters))
+    results;
   {
     runs;
     total_mean = Cup_metrics.Welford.mean total;
@@ -494,11 +568,11 @@ type model_row = {
   predicted_justified_pct : float;
 }
 
-let model_check scale =
+let model_check ?pool scale =
   (* steady state: the model assumes queries keep arriving, so drop
      the drain period whose refreshes are unjustified by construction *)
   let base = { (base_scenario scale) with drain = 0. } in
-  List.map
+  pmap ?pool
     (fun rate ->
       let cfg =
         Scenario.with_policy { base with query_rate = rate }

@@ -11,7 +11,15 @@
     engineering the paper's reported magnitudes (overhead ~6.7 k hops,
     push levels spanning 0–30 ≈ the 2^10 CAN diameter, hit counts at
     λ = 1) shows its workloads are per-key-tree workloads; see
-    EXPERIMENTS.md. *)
+    EXPERIMENTS.md.
+
+    Every experiment takes an optional [?pool]
+    ({!Cup_parallel.Pool.t}): its independent simulator runs then fan
+    out across the pool's domains.  Each run owns its engine, topology
+    and RNG, and {!Cup_parallel.Pool.map} merges results in input
+    order, so results are byte-identical whatever the pool size —
+    [?pool] changes wall-clock time and nothing else.  Omitting it (or
+    passing a 1-job pool) runs sequentially as before. *)
 
 type scale = Scaled | Full
 
@@ -34,7 +42,11 @@ type push_level_series = {
 }
 
 val push_level_sweep :
-  ?levels:int list -> scale -> rate:float -> push_level_series
+  ?pool:Cup_parallel.Pool.t ->
+  ?levels:int list ->
+  scale ->
+  rate:float ->
+  push_level_series
 
 (** {1 Table 1: cut-off policies} *)
 
@@ -46,7 +58,10 @@ type policy_row = {
 }
 
 val table1 :
-  ?optimal:push_level_series list -> scale -> policy_row list
+  ?pool:Cup_parallel.Pool.t ->
+  ?optimal:push_level_series list ->
+  scale ->
+  policy_row list
 (** Rows: standard caching, linear and logarithmic policies across the
     paper's α values, second-chance, and the optimal push level (taken
     from [optimal] when provided — e.g. the Figure 3/4 sweeps — or
@@ -62,7 +77,7 @@ type size_row = {
   saved_per_overhead : float;
 }
 
-val table2 : scale -> size_row list
+val table2 : ?pool:Cup_parallel.Pool.t -> scale -> size_row list
 
 (** {1 Table 3: multiple replicas per key} *)
 
@@ -75,7 +90,7 @@ type replica_row = {
   indep_total_cost : int;
 }
 
-val table3 : scale -> replica_row list
+val table3 : ?pool:Cup_parallel.Pool.t -> scale -> replica_row list
 
 (** {1 Figures 5 and 6: reduced outgoing capacity} *)
 
@@ -92,7 +107,11 @@ type capacity_series = {
 }
 
 val capacity_sweep :
-  ?capacities:float list -> scale -> rate:float -> capacity_series
+  ?pool:Cup_parallel.Pool.t ->
+  ?capacities:float list ->
+  scale ->
+  rate:float ->
+  capacity_series
 
 (** {1 Ablations (beyond the paper's main line)} *)
 
@@ -103,14 +122,16 @@ type ordering_row = {
   ord_misses : int;
 }
 
-val ablation_queue_ordering : scale -> ordering_row list
+val ablation_queue_ordering :
+  ?pool:Cup_parallel.Pool.t -> scale -> ordering_row list
 (** Section 2.8's queue re-ordering, measured under token-bucket
     capacity starvation: latency-first versus flash-crowd versus FIFO
     ordering of the outgoing update channels. *)
 
 type dry_row = { dry_window : int; dry_total : int; dry_miss : int }
 
-val ablation_log_based_window : scale -> dry_row list
+val ablation_log_based_window :
+  ?pool:Cup_parallel.Pool.t -> scale -> dry_row list
 (** Generalizing second-chance: cut after [n] consecutive dry updates,
     n = 1..5. *)
 
@@ -128,7 +149,8 @@ type technique_row = {
           update's critical window *)
 }
 
-val propagation_techniques : scale -> technique_row list
+val propagation_techniques :
+  ?pool:Cup_parallel.Pool.t -> scale -> technique_row list
 (** With many replicas per key, compare the baseline (every replica
     refresh propagated separately, as in Table 3) against the two
     techniques Section 3.6 proposes — aggregating refreshes into
@@ -143,7 +165,8 @@ type justification_row = {
   j_saved_per_overhead : float;
 }
 
-val justification : scale -> justification_row list
+val justification :
+  ?pool:Cup_parallel.Pool.t -> scale -> justification_row list
 (** The Section 3.1 cost-model check: the fraction of propagated
     updates that are justified, per policy and query rate, next to the
     realized saved-miss-per-overhead ratio.  The paper argues overhead
@@ -160,7 +183,8 @@ type overlay_row = {
   o_latency : float;  (** one-way hops *)
 }
 
-val overlay_comparison : scale -> overlay_row list
+val overlay_comparison :
+  ?pool:Cup_parallel.Pool.t -> scale -> overlay_row list
 (** CUP versus standard caching over both substrates — the 2-d CAN of
     the paper's evaluation and a Chord ring — under the same workload.
     CUP's benefits are a property of the query/update-channel design,
@@ -180,7 +204,8 @@ type replicated = {
   latency_stddev : float;
 }
 
-val replicate : Scenario.t -> runs:int -> replicated
+val replicate :
+  ?pool:Cup_parallel.Pool.t -> Scenario.t -> runs:int -> replicated
 (** Run the scenario [runs] times with seeds [seed, seed+1, ...] and
     report the mean and standard deviation of the headline metrics —
     for confidence intervals around any single-seed number.  Requires
@@ -195,7 +220,7 @@ type model_row = {
   predicted_justified_pct : float;
 }
 
-val model_check : scale -> model_row list
+val model_check : ?pool:Cup_parallel.Pool.t -> scale -> model_row list
 (** Push updates only to the authority's direct neighbors
     ([Push_level 1]) and compare the measured fraction of justified
     updates with the closed-form [1 - exp (-L T)] of Section 3.1,

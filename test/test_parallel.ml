@@ -1,0 +1,162 @@
+(* Cup_parallel.Pool: the domain work pool behind the experiment
+   fan-out, and the determinism contract it promises — a parallel
+   sweep is byte-identical to a sequential one. *)
+
+module Pool = Cup_parallel.Pool
+module Scenario = Cup_sim.Scenario
+module Runner = Cup_sim.Runner
+module Trace = Cup_sim.Trace
+module Counters = Cup_metrics.Counters
+module Policy = Cup_proto.Policy
+module Csv = Cup_report.Csv
+
+(* {1 Pool unit tests} *)
+
+let test_map_preserves_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let items = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "same as List.map"
+        (List.map (fun i -> (i * 37) mod 101) items)
+        (Pool.map pool (fun i -> (i * 37) mod 101) items);
+      Alcotest.(check (list string))
+        "empty input" []
+        (Pool.map pool string_of_int []))
+
+let test_exception_propagation () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.check_raises "lowest-indexed exception wins"
+        (Failure "boom 17")
+        (fun () ->
+          ignore
+            (Pool.map pool
+               (fun i ->
+                 if i >= 17 then failwith (Printf.sprintf "boom %d" i) else i)
+               (List.init 64 Fun.id))))
+
+let test_jobs1_fallback () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let here = Domain.self () in
+      let domains = Pool.map pool (fun _ -> Domain.self ()) (List.init 8 Fun.id) in
+      Alcotest.(check bool)
+        "jobs=1 runs every task in the calling domain" true
+        (List.for_all (fun d -> d = here) domains);
+      Alcotest.(check (list int))
+        "results still in order"
+        [ 0; 2; 4; 6 ]
+        (Pool.map pool (fun i -> 2 * i) [ 0; 1; 2; 3 ]))
+
+let test_nested_map_rejected () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.check_raises "nested map raises"
+        (Invalid_argument "Pool.map: nested map inside a pool task")
+        (fun () ->
+          ignore
+            (Pool.map pool
+               (fun i -> Pool.map pool (fun j -> i + j) [ 1; 2 ])
+               [ 10; 20 ])))
+
+let test_create_validation () =
+  Alcotest.check_raises "jobs must be >= 1"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0));
+  let pool = Pool.create ~jobs:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool Fun.id [ 1 ]))
+
+(* {1 Determinism under parallelism}
+
+   Run the same small push-level sweep with jobs=1 and jobs=4; every
+   per-run observable — counters, the CSV bytes the bench harness
+   would write, and the full protocol trace ring — must be identical. *)
+
+let sweep_base =
+  {
+    Scenario.default with
+    nodes = 48;
+    total_keys_override = Some 1;
+    query_rate = 0.5;
+    query_start = 300.;
+    query_duration = 600.;
+    drain = 300.;
+    seed = 2024;
+  }
+
+(* One run at one push level, capturing counters, CSV row bytes, and
+   the trace-ring contents. *)
+let observed_run level =
+  let cfg = Scenario.with_policy sweep_base (Policy.Push_level level) in
+  let live = Runner.Live.create cfg in
+  let ring = Trace.create ~capacity:256 () in
+  Runner.Live.set_tracer live (Some (Trace.record ring));
+  let r = Runner.Live.finish live in
+  let counters = Format.asprintf "%a" Counters.pp r.counters in
+  let csv_row =
+    Csv.row_to_string
+      [
+        string_of_int level;
+        string_of_int (Counters.total_cost r.counters);
+        string_of_int (Counters.miss_cost r.counters);
+        string_of_int (Counters.misses r.counters);
+      ]
+  in
+  let trace =
+    String.concat "\n"
+      (List.map
+         (fun e -> Format.asprintf "%a" Trace.pp_event e)
+         (Trace.events ring))
+  in
+  (counters, csv_row, trace)
+
+let levels = [ 0; 1; 2; 4 ]
+
+let test_parallel_sweep_identical () =
+  let sequential =
+    Pool.with_pool ~jobs:1 (fun pool -> Pool.map pool observed_run levels)
+  in
+  let parallel =
+    Pool.with_pool ~jobs:4 (fun pool -> Pool.map pool observed_run levels)
+  in
+  List.iteri
+    (fun i ((seq_c, seq_csv, seq_tr), (par_c, par_csv, par_tr)) ->
+      let at what = Printf.sprintf "level %d: %s" (List.nth levels i) what in
+      Alcotest.(check string) (at "counters") seq_c par_c;
+      Alcotest.(check string) (at "csv bytes") seq_csv par_csv;
+      Alcotest.(check string) (at "trace ring") seq_tr par_tr)
+    (List.combine sequential parallel)
+
+let test_experiment_pool_identical () =
+  (* The public entry point: Experiments with ?pool versus without. *)
+  let module E = Cup_sim.Experiments in
+  let seq = E.replicate sweep_base ~runs:3 in
+  let par =
+    Pool.with_pool ~jobs:4 (fun pool -> E.replicate ~pool sweep_base ~runs:3)
+  in
+  Alcotest.(check bool) "replicate moments identical" true (seq = par)
+
+let () =
+  Alcotest.run "cup_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "order preservation" `Quick
+            test_map_preserves_order;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "jobs=1 fallback" `Quick test_jobs1_fallback;
+          Alcotest.test_case "nested map rejected" `Quick
+            test_nested_map_rejected;
+          Alcotest.test_case "create/shutdown validation" `Quick
+            test_create_validation;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs=1 vs jobs=4 sweep" `Quick
+            test_parallel_sweep_identical;
+          Alcotest.test_case "experiments ?pool identical" `Quick
+            test_experiment_pool_identical;
+        ] );
+    ]
