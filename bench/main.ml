@@ -9,6 +9,8 @@
      dune exec bench/main.exe -- --csv results    # also write CSV files
      dune exec bench/main.exe -- table1 --jobs 4  # fan runs over 4 domains
      dune exec bench/main.exe -- harness          # sequential-vs-parallel timing
+     dune exec bench/main.exe -- sched            # scheduler/route-cache before-after
+     dune exec bench/main.exe -- --scheduler heap # force the event-queue impl
 
    Independent simulator runs fan out across a Cup_parallel domain
    pool ([--jobs N]; default: one job per core, [--jobs 1] is fully
@@ -29,6 +31,7 @@ let csv_dir : string option ref = ref None
 (* Accumulated for BENCH_harness.json, in execution order. *)
 let target_timings : (string * float) list ref = ref []
 let harness_json : (string * Json.t) list ref = ref []
+let sched_json : (string * Json.t) list ref = ref []
 let micro_json : (string * float) list ref = ref []
 
 let write_csv name ~header rows =
@@ -540,6 +543,173 @@ let print_profiles scale =
       | None -> ())
     rows
 
+(* {1 Scheduler and route-cache before/after measurement} *)
+
+(* The Table 1 policy grid, always jobs=1, run under three engine
+   configurations:
+
+     sched-heap-nocache   binary heap, route cache off  (the pre-PR shape)
+     sched-heap           binary heap, route cache on
+     sched-calendar       calendar queue, route cache on
+
+   Aggregate events/sec (summed engine events over summed wall time)
+   is the end-to-end number the perf work is judged by; the winner of
+   heap-vs-calendar should match [Engine.default_scheduler].  Per-run
+   total costs are compared across all three configurations — any
+   difference means a scheduler or the route cache changed simulation
+   behaviour, which the determinism contract forbids.
+
+   [Experiments.table1] does not export its policy list, so the grid
+   is restated here (keep in sync). *)
+let sched_policies =
+  let module Policy = Cup_proto.Policy in
+  [
+    Policy.Standard_caching;
+    Policy.Linear 0.25;
+    Policy.Linear 0.10;
+    Policy.Linear 0.01;
+    Policy.Linear 0.001;
+    Policy.Logarithmic 0.5;
+    Policy.Logarithmic 0.25;
+    Policy.Logarithmic 0.10;
+    Policy.Logarithmic 0.01;
+    Policy.second_chance;
+  ]
+
+let sched scale =
+  let module Scenario = Cup_sim.Scenario in
+  let base = E.base_scenario scale in
+  let grid =
+    List.concat_map
+      (fun policy -> List.map (fun rate -> (policy, rate)) (E.rates scale))
+      sched_policies
+  in
+  let run_grid ~scheduler ~route_cache =
+    List.fold_left
+      (fun (events, wall, costs) (policy, rate) ->
+        let cfg =
+          Scenario.with_policy
+            { base with
+              Scenario.query_rate = rate;
+              scheduler = Some scheduler;
+              route_cache }
+            policy
+        in
+        let r = Cup_sim.Runner.run cfg in
+        ( events + r.Cup_sim.Runner.engine_events,
+          wall +. r.wallclock,
+          Cup_metrics.Counters.total_cost r.counters :: costs ))
+      (0, 0., []) grid
+  in
+  let configs =
+    [
+      ("sched-heap-nocache", `Heap, false);
+      ("sched-heap", `Heap, true);
+      ("sched-calendar", `Calendar, true);
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, scheduler, route_cache) ->
+        let events, wall, costs = run_grid ~scheduler ~route_cache in
+        let eps = if wall > 0. then float_of_int events /. wall else 0. in
+        (name, events, wall, eps, costs))
+      configs
+  in
+  let baseline_eps =
+    match results with (_, _, _, eps, _) :: _ -> eps | [] -> 0.
+  in
+  let baseline_costs =
+    match results with (_, _, _, _, costs) :: _ -> costs | [] -> []
+  in
+  let identical =
+    List.for_all (fun (_, _, _, _, costs) -> costs = baseline_costs) results
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Scheduler / route cache: Table 1 grid end-to-end, jobs=1 (%d runs each)"
+           (List.length grid))
+      ~columns:
+        [ "config"; "engine events"; "wall (s)"; "events/sec"; "vs baseline" ]
+  in
+  List.iter
+    (fun (name, events, wall, eps, _) ->
+      Table.add_row table
+        [
+          name;
+          Table.cell_int events;
+          Printf.sprintf "%.2f" wall;
+          Printf.sprintf "%.0f" eps;
+          Table.cell_float (if baseline_eps > 0. then eps /. baseline_eps else 1.);
+        ])
+    results;
+  Table.print table;
+  Printf.printf "per-run results identical across configs: %s\n"
+    (if identical then "yes" else "NO (determinism violated)");
+  let eps_of name =
+    match List.find_opt (fun (n, _, _, _, _) -> n = name) results with
+    | Some (_, _, _, eps, _) -> eps
+    | None -> 0.
+  in
+  let heap_eps = eps_of "sched-heap" and cal_eps = eps_of "sched-calendar" in
+  (* Heap and calendar are typically within a few percent on CUP's
+     shallow queues — under the run-to-run noise of a busy host — so
+     only call a winner outside a 5% margin. *)
+  let winner =
+    let hi = Float.max heap_eps cal_eps in
+    if hi <= 0. || Float.abs (heap_eps -. cal_eps) /. hi < 0.05 then
+      "tie (within 5%)"
+    else if cal_eps > heap_eps then "calendar"
+    else "heap"
+  in
+  let default =
+    match !Cup_dess.Engine.default_scheduler with
+    | `Heap -> "heap"
+    | `Calendar -> "calendar"
+  in
+  Printf.printf "end-to-end winner: %s (library default: %s)\n" winner default;
+  write_csv "sched"
+    ~header:[ "config"; "engine_events"; "wall_seconds"; "events_per_sec" ]
+    (List.map
+       (fun (name, events, wall, eps, _) ->
+         [
+           name; string_of_int events; Printf.sprintf "%.4f" wall;
+           Printf.sprintf "%.0f" eps;
+         ])
+       results);
+  sched_json :=
+    [
+      ("workload", Json.String "table1 policy grid, jobs=1");
+      ("runs_per_config", Json.Int (List.length grid));
+      ( "configs",
+        Json.List
+          (List.map
+             (fun (name, events, wall, eps, _) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("engine_events", Json.Int events);
+                   ("wall_seconds", Json.Float wall);
+                   ("events_per_sec", Json.Float eps);
+                 ])
+             results) );
+      ( "improvement_vs_baseline",
+        Json.Float
+          (if baseline_eps > 0. then Float.max heap_eps cal_eps /. baseline_eps
+           else 1.) );
+      ("winner", Json.String winner);
+      ("default_scheduler", Json.String default);
+      ("identical_results", Json.Bool identical);
+    ];
+  if not identical then begin
+    prerr_endline
+      "sched: per-run results differ between scheduler/route-cache \
+       configurations — determinism contract broken";
+    exit 1
+  end
+
 (* {1 Parallel-harness speedup measurement} *)
 
 (* Time one representative fan-out workload sequentially and across
@@ -576,6 +746,10 @@ let harness ?pool scale =
       (if deterministic then "yes" else "NO (determinism violated)");
     ];
   Table.print table;
+  (* A speedup below 1.0 with more than one job means the pool is
+     actively hurting: record it loudly instead of silently shipping a
+     regression in the JSON trail. *)
+  let degraded = jobs > 1 && par_s > seq_s in
   harness_json :=
     [
       ("workload", Json.String (Printf.sprintf "push-level sweep @ %g q/s" rate));
@@ -583,8 +757,14 @@ let harness ?pool scale =
       ("parallel_seconds", Json.Float par_s);
       ("jobs", Json.Int jobs);
       ("speedup", Json.Float speedup);
+      ("degraded", Json.Bool degraded);
       ("deterministic", Json.Bool deterministic);
     ];
+  if degraded then
+    Printf.eprintf
+      "harness: WARNING: parallel wall time (%.2fs at %d jobs) exceeds \
+       sequential (%.2fs) — domain-pool overhead dominates this workload\n%!"
+      par_s jobs seq_s;
   if not deterministic then begin
     prerr_endline
       "harness: parallel sweep diverged from sequential sweep — \
@@ -644,10 +824,44 @@ let micro () =
              ()
            done))
   in
+  let calendar_test =
+    Test.make ~name:"calendar-queue push+pop x100"
+      (Staged.stage (fun () ->
+           let q = Cup_dess.Calendar_queue.create () in
+           for i = 0 to 99 do
+             ignore
+               (Cup_dess.Calendar_queue.push q
+                  ~time:(Cup_dess.Time.of_seconds (float_of_int (i * 7 mod 101)))
+                  i)
+           done;
+           while Cup_dess.Calendar_queue.pop q <> None do
+             ()
+           done))
+  in
   let route_test =
     Test.make ~name:"CAN route (256 nodes)"
       (Staged.stage (fun () ->
            ignore (Cup_overlay.Topology.route topo ~from:ids.(0) point)))
+  in
+  (* Same membership (same seed), cache off vs on: the cached variant
+     converges to pure hashtable hits after the first measured run. *)
+  let mk_net route_cache =
+    let rng = Cup_prng.Rng.create ~seed:77 in
+    Cup_overlay.Net.create ~rng ~route_cache ~kind:(Cup_overlay.Net.Can `Random)
+      ~n:256 ()
+  in
+  let net_cold = mk_net false in
+  let net_cached = mk_net true in
+  let net_ids = Array.of_list (Cup_overlay.Net.node_ids net_cold) in
+  let route_cold_test =
+    Test.make ~name:"route-cold (CAN 256, Net)"
+      (Staged.stage (fun () ->
+           ignore (Cup_overlay.Net.route net_cold ~from:net_ids.(0) key)))
+  in
+  let route_cached_test =
+    Test.make ~name:"route-cached (CAN 256, Net)"
+      (Staged.stage (fun () ->
+           ignore (Cup_overlay.Net.route net_cached ~from:net_ids.(0) key)))
   in
   let topo_1024 =
     Cup_overlay.Topology.create ~rng ~n:1024 ~placement:`Random ()
@@ -719,7 +933,8 @@ let micro () =
   let tests =
     Test.make_grouped ~name:"cup" ~fmt:"%s %s"
       [
-        heap_test; route_test; route_1024_test; chord_test; pastry_test;
+        heap_test; calendar_test; route_test; route_1024_test;
+        route_cold_test; route_cached_test; chord_test; pastry_test;
         queue_test;
         queue_at_depth_test ~key ~pending:10;
         queue_at_depth_test ~key ~pending:100;
@@ -792,6 +1007,9 @@ let write_harness_json ~jobs ~scale =
       @ (match !harness_json with
         | [] -> []
         | fields -> [ ("harness", Json.Obj fields) ])
+      @ (match !sched_json with
+        | [] -> []
+        | fields -> [ ("sched", Json.Obj fields) ])
       @
       match !micro_json with
       | [] -> []
@@ -828,17 +1046,33 @@ let () =
         | Some _ | None ->
             prerr_endline "bench: --jobs expects a non-negative integer";
             exit 2)
+    | "--scheduler" :: s :: rest -> (
+        match s with
+        | "heap" ->
+            Cup_dess.Engine.default_scheduler := `Heap;
+            strip_opts rest
+        | "calendar" ->
+            Cup_dess.Engine.default_scheduler := `Calendar;
+            strip_opts rest
+        | _ ->
+            prerr_endline "bench: --scheduler expects 'heap' or 'calendar'";
+            exit 2)
     | a :: rest -> a :: strip_opts rest
     | [] -> []
   in
   let args = strip_opts args in
+  (* [--jobs 0] (the default) clamps to the runtime's recommended
+     domain count, so the pool never oversubscribes a small machine. *)
   let jobs = if !jobs = 0 then Pool.default_jobs () else !jobs in
   let targets = List.filter (fun a -> a <> "--full") args in
   let targets = if targets = [] then [ "all" ] else targets in
   let want name = List.mem "all" targets || List.mem name targets in
-  Printf.printf "CUP benchmark harness (%s, %d job%s)\n" (scale_label scale)
-    jobs
-    (if jobs = 1 then "" else "s");
+  Printf.printf "CUP benchmark harness (%s, %d job%s, %s scheduler)\n"
+    (scale_label scale) jobs
+    (if jobs = 1 then "" else "s")
+    (match !Cup_dess.Engine.default_scheduler with
+    | `Heap -> "heap"
+    | `Calendar -> "calendar");
   let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
   let timed name f =
     if want name then begin
@@ -901,6 +1135,9 @@ let () =
   timed "justification" (fun () ->
       section "Section 3.1 justified-update accounting";
       print_justification (E.justification ?pool scale));
+  timed "sched" (fun () ->
+      section "Scheduler / route-cache before-after (always jobs=1)";
+      sched scale);
   timed "profile" (fun () ->
       section "Engine throughput and profiling probes";
       print_profiles scale);

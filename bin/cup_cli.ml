@@ -124,6 +124,30 @@ let overlay =
           "Structured overlay to run CUP over: can, can-grid, chord, or \
            pastry.")
 
+let scheduler_conv =
+  let parse = function
+    | "heap" -> Ok `Heap
+    | "calendar" -> Ok `Calendar
+    | s ->
+        Error
+          (`Msg (Printf.sprintf "unknown scheduler %S (heap, calendar)" s))
+  in
+  let print fmt = function
+    | `Heap -> Format.pp_print_string fmt "heap"
+    | `Calendar -> Format.pp_print_string fmt "calendar"
+  in
+  Arg.conv (parse, print)
+
+let scheduler =
+  Arg.(
+    value
+    & opt (some scheduler_conv) None
+    & info [ "scheduler" ] ~docv:"SCHED"
+        ~doc:
+          "Event-queue implementation: heap (binary heap, the default) \
+           or calendar (bucketed calendar queue).  Results are \
+           byte-identical either way; only wall-clock speed differs.")
+
 let runs =
   Arg.(
     value & opt int 1
@@ -283,10 +307,14 @@ let run_observed cfg ~trace_out ~sample_interval ~sample_out ~profile =
 
 let run_cmd =
   let action seed nodes keys rate duration lifetime replicas policy overlay
-      runs jobs trace_out sample_interval sample_out profile =
+      scheduler runs jobs trace_out sample_interval sample_out profile =
     let cfg =
-      scenario_of ~seed ~nodes ~keys ~rate ~duration ~lifetime ~replicas
-        ~policy ~overlay
+      {
+        (scenario_of ~seed ~nodes ~keys ~rate ~duration ~lifetime ~replicas
+           ~policy ~overlay)
+        with
+        scheduler;
+      }
     in
     let observed =
       trace_out <> None || sample_interval <> None || sample_out <> None
@@ -323,7 +351,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ seed $ nodes $ keys $ rate $ duration $ lifetime
-      $ replicas $ policy $ overlay $ runs $ jobs $ trace_out
+      $ replicas $ policy $ overlay $ scheduler $ runs $ jobs $ trace_out
       $ sample_interval $ sample_out $ profile_flag)
   in
   Cmd.v

@@ -1,0 +1,42 @@
+(** Bucketed calendar queue of timestamped events (Brown 1988).
+
+    Same contract as {!Event_heap} — the two are interchangeable
+    behind {!Engine}:
+
+    - pop order is the exact [(time, seq)] total order: equal
+      timestamps fire in insertion order, byte-identically to the
+      heap;
+    - cancellation is O(1) tombstoning via the shared
+      {!Sched_cell.handle};
+    - [length] counts live (non-cancelled) events only.
+
+    Enqueue and dequeue are O(1) amortized when the bucket width
+    matches the event density; the width is re-tuned from the live
+    events' time spread every time the bucket array resizes.  Times
+    must be non-negative (simulation time always is). *)
+
+type 'a t
+
+type handle = Sched_cell.handle
+(** Identifies a scheduled event for cancellation.  The same type as
+    {!Event_heap.handle}. *)
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:Time.t -> 'a -> handle
+(** [push t ~time v] schedules [v] at [time] and returns a handle. *)
+
+val cancel : 'a t -> handle -> bool
+(** [cancel t h] tombstones the event; returns [false] if it already
+    fired or was already cancelled. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** [pop t] removes and returns the earliest live event. *)
+
+val peek_time : 'a t -> Time.t option
+(** Timestamp of the earliest live event, without removing it. *)

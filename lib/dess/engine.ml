@@ -8,24 +8,74 @@ type probe = {
   labels : (string, int ref * float ref) Hashtbl.t;
 }
 
+type scheduler = [ `Heap | `Calendar ]
+
+(* Process-wide default used by [create] when no [?scheduler] is
+   given.  On the end-to-end Table 1 grid (bench/main.ml's [sched]
+   target) the heap and the calendar queue are within ~2% of each
+   other — CUP queues stay shallow, so the heap's log factor is tiny —
+   with the heap ahead in most paired runs, so it is the shipped
+   default.  The ref exists so harnesses can flip every engine in the
+   process (e.g. bench --scheduler, CI's sched-equivalence job)
+   without threading a parameter through every scenario
+   constructor. *)
+let default_scheduler : scheduler ref = ref `Heap
+
+(* Both implementations share Sched_cell, so dispatch is one match per
+   queue operation and handles need no wrapping. *)
+type 'a queue =
+  | Heap of 'a Event_heap.t
+  | Calendar of 'a Calendar_queue.t
+
 type t = {
   mutable clock : Time.t;
   mutable executed : int;
   mutable stopping : bool;
   mutable probe : probe option;
-  queue : (t -> unit) Event_heap.t;
+  queue : (t -> unit) queue;
 }
 
-type handle = Event_heap.handle
+type handle = Sched_cell.handle
 
-let create () =
+let q_push q ~time v =
+  match q with
+  | Heap h -> Event_heap.push h ~time v
+  | Calendar c -> Calendar_queue.push c ~time v
+
+let q_pop = function
+  | Heap h -> Event_heap.pop h
+  | Calendar c -> Calendar_queue.pop c
+
+let q_peek_time = function
+  | Heap h -> Event_heap.peek_time h
+  | Calendar c -> Calendar_queue.peek_time c
+
+let q_length = function
+  | Heap h -> Event_heap.length h
+  | Calendar c -> Calendar_queue.length c
+
+let q_cancel q handle =
+  match q with
+  | Heap h -> Event_heap.cancel h handle
+  | Calendar c -> Calendar_queue.cancel c handle
+
+let create ?scheduler () =
+  let scheduler =
+    match scheduler with Some s -> s | None -> !default_scheduler
+  in
   {
     clock = Time.zero;
     executed = 0;
     stopping = false;
     probe = None;
-    queue = Event_heap.create ();
+    queue =
+      (match scheduler with
+      | `Heap -> Heap (Event_heap.create ())
+      | `Calendar -> Calendar (Calendar_queue.create ()));
   }
+
+let scheduler t =
+  match t.queue with Heap _ -> `Heap | Calendar _ -> `Calendar
 
 let now t = t.clock
 
@@ -66,17 +116,17 @@ let schedule ?label t ~at f =
   match t.probe with
   | Some probe when probe.collecting ->
       let label = Option.value label ~default:default_label in
-      let handle = Event_heap.push t.queue ~time:at (instrument probe label f) in
-      let len = Event_heap.length t.queue in
+      let handle = q_push t.queue ~time:at (instrument probe label f) in
+      let len = q_length t.queue in
       if len > probe.high_water then probe.high_water <- len;
       handle
-  | Some _ | None -> Event_heap.push t.queue ~time:at f
+  | Some _ | None -> q_push t.queue ~time:at f
 
 let schedule_after ?label t ~delay f =
   if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
   schedule ?label t ~at:(Time.add t.clock delay) f
 
-let cancel t handle = Event_heap.cancel t.queue handle
+let cancel t handle = q_cancel t.queue handle
 
 let stop t = t.stopping <- true
 
@@ -86,12 +136,12 @@ let run ?(until = Time.infinity) ?(max_events = max_int) t =
   let rec loop () =
     if t.stopping || !budget <= 0 then ()
     else
-      match Event_heap.peek_time t.queue with
+      match q_peek_time t.queue with
       | None -> ()
       | Some time when Time.(time > until) ->
           if Time.is_finite until then t.clock <- Time.max t.clock until
       | Some _ -> (
-          match Event_heap.pop t.queue with
+          match q_pop t.queue with
           | None -> ()
           | Some (time, f) ->
               t.clock <- time;
@@ -102,7 +152,7 @@ let run ?(until = Time.infinity) ?(max_events = max_int) t =
   in
   loop ()
 
-let pending t = Event_heap.length t.queue
+let pending t = q_length t.queue
 
 let events_executed t = t.executed
 

@@ -1,11 +1,11 @@
-type 'a cell = {
+type 'a cell = 'a Sched_cell.cell = {
   time : Time.t;
   seq : int;
   value : 'a;
   mutable cancelled : bool;
 }
 
-type handle = H : 'a cell -> handle
+type handle = Sched_cell.handle = H : 'a cell -> handle
 
 type 'a t = {
   mutable cells : 'a cell array; (* binary heap, slot 0 is the root *)
@@ -20,8 +20,7 @@ let length t = t.live
 
 let is_empty t = t.live = 0
 
-let earlier a b =
-  match Time.compare a.time b.time with 0 -> a.seq < b.seq | c -> c < 0
+let earlier = Sched_cell.earlier
 
 let swap t i j =
   let tmp = t.cells.(i) in
@@ -98,6 +97,9 @@ let pop t =
   else begin
     let cell = remove_root t in
     t.live <- t.live - 1;
+    (* Mark the fired cell so a late [cancel] on its handle reports
+       failure instead of double-decrementing the live count. *)
+    cell.cancelled <- true;
     Some (cell.time, cell.value)
   end
 

@@ -7,12 +7,17 @@
     implementation detail.
 
     Cancellation is O(1) by tombstoning: a cancelled event stays in the
-    array and is discarded lazily when it reaches the top. *)
+    array and is discarded lazily when it reaches the top.
+
+    {!Calendar_queue} implements the same signature (and shares the
+    same {!Sched_cell.handle} type), so the engine can swap scheduler
+    implementations without changing pop order. *)
 
 type 'a t
 
-type handle
-(** Identifies a scheduled event for cancellation. *)
+type handle = Sched_cell.handle
+(** Identifies a scheduled event for cancellation.  Shared with every
+    other scheduler implementation. *)
 
 val create : unit -> 'a t
 

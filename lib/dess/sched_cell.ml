@@ -1,0 +1,26 @@
+(* The scheduled-event cell shared by every scheduler implementation.
+
+   Both {!Event_heap} and {!Calendar_queue} store events in these
+   cells and hand out the same [handle] type, so the engine can switch
+   scheduler without wrapping handles (no per-event allocation on top
+   of the cell itself) and cancellation is O(1) tombstoning in both.
+
+   The [(time, seq)] pair is the total order every scheduler must pop
+   in: [seq] is assigned at insertion, so equal timestamps fire in
+   insertion order.  That tie-break is what makes a whole simulation
+   run a pure function of its inputs — it is part of the scheduler
+   contract, not an implementation detail. *)
+
+type 'a cell = {
+  time : Time.t;
+  seq : int;
+  value : 'a;
+  mutable cancelled : bool;
+}
+
+type handle = H : 'a cell -> handle
+
+(* [earlier a b] is the scheduler total order: time, then insertion
+   sequence. *)
+let earlier a b =
+  match Time.compare a.time b.time with 0 -> a.seq < b.seq | c -> c < 0

@@ -43,9 +43,12 @@ let record_update_hop t = function
 let record_clear_bit_hop t = t.clear_bit_hops <- t.clear_bit_hops + 1
 let record_hit t = t.hits <- t.hits + 1
 
-let record_miss t ~latency ~hop_delay =
+(* Takes the latency already converted to hops so the hot path is
+   three unconditional stores plus the accumulator updates — callers
+   precompute the 1/hop_delay factor once per run instead of paying a
+   branch and a division per miss. *)
+let record_miss t ~hops =
   t.misses <- t.misses + 1;
-  let hops = if hop_delay > 0. then latency /. hop_delay else 0. in
   Welford.add t.latency_hops hops;
   Histogram.add t.latency_histogram hops
 

@@ -35,9 +35,11 @@ val record_first_time_hop : t -> answering:bool -> unit
 val record_update_hop : t -> [ `Refresh | `Delete | `Append ] -> unit
 val record_clear_bit_hop : t -> unit
 val record_hit : t -> unit
-val record_miss : t -> latency:float -> hop_delay:float -> unit
-(** [latency] in seconds; [hop_delay] converts it to the hop count the
-    paper reports. *)
+val record_miss : t -> hops:float -> unit
+(** [hops] is the miss latency already expressed in overlay hops (the
+    unit the paper reports): latency in seconds divided by the hop
+    delay, or [0.] under a zero hop delay.  Branch-free: callers
+    precompute the conversion factor once per run. *)
 
 val record_dropped_update : t -> unit
 (** An update suppressed by reduced outgoing capacity. *)

@@ -33,6 +33,9 @@ type t = {
   nodes : node Node_id.Table.t;
   mutable ring : Node_id.t Pos_map.t; (* alive nodes by position *)
   mutable next_id : int;
+  mutable generation : int; (* bumped on every membership change *)
+  mutable ids_gen : int;
+  mutable ids_cache : Node_id.t list;
 }
 
 type change = {
@@ -47,7 +50,21 @@ let get t id =
   | Some _ | None -> raise Not_found
 
 let size t = Pos_map.cardinal t.ring
-let node_ids t = List.sort Node_id.compare (List.map snd (Pos_map.bindings t.ring))
+
+let generation t = t.generation
+
+(* Sorting the whole membership on every call is wasted work between
+   membership changes; cache on the generation counter. *)
+let node_ids t =
+  if t.ids_gen = t.generation then t.ids_cache
+  else begin
+    let ids =
+      List.sort Node_id.compare (List.map snd (Pos_map.bindings t.ring))
+    in
+    t.ids_gen <- t.generation;
+    t.ids_cache <- ids;
+    ids
+  end
 
 let is_alive t id =
   match Node_id.Table.find_opt t.nodes id with
@@ -173,6 +190,7 @@ let fresh_node t pos =
   let node = { id; pos; fingers = [||]; pred = id; alive = true } in
   Node_id.Table.replace t.nodes id node;
   t.ring <- Pos_map.add pos id t.ring;
+  t.generation <- t.generation + 1;
   node
 
 let join_at t pos =
@@ -206,6 +224,7 @@ let leave t id =
   let before = neighbor_snapshot t in
   node.alive <- false;
   t.ring <- Pos_map.remove node.pos t.ring;
+  t.generation <- t.generation + 1;
   let taker = successor_of_pos t node.pos in
   rebuild_all t;
   let affected = diff_affected before (neighbor_snapshot t) in
@@ -214,7 +233,16 @@ let leave t id =
 
 let create ?rng ~n () =
   if n < 1 then invalid_arg "Chord.create: n must be >= 1";
-  let t = { nodes = Node_id.Table.create (2 * n); ring = Pos_map.empty; next_id = 0 } in
+  let t =
+    {
+      nodes = Node_id.Table.create (2 * n);
+      ring = Pos_map.empty;
+      next_id = 0;
+      generation = 0;
+      ids_gen = -1;
+      ids_cache = [];
+    }
+  in
   (match rng with
   | Some rng ->
       for _ = 1 to n do

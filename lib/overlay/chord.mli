@@ -34,7 +34,14 @@ val create : ?rng:Cup_prng.Rng.t -> n:int -> unit -> t
     analogue of the CAN grid placement).  Requires [n >= 1]. *)
 
 val size : t -> int
+
+val generation : t -> int
+(** Membership generation: bumped on every join and leave.  Suitable as
+    a cache-invalidation stamp. *)
+
 val node_ids : t -> Node_id.t list
+(** Alive node ids in increasing order.  Memoized per {!generation}. *)
+
 val is_alive : t -> Node_id.t -> bool
 
 val position : t -> Node_id.t -> int64

@@ -1,9 +1,23 @@
 type kind = Can of [ `Random | `Grid ] | Chord | Pastry
 
-type t =
+type impl =
   | Can_net of Topology.t
   | Chord_net of Chord.t
   | Pastry_net of Pastry.t
+
+(* The simulation layer routes the same (node, key) pairs over and
+   over — every query for a key walks next_hop from the querying node,
+   and the key universe is small.  The overlays answer from static
+   routing state that only changes on membership events, so the
+   answers are cacheable: [hop_cache] memoizes next_hop keyed by a
+   packed (node, key) int and is flushed whenever the underlying
+   overlay's generation counter moves (join/leave/churn). *)
+type t = {
+  impl : impl;
+  cache_enabled : bool;
+  hop_cache : (int, Node_id.t option) Hashtbl.t;
+  mutable hop_gen : int; (* generation [hop_cache] entries belong to *)
+}
 
 type change = {
   subject : Node_id.t;
@@ -11,56 +25,119 @@ type change = {
   affected : Node_id.t list;
 }
 
-let create ?rng ~kind ~n () =
-  match kind with
-  | Can placement -> Can_net (Topology.create ?rng ~n ~placement ())
-  | Chord -> Chord_net (Chord.create ?rng ~n ())
-  | Pastry -> Pastry_net (Pastry.create ?rng ~n ())
+let create ?rng ?(route_cache = true) ~kind ~n () =
+  let impl =
+    match kind with
+    | Can placement -> Can_net (Topology.create ?rng ~n ~placement ())
+    | Chord -> Chord_net (Chord.create ?rng ~n ())
+    | Pastry -> Pastry_net (Pastry.create ?rng ~n ())
+  in
+  {
+    impl;
+    cache_enabled = route_cache;
+    hop_cache = Hashtbl.create (if route_cache then 4096 else 1);
+    hop_gen = -1;
+  }
 
-let kind = function
+let kind net =
+  match net.impl with
   | Can_net _ -> Can `Random
   | Chord_net _ -> Chord
   | Pastry_net _ -> Pastry
 
-let size = function
+let size net =
+  match net.impl with
   | Can_net t -> Topology.size t
   | Chord_net c -> Chord.size c
   | Pastry_net p -> Pastry.size p
 
-let node_ids = function
+let generation net =
+  match net.impl with
+  | Can_net t -> Topology.generation t
+  | Chord_net c -> Chord.generation c
+  | Pastry_net p -> Pastry.generation p
+
+let route_cache_enabled net = net.cache_enabled
+
+let node_ids net =
+  match net.impl with
   | Can_net t -> Topology.node_ids t
   | Chord_net c -> Chord.node_ids c
   | Pastry_net p -> Pastry.node_ids p
 
 let is_alive net id =
-  match net with
+  match net.impl with
   | Can_net t -> Topology.is_alive t id
   | Chord_net c -> Chord.is_alive c id
   | Pastry_net p -> Pastry.is_alive p id
 
 let neighbors net id =
-  match net with
+  match net.impl with
   | Can_net t -> Topology.neighbors t id
   | Chord_net c -> Chord.neighbors c id
   | Pastry_net p -> Pastry.neighbors p id
 
 let owner_of_key net key =
-  match net with
+  match net.impl with
   | Can_net t -> Topology.owner_of_key t key
   | Chord_net c -> Chord.owner_of_key c key
   | Pastry_net p -> Pastry.owner_of_key p key
 
-let next_hop net id key =
-  match net with
+let next_hop_uncached impl id key =
+  match impl with
   | Can_net t -> Topology.next_hop t id (Key.to_point key)
   | Chord_net c -> Chord.next_hop c id key
   | Pastry_net p -> Pastry.next_hop p id key
 
+(* Packed (node, key) cache key: both fit comfortably below 31 bits,
+   and an int key avoids the tuple allocation and polymorphic hashing
+   a [(int * int)] key would pay on every lookup. *)
+let pack_hop_key id key = (Node_id.to_int id lsl 31) lor Key.to_int key
+
+let next_hop net id key =
+  if not net.cache_enabled then next_hop_uncached net.impl id key
+  else begin
+    let gen = generation net in
+    if gen <> net.hop_gen then begin
+      Hashtbl.reset net.hop_cache;
+      net.hop_gen <- gen
+    end;
+    let packed = pack_hop_key id key in
+    match Hashtbl.find_opt net.hop_cache packed with
+    | Some hop -> hop
+    | None ->
+        let hop = next_hop_uncached net.impl id key in
+        Hashtbl.add net.hop_cache packed hop;
+        hop
+  end
+
+(* Same per-kind step budgets as the underlying [route]s use. *)
+let route_limit net =
+  match net.impl with
+  | Can_net t -> (4 * Topology.size t) + 64
+  | Chord_net c -> 128 + Chord.size c
+  | Pastry_net p -> 16 + Pastry.size p
+
 let route net ~from key =
-  match net with
-  | Can_net t -> Topology.route t ~from (Key.to_point key)
-  | Chord_net c -> Chord.route c ~from key
-  | Pastry_net p -> Pastry.route p ~from key
+  if not net.cache_enabled then begin
+    match net.impl with
+    | Can_net t -> Topology.route t ~from (Key.to_point key)
+    | Chord_net c -> Chord.route c ~from key
+    | Pastry_net p -> Pastry.route p ~from key
+  end
+  else begin
+    (* Walk through the cached next_hop so every hop of every route
+       warms — and benefits from — the cache. *)
+    let limit = route_limit net in
+    let rec walk current steps acc =
+      if steps > limit then failwith "Net.route: lookup did not converge"
+      else
+        match next_hop net current key with
+        | None -> List.rev acc
+        | Some hop -> walk hop (steps + 1) (hop :: acc)
+    in
+    walk from 0 []
+  end
 
 let of_can_change (c : Topology.change) =
   { subject = c.Topology.subject; peer = c.Topology.peer; affected = c.Topology.affected }
@@ -72,22 +149,28 @@ let of_pastry_change (c : Pastry.change) =
   { subject = c.Pastry.subject; peer = c.Pastry.peer; affected = c.Pastry.affected }
 
 let join_random net ~rng =
-  match net with
+  match net.impl with
   | Can_net t -> of_can_change (Topology.join_random t ~rng)
   | Chord_net c -> of_chord_change (Chord.join_random c ~rng)
   | Pastry_net p -> of_pastry_change (Pastry.join_random p ~rng)
 
 let leave net id =
-  match net with
+  match net.impl with
   | Can_net t -> of_can_change (Topology.leave t id)
   | Chord_net c -> of_chord_change (Chord.leave c id)
   | Pastry_net p -> of_pastry_change (Pastry.leave p id)
 
-let check_invariants = function
+let check_invariants net =
+  match net.impl with
   | Can_net t -> Topology.check_invariants t
   | Chord_net c -> Chord.check_invariants c
   | Pastry_net p -> Pastry.check_invariants p
 
-let as_can = function Can_net t -> Some t | Chord_net _ | Pastry_net _ -> None
-let as_chord = function Chord_net c -> Some c | Can_net _ | Pastry_net _ -> None
-let as_pastry = function Pastry_net p -> Some p | Can_net _ | Chord_net _ -> None
+let as_can net =
+  match net.impl with Can_net t -> Some t | Chord_net _ | Pastry_net _ -> None
+
+let as_chord net =
+  match net.impl with Chord_net c -> Some c | Can_net _ | Pastry_net _ -> None
+
+let as_pastry net =
+  match net.impl with Pastry_net p -> Some p | Can_net _ | Chord_net _ -> None

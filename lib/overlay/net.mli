@@ -18,13 +18,30 @@ type change = {
   affected : Node_id.t list;
 }
 
-val create : ?rng:Cup_prng.Rng.t -> kind:kind -> n:int -> unit -> t
+val create :
+  ?rng:Cup_prng.Rng.t -> ?route_cache:bool -> kind:kind -> n:int -> unit -> t
 (** [Can `Random] and [Chord] require [rng] for placement ([Chord]
-    falls back to evenly-spaced positions without it). *)
+    falls back to evenly-spaced positions without it).
+
+    [route_cache] (default [true]) enables the per-node next-hop
+    cache: {!next_hop} and {!route} answers are memoized per
+    (node, key) pair and invalidated wholesale whenever the overlay's
+    {!generation} moves (any join, leave, or churn event).  Caching
+    never changes any answer — overlay routing is a pure function of
+    the membership — so runs are byte-identical with it on or off. *)
 
 val kind : t -> kind
 val size : t -> int
+
+val generation : t -> int
+(** The underlying overlay's membership generation; bumped on every
+    join and leave.  The next-hop cache is keyed to this stamp. *)
+
+val route_cache_enabled : t -> bool
+
 val node_ids : t -> Node_id.t list
+(** Alive node ids in increasing order; memoized per {!generation}. *)
+
 val is_alive : t -> Node_id.t -> bool
 val neighbors : t -> Node_id.t -> Node_id.t list
 val owner_of_key : t -> Key.t -> Node_id.t

@@ -37,6 +37,9 @@ type t = {
   mutable ring : Node_id.t Pos_map.t;
   leaf_radius : int;
   mutable next_id : int;
+  mutable generation : int; (* bumped on every membership change *)
+  mutable ids_gen : int;
+  mutable ids_cache : Node_id.t list;
 }
 
 type change = {
@@ -51,7 +54,21 @@ let get t id =
   | Some _ | None -> raise Not_found
 
 let size t = Pos_map.cardinal t.ring
-let node_ids t = List.sort Node_id.compare (List.map snd (Pos_map.bindings t.ring))
+
+let generation t = t.generation
+
+(* Cached on the generation counter: membership changes rarely
+   relative to how often callers re-request the sorted listing. *)
+let node_ids t =
+  if t.ids_gen = t.generation then t.ids_cache
+  else begin
+    let ids =
+      List.sort Node_id.compare (List.map snd (Pos_map.bindings t.ring))
+    in
+    t.ids_gen <- t.generation;
+    t.ids_cache <- ids;
+    ids
+  end
 
 let is_alive t id =
   match Node_id.Table.find_opt t.nodes id with
@@ -233,6 +250,7 @@ let fresh_node t ident =
   let node = { id; ident; table = [||]; leaves = [||]; alive = true } in
   Node_id.Table.replace t.nodes id node;
   t.ring <- Pos_map.add ident id t.ring;
+  t.generation <- t.generation + 1;
   node
 
 let join_at t ident =
@@ -264,6 +282,7 @@ let leave t id =
   let before = neighbor_snapshot t in
   node.alive <- false;
   t.ring <- Pos_map.remove node.ident t.ring;
+  t.generation <- t.generation + 1;
   let taker = closest_to t node.ident in
   rebuild_all t;
   let affected =
@@ -282,6 +301,9 @@ let create ?rng ?(leaf_radius = 4) ~n () =
       ring = Pos_map.empty;
       leaf_radius;
       next_id = 0;
+      generation = 0;
+      ids_gen = -1;
+      ids_cache = [];
     }
   in
   (match rng with

@@ -27,7 +27,14 @@ val create : ?rng:Cup_prng.Rng.t -> ?leaf_radius:int -> n:int -> unit -> t
     [rng], identifiers are evenly spaced.  Requires [n >= 1]. *)
 
 val size : t -> int
+
+val generation : t -> int
+(** Membership generation: bumped on every join and leave.  Suitable as
+    a cache-invalidation stamp. *)
+
 val node_ids : t -> Node_id.t list
+(** Alive node ids in increasing order.  Memoized per {!generation}. *)
+
 val is_alive : t -> Node_id.t -> bool
 
 val ident : t -> Node_id.t -> int64

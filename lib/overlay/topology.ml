@@ -18,6 +18,9 @@ type t = {
   nodes : node Node_id.Table.t;
   mutable alive_count : int;
   mutable next_id : int;
+  mutable generation : int; (* bumped on every membership change *)
+  mutable ids_gen : int; (* generation [ids_cache] was computed at *)
+  mutable ids_cache : Node_id.t list;
 }
 
 type change = {
@@ -33,10 +36,24 @@ let get t id =
 
 let size t = t.alive_count
 
+let generation t = t.generation
+
+(* The sorted membership is re-requested constantly (reports, bench
+   setup, invariant checks) but only changes on join/leave: cache it on
+   the generation counter. *)
 let node_ids t =
-  Node_id.Table.fold (fun id node acc -> if node.alive then id :: acc else acc)
-    t.nodes []
-  |> List.sort Node_id.compare
+  if t.ids_gen = t.generation then t.ids_cache
+  else begin
+    let ids =
+      Node_id.Table.fold
+        (fun id node acc -> if node.alive then id :: acc else acc)
+        t.nodes []
+      |> List.sort Node_id.compare
+    in
+    t.ids_gen <- t.generation;
+    t.ids_cache <- ids;
+    ids
+  end
 
 let is_alive t id =
   match Node_id.Table.find_opt t.nodes id with
@@ -142,6 +159,7 @@ let fresh_node t zones =
   let node = { id; zones; neighbors = Node_id.Map.empty; alive = true } in
   Node_id.Table.replace t.nodes id node;
   t.alive_count <- t.alive_count + 1;
+  t.generation <- t.generation + 1;
   node
 
 let join_at t p =
@@ -212,6 +230,7 @@ let leave t id =
   in
   node.alive <- false;
   t.alive_count <- t.alive_count - 1;
+  t.generation <- t.generation + 1;
   (* Drop the departed node from every neighbor's map. *)
   List.iter
     (fun n -> n.neighbors <- Node_id.Map.remove id n.neighbors)
@@ -253,7 +272,14 @@ let largest_zone_owner t =
 let create ?rng ~n ~placement () =
   if n < 1 then invalid_arg "Topology.create: n must be >= 1";
   let t =
-    { nodes = Node_id.Table.create (2 * n); alive_count = 0; next_id = 0 }
+    {
+      nodes = Node_id.Table.create (2 * n);
+      alive_count = 0;
+      next_id = 0;
+      generation = 0;
+      ids_gen = -1;
+      ids_cache = [];
+    }
   in
   ignore (join_at t (Point.make ~x:0.5 ~y:0.5));
   for _ = 2 to n do

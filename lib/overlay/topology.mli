@@ -33,8 +33,13 @@ val create : ?rng:Cup_prng.Rng.t -> n:int -> placement:[ `Random | `Grid ] -> un
 val size : t -> int
 (** Number of alive nodes. *)
 
+val generation : t -> int
+(** Membership generation: bumped on every join and leave.  Suitable as
+    a cache-invalidation stamp for anything derived from the current
+    membership or neighbor structure. *)
+
 val node_ids : t -> Node_id.t list
-(** Alive node ids in increasing order. *)
+(** Alive node ids in increasing order.  Memoized per {!generation}. *)
 
 val is_alive : t -> Node_id.t -> bool
 

@@ -30,12 +30,18 @@ type result = {
 }
 
 (* Token-bucket mode: the Section 2.8 per-neighbor outgoing update
-   channels of one node. *)
+   channels of one node.  [drain_cb] is the drain callback, allocated
+   once per channel the first time a drain is scheduled and reused for
+   every subsequent drain event (the per-message closure allocation
+   was a measurable share of the delivery path). *)
 type channel_state = {
   queues : Update_queue.t Node_id.Table.t;
   mutable drain_scheduled : bool;
   mutable last_send : float;
+  mutable drain_cb : Engine.t -> unit;
 }
+
+let no_drain : Engine.t -> unit = fun _ -> ()
 
 type live = {
   cfg : Scenario.t;
@@ -51,9 +57,12 @@ type live = {
   cap_rng : Rng.t;
   sample_rng : Rng.t;
   batches : Entry.t list ref Key.Table.t; (* authority-side refresh batching *)
-  justif : (int * int, float list ref) Hashtbl.t;
-      (* (node, key) -> justification deadlines of updates applied
-         there and not yet judged (Section 3.1) *)
+  justif : (int, float list ref) Hashtbl.t;
+      (* packed (node, key) -> justification deadlines of updates
+         applied there and not yet judged (Section 3.1).  Judged
+         entries are emptied in place, not removed, so the ref cell is
+         reused by the next update at the same (node, key). *)
+  inv_hop_delay : float; (* 1 / hop_delay, or 0 under zero delay *)
   mutable tracked_updates : int;
   mutable justified_updates : int;
   mutable queries_posted : int;
@@ -62,8 +71,14 @@ type live = {
   started : float; (* host wallclock at creation *)
 }
 
+(* Call sites build the [Trace.event] record lazily behind a
+   [t.tracer <> None] test: tracing is off in every benchmark and most
+   runs, and allocating a record per delivered message just to drop it
+   in [emit] was pure garbage-collector load. *)
 let emit t event =
   match t.tracer with Some f -> f event | None -> ()
+
+let tracing t = t.tracer <> None
 
 let get_node t id = Node_id.Table.find t.nodes id
 let now t = Engine.now t.engine
@@ -82,6 +97,7 @@ let channel_of t id =
           queues = Node_id.Table.create 8;
           drain_scheduled = false;
           last_send = Float.neg_infinity;
+          drain_cb = no_drain;
         }
       in
       Node_id.Table.replace t.channels id ch;
@@ -95,7 +111,9 @@ let channel_of t id =
    non-answering update is applied at a node and judge all pending
    deadlines at the node's next query for the key. *)
 
-let justif_key node key = (Node_id.to_int node, Key.to_int key)
+(* Packed (node, key) table key: an int avoids the tuple allocation
+   and polymorphic hashing a pair key pays on every probe. *)
+let justif_key node key = (Node_id.to_int node lsl 31) lor Key.to_int key
 
 let register_update_for_justification t ~node (update : Update.t) =
   let deadline =
@@ -110,9 +128,8 @@ let register_update_for_justification t ~node (update : Update.t) =
   | None -> Hashtbl.replace t.justif k (ref [ deadline ])
 
 let judge_pending_updates t ~node ~key =
-  let k = justif_key node key in
-  match Hashtbl.find_opt t.justif k with
-  | None -> ()
+  match Hashtbl.find_opt t.justif (justif_key node key) with
+  | None | Some { contents = [] } -> ()
   | Some deadlines ->
       let now = Time.to_seconds (Engine.now t.engine) in
       List.iter
@@ -120,7 +137,9 @@ let judge_pending_updates t ~node ~key =
           if deadline >= now then
             t.justified_updates <- t.justified_updates + 1)
         !deadlines;
-      Hashtbl.remove t.justif k
+      (* Empty in place: the table slot and ref cell live on for the
+         next update registered at this (node, key). *)
+      deadlines := []
 
 (* {2 Message transport}
 
@@ -146,15 +165,16 @@ and perform_one t ~from = function
   | Node.Send_update { to_; update; answering } ->
       send_update t ~from ~to_ ~answering update
   | Node.Answer_local { posted_at; hit; key; _ } ->
-      emit t
-        (Trace.Local_answer
-           {
-             at = now t;
-             node = from;
-             key;
-             hit;
-             waiters = List.length posted_at;
-           });
+      if tracing t then
+        emit t
+          (Trace.Local_answer
+             {
+               at = now t;
+               node = from;
+               key;
+               hit;
+               waiters = List.length posted_at;
+             });
       if hit then
         List.iter (fun _ -> Counters.record_hit t.counters) posted_at
       else begin
@@ -162,13 +182,13 @@ and perform_one t ~from = function
         List.iter
           (fun posted ->
             Counters.record_miss t.counters
-              ~latency:(Time.diff n posted)
-              ~hop_delay:t.cfg.hop_delay)
+              ~hops:(Time.diff n posted *. t.inv_hop_delay))
           posted_at
       end
 
 and deliver_query t ~from ~to_ key =
-  emit t (Trace.Query_forwarded { at = now t; from_ = from; to_; key });
+  if tracing t then
+    emit t (Trace.Query_forwarded { at = now t; from_ = from; to_; key });
   if Net.is_alive t.net to_ then begin
     judge_pending_updates t ~node:to_ ~key;
     let node = get_node t to_ in
@@ -179,7 +199,8 @@ and deliver_query t ~from ~to_ key =
   end
 
 and deliver_clear_bit t ~from ~to_ key =
-  emit t (Trace.Clear_bit_delivered { at = now t; from_ = from; to_; key });
+  if tracing t then
+    emit t (Trace.Clear_bit_delivered { at = now t; from_ = from; to_; key });
   if Net.is_alive t.net to_ then begin
     let node = get_node t to_ in
     perform t ~from:to_ (Node.handle_clear_bit node ~now:(now t) ~from key)
@@ -218,17 +239,18 @@ and transmit_update t ~from ~to_ ?(answering = false) update =
          deliver_update t ~from ~to_ ~answering update))
 
 and deliver_update t ~from ~to_ ~answering (update : Update.t) =
-  emit t
-    (Trace.Update_delivered
-       {
-         at = now t;
-         from_ = from;
-         to_;
-         key = update.key;
-         kind = update.kind;
-         level = update.level;
-         answering;
-       });
+  if tracing t then
+    emit t
+      (Trace.Update_delivered
+         {
+           at = now t;
+           from_ = from;
+           to_;
+           key = update.key;
+           kind = update.kind;
+           level = update.level;
+           answering;
+         });
   let node_alive = Net.is_alive t.net to_ in
   (match update.kind with
   | Update.First_time -> Counters.record_first_time_hop t.counters ~answering
@@ -254,13 +276,15 @@ and schedule_drain t node_id ch =
     in
     if rate > 0. then begin
       ch.drain_scheduled <- true;
+      if ch.drain_cb == no_drain then
+        ch.drain_cb <-
+          (fun _ ->
+            ch.drain_scheduled <- false;
+            drain_once t node_id ch);
       let at =
         Time.max (now t) (Time.of_seconds (ch.last_send +. (1. /. rate)))
       in
-      ignore
-        (Engine.schedule ~label:"channel.drain" t.engine ~at (fun _ ->
-             ch.drain_scheduled <- false;
-             drain_once t node_id ch))
+      ignore (Engine.schedule ~label:"channel.drain" t.engine ~at ch.drain_cb)
     end
   end
 
@@ -295,7 +319,7 @@ and drain_once t node_id ch =
 
 let post_query t ~node ~key =
   if Net.is_alive t.net node then begin
-    emit t (Trace.Query_posted { at = now t; node; key });
+    if tracing t then emit t (Trace.Query_posted { at = now t; node; key });
     judge_pending_updates t ~node ~key;
     t.queries_posted <- t.queries_posted + 1;
     let n = get_node t node in
@@ -421,7 +445,10 @@ let create cfg =
   | Error msg -> invalid_arg ("Runner: invalid scenario: " ^ msg));
   let root = Rng.create ~seed:cfg.Scenario.seed in
   let topo_rng = Rng.substream root "topology" in
-  let net = Net.create ~rng:topo_rng ~kind:cfg.overlay ~n:cfg.nodes () in
+  let net =
+    Net.create ~rng:topo_rng ~route_cache:cfg.route_cache ~kind:cfg.overlay
+      ~n:cfg.nodes ()
+  in
   let nodes = Node_id.Table.create cfg.nodes in
   List.iter
     (fun id -> Node_id.Table.replace nodes id (Node.create ~id cfg.node_config))
@@ -437,7 +464,7 @@ let create cfg =
   let t =
     {
       cfg;
-      engine = Engine.create ();
+      engine = Engine.create ?scheduler:cfg.scheduler ();
       net;
       nodes;
       keys;
@@ -450,6 +477,8 @@ let create cfg =
       sample_rng = Rng.substream root "refresh-sample";
       batches = Key.Table.create 16;
       justif = Hashtbl.create 1024;
+      inv_hop_delay =
+        (if cfg.hop_delay > 0. then 1. /. cfg.hop_delay else 0.);
       tracked_updates = 0;
       justified_updates = 0;
       queries_posted = 0;
@@ -619,17 +648,21 @@ module Live = struct
   let scenario t = t.cfg
   let network t = t.net
 
+  (* Walk the memoized sorted membership instead of sorting the
+     channel table on every report tick. *)
   let update_queue_depths t =
-    Node_id.Table.fold
-      (fun id ch acc ->
-        let depth =
-          Node_id.Table.fold
-            (fun _ q acc -> acc + Update_queue.length q)
-            ch.queues 0
-        in
-        if depth > 0 then (id, depth) :: acc else acc)
-      t.channels []
-    |> List.sort (fun (a, _) (b, _) -> Node_id.compare a b)
+    List.filter_map
+      (fun id ->
+        match Node_id.Table.find_opt t.channels id with
+        | None -> None
+        | Some ch ->
+            let depth =
+              Node_id.Table.fold
+                (fun _ q acc -> acc + Update_queue.length q)
+                ch.queues 0
+            in
+            if depth > 0 then Some (id, depth) else None)
+      (Net.node_ids t.net)
   let node t id = get_node t id
   let counters t = t.counters
   let key_of_index t i = t.keys.(i)

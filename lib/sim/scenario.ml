@@ -14,6 +14,8 @@ type t = {
   seed : int;
   nodes : int;
   overlay : Cup_overlay.Net.kind;
+  scheduler : Cup_dess.Engine.scheduler option;
+  route_cache : bool;
   keys_per_node : float;
   total_keys_override : int option;
   replicas_per_key : int;
@@ -39,6 +41,8 @@ let default =
     seed = 1;
     nodes = 256;
     overlay = Cup_overlay.Net.Can `Random;
+    scheduler = None;
+    route_cache = true;
     keys_per_node = 1.;
     total_keys_override = None;
     replicas_per_key = 1;

@@ -37,6 +37,14 @@ type t = {
   overlay : Cup_overlay.Net.kind;
       (** which structured overlay CUP runs over (Section 2.2): a 2-d
           CAN with random or grid placement, or a Chord ring *)
+  scheduler : Cup_dess.Engine.scheduler option;
+      (** event-queue implementation for this run's engine; [None]
+          defers to {!Cup_dess.Engine.default_scheduler}.  Either
+          choice produces byte-identical results — this knob only
+          affects wall-clock speed. *)
+  route_cache : bool;
+      (** enable the overlay's per-node next-hop cache (default
+          [true]); never changes results, only speed *)
   keys_per_node : float;
   total_keys_override : int option;
       (** when set, the exact number of keys in the global index; the

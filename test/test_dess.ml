@@ -1,8 +1,30 @@
-(* Tests for Cup_dess: the event heap and the simulation engine. *)
+(* Tests for Cup_dess: the event queues (binary heap and calendar
+   queue, exercised through one shared suite) and the simulation
+   engine. *)
 
 module Heap = Cup_dess.Event_heap
 module Engine = Cup_dess.Engine
 module Time = Cup_dess.Time
+
+(* Both queue implementations promise the same contract; every queue
+   test below runs against each through this signature. *)
+module type SCHED = sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+  val push : 'a t -> time:Time.t -> 'a -> Cup_dess.Sched_cell.handle
+  val cancel : 'a t -> Cup_dess.Sched_cell.handle -> bool
+  val pop : 'a t -> (Time.t * 'a) option
+  val peek_time : 'a t -> Time.t option
+end
+
+let sched_impls : (string * (module SCHED)) list =
+  [
+    ("heap", (module Cup_dess.Event_heap));
+    ("calendar", (module Cup_dess.Calendar_queue));
+  ]
 
 (* {1 Time} *)
 
@@ -14,110 +36,225 @@ let test_time_arithmetic () =
   Alcotest.(check bool) "infinity not finite" false
     (Time.is_finite Time.infinity)
 
-(* {1 Event heap} *)
+(* {1 Event queues (heap and calendar, same contract)} *)
 
-let drain heap =
-  let rec go acc =
-    match Heap.pop heap with
-    | None -> List.rev acc
-    | Some (t, v) -> go ((t, v) :: acc)
-  in
-  go []
+module Queue_suite (S : SCHED) = struct
+  let drain q =
+    let rec go acc =
+      match S.pop q with
+      | None -> List.rev acc
+      | Some (t, v) -> go ((t, v) :: acc)
+    in
+    go []
 
-let test_heap_orders_by_time () =
-  let h = Heap.create () in
-  List.iter
-    (fun (t, v) -> ignore (Heap.push h ~time:(Time.of_seconds t) v))
-    [ (5., "e"); (1., "a"); (3., "c"); (2., "b"); (4., "d") ];
-  Alcotest.(check (list string))
-    "sorted pop order"
-    [ "a"; "b"; "c"; "d"; "e" ]
-    (List.map snd (drain h))
+  let test_orders_by_time () =
+    let h = S.create () in
+    List.iter
+      (fun (t, v) -> ignore (S.push h ~time:(Time.of_seconds t) v))
+      [ (5., "e"); (1., "a"); (3., "c"); (2., "b"); (4., "d") ];
+    Alcotest.(check (list string))
+      "sorted pop order"
+      [ "a"; "b"; "c"; "d"; "e" ]
+      (List.map snd (drain h))
 
-let test_heap_fifo_on_ties () =
-  let h = Heap.create () in
-  let t = Time.of_seconds 1. in
-  List.iter (fun v -> ignore (Heap.push h ~time:t v)) [ 1; 2; 3; 4; 5 ];
-  Alcotest.(check (list int))
-    "equal timestamps pop in insertion order" [ 1; 2; 3; 4; 5 ]
-    (List.map snd (drain h))
+  let test_fifo_on_ties () =
+    let h = S.create () in
+    let t = Time.of_seconds 1. in
+    List.iter (fun v -> ignore (S.push h ~time:t v)) [ 1; 2; 3; 4; 5 ];
+    Alcotest.(check (list int))
+      "equal timestamps pop in insertion order" [ 1; 2; 3; 4; 5 ]
+      (List.map snd (drain h))
 
-let test_heap_cancel () =
-  let h = Heap.create () in
-  let _a = Heap.push h ~time:(Time.of_seconds 1.) "a" in
-  let b = Heap.push h ~time:(Time.of_seconds 2.) "b" in
-  let _c = Heap.push h ~time:(Time.of_seconds 3.) "c" in
-  Alcotest.(check bool) "cancel succeeds" true (Heap.cancel h b);
-  Alcotest.(check bool) "second cancel fails" false (Heap.cancel h b);
-  Alcotest.(check int) "live count" 2 (Heap.length h);
-  Alcotest.(check (list string)) "b skipped" [ "a"; "c" ]
-    (List.map snd (drain h))
+  let test_cancel () =
+    let h = S.create () in
+    let _a = S.push h ~time:(Time.of_seconds 1.) "a" in
+    let b = S.push h ~time:(Time.of_seconds 2.) "b" in
+    let _c = S.push h ~time:(Time.of_seconds 3.) "c" in
+    Alcotest.(check bool) "cancel succeeds" true (S.cancel h b);
+    Alcotest.(check bool) "second cancel fails" false (S.cancel h b);
+    Alcotest.(check int) "live count" 2 (S.length h);
+    Alcotest.(check (list string)) "b skipped" [ "a"; "c" ]
+      (List.map snd (drain h))
 
-let test_heap_cancel_root () =
-  let h = Heap.create () in
-  let a = Heap.push h ~time:(Time.of_seconds 1.) "a" in
-  ignore (Heap.push h ~time:(Time.of_seconds 2.) "b");
-  ignore (Heap.cancel h a);
-  Alcotest.(check (option (float 1e-9))) "peek skips cancelled root"
-    (Some 2.) (Heap.peek_time h)
+  let test_cancel_root () =
+    let h = S.create () in
+    let a = S.push h ~time:(Time.of_seconds 1.) "a" in
+    ignore (S.push h ~time:(Time.of_seconds 2.) "b");
+    ignore (S.cancel h a);
+    Alcotest.(check (option (float 1e-9))) "peek skips cancelled root"
+      (Some 2.) (S.peek_time h);
+    (* peeking discarded the tombstone; cancelling it again still
+       reports failure rather than double-counting *)
+    Alcotest.(check bool) "cancel after peek discarded it" false
+      (S.cancel h a);
+    Alcotest.(check int) "one live event left" 1 (S.length h)
 
-let test_heap_empty () =
-  let h : int Heap.t = Heap.create () in
-  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
-  Alcotest.(check (option (pair (float 1e-9) int))) "pop empty" None
-    (Heap.pop h);
-  Alcotest.(check (option (float 1e-9))) "peek empty" None (Heap.peek_time h)
+  let test_empty () =
+    let h : int S.t = S.create () in
+    Alcotest.(check bool) "is_empty" true (S.is_empty h);
+    Alcotest.(check (option (pair (float 1e-9) int))) "pop empty" None
+      (S.pop h);
+    Alcotest.(check (option (float 1e-9))) "peek empty" None (S.peek_time h)
 
-let test_heap_interleaved_push_pop () =
-  let h = Heap.create () in
-  ignore (Heap.push h ~time:(Time.of_seconds 10.) 10);
-  ignore (Heap.push h ~time:(Time.of_seconds 5.) 5);
-  (match Heap.pop h with
-  | Some (_, 5) -> ()
-  | _ -> Alcotest.fail "expected 5 first");
-  ignore (Heap.push h ~time:(Time.of_seconds 1.) 1);
-  (match Heap.pop h with
-  | Some (_, 1) -> ()
-  | _ -> Alcotest.fail "expected 1 next");
-  match Heap.pop h with
-  | Some (_, 10) -> ()
-  | _ -> Alcotest.fail "expected 10 last"
+  let test_interleaved_push_pop () =
+    let h = S.create () in
+    ignore (S.push h ~time:(Time.of_seconds 10.) 10);
+    ignore (S.push h ~time:(Time.of_seconds 5.) 5);
+    (match S.pop h with
+    | Some (_, 5) -> ()
+    | _ -> Alcotest.fail "expected 5 first");
+    ignore (S.push h ~time:(Time.of_seconds 1.) 1);
+    (match S.pop h with
+    | Some (_, 1) -> ()
+    | _ -> Alcotest.fail "expected 1 next");
+    match S.pop h with
+    | Some (_, 10) -> ()
+    | _ -> Alcotest.fail "expected 10 last"
 
-let prop_heap_sorts =
-  QCheck.Test.make ~count:300 ~name:"heap pops nondecreasing times"
-    QCheck.(list (float_range 0. 1000.))
-    (fun times ->
-      let h = Heap.create () in
+  let test_length_interleaved_cancel_pop () =
+    let h = S.create () in
+    let handles =
+      List.map
+        (fun i -> S.push h ~time:(Time.of_seconds (float_of_int i)) i)
+        [ 1; 2; 3; 4; 5 ]
+    in
+    Alcotest.(check int) "all live" 5 (S.length h);
+    ignore (S.cancel h (List.nth handles 1));
+    Alcotest.(check int) "one cancelled" 4 (S.length h);
+    (match S.pop h with
+    | Some (_, 1) -> ()
+    | _ -> Alcotest.fail "expected 1 first");
+    Alcotest.(check int) "after pop" 3 (S.length h);
+    ignore (S.cancel h (List.nth handles 2));
+    Alcotest.(check int) "second cancel" 2 (S.length h);
+    (* cancelling the already-popped head fails and leaves the count *)
+    Alcotest.(check bool) "cancel popped event fails" false
+      (S.cancel h (List.nth handles 0));
+    Alcotest.(check int) "count unchanged" 2 (S.length h);
+    Alcotest.(check (list int)) "survivors pop in order" [ 4; 5 ]
+      (List.map snd (drain h));
+    Alcotest.(check int) "drained" 0 (S.length h)
+
+  let test_all_cancelled_reports_empty () =
+    let h = S.create () in
+    let handles =
+      List.map
+        (fun i -> S.push h ~time:(Time.of_seconds (float_of_int i)) i)
+        [ 3; 1; 2 ]
+    in
+    List.iter (fun handle -> ignore (S.cancel h handle)) handles;
+    Alcotest.(check int) "length 0" 0 (S.length h);
+    Alcotest.(check bool) "is_empty" true (S.is_empty h);
+    Alcotest.(check (option (float 1e-9))) "peek none" None (S.peek_time h);
+    Alcotest.(check (option (pair (float 1e-9) int))) "pop none" None
+      (S.pop h)
+
+  let cases =
+    [
+      Alcotest.test_case "orders by time" `Quick test_orders_by_time;
+      Alcotest.test_case "fifo ties" `Quick test_fifo_on_ties;
+      Alcotest.test_case "cancel" `Quick test_cancel;
+      Alcotest.test_case "cancel root" `Quick test_cancel_root;
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "interleaved" `Quick test_interleaved_push_pop;
+      Alcotest.test_case "length under cancel/pop" `Quick
+        test_length_interleaved_cancel_pop;
+      Alcotest.test_case "all cancelled is empty" `Quick
+        test_all_cancelled_reports_empty;
+    ]
+
+  let prop_sorts name =
+    QCheck.Test.make ~count:300
+      ~name:(name ^ " pops nondecreasing times")
+      QCheck.(list (float_range 0. 1000.))
+      (fun times ->
+        let h = S.create () in
+        List.iter
+          (fun t -> ignore (S.push h ~time:(Time.of_seconds t) t))
+          times;
+        let popped = List.map fst (drain h) in
+        List.length popped = List.length times
+        && popped = List.sort Float.compare popped)
+
+  let prop_cancel_half name =
+    QCheck.Test.make ~count:200
+      ~name:("cancelled events never pop (" ^ name ^ ")")
+      QCheck.(list (float_range 0. 100.))
+      (fun times ->
+        let h = S.create () in
+        let handles =
+          List.mapi
+            (fun i t -> (i, S.push h ~time:(Time.of_seconds t) i))
+            times
+        in
+        let cancelled =
+          List.filter_map
+            (fun (i, handle) ->
+              if i mod 2 = 0 then begin
+                ignore (S.cancel h handle);
+                Some i
+              end
+              else None)
+            handles
+        in
+        let popped = List.map snd (drain h) in
+        List.for_all (fun i -> not (List.mem i popped)) cancelled
+        && List.length popped = List.length times - List.length cancelled)
+end
+
+let queue_suite name (module S : SCHED) =
+  let module T = Queue_suite (S) in
+  (name, T.cases)
+
+let queue_props =
+  List.concat_map
+    (fun (name, (module S : SCHED)) ->
+      let module T = Queue_suite (S) in
+      [ T.prop_sorts name; T.prop_cancel_half name ])
+    sched_impls
+
+(* The determinism contract behind Engine's ?scheduler knob: an
+   arbitrary interleaving of pushes, pops and cancels observes the
+   identical stream of (time, value) from both implementations. *)
+let prop_heap_calendar_equivalent =
+  QCheck.Test.make ~count:400 ~name:"heap and calendar pop identical streams"
+    QCheck.(list (pair (float_range 0. 1000.) (int_range 0 9)))
+    (fun script ->
+      let module C = Cup_dess.Calendar_queue in
+      let h = Heap.create () and c = C.create () in
+      let handles = ref [] (* (heap handle, calendar handle), stack *) in
+      let pushed = ref 0 in
+      let ok = ref true in
+      let observe b = if not b then ok := false in
       List.iter
-        (fun t -> ignore (Heap.push h ~time:(Time.of_seconds t) t))
-        times;
-      let popped = List.map fst (drain h) in
-      List.length popped = List.length times
-      && popped = List.sort Float.compare popped)
-
-let prop_heap_cancel_half =
-  QCheck.Test.make ~count:200 ~name:"cancelled events never pop"
-    QCheck.(list (float_range 0. 100.))
-    (fun times ->
-      let h = Heap.create () in
-      let handles =
-        List.mapi
-          (fun i t -> (i, Heap.push h ~time:(Time.of_seconds t) i))
-          times
+        (fun (time, action) ->
+          if action <= 5 then begin
+            let v = !pushed in
+            incr pushed;
+            let time = Time.of_seconds time in
+            handles := (Heap.push h ~time v, C.push c ~time v) :: !handles
+          end
+          else if action <= 7 then begin
+            observe (Heap.peek_time h = C.peek_time c);
+            observe (Heap.pop h = C.pop c)
+          end
+          else begin
+            match !handles with
+            | [] -> ()
+            | all ->
+                let idx = action * 31 mod List.length all in
+                let hh, ch = List.nth all idx in
+                observe (Heap.cancel h hh = C.cancel c ch)
+          end;
+          observe (Heap.length h = C.length c))
+        script;
+      let rec drain_both () =
+        let ph = Heap.pop h and pc = C.pop c in
+        observe (ph = pc);
+        if ph <> None then drain_both ()
       in
-      let cancelled =
-        List.filter_map
-          (fun (i, handle) ->
-            if i mod 2 = 0 then begin
-              ignore (Heap.cancel h handle);
-              Some i
-            end
-            else None)
-          handles
-      in
-      let popped = List.map snd (drain h) in
-      List.for_all (fun i -> not (List.mem i popped)) cancelled
-      && List.length popped = List.length times - List.length cancelled)
+      drain_both ();
+      !ok)
 
 (* {1 Engine} *)
 
@@ -314,21 +451,16 @@ let test_profile_does_not_change_execution () =
 
 let () =
   Alcotest.run "cup_dess"
-    [
-      ("time", [ Alcotest.test_case "arithmetic" `Quick test_time_arithmetic ]);
-      ( "event_heap",
-        [
-          Alcotest.test_case "orders by time" `Quick test_heap_orders_by_time;
-          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_on_ties;
-          Alcotest.test_case "cancel" `Quick test_heap_cancel;
-          Alcotest.test_case "cancel root" `Quick test_heap_cancel_root;
-          Alcotest.test_case "empty" `Quick test_heap_empty;
-          Alcotest.test_case "interleaved" `Quick
-            test_heap_interleaved_push_pop;
-        ] );
-      ( "heap properties",
+    ([
+       ("time", [ Alcotest.test_case "arithmetic" `Quick test_time_arithmetic ]);
+     ]
+    @ List.map
+        (fun (name, impl) -> queue_suite ("queue:" ^ name) impl)
+        sched_impls
+    @ [
+      ( "queue properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_heap_sorts; prop_heap_cancel_half ] );
+          (queue_props @ [ prop_heap_calendar_equivalent ]) );
       ( "engine",
         [
           Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
@@ -355,4 +487,4 @@ let () =
           Alcotest.test_case "no behavioural change" `Quick
             test_profile_does_not_change_execution;
         ] );
-    ]
+    ])

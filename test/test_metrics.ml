@@ -151,8 +151,8 @@ let test_counters_cost_buckets () =
 
 let test_counters_miss_latency () =
   let c = Counters.create () in
-  Counters.record_miss c ~latency:0.5 ~hop_delay:0.05;
-  Counters.record_miss c ~latency:0.3 ~hop_delay:0.05;
+  Counters.record_miss c ~hops:(0.5 /. 0.05);
+  Counters.record_miss c ~hops:(0.3 /. 0.05);
   Alcotest.(check int) "misses" 2 (Counters.misses c);
   Alcotest.(check (float 1e-6)) "latency in hops" 8.
     (Counters.avg_miss_latency_hops c);
@@ -163,8 +163,10 @@ let test_counters_miss_latency () =
   Alcotest.(check int) "local queries" 3 (Counters.local_queries c)
 
 let test_counters_zero_hop_delay () =
+  (* Under a zero hop delay callers pass hops = 0 (see the runner's
+     precomputed conversion factor). *)
   let c = Counters.create () in
-  Counters.record_miss c ~latency:1.0 ~hop_delay:0.;
+  Counters.record_miss c ~hops:0.;
   Alcotest.(check (float 1e-9)) "degenerate hop delay yields 0" 0.
     (Counters.avg_miss_latency_hops c)
 
@@ -172,7 +174,7 @@ let test_counters_merge () =
   let a = Counters.create () and b = Counters.create () in
   Counters.record_query_hop a;
   Counters.record_update_hop a `Refresh;
-  Counters.record_miss a ~latency:0.2 ~hop_delay:0.1;
+  Counters.record_miss a ~hops:(0.2 /. 0.1);
   Counters.record_query_hop b;
   Counters.record_clear_bit_hop b;
   Counters.record_hit b;

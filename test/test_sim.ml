@@ -45,6 +45,87 @@ let test_different_seed_differs () =
     (a.queries_posted <> b.queries_posted
     || Counters.total_cost a.counters <> Counters.total_cost b.counters)
 
+(* The heap and calendar schedulers must be observationally
+   interchangeable: same counters (down to the printed digits), same
+   result fields, same trace event stream — for every workload shape.
+   This is the contract that lets Engine pick whichever is faster. *)
+
+let run_traced cfg =
+  let live = Runner.Live.create cfg in
+  let events = ref [] in
+  Runner.Live.set_tracer live (Some (fun e -> events := e :: !events));
+  let r = Runner.Live.finish live in
+  (r, List.rev !events)
+
+let observation ((r : Runner.result), trace) =
+  ( Format.asprintf "%a" Counters.pp r.counters,
+    r.node_stats,
+    ( r.queries_posted,
+      r.replica_events,
+      r.engine_events,
+      r.tracked_updates,
+      r.justified_updates ),
+    trace )
+
+let equivalence_scenarios =
+  [
+    ("can-bernoulli", Scenario.with_policy base Policy.second_chance);
+    ( "chord-token-bucket",
+      Scenario.with_policy
+        {
+          base with
+          overlay = T.Chord;
+          capacity_mode = Scenario.Token_bucket 50.;
+          refresh_batch_window = 5.;
+          faults =
+            Some
+              (Scenario.Once_down
+                 { fraction = 0.25; reduced = 0.25; warmup = 60. });
+        }
+        (Policy.Linear 0.25) );
+    ( "pastry-zipf",
+      Scenario.with_policy
+        {
+          base with
+          overlay = T.Pastry;
+          key_dist = `Zipf 0.9;
+          total_keys_override = Some 4;
+          refresh_sample = 0.5;
+        }
+        (Policy.Logarithmic 0.5) );
+  ]
+
+let test_scheduler_equivalence () =
+  List.iter
+    (fun (name, cfg) ->
+      List.iter
+        (fun seed ->
+          let cfg = { cfg with Scenario.seed } in
+          let heap =
+            observation (run_traced { cfg with scheduler = Some `Heap })
+          in
+          let calendar =
+            observation (run_traced { cfg with scheduler = Some `Calendar })
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s seed %d: heap = calendar" name seed)
+            true
+            (heap = calendar))
+        [ 1; 42; 1001 ])
+    equivalence_scenarios
+
+(* Same guarantee for the overlay's next-hop cache: it only memoizes a
+   pure function of the membership, so answers cannot change. *)
+let test_route_cache_equivalence () =
+  List.iter
+    (fun (name, cfg) ->
+      let cached = observation (run_traced { cfg with route_cache = true }) in
+      let cold = observation (run_traced { cfg with route_cache = false }) in
+      Alcotest.(check bool)
+        (name ^ ": cached = uncached")
+        true (cached = cold))
+    equivalence_scenarios
+
 (* {1 Conservation laws} *)
 
 let test_every_query_answered () =
@@ -659,6 +740,10 @@ let () =
           Alcotest.test_case "same seed" `Quick test_same_seed_same_costs;
           Alcotest.test_case "different seed" `Quick
             test_different_seed_differs;
+          Alcotest.test_case "heap vs calendar scheduler" `Quick
+            test_scheduler_equivalence;
+          Alcotest.test_case "route cache on vs off" `Quick
+            test_route_cache_equivalence;
         ] );
       ( "conservation",
         [
