@@ -32,6 +32,7 @@ let csv_dir : string option ref = ref None
 let target_timings : (string * float) list ref = ref []
 let harness_json : (string * Json.t) list ref = ref []
 let sched_json : (string * Json.t) list ref = ref []
+let faults_json : (string * Json.t) list ref = ref []
 let micro_json : (string * float) list ref = ref []
 
 let write_csv name ~header rows =
@@ -710,6 +711,111 @@ let sched scale =
     exit 1
   end
 
+(* {1 Fault-injection determinism and overhead} *)
+
+(* One crash+loss scenario run under every scheduler / route-cache
+   combination: the printed counters (including the fault line) must
+   be byte-identical, and the run must complete with the repair
+   machinery visibly firing.  This is the bench-side witness of the
+   fault-tolerance determinism contract. *)
+let faults scale =
+  let module Scenario = Cup_sim.Scenario in
+  let module Policy = Cup_proto.Policy in
+  let base = E.base_scenario scale in
+  let cfg =
+    Scenario.with_policy
+      {
+        base with
+        Scenario.crashes =
+          Some { Scenario.crash_rate = 0.02; recover_after = 20.; warmup = 30. };
+        loss = Some { Scenario.drop = 0.15; jitter = 0.5 };
+      }
+      Policy.second_chance
+  in
+  let configs =
+    [
+      ("faults-heap", `Heap, true);
+      ("faults-heap-nocache", `Heap, false);
+      ("faults-calendar", `Calendar, true);
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, scheduler, route_cache) ->
+        let r =
+          Cup_sim.Runner.run
+            { cfg with Scenario.scheduler = Some scheduler; route_cache }
+        in
+        let printed =
+          Format.asprintf "%a" Cup_metrics.Counters.pp r.Cup_sim.Runner.counters
+        in
+        (name, printed, r))
+      configs
+  in
+  let baseline =
+    match results with (_, printed, _) :: _ -> printed | [] -> ""
+  in
+  let identical =
+    List.for_all (fun (_, printed, _) -> printed = baseline) results
+  in
+  let table =
+    Table.create
+      ~title:"Fault injection: crash+loss run across scheduler/cache configs"
+      ~columns:
+        [ "config"; "lost"; "retries"; "repairs"; "unreachable"; "events/sec" ]
+  in
+  List.iter
+    (fun (name, _, (r : Cup_sim.Runner.result)) ->
+      let c = r.counters in
+      Table.add_row table
+        [
+          name;
+          Table.cell_int (Cup_metrics.Counters.lost_messages c);
+          Table.cell_int (Cup_metrics.Counters.retries c);
+          Table.cell_int (Cup_metrics.Counters.repairs c);
+          Table.cell_int (Cup_metrics.Counters.unreachable c);
+          Printf.sprintf "%.0f" r.events_per_sec;
+        ])
+    results;
+  Table.print table;
+  Printf.printf "fault counters identical across configs: %s\n"
+    (if identical then "yes" else "NO (determinism violated)");
+  let repaired =
+    List.for_all
+      (fun (_, _, (r : Cup_sim.Runner.result)) ->
+        Cup_metrics.Counters.lost_messages r.counters > 0
+        && Cup_metrics.Counters.repairs r.counters > 0)
+      results
+  in
+  faults_json :=
+    [
+      ("workload", Json.String "crash 0.02/s + loss 0.15 over base scenario");
+      ("identical_results", Json.Bool identical);
+      ("repair_machinery_fired", Json.Bool repaired);
+      ( "configs",
+        Json.List
+          (List.map
+             (fun (name, _, (r : Cup_sim.Runner.result)) ->
+               let c = r.counters in
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("lost", Json.Int (Cup_metrics.Counters.lost_messages c));
+                   ("retries", Json.Int (Cup_metrics.Counters.retries c));
+                   ("repairs", Json.Int (Cup_metrics.Counters.repairs c));
+                   ( "unreachable",
+                     Json.Int (Cup_metrics.Counters.unreachable c) );
+                   ("events_per_sec", Json.Float r.events_per_sec);
+                 ])
+             results) );
+    ];
+  if not identical then begin
+    prerr_endline
+      "faults: counters differ between scheduler/route-cache configurations \
+       under fault injection — determinism contract broken";
+    exit 1
+  end
+
 (* {1 Parallel-harness speedup measurement} *)
 
 (* Time one representative fan-out workload sequentially and across
@@ -1010,6 +1116,9 @@ let write_harness_json ~jobs ~scale =
       @ (match !sched_json with
         | [] -> []
         | fields -> [ ("sched", Json.Obj fields) ])
+      @ (match !faults_json with
+        | [] -> []
+        | fields -> [ ("faults", Json.Obj fields) ])
       @
       match !micro_json with
       | [] -> []
@@ -1138,6 +1247,9 @@ let () =
   timed "sched" (fun () ->
       section "Scheduler / route-cache before-after (always jobs=1)";
       sched scale);
+  timed "faults" (fun () ->
+      section "Fault injection: determinism and repair overhead";
+      faults scale);
   timed "profile" (fun () ->
       section "Engine throughput and profiling probes";
       print_profiles scale);

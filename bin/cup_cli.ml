@@ -262,6 +262,43 @@ let profile_flag =
           "Enable the engine profiling probes and print per-label callback \
            counts, host time, and the event-heap high-water mark.")
 
+let crash_rate =
+  Arg.(
+    value & opt float 0.
+    & info [ "crash-rate" ] ~docv:"RATE"
+        ~doc:
+          "Inject node crashes at $(docv) crashes/second (Poisson, from \
+           the deterministic PRNG).  A crashed node loses its directories \
+           and queued updates; dependents detect the silence and repair \
+           their subscriptions.  0 (the default) disables crash injection.")
+
+let crash_recover =
+  Arg.(
+    value & opt float 30.
+    & info [ "crash-recover" ] ~docv:"SECS"
+        ~doc:
+          "Seconds after each crash before a replacement node joins; 0 \
+           means crashed capacity is never replaced.  Only meaningful with \
+           --crash-rate > 0.")
+
+let loss_rate =
+  Arg.(
+    value & opt float 0.
+    & info [ "loss-rate" ] ~docv:"P"
+        ~doc:
+          "Drop each message in transit with probability $(docv) (0..1).  \
+           Lost queries retransmit with capped backoff; lost updates are \
+           healed by subscription repair.  0 (the default) disables loss.")
+
+let loss_jitter =
+  Arg.(
+    value & opt float 0.
+    & info [ "loss-jitter" ] ~docv:"J"
+        ~doc:
+          "Per-channel spread of the loss rate: each (sender, receiver) \
+           channel drops at rate*(1 + J*u) for a deterministic per-channel \
+           u in [-1, 1).  Only meaningful with --loss-rate > 0.")
+
 (* A run that needs live observability: attach sinks/samplers/probes
    before driving the engine to completion. *)
 let run_observed cfg ~trace_out ~sample_interval ~sample_out ~profile =
@@ -307,13 +344,27 @@ let run_observed cfg ~trace_out ~sample_interval ~sample_out ~profile =
 
 let run_cmd =
   let action seed nodes keys rate duration lifetime replicas policy overlay
-      scheduler runs jobs trace_out sample_interval sample_out profile =
+      scheduler runs jobs trace_out sample_interval sample_out profile
+      crash_rate crash_recover loss_rate loss_jitter =
     let cfg =
       {
         (scenario_of ~seed ~nodes ~keys ~rate ~duration ~lifetime ~replicas
            ~policy ~overlay)
         with
         scheduler;
+        crashes =
+          (if crash_rate > 0. then
+             Some
+               {
+                 Scenario.crash_rate;
+                 recover_after = crash_recover;
+                 warmup = 0.;
+               }
+           else None);
+        loss =
+          (if loss_rate > 0. then
+             Some { Scenario.drop = loss_rate; jitter = loss_jitter }
+           else None);
       }
     in
     let observed =
@@ -325,6 +376,22 @@ let run_cmd =
         prerr_endline "cup run: --sample-interval must be > 0";
         exit 1
     | _ -> ());
+    if crash_rate < 0. then begin
+      prerr_endline "cup run: --crash-rate must be >= 0";
+      exit 1
+    end;
+    if crash_rate > 0. && crash_recover <= 0. then begin
+      prerr_endline "cup run: --crash-recover must be > 0";
+      exit 1
+    end;
+    if loss_rate < 0. || loss_rate > 1. then begin
+      prerr_endline "cup run: --loss-rate must be in [0, 1]";
+      exit 1
+    end;
+    if loss_jitter < 0. || loss_jitter > 1. then begin
+      prerr_endline "cup run: --loss-jitter must be in [0, 1]";
+      exit 1
+    end;
     if runs > 1 && observed then
       prerr_endline
         "cup run: note: --trace-out/--sample-*/--profile apply only to \
@@ -352,7 +419,8 @@ let run_cmd =
     Term.(
       const action $ seed $ nodes $ keys $ rate $ duration $ lifetime
       $ replicas $ policy $ overlay $ scheduler $ runs $ jobs $ trace_out
-      $ sample_interval $ sample_out $ profile_flag)
+      $ sample_interval $ sample_out $ profile_flag $ crash_rate
+      $ crash_recover $ loss_rate $ loss_jitter)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one CUP simulation and print its cost summary.")
@@ -387,8 +455,11 @@ let replay_cmd =
           | Query_forwarded { key; _ }
           | Update_delivered { key; _ }
           | Clear_bit_delivered { key; _ }
-          | Local_answer { key; _ } ->
-              Cup_overlay.Key.to_int key = k)
+          | Local_answer { key; _ }
+          | Message_lost { key; _ }
+          | Repair_query { key; _ } ->
+              Cup_overlay.Key.to_int key = k
+          | Node_crashed _ | Node_recovered _ -> false)
     in
     Fun.protect
       ~finally:(fun () -> close_in ic)

@@ -40,14 +40,17 @@ let () =
   (* Pick a querier far from the authority. *)
   let querier =
     let ids = Cup_overlay.Net.node_ids topo in
-    let dist id = List.length (Cup_overlay.Net.route topo ~from:id key) in
+    let dist id =
+      List.length (Cup_overlay.Route.hops_exn (Cup_overlay.Net.route topo ~from:id key))
+    in
     List.fold_left
       (fun best id -> if dist id > dist best then id else best)
       (List.hd ids) ids
   in
   Printf.printf "querier: node %s, %d hops from the authority\n\n"
     (Format.asprintf "%a" Cup_overlay.Node_id.pp querier)
-    (List.length (Cup_overlay.Net.route topo ~from:querier key));
+    (List.length
+       (Cup_overlay.Route.hops_exn (Cup_overlay.Net.route topo ~from:querier key)));
 
   (* Let the replica system come up, then post the first query. *)
   Live.run_until live 310.;

@@ -44,20 +44,16 @@ let () =
   let authority = Live.authority_of live key in
   let querier =
     (* the node whose route to the authority is longest *)
+    let hops id = List.length (Cup_overlay.Route.hops_exn (Net.route net ~from:id key)) in
     List.fold_left
-      (fun best id ->
-        if
-          List.length (Net.route net ~from:id key)
-          > List.length (Net.route net ~from:best key)
-        then id
-        else best)
+      (fun best id -> if hops id > hops best then id else best)
       authority (Net.node_ids net)
   in
   Printf.printf "16-node CAN; %s owns %s; %s will query (%d hops away)\n\n"
     (Format.asprintf "%a" Cup_overlay.Node_id.pp authority)
     (Format.asprintf "%a" Cup_overlay.Key.pp key)
     (Format.asprintf "%a" Cup_overlay.Node_id.pp querier)
-    (List.length (Net.route net ~from:querier key));
+    (List.length (Cup_overlay.Route.hops_exn (Net.route net ~from:querier key)));
 
   (* let the replica announce itself, then trace the cycle *)
   Live.run_until live 350.;

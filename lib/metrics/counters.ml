@@ -9,6 +9,10 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable dropped_updates : int;
+  mutable lost_messages : int;
+  mutable retries : int;
+  mutable repairs : int;
+  mutable unreachable : int;
   latency_hops : Welford.t;
   latency_histogram : Histogram.t;
 }
@@ -25,6 +29,10 @@ let create () =
     hits = 0;
     misses = 0;
     dropped_updates = 0;
+    lost_messages = 0;
+    retries = 0;
+    repairs = 0;
+    unreachable = 0;
     latency_hops = Welford.create ();
     latency_histogram = Histogram.create ();
   }
@@ -53,6 +61,10 @@ let record_miss t ~hops =
   Histogram.add t.latency_histogram hops
 
 let record_dropped_update t = t.dropped_updates <- t.dropped_updates + 1
+let record_lost_message t = t.lost_messages <- t.lost_messages + 1
+let record_retry t = t.retries <- t.retries + 1
+let record_repair t = t.repairs <- t.repairs + 1
+let record_unreachable t = t.unreachable <- t.unreachable + 1
 
 let query_hops t = t.query_hops
 let first_time_answer_hops t = t.first_time_answer_hops
@@ -74,6 +86,10 @@ let hits t = t.hits
 let misses t = t.misses
 let local_queries t = t.hits + t.misses
 let dropped_updates t = t.dropped_updates
+let lost_messages t = t.lost_messages
+let retries t = t.retries
+let repairs t = t.repairs
+let unreachable t = t.unreachable
 let miss_latency_hops t = t.latency_hops
 let miss_latency_histogram t = t.latency_histogram
 
@@ -93,6 +109,10 @@ let merge a b =
     hits = a.hits + b.hits;
     misses = a.misses + b.misses;
     dropped_updates = a.dropped_updates + b.dropped_updates;
+    lost_messages = a.lost_messages + b.lost_messages;
+    retries = a.retries + b.retries;
+    repairs = a.repairs + b.repairs;
+    unreachable = a.unreachable + b.unreachable;
     latency_hops = Welford.merge a.latency_hops b.latency_hops;
     latency_histogram = Histogram.merge a.latency_histogram b.latency_histogram;
   }
@@ -103,8 +123,15 @@ let pp fmt t =
      overhead:  %d hops (%d proactive-ft + %d refresh + %d delete + %d \
      append + %d clear-bit)@,\
      total:     %d hops@,\
-     queries:   %d local (%d hits, %d misses), avg miss latency %.2f hops@]"
+     queries:   %d local (%d hits, %d misses), avg miss latency %.2f hops"
     (miss_cost t) t.query_hops t.first_time_answer_hops (overhead_cost t)
     t.first_time_proactive_hops t.refresh_hops t.delete_hops t.append_hops
     t.clear_bit_hops (total_cost t) (local_queries t) t.hits t.misses
-    (avg_miss_latency_hops t)
+    (avg_miss_latency_hops t);
+  (* The fault line only appears when fault injection actually touched
+     the run, so fault-free output keeps its historical shape. *)
+  if t.lost_messages + t.retries + t.repairs + t.unreachable > 0 then
+    Format.fprintf fmt
+      "@,faults:    %d lost, %d retries, %d repairs, %d unreachable"
+      t.lost_messages t.retries t.repairs t.unreachable;
+  Format.fprintf fmt "@]"

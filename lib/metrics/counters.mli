@@ -44,6 +44,21 @@ val record_miss : t -> hops:float -> unit
 val record_dropped_update : t -> unit
 (** An update suppressed by reduced outgoing capacity. *)
 
+val record_lost_message : t -> unit
+(** A message dropped in transit: wire loss or a crashed receiver. *)
+
+val record_retry : t -> unit
+(** A retransmission or re-issued interest after a loss/crash. *)
+
+val record_repair : t -> unit
+(** A broken propagation edge successfully healed: a re-routed message
+    delivered, or a re-subscription that restored the update flow. *)
+
+val record_unreachable : t -> unit
+(** A lookup or repair abandoned: routing returned
+    {!Cup_overlay.Route.Unreachable}, retransmissions were exhausted,
+    or a subscription degraded to expiration-based polling. *)
+
 (** {1 Reading} *)
 
 val query_hops : t -> int
@@ -62,6 +77,10 @@ val hits : t -> int
 val misses : t -> int
 val local_queries : t -> int
 val dropped_updates : t -> int
+val lost_messages : t -> int
+val retries : t -> int
+val repairs : t -> int
+val unreachable : t -> int
 
 val miss_latency_hops : t -> Welford.t
 (** Distribution of per-miss latencies, in hops. *)

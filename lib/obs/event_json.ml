@@ -60,6 +60,28 @@ let to_json (e : Trace.event) : Json.t =
           ("hit", Json.Bool hit);
           ("waiters", Json.Int waiters);
         ]
+  | Trace.Node_crashed { at = t; node = n } ->
+      Json.Obj [ ("type", Json.String "node_crashed"); at t; node "node" n ]
+  | Trace.Node_recovered { at = t; node = n } ->
+      Json.Obj [ ("type", Json.String "node_recovered"); at t; node "node" n ]
+  | Trace.Message_lost { at = t; from_; to_; key = k } ->
+      Json.Obj
+        [
+          ("type", Json.String "message_lost");
+          at t;
+          node "from" from_;
+          node "to" to_;
+          key k;
+        ]
+  | Trace.Repair_query { at = t; node = n; key = k; attempt } ->
+      Json.Obj
+        [
+          ("type", Json.String "repair_query");
+          at t;
+          node "node" n;
+          key k;
+          ("attempt", Json.Int attempt);
+        ]
 
 let to_string e = Json.to_string (to_json e)
 
@@ -125,6 +147,26 @@ let of_json (j : Json.t) : (Trace.event, string) result =
       let* hit = field "hit" Json.to_bool in
       let* waiters = field "waiters" Json.to_int in
       Ok (Trace.Local_answer { at; node = n; key = k; hit; waiters })
+  | "node_crashed" ->
+      let* at = time "at" in
+      let* n = node "node" in
+      Ok (Trace.Node_crashed { at; node = n })
+  | "node_recovered" ->
+      let* at = time "at" in
+      let* n = node "node" in
+      Ok (Trace.Node_recovered { at; node = n })
+  | "message_lost" ->
+      let* at = time "at" in
+      let* from_ = node "from" in
+      let* to_ = node "to" in
+      let* k = key () in
+      Ok (Trace.Message_lost { at; from_; to_; key = k })
+  | "repair_query" ->
+      let* at = time "at" in
+      let* n = node "node" in
+      let* k = key () in
+      let* attempt = field "attempt" Json.to_int in
+      Ok (Trace.Repair_query { at; node = n; key = k; attempt })
   | other -> Error (Printf.sprintf "unknown event type %S" other)
 
 let of_string s =

@@ -137,39 +137,37 @@ let owns t node key =
     in_oc ~a:pred_pos ~b:node.pos kp
 
 let next_hop t id key =
-  let node = get t id in
-  if owns t node key then None
-  else begin
-    let kp = key_pos key in
-    (* closest preceding finger: the finger whose position lies
-       furthest along (node.pos, kp) *)
-    let best =
-      Array.fold_left
-        (fun acc fid ->
-          let fpos = (get t fid).pos in
-          if in_oo ~a:node.pos ~b:kp fpos then
-            match acc with
-            | Some (_, bpos) when in_oo ~a:bpos ~b:kp fpos -> Some (fid, fpos)
-            | Some _ -> acc
-            | None -> Some (fid, fpos)
-          else acc)
-        None node.fingers
-    in
-    match best with
-    | Some (fid, _) -> Some fid
-    | None -> Some (successor t id)
-  end
+  match Node_id.Table.find_opt t.nodes id with
+  | None -> Route.Stuck Route.Dead_node
+  | Some node when not node.alive -> Route.Stuck Route.Dead_node
+  | Some node ->
+      if owns t node key then Route.Owner
+      else begin
+        let kp = key_pos key in
+        (* closest preceding finger: the finger whose position lies
+           furthest along (node.pos, kp) *)
+        let best =
+          Array.fold_left
+            (fun acc fid ->
+              let fpos = (get t fid).pos in
+              if in_oo ~a:node.pos ~b:kp fpos then
+                match acc with
+                | Some (_, bpos) when in_oo ~a:bpos ~b:kp fpos ->
+                    Some (fid, fpos)
+                | Some _ -> acc
+                | None -> Some (fid, fpos)
+              else acc)
+            None node.fingers
+        in
+        match best with
+        | Some (fid, _) -> Route.Forward fid
+        | None -> Route.Forward (successor t id)
+      end
 
 let route t ~from key =
-  let limit = (2 * finger_bits) + size t in
-  let rec walk current steps acc =
-    if steps > limit then failwith "Chord.route: lookup did not converge"
-    else
-      match next_hop t current key with
-      | None -> List.rev acc
-      | Some hop -> walk hop (steps + 1) (hop :: acc)
-  in
-  walk from 0 []
+  Route.walk ~limit:((2 * finger_bits) + size t)
+    ~next_hop:(fun current -> next_hop t current key)
+    from
 
 let neighbor_snapshot t =
   List.map (fun id -> (id, neighbors t id)) (node_ids t)

@@ -58,14 +58,15 @@ val neighbors : t -> Node_id.t -> Node_id.t list
 val owner_of_key : t -> Key.t -> Node_id.t
 (** The successor of the key's ring hash. *)
 
-val next_hop : t -> Node_id.t -> Key.t -> Node_id.t option
-(** [None] when the node owns the key; otherwise the closest preceding
-    finger (falling back to the successor), as in Chord's greedy
-    lookup. *)
+val next_hop : t -> Node_id.t -> Key.t -> Route.hop
+(** [Owner] when the node owns the key; otherwise [Forward] to the
+    closest preceding finger (falling back to the successor), as in
+    Chord's greedy lookup.  [Stuck Dead_node] for a dead or unknown
+    node. *)
 
-val route : t -> from:Node_id.t -> Key.t -> Node_id.t list
-(** Successive hops to the owner; raises [Failure] if lookup fails to
-    converge (a structural bug). *)
+val route : t -> from:Node_id.t -> Key.t -> Route.t
+(** Successive hops to the owner; [Unreachable] (never an exception)
+    if lookup fails to converge. *)
 
 val join_random : t -> rng:Cup_prng.Rng.t -> change
 val leave : t -> Node_id.t -> change

@@ -15,7 +15,7 @@ type impl =
 type t = {
   impl : impl;
   cache_enabled : bool;
-  hop_cache : (int, Node_id.t option) Hashtbl.t;
+  hop_cache : (int, Route.hop) Hashtbl.t;
   mutable hop_gen : int; (* generation [hop_cache] entries belong to *)
 }
 
@@ -125,19 +125,12 @@ let route net ~from key =
     | Chord_net c -> Chord.route c ~from key
     | Pastry_net p -> Pastry.route p ~from key
   end
-  else begin
+  else
     (* Walk through the cached next_hop so every hop of every route
        warms — and benefits from — the cache. *)
-    let limit = route_limit net in
-    let rec walk current steps acc =
-      if steps > limit then failwith "Net.route: lookup did not converge"
-      else
-        match next_hop net current key with
-        | None -> List.rev acc
-        | Some hop -> walk hop (steps + 1) (hop :: acc)
-    in
-    walk from 0 []
-  end
+    Route.walk ~limit:(route_limit net)
+      ~next_hop:(fun current -> next_hop net current key)
+      from
 
 let of_can_change (c : Topology.change) =
   { subject = c.Topology.subject; peer = c.Topology.peer; affected = c.Topology.affected }

@@ -46,10 +46,14 @@ val is_alive : t -> Node_id.t -> bool
 val neighbors : t -> Node_id.t -> Node_id.t list
 val owner_of_key : t -> Key.t -> Node_id.t
 
-val next_hop : t -> Node_id.t -> Key.t -> Node_id.t option
-(** [None] when the node's region/range contains the key. *)
+val next_hop : t -> Node_id.t -> Key.t -> Route.hop
+(** [Owner] when the node's region/range contains the key; [Stuck]
+    when no routing decision is possible (dead node, no closer peer).
+    Never raises. *)
 
-val route : t -> from:Node_id.t -> Key.t -> Node_id.t list
+val route : t -> from:Node_id.t -> Key.t -> Route.t
+(** Typed routing outcome ({!Route.t}); [Unreachable] instead of an
+    exception when the lookup cannot converge. *)
 
 val join_random : t -> rng:Cup_prng.Rng.t -> change
 val leave : t -> Node_id.t -> change

@@ -170,16 +170,19 @@ let neighbors t id =
   Node_id.Set.elements (Node_id.Set.remove id (Node_id.Set.union out !inbound))
 
 let next_hop t id key =
-  let node = get t id in
+  match Node_id.Table.find_opt t.nodes id with
+  | None -> Route.Stuck Route.Dead_node
+  | Some node when not node.alive -> Route.Stuck Route.Dead_node
+  | Some node ->
   let target = key_ident key in
   let owner = closest_to t target in
-  if Node_id.equal owner id then None
+  if Node_id.equal owner id then Route.Owner
   else begin
     let peers = known_peers node in
     if Node_id.Set.mem owner peers then
       (* leaf-set endgame (and any-table shortcut): deliver straight
          to the numerically closest node *)
-      Some owner
+      Route.Forward owner
     else begin
       let my_prefix = shared_prefix node.ident target in
       let my_dist = udist node.ident target in
@@ -201,7 +204,7 @@ let next_hop t id key =
             | Some _ | None -> best := Some (p, d, oid))
         peers;
       match !best with
-      | Some (_, _, oid) -> Some oid
+      | Some (_, _, oid) -> Route.Forward oid
       | None ->
           (* last resort: step along the ring toward the target; the
              leaf set always contains both ring neighbors, and ring
@@ -216,21 +219,15 @@ let next_hop t id key =
                 | Some _ | None -> toward := Some (d, oid))
             peers;
           (match !toward with
-          | Some (_, oid) -> Some oid
-          | None -> failwith "Pastry.next_hop: no closer node known")
+          | Some (_, oid) -> Route.Forward oid
+          | None -> Route.Stuck Route.No_progress)
     end
   end
 
 let route t ~from key =
-  let limit = digits + size t in
-  let rec walk current steps acc =
-    if steps > limit then failwith "Pastry.route: lookup did not converge"
-    else
-      match next_hop t current key with
-      | None -> List.rev acc
-      | Some hop -> walk hop (steps + 1) (hop :: acc)
-  in
-  walk from 0 []
+  Route.walk ~limit:(digits + size t)
+    ~next_hop:(fun current -> next_hop t current key)
+    from
 
 let neighbor_snapshot t = List.map (fun id -> (id, neighbors t id)) (node_ids t)
 
@@ -349,8 +346,14 @@ let check_invariants t =
         (* routing from this node reaches the owner of a probe key *)
         let key = Key.of_int (Node_id.to_int id * 7) in
         let owner = owner_of_key t key in
-        match List.rev (route t ~from:id key) with
-        | [] when Node_id.equal id owner -> Ok ()
-        | last :: _ when Node_id.equal last owner -> Ok ()
-        | _ -> Error (Format.asprintf "%a: route misses owner" Node_id.pp id))
+        match route t ~from:id key with
+        | Route.Unreachable { reason; _ } ->
+            Error
+              (Format.asprintf "%a: route unreachable (%a)" Node_id.pp id
+                 Route.pp_reason reason)
+        | Route.Delivered hops -> (
+            match List.rev hops with
+            | [] when Node_id.equal id owner -> Ok ()
+            | last :: _ when Node_id.equal last owner -> Ok ()
+            | _ -> Error (Format.asprintf "%a: route misses owner" Node_id.pp id)))
     (Ok ()) ids

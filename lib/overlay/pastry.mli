@@ -47,8 +47,16 @@ val owner_of_key : t -> Key.t -> Node_id.t
 (** The alive node numerically closest to the key's hash (ties break
     to the lower identifier). *)
 
-val next_hop : t -> Node_id.t -> Key.t -> Node_id.t option
-val route : t -> from:Node_id.t -> Key.t -> Node_id.t list
+val next_hop : t -> Node_id.t -> Key.t -> Route.hop
+(** [Owner] when this node is numerically closest to the key's hash;
+    [Forward] per the Pastry rule (longer prefix, else numerically
+    closer, else ring-step through the leaf set); [Stuck] — reported,
+    not raised — for a dead node or when no known peer is closer. *)
+
+val route : t -> from:Node_id.t -> Key.t -> Route.t
+(** Successive hops to the owner; [Unreachable] (never an exception)
+    if prefix routing fails to converge. *)
+
 val join_random : t -> rng:Cup_prng.Rng.t -> change
 val leave : t -> Node_id.t -> change
 val check_invariants : t -> (unit, string) result

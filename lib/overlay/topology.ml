@@ -99,36 +99,32 @@ let owner_of_point t p =
 let owner_of_key t k = owner_of_point t (Key.to_point k)
 
 let next_hop t id p =
-  let node = get t id in
-  if region_contains node p then None
-  else
-    let best =
-      Node_id.Map.fold
-        (fun nid nnode acc ->
-          let d = region_distance nnode p in
-          match acc with
-          | Some (_, best_d) when best_d < d -> acc
-          | Some (best_id, best_d)
-            when best_d = d && Node_id.compare best_id nid <= 0 ->
-              acc
-          | Some _ | None -> Some (nid, d))
-        node.neighbors None
-    in
-    match best with
-    | Some (nid, _) -> Some nid
-    | None -> failwith "Topology.next_hop: node has no neighbors"
+  match Node_id.Table.find_opt t.nodes id with
+  | None -> Route.Stuck Route.Dead_node
+  | Some node when not node.alive -> Route.Stuck Route.Dead_node
+  | Some node ->
+      if region_contains node p then Route.Owner
+      else
+        let best =
+          Node_id.Map.fold
+            (fun nid nnode acc ->
+              let d = region_distance nnode p in
+              match acc with
+              | Some (_, best_d) when best_d < d -> acc
+              | Some (best_id, best_d)
+                when best_d = d && Node_id.compare best_id nid <= 0 ->
+                  acc
+              | Some _ | None -> Some (nid, d))
+            node.neighbors None
+        in
+        (match best with
+        | Some (nid, _) -> Route.Forward nid
+        | None -> Route.Stuck Route.No_progress)
 
 let route t ~from p =
-  let limit = (4 * t.alive_count) + 64 in
-  let rec walk current steps acc =
-    if steps > limit then
-      failwith "Topology.route: greedy forwarding did not converge"
-    else
-      match next_hop t current p with
-      | None -> List.rev acc
-      | Some hop -> walk hop (steps + 1) (hop :: acc)
-  in
-  walk from 0 []
+  Route.walk ~limit:((4 * t.alive_count) + 64)
+    ~next_hop:(fun current -> next_hop t current p)
+    from
 
 (* Recompute the neighbor relation between [node] and every candidate,
    fixing both directions.  Returns candidates whose sets changed. *)

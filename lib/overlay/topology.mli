@@ -55,16 +55,20 @@ val owner_of_point : t -> Point.t -> Node_id.t
 val owner_of_key : t -> Key.t -> Node_id.t
 (** [owner_of_point] of the key's hash — the key's authority node. *)
 
-val next_hop : t -> Node_id.t -> Point.t -> Node_id.t option
-(** [next_hop t n p] is [None] when [n]'s region contains [p],
-    otherwise the neighbor to forward to (closest region to [p], ties
-    broken by lowest id). *)
+val next_hop : t -> Node_id.t -> Point.t -> Route.hop
+(** [next_hop t n p] is [Owner] when [n]'s region contains [p],
+    otherwise [Forward] to the neighbor whose region is closest to [p]
+    (ties broken by lowest id).  [Stuck Dead_node] for a dead or
+    unknown [n]; [Stuck No_progress] when [n] has no neighbors —
+    impossible while the tiling invariant holds, but reported as data
+    rather than raised so fault injection cannot abort a run. *)
 
-val route : t -> from:Node_id.t -> Point.t -> Node_id.t list
-(** Successive hops from [from] (exclusive) to the owner of the point
-    (inclusive); [\[\]] when [from] is the owner.  Raises [Failure] if
-    greedy forwarding fails to converge, which indicates a topology
-    invariant violation. *)
+val route : t -> from:Node_id.t -> Point.t -> Route.t
+(** [Delivered hops]: successive hops from [from] (exclusive) to the
+    owner of the point (inclusive); [Delivered \[\]] when [from] is the
+    owner.  [Unreachable] when greedy forwarding fails to converge
+    (dead origin, no progress, or step budget exhausted) — never
+    raises. *)
 
 val join_random : t -> rng:Cup_prng.Rng.t -> change
 (** A new node joins at a uniformly random point: the zone containing

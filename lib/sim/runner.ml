@@ -1,8 +1,10 @@
 module Engine = Cup_dess.Engine
 module Time = Cup_dess.Time
 module Net = Cup_overlay.Net
+module Route = Cup_overlay.Route
 module Node_id = Cup_overlay.Node_id
 module Key = Cup_overlay.Key
+module Splitmix = Cup_prng.Splitmix
 module Node = Cup_proto.Node
 module Update = Cup_proto.Update
 module Update_queue = Cup_proto.Update_queue
@@ -43,6 +45,23 @@ type channel_state = {
 
 let no_drain : Engine.t -> unit = fun _ -> ()
 
+(* Subscription-repair state for one (node, key): the node believes it
+   sits in the key's propagation tree and expects updates before
+   [r_deadline].  If the deadline passes without one, the node
+   re-issues its interest up the (repaired) overlay path with capped
+   exponential backoff; after [max_repair_attempts] it gives up and
+   degrades to expiration-based polling (Section 2.9). *)
+type repair_state = {
+  r_node : Node_id.t;
+  r_key : Key.t;
+  mutable r_deadline : float; (* absolute seconds *)
+  mutable r_attempts : int;
+  mutable r_scheduled : bool; (* a check event is pending *)
+}
+
+let max_transport_retries = 4
+let max_repair_attempts = 5
+
 type live = {
   cfg : Scenario.t;
   engine : Engine.t;
@@ -56,6 +75,13 @@ type live = {
   topo_rng : Rng.t;
   cap_rng : Rng.t;
   sample_rng : Rng.t;
+  crash_rng : Rng.t; (* crash-victim picking *)
+  loss_rng : Rng.t; (* per-delivery loss draws, in event order *)
+  loss_salt : int64; (* per-run salt for per-channel drop rates *)
+  fault_mode : bool; (* cfg.crashes or cfg.loss present *)
+  repair : (int, repair_state) Hashtbl.t; (* packed (node, key) *)
+  repair_timeout : float; (* seconds a subscriber waits for an answer *)
+  repair_slack : float; (* grace past an entry expiry before repairing *)
   batches : Entry.t list ref Key.Table.t; (* authority-side refresh batching *)
   justif : (int, float list ref) Hashtbl.t;
       (* packed (node, key) -> justification deadlines of updates
@@ -103,6 +129,47 @@ let channel_of t id =
       Node_id.Table.replace t.channels id ch;
       ch
 
+(* {2 Message loss}
+
+   The drop probability of a channel is a pure hash of (run salt,
+   sender, receiver): asking for it never consumes randomness, so the
+   rate of one channel cannot depend on traffic elsewhere.  Whether a
+   given message is lost is then one Bernoulli draw from the dedicated
+   "loss" substream; the engine executes events in an identical total
+   order across schedulers and job counts, so the draw sequence — and
+   therefore every loss — is byte-deterministic. *)
+
+let channel_drop t ~from ~to_ =
+  match t.cfg.loss with
+  | None -> 0.
+  | Some { Scenario.drop; jitter } ->
+      if jitter <= 0. then drop
+      else begin
+        let mixed =
+          Splitmix.mix
+            (Int64.logxor t.loss_salt
+               (Int64.of_int
+                  ((Node_id.to_int from lsl 24) lxor Node_id.to_int to_)))
+        in
+        (* top 53 bits -> u uniform in [-1, 1) *)
+        let u =
+          (Int64.to_float (Int64.shift_right_logical mixed 11)
+          /. 9007199254740992.)
+          *. 2.
+          -. 1.
+        in
+        Float.min 1. (Float.max 0. (drop *. (1. +. (jitter *. u))))
+      end
+
+let lost_in_transit t ~from ~to_ =
+  match t.cfg.loss with
+  | None -> false
+  | Some _ -> Dist.bernoulli t.loss_rng ~p:(channel_drop t ~from ~to_)
+
+(* Capped exponential backoff for transport-level query retries. *)
+let retry_delay t attempt =
+  t.cfg.hop_delay *. 4. *. Float.of_int (1 lsl Stdlib.min attempt 4)
+
 (* {2 Justified-update accounting (Section 3.1)}
 
    An update pushed to a node is justified if a query for the key
@@ -124,7 +191,13 @@ let register_update_for_justification t ~node (update : Update.t) =
   t.tracked_updates <- t.tracked_updates + 1;
   let k = justif_key node update.key in
   match Hashtbl.find_opt t.justif k with
-  | Some deadlines -> deadlines := deadline :: !deadlines
+  | Some deadlines ->
+      (* Sweep entries whose critical window already closed: they can
+         never count as justified, and without the sweep a (node, key)
+         that receives updates but no queries grows its deadline list
+         without bound for the whole run. *)
+      let tnow = Time.to_seconds (Engine.now t.engine) in
+      deadlines := deadline :: List.filter (fun d -> d >= tnow) !deadlines
   | None -> Hashtbl.replace t.justif k (ref [ deadline ])
 
 let judge_pending_updates t ~node ~key =
@@ -151,17 +224,25 @@ let rec perform t ~from actions =
   List.iter (fun a -> perform_one t ~from a) actions
 
 and perform_one t ~from = function
-  | Node.Send_query { to_; key } ->
-      Counters.record_query_hop t.counters;
-      ignore
-        (Engine.schedule_after ~label:"deliver.query" t.engine
-           ~delay:t.cfg.hop_delay (fun _ -> deliver_query t ~from ~to_ key))
+  | Node.Send_query { to_; key } -> send_query t ~from ~to_ ~attempt:0 key
   | Node.Send_clear_bit { to_; key } ->
       if not t.cfg.piggyback_clear_bits then
         Counters.record_clear_bit_hop t.counters;
-      ignore
-        (Engine.schedule_after ~label:"deliver.clear_bit" t.engine
-           ~delay:t.cfg.hop_delay (fun _ -> deliver_clear_bit t ~from ~to_ key))
+      (* The sender is cutting itself out of the key's tree: it no
+         longer expects updates, so stop watching its deadline. *)
+      if t.fault_mode then Hashtbl.remove t.repair (justif_key from key);
+      if lost_in_transit t ~from ~to_ then begin
+        (* A lost clear-bit is harmless: the upstream keeps pushing
+           until the bit is cleared by a later cut-off or expiry. *)
+        Counters.record_lost_message t.counters;
+        if tracing t then
+          emit t (Trace.Message_lost { at = now t; from_ = from; to_; key })
+      end
+      else
+        ignore
+          (Engine.schedule_after ~label:"deliver.clear_bit" t.engine
+             ~delay:t.cfg.hop_delay (fun _ ->
+               deliver_clear_bit t ~from ~to_ key))
   | Node.Send_update { to_; update; answering } ->
       send_update t ~from ~to_ ~answering update
   | Node.Answer_local { posted_at; hit; key; _ } ->
@@ -186,16 +267,82 @@ and perform_one t ~from = function
           posted_at
       end
 
-and deliver_query t ~from ~to_ key =
+(* One query crossing one overlay edge.  [attempt] counts transport
+   retries of this logical query: 0 on the first send, bumped each
+   time the message is lost on the wire or reaches a crashed node. *)
+and send_query t ~from ~to_ ~attempt key =
+  Counters.record_query_hop t.counters;
+  if t.fault_mode then
+    arm_repair t ~node:from ~key
+      ~deadline:(Time.to_seconds (now t) +. t.repair_timeout);
+  if lost_in_transit t ~from ~to_ then begin
+    Counters.record_lost_message t.counters;
+    if tracing t then
+      emit t (Trace.Message_lost { at = now t; from_ = from; to_; key });
+    (* Sender-side timeout: re-route after a capped backoff. *)
+    ignore
+      (Engine.schedule_after ~label:"transport.retry" t.engine
+         ~delay:(retry_delay t attempt) (fun _ ->
+           retry_query t ~from ~key ~attempt:(attempt + 1)))
+  end
+  else
+    ignore
+      (Engine.schedule_after ~label:"deliver.query" t.engine
+         ~delay:t.cfg.hop_delay (fun _ ->
+           deliver_query t ~attempt ~from ~to_ key))
+
+and deliver_query t ?(attempt = 0) ~from ~to_ key =
   if tracing t then
     emit t (Trace.Query_forwarded { at = now t; from_ = from; to_; key });
   if Net.is_alive t.net to_ then begin
+    if attempt > 0 then Counters.record_repair t.counters;
     judge_pending_updates t ~node:to_ ~key;
     let node = get_node t to_ in
-    let next_hop = Net.next_hop t.net to_ key in
-    perform t ~from:to_
-      (Node.handle_query node ~now:(now t) ~next_hop (Node.From_neighbor from)
-         key)
+    match Net.next_hop t.net to_ key with
+    | Route.Stuck _ ->
+        (* The receiver can make no routing progress toward the key's
+           authority: the query dies here, typed, instead of the old
+           [failwith] escaping the engine. *)
+        Counters.record_unreachable t.counters
+    | (Route.Owner | Route.Forward _) as hop ->
+        let next_hop =
+          match hop with Route.Forward h -> Some h | _ -> None
+        in
+        perform t ~from:to_
+          (Node.handle_query node ~now:(now t) ~next_hop
+             (Node.From_neighbor from) key)
+  end
+  else if t.fault_mode then begin
+    (* The next hop crashed with the query in flight: the sender times
+       out and re-routes around the hole the overlay has since
+       repaired. *)
+    Counters.record_lost_message t.counters;
+    if tracing t then
+      emit t (Trace.Message_lost { at = now t; from_ = from; to_; key });
+    ignore
+      (Engine.schedule_after ~label:"transport.retry" t.engine
+         ~delay:(retry_delay t attempt) (fun _ ->
+           retry_query t ~from ~key ~attempt:(attempt + 1)))
+  end
+
+(* Re-route a lost or bounced query from its original sender. *)
+and retry_query t ~from ~key ~attempt =
+  if attempt > max_transport_retries then
+    Counters.record_unreachable t.counters
+  else if not (Net.is_alive t.net from) then
+    (* The sender itself crashed while waiting; nobody is left to
+       retry on this path. *)
+    Counters.record_unreachable t.counters
+  else begin
+    Counters.record_retry t.counters;
+    match Net.next_hop t.net from key with
+    | Route.Stuck _ | Route.Owner ->
+        (* Stuck: routing cannot converge from here.  Owner: the
+           sender absorbed the key's zone while the query was in
+           flight, so there is no upstream left to ask; local waiters
+           fall back to expiration-based polling. *)
+        Counters.record_unreachable t.counters
+    | Route.Forward h -> send_query t ~from ~to_:h ~attempt key
   end
 
 and deliver_clear_bit t ~from ~to_ key =
@@ -232,11 +379,21 @@ and send_update t ~from ~to_ ~answering (update : Update.t) =
       Update_queue.push queue update;
       schedule_drain t from ch
 
-and transmit_update t ~from ~to_ ?(answering = false) update =
-  ignore
-    (Engine.schedule_after ~label:"deliver.update" t.engine
-       ~delay:t.cfg.hop_delay (fun _ ->
-         deliver_update t ~from ~to_ ~answering update))
+and transmit_update t ~from ~to_ ?(answering = false) (update : Update.t) =
+  if lost_in_transit t ~from ~to_ then begin
+    (* Updates are not retransmitted: the subscriber's
+       justification-deadline repair (below) detects the gap and
+       re-issues its interest instead. *)
+    Counters.record_lost_message t.counters;
+    if tracing t then
+      emit t
+        (Trace.Message_lost { at = now t; from_ = from; to_; key = update.key })
+  end
+  else
+    ignore
+      (Engine.schedule_after ~label:"deliver.update" t.engine
+         ~delay:t.cfg.hop_delay (fun _ ->
+           deliver_update t ~from ~to_ ~answering update))
 
 and deliver_update t ~from ~to_ ~answering (update : Update.t) =
   if tracing t then
@@ -259,8 +416,153 @@ and deliver_update t ~from ~to_ ~answering (update : Update.t) =
   | Update.Append -> Counters.record_update_hop t.counters `Append);
   if node_alive then begin
     if not answering then register_update_for_justification t ~node:to_ update;
+    if t.fault_mode then note_update_for_repair t ~node:to_ update;
     let node = get_node t to_ in
     perform t ~from:to_ (Node.handle_update node ~now:(now t) ~from update)
+  end
+  else if t.fault_mode then begin
+    (* The child crashed: the update is lost and the sender prunes the
+       dead edge from its propagation tree so later updates stop
+       burning hops on it. *)
+    Counters.record_lost_message t.counters;
+    if tracing t then
+      emit t
+        (Trace.Message_lost { at = now t; from_ = from; to_; key = update.key });
+    if Net.is_alive t.net from then
+      match Node_id.Table.find_opt t.nodes from with
+      | Some sender ->
+          Node.drop_neighbor sender to_;
+          Counters.record_repair t.counters
+      | None -> ()
+  end
+
+(* {2 Subscription repair (fault mode)}
+
+   A node that expects updates for a key — it forwarded a query up, or
+   updates have been flowing to it — tracks a deadline; see
+   [repair_state].  When the deadline passes with no update, the
+   justification-deadline timeout fires: the node re-issues its
+   interest along the current (already repaired) overlay path, with
+   capped exponential backoff between attempts, and gives up into
+   expiration-based polling after [max_repair_attempts]. *)
+
+and arm_repair t ~node ~key ~deadline =
+  let packed = justif_key node key in
+  match Hashtbl.find_opt t.repair packed with
+  | Some st ->
+      if deadline > st.r_deadline then st.r_deadline <- deadline;
+      schedule_repair_check t st
+  | None ->
+      let st =
+        {
+          r_node = node;
+          r_key = key;
+          r_deadline = deadline;
+          r_attempts = 0;
+          r_scheduled = false;
+        }
+      in
+      Hashtbl.replace t.repair packed st;
+      schedule_repair_check t st
+
+(* An update arrived: the subscription works.  Reset the attempt
+   counter (counting a completed repair if we had been retrying) and
+   push the deadline past the carried entries' expiry. *)
+and note_update_for_repair t ~node (update : Update.t) =
+  let expiry =
+    List.fold_left
+      (fun acc (e : Entry.t) -> Float.max acc (Time.to_seconds e.expiry))
+      0. update.entries
+  in
+  let tnow = Time.to_seconds (now t) in
+  let deadline =
+    Float.max (expiry +. t.repair_slack) (tnow +. t.repair_timeout)
+  in
+  let packed = justif_key node update.key in
+  match Hashtbl.find_opt t.repair packed with
+  | Some st ->
+      if st.r_attempts > 0 then begin
+        st.r_attempts <- 0;
+        Counters.record_repair t.counters
+      end;
+      if deadline > st.r_deadline then st.r_deadline <- deadline;
+      schedule_repair_check t st
+  | None ->
+      (* Updates can start flowing to a node that never queried in
+         fault mode (e.g. interest remapped to it by churn); watch
+         those subscriptions too. *)
+      arm_repair t ~node ~key:update.key ~deadline
+
+and schedule_repair_check t st =
+  if not st.r_scheduled then begin
+    st.r_scheduled <- true;
+    ignore
+      (Engine.schedule ~label:"repair.check" t.engine
+         ~at:(Time.of_seconds st.r_deadline) (fun _ -> repair_check t st))
+  end
+
+and repair_check t st =
+  st.r_scheduled <- false;
+  let tnow = Time.to_seconds (now t) in
+  if st.r_deadline > tnow +. 1e-9 then
+    (* The deadline moved while this check was queued. *)
+    schedule_repair_check t st
+  else begin
+    let packed = justif_key st.r_node st.r_key in
+    let drop () = Hashtbl.remove t.repair packed in
+    if not (Net.is_alive t.net st.r_node) then drop ()
+    else begin
+      let node = get_node t st.r_node in
+      let needs =
+        Node.pending_first node st.r_key
+        || Node.interested_neighbors node st.r_key <> []
+      in
+      if not needs then
+        (* No waiters and no downstream interest: a stale leaf cache
+           simply degrades to expiration-based caching. *)
+        drop ()
+      else if tnow >= Scenario.sim_end t.cfg then
+        (* Past the workload horizon nothing new will flow; without
+           this gate a re-issued interest and its answering update
+           would keep re-arming each other and the run would never
+           drain its event queue. *)
+        drop ()
+      else if st.r_attempts >= max_repair_attempts then begin
+        Counters.record_unreachable t.counters;
+        drop ()
+      end
+      else begin
+        st.r_attempts <- st.r_attempts + 1;
+        match Net.next_hop t.net st.r_node st.r_key with
+        | Route.Owner ->
+            (* Became the authority itself; nothing to re-subscribe
+               to. *)
+            drop ()
+        | Route.Stuck _ ->
+            Counters.record_unreachable t.counters;
+            drop ()
+        | Route.Forward h ->
+            Counters.record_retry t.counters;
+            if tracing t then
+              emit t
+                (Trace.Repair_query
+                   {
+                     at = now t;
+                     node = st.r_node;
+                     key = st.r_key;
+                     attempt = st.r_attempts;
+                   });
+            st.r_deadline <-
+              tnow
+              +. (t.repair_timeout
+                 *. Float.of_int (1 lsl Stdlib.min st.r_attempts 5));
+            (* Raw re-issue on the wire: bypasses the node's own query
+               coalescing, which would swallow the retry while the
+               pending-first flag is still set. *)
+            send_query t ~from:st.r_node ~to_:h ~attempt:0 st.r_key;
+            schedule_repair_check t st
+      end
+    end
   end
 
 (* Token-bucket drain: one update leaves the node per 1/rate seconds,
@@ -323,10 +625,15 @@ let post_query t ~node ~key =
     judge_pending_updates t ~node ~key;
     t.queries_posted <- t.queries_posted + 1;
     let n = get_node t node in
-    let next_hop = Net.next_hop t.net node key in
-    perform t ~from:node
-      (Node.handle_query n ~now:(now t) ~next_hop
-         (Node.From_local (now t)) key)
+    match Net.next_hop t.net node key with
+    | Route.Stuck _ -> Counters.record_unreachable t.counters
+    | (Route.Owner | Route.Forward _) as hop ->
+        let next_hop =
+          match hop with Route.Forward h -> Some h | _ -> None
+        in
+        perform t ~from:node
+          (Node.handle_query n ~now:(now t) ~next_hop
+             (Node.From_local (now t)) key)
   end
 
 (* {2 Workload pumps}
@@ -439,7 +746,7 @@ let pump_faults t gen =
 
 (* {2 Construction} *)
 
-let create cfg =
+let create_base cfg =
   (match Scenario.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runner: invalid scenario: " ^ msg));
@@ -475,6 +782,15 @@ let create cfg =
       topo_rng;
       cap_rng = Rng.substream root "capacity";
       sample_rng = Rng.substream root "refresh-sample";
+      crash_rng = Rng.substream root "crashes";
+      loss_rng = Rng.substream root "loss";
+      loss_salt = Splitmix.mix (Int64.of_int cfg.seed);
+      fault_mode = Scenario.fault_injection cfg;
+      repair = Hashtbl.create 256;
+      repair_timeout =
+        Float.max 1.0 (64. *. cfg.hop_delay) +. cfg.refresh_batch_window;
+      repair_slack =
+        Float.max 1.0 (64. *. cfg.hop_delay) +. cfg.refresh_batch_window;
       batches = Key.Table.create 16;
       justif = Hashtbl.create 1024;
       inv_hop_delay =
@@ -569,8 +885,6 @@ let finish t =
     profile = Engine.profile t.engine;
   }
 
-let run cfg = finish (create cfg)
-
 (* {2 Churn (Section 2.9)} *)
 
 (* Re-point every key whose routing owner no longer matches the
@@ -640,6 +954,62 @@ let node_leave ?(graceful = true) t id =
   | None -> ());
   patch_affected t change.affected
 
+(* {2 Crash / recovery injection}
+
+   A crash is [node_leave ~graceful:false] plus losing the victim's
+   queued outgoing updates and capacity state; a recovery is a fresh
+   replacement join.  The victim is drawn from the dedicated "crashes"
+   substream in event order, so the crash schedule is byte-identical
+   across schedulers, job counts and cache settings. *)
+
+let crash_random_node t =
+  match Net.node_ids t.net with
+  | [] | [ _ ] -> () (* never crash the last node *)
+  | ids ->
+      let victim = List.nth ids (Rng.int t.crash_rng (List.length ids)) in
+      if tracing t then
+        emit t (Trace.Node_crashed { at = now t; node = victim });
+      (* Everything queued at the victim dies with it. *)
+      (match Node_id.Table.find_opt t.channels victim with
+      | Some ch ->
+          Node_id.Table.reset ch.queues;
+          Node_id.Table.remove t.channels victim
+      | None -> ());
+      Node_id.Table.remove t.capacity victim;
+      node_leave ~graceful:false t victim
+
+let recover_node t =
+  let id = node_join t in
+  if tracing t then emit t (Trace.Node_recovered { at = now t; node = id })
+
+let pump_crashes t gen =
+  let rec next () =
+    match Cup_workload.Crash_gen.next gen with
+    | None -> ()
+    | Some e ->
+        ignore
+          (Engine.schedule ~label:"pump.crash" t.engine ~at:e.at (fun _ ->
+               (match e.kind with
+               | Cup_workload.Crash_gen.Crash -> crash_random_node t
+               | Cup_workload.Crash_gen.Recover -> recover_node t);
+               next ()))
+  in
+  next ()
+
+let create cfg =
+  let t = create_base cfg in
+  (match cfg.Scenario.crashes with
+  | None -> ()
+  | Some { Scenario.crash_rate; recover_after; warmup } ->
+      pump_crashes t
+        (Cup_workload.Crash_gen.create ~rng:t.crash_rng ~crash_rate
+           ~recover_after
+           ~start:(Time.of_seconds (cfg.query_start +. warmup))
+           ~stop:(Time.of_seconds (cfg.query_start +. cfg.query_duration))));
+  t
+
+let run cfg = finish (create cfg)
+
 module Live = struct
   type t = live
 
@@ -677,4 +1047,7 @@ module Live = struct
   let node_join = node_join
   let node_leave ?graceful t id = node_leave ?graceful t id
   let set_tracer t tracer = t.tracer <- tracer
+
+  let justification_backlog t =
+    Hashtbl.fold (fun _ deadlines acc -> acc + List.length !deadlines) t.justif 0
 end

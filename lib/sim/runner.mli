@@ -10,7 +10,26 @@
     First-time updates are never dropped by reduced capacity (they
     carry query answers; a node that cannot propagate updates still
     answers queries, it merely degrades its dependents to standard
-    caching). *)
+    caching).
+
+    {b Fault injection.}  When the scenario carries a
+    {!Scenario.crash_spec} or {!Scenario.loss_spec}, the runner
+    additionally injects node crashes (non-graceful departures drawn
+    from the dedicated ["crashes"] PRNG substream, optionally followed
+    by replacement joins) and per-channel message loss (one Bernoulli
+    draw per message from the ["loss"] substream, with the channel's
+    drop rate a pure hash of the endpoints).  Queries lost on the wire
+    or bounced off a crashed hop are re-routed by their sender with
+    capped exponential backoff; lost updates are healed by the
+    subscription repair machinery, which watches each subscriber's
+    justification deadline and re-issues its interest up the repaired
+    overlay path when updates stop flowing, degrading to
+    expiration-based polling after repeated failures.  Routing
+    non-convergence is typed ({!Cup_overlay.Route.t}) and counted
+    ([unreachable] in {!Cup_metrics.Counters}) instead of raising.
+    All fault draws happen in engine-event order, so a run is
+    byte-identical across schedulers, job counts and route-cache
+    settings for the same seed and fault spec. *)
 
 type result = {
   counters : Cup_metrics.Counters.t;
@@ -87,4 +106,11 @@ module Live : sig
       departure): the directories are lost and rebuilt at the new
       authority by the replicas' next keep-alives, while dependent
       caches simply expire as in standard caching. *)
+
+  val justification_backlog : t -> int
+  (** Total number of justification deadlines currently held for the
+      Section 3.1 accounting, summed over all (node, key) slots.
+      Expired deadlines are swept when the next update for the same
+      (node, key) arrives, so the backlog stays bounded even for pairs
+      that receive updates but no queries. *)
 end

@@ -10,6 +10,10 @@ type fault_spec =
     }
   | Once_down of { fraction : float; reduced : float; warmup : float }
 
+type crash_spec = { crash_rate : float; recover_after : float; warmup : float }
+
+type loss_spec = { drop : float; jitter : float }
+
 type t = {
   seed : int;
   nodes : int;
@@ -31,6 +35,8 @@ type t = {
   capacity_mode : capacity_mode;
   queue_ordering : Cup_proto.Update_queue.ordering;
   faults : fault_spec option;
+  crashes : crash_spec option;
+  loss : loss_spec option;
   refresh_batch_window : float;
   refresh_sample : float;
   piggyback_clear_bits : bool;
@@ -58,6 +64,8 @@ let default =
     capacity_mode = Bernoulli;
     queue_ordering = Cup_proto.Update_queue.Latency_first;
     faults = None;
+    crashes = None;
+    loss = None;
     refresh_batch_window = 0.;
     refresh_sample = 1.;
     piggyback_clear_bits = false;
@@ -74,6 +82,8 @@ let total_keys t =
 
 let with_policy t policy =
   { t with node_config = { t.node_config with policy } }
+
+let fault_injection t = t.crashes <> None || t.loss <> None
 
 let validate t =
   let check cond msg = if cond then Ok () else Error msg in
@@ -111,23 +121,40 @@ let validate t =
     | Token_bucket rate ->
         check (rate > 0.) "token bucket rate must be > 0"
   in
-  match t.faults with
+  let* () =
+    match t.faults with
+    | None -> Ok ()
+    | Some (Up_and_down { fraction; reduced; warmup; down; gap }) ->
+        let* () =
+          check (fraction >= 0. && fraction <= 1.) "fraction must be in [0, 1]"
+        in
+        let* () =
+          check (reduced >= 0. && reduced <= 1.) "reduced must be in [0, 1]"
+        in
+        check
+          (warmup >= 0. && down > 0. && gap >= 0.)
+          "fault timing must be nonnegative (down > 0)"
+    | Some (Once_down { fraction; reduced; warmup }) ->
+        let* () =
+          check (fraction >= 0. && fraction <= 1.) "fraction must be in [0, 1]"
+        in
+        let* () =
+          check (reduced >= 0. && reduced <= 1.) "reduced must be in [0, 1]"
+        in
+        check (warmup >= 0.) "warmup must be >= 0"
+  in
+  let* () =
+    match t.crashes with
+    | None -> Ok ()
+    | Some { crash_rate; recover_after; warmup } ->
+        let* () = check (crash_rate > 0.) "crash_rate must be > 0" in
+        let* () =
+          check (recover_after >= 0.) "recover_after must be >= 0"
+        in
+        check (warmup >= 0.) "crash warmup must be >= 0"
+  in
+  match t.loss with
   | None -> Ok ()
-  | Some (Up_and_down { fraction; reduced; warmup; down; gap }) ->
-      let* () =
-        check (fraction >= 0. && fraction <= 1.) "fraction must be in [0, 1]"
-      in
-      let* () =
-        check (reduced >= 0. && reduced <= 1.) "reduced must be in [0, 1]"
-      in
-      check
-        (warmup >= 0. && down > 0. && gap >= 0.)
-        "fault timing must be nonnegative (down > 0)"
-  | Some (Once_down { fraction; reduced; warmup }) ->
-      let* () =
-        check (fraction >= 0. && fraction <= 1.) "fraction must be in [0, 1]"
-      in
-      let* () =
-        check (reduced >= 0. && reduced <= 1.) "reduced must be in [0, 1]"
-      in
-      check (warmup >= 0.) "warmup must be >= 0"
+  | Some { drop; jitter } ->
+      let* () = check (drop >= 0. && drop <= 1.) "drop must be in [0, 1]" in
+      check (jitter >= 0. && jitter <= 1.) "jitter must be in [0, 1]"

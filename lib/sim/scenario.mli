@@ -31,6 +31,31 @@ type fault_spec =
     }
   | Once_down of { fraction : float; reduced : float; warmup : float }
 
+type crash_spec = {
+  crash_rate : float;
+      (** Poisson intensity of node crashes, crashes/second.  Each
+          crash removes a uniformly chosen alive node without handing
+          its directories over (Section 2.9's unplanned departure). *)
+  recover_after : float;
+      (** seconds after each crash until a replacement node joins at a
+          random position; [0.] means crashed capacity is never
+          replaced *)
+  warmup : float;
+      (** seconds after [query_start] before the first crash can
+          occur *)
+}
+
+type loss_spec = {
+  drop : float;
+      (** mean per-message drop probability across directed channels *)
+  jitter : float;
+      (** per-channel spread in [\[0, 1\]]: each directed (from, to)
+          channel drops with probability
+          [drop * (1 + jitter * u)] for a deterministic per-channel
+          [u] in [\[-1, 1)], clamped to [\[0, 1\]].  [0.] gives every
+          channel the same rate. *)
+}
+
 type t = {
   seed : int;
   nodes : int;
@@ -65,6 +90,14 @@ type t = {
   capacity_mode : capacity_mode;
   queue_ordering : Cup_proto.Update_queue.ordering;
   faults : fault_spec option;
+  crashes : crash_spec option;
+      (** node crash/recovery injection; crashes are drawn from the
+          deterministic PRNG ("crashes" substream), so the same seed
+          and spec produce the same crash schedule on every run *)
+  loss : loss_spec option;
+      (** per-channel message loss; in-flight queries retransmit with
+          capped exponential backoff, lost update flow is healed by
+          the justification-deadline repair (see README "Robustness") *)
   refresh_batch_window : float;
       (** Section 3.6's aggregation technique: when [> 0.], the
           authority buffers replica refreshes for a key and propagates
@@ -96,5 +129,11 @@ val total_keys : t -> int
 
 val with_policy : t -> Cup_proto.Policy.t -> t
 (** Convenience: replace the cut-off policy, keeping the rest. *)
+
+val fault_injection : t -> bool
+(** Whether crash or loss injection is configured; the runner only
+    arms its repair machinery (deadline checks, transport retries)
+    when this holds, so fault-free scenarios are byte-identical to
+    runs before the fault subsystem existed. *)
 
 val validate : t -> (unit, string) result

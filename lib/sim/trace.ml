@@ -32,13 +32,31 @@ type event =
       hit : bool;
       waiters : int;
     }
+  | Node_crashed of { at : Time.t; node : Node_id.t }
+  | Node_recovered of { at : Time.t; node : Node_id.t }
+  | Message_lost of {
+      at : Time.t;
+      from_ : Node_id.t;
+      to_ : Node_id.t;
+      key : Key.t;
+    }
+  | Repair_query of {
+      at : Time.t;
+      node : Node_id.t;
+      key : Key.t;
+      attempt : int;
+    }
 
 let event_time = function
   | Query_posted { at; _ }
   | Query_forwarded { at; _ }
   | Update_delivered { at; _ }
   | Clear_bit_delivered { at; _ }
-  | Local_answer { at; _ } ->
+  | Local_answer { at; _ }
+  | Node_crashed { at; _ }
+  | Node_recovered { at; _ }
+  | Message_lost { at; _ }
+  | Repair_query { at; _ } ->
       at
 
 let pp_event fmt = function
@@ -63,6 +81,17 @@ let pp_event fmt = function
         (if hit then "cache hit" else "answer delivered")
         Key.pp key waiters
         (if waiters = 1 then "" else "s")
+  | Node_crashed { at; node } ->
+      Format.fprintf fmt "%a  %a: crashed" Time.pp at Node_id.pp node
+  | Node_recovered { at; node } ->
+      Format.fprintf fmt "%a  %a: joined as replacement" Time.pp at Node_id.pp
+        node
+  | Message_lost { at; from_; to_; key } ->
+      Format.fprintf fmt "%a  %a -> %a: message for %a lost" Time.pp at
+        Node_id.pp from_ Node_id.pp to_ Key.pp key
+  | Repair_query { at; node; key; attempt } ->
+      Format.fprintf fmt "%a  %a: re-issues interest in %a (attempt %d)"
+        Time.pp at Node_id.pp node Key.pp key attempt
 
 type t = {
   ring : event option array;
@@ -102,14 +131,14 @@ let clear t =
 let filter_key t key =
   List.filter
     (fun e ->
-      let k =
-        match e with
-        | Query_posted { key; _ }
-        | Query_forwarded { key; _ }
-        | Update_delivered { key; _ }
-        | Clear_bit_delivered { key; _ }
-        | Local_answer { key; _ } ->
-            key
-      in
-      Key.equal k key)
+      match e with
+      | Query_posted { key = k; _ }
+      | Query_forwarded { key = k; _ }
+      | Update_delivered { key = k; _ }
+      | Clear_bit_delivered { key = k; _ }
+      | Local_answer { key = k; _ }
+      | Message_lost { key = k; _ }
+      | Repair_query { key = k; _ } ->
+          Key.equal k key
+      | Node_crashed _ | Node_recovered _ -> false)
     (events t)

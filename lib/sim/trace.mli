@@ -43,6 +43,28 @@ type event =
       hit : bool;
       waiters : int;
     }
+  | Node_crashed of {
+      at : Cup_dess.Time.t;
+      node : Cup_overlay.Node_id.t;
+    }  (** fault injection removed the node without handover *)
+  | Node_recovered of {
+      at : Cup_dess.Time.t;
+      node : Cup_overlay.Node_id.t;
+    }  (** a replacement node joined after a crash *)
+  | Message_lost of {
+      at : Cup_dess.Time.t;
+      from_ : Cup_overlay.Node_id.t;
+      to_ : Cup_overlay.Node_id.t;
+      key : Cup_overlay.Key.t;
+    }  (** a message dropped on the wire or sent to a crashed node *)
+  | Repair_query of {
+      at : Cup_dess.Time.t;
+      node : Cup_overlay.Node_id.t;
+      key : Cup_overlay.Key.t;
+      attempt : int;
+    }
+      (** the justification-deadline timeout fired and the node
+          re-issued its interest up the overlay path *)
 
 val event_time : event -> Cup_dess.Time.t
 val pp_event : Format.formatter -> event -> unit
@@ -64,4 +86,5 @@ val events : t -> event list
 val clear : t -> unit
 
 val filter_key : t -> Cup_overlay.Key.t -> event list
-(** Retained events touching one key, oldest first. *)
+(** Retained events touching one key, oldest first.  Membership events
+    ([Node_crashed], [Node_recovered]) carry no key and never match. *)

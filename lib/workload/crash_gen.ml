@@ -1,0 +1,48 @@
+module Time = Cup_dess.Time
+module Dist = Cup_prng.Dist
+
+type event_kind = Crash | Recover
+
+type event = { at : Time.t; kind : event_kind }
+
+type t = {
+  rng : Cup_prng.Rng.t;
+  crash_rate : float;
+  recover_after : float;
+  stop : Time.t;
+  mutable next_crash : Time.t;
+  mutable pending_recover : Time.t list;
+      (* scheduled recoveries, oldest first; every crash appends one
+         at a fixed offset, so the list stays time-sorted *)
+}
+
+let create ~rng ~crash_rate ~recover_after ~start ~stop =
+  if crash_rate <= 0. then invalid_arg "Crash_gen.create: crash_rate must be > 0";
+  if recover_after < 0. then
+    invalid_arg "Crash_gen.create: recover_after must be >= 0";
+  {
+    rng;
+    crash_rate;
+    recover_after;
+    stop;
+    next_crash = Time.add start (Dist.exponential rng ~rate:crash_rate);
+    pending_recover = [];
+  }
+
+let next t =
+  let crash_due = Time.is_finite t.next_crash && Time.(t.next_crash <= t.stop) in
+  match t.pending_recover with
+  | r :: rest when ((not crash_due) || Time.(r <= t.next_crash)) ->
+      if Time.(r <= t.stop) then begin
+        t.pending_recover <- rest;
+        Some { at = r; kind = Recover }
+      end
+      else None
+  | _ when crash_due ->
+      let at = t.next_crash in
+      t.next_crash <- Time.add at (Dist.exponential t.rng ~rate:t.crash_rate);
+      if t.recover_after > 0. then
+        t.pending_recover <-
+          t.pending_recover @ [ Time.add at t.recover_after ];
+      Some { at; kind = Crash }
+  | _ -> None

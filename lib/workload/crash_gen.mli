@@ -1,0 +1,29 @@
+(** Node crash / recovery workload.
+
+    Crashes arrive as a Poisson process; each crash optionally
+    schedules one recovery (a replacement node joining) a fixed delay
+    later.  Like {!Churn_gen}, the generator emits abstract events in
+    nondecreasing time order and the simulation decides which concrete
+    node crashes (uniformly among the alive ones), because it owns the
+    current membership. *)
+
+type event_kind = Crash | Recover
+
+type event = { at : Cup_dess.Time.t; kind : event_kind }
+
+type t
+
+val create :
+  rng:Cup_prng.Rng.t ->
+  crash_rate:float ->
+  recover_after:float ->
+  start:Cup_dess.Time.t ->
+  stop:Cup_dess.Time.t ->
+  t
+(** [crash_rate] in crashes/second (must be [> 0]); [recover_after] is
+    the seconds between a crash and its replacement join, with [0.]
+    meaning crashed capacity is never replaced.  No event is emitted
+    after [stop]. *)
+
+val next : t -> event option
+(** Events in nondecreasing time order; [None] when exhausted. *)

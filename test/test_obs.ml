@@ -130,6 +130,10 @@ let all_events =
       };
     Trace.Clear_bit_delivered { at; from_ = n 4; to_ = n 9; key = k };
     Trace.Local_answer { at; node = n 4; key = k; hit = false; waiters = 2 };
+    Trace.Node_crashed { at; node = n 9 };
+    Trace.Node_recovered { at; node = n 16 };
+    Trace.Message_lost { at; from_ = n 9; to_ = n 4; key = k };
+    Trace.Repair_query { at; node = n 4; key = k; attempt = 2 };
   ]
 
 let test_event_json_roundtrip () =
@@ -243,6 +247,10 @@ let test_jsonl_sink_on_live_run_matches_counters () =
                  | Trace.Update_delivered _ -> "update_delivered"
                  | Trace.Clear_bit_delivered _ -> "clear_bit"
                  | Trace.Local_answer _ -> "local_answer"
+                 | Trace.Node_crashed _ -> "node_crashed"
+                 | Trace.Node_recovered _ -> "node_recovered"
+                 | Trace.Message_lost _ -> "message_lost"
+                 | Trace.Repair_query _ -> "repair_query"
                in
                Hashtbl.replace counts typ
                  (1 + Option.value ~default:0 (Hashtbl.find_opt counts typ))

@@ -6,7 +6,11 @@ module Zone = Cup_overlay.Zone
 module Key = Cup_overlay.Key
 module Node_id = Cup_overlay.Node_id
 module T = Cup_overlay.Topology
+module Route = Cup_overlay.Route
 module Rng = Cup_prng.Rng
+
+(* Hop list of a route that must succeed. *)
+let hops r = Route.hops_exn r
 
 (* {1 Point} *)
 
@@ -118,7 +122,7 @@ let test_topo_single_node () =
   Alcotest.(check (list int)) "no neighbors" []
     (List.map Node_id.to_int (T.neighbors t id));
   Alcotest.(check bool) "owns everything" true
-    (T.next_hop t id (Point.make ~x:0.9 ~y:0.1) = None)
+    (T.next_hop t id (Point.make ~x:0.9 ~y:0.1) = Route.Owner)
 
 let test_topo_grid_build () =
   List.iter
@@ -150,7 +154,7 @@ let test_topo_route_reaches_owner () =
     let key = Key.of_int k in
     let from = ids.(k mod Array.length ids) in
     let owner = T.owner_of_key t key in
-    match List.rev (T.route t ~from (Key.to_point key)) with
+    match List.rev (hops (T.route t ~from (Key.to_point key))) with
     | [] ->
         Alcotest.(check bool) "already owner" true (Node_id.equal from owner)
     | last :: _ ->
@@ -165,8 +169,8 @@ let test_topo_next_hop_is_neighbor () =
     (fun id ->
       let p = Key.to_point (Key.of_int 5) in
       match T.next_hop t id p with
-      | None -> ()
-      | Some hop ->
+      | Route.Owner | Route.Stuck _ -> ()
+      | Route.Forward hop ->
           Alcotest.(check bool) "hop is a neighbor" true
             (List.exists (Node_id.equal hop) (T.neighbors t id)))
     (T.node_ids t)
@@ -247,7 +251,7 @@ let prop_route_terminates =
       let owner = T.owner_of_key t key in
       List.for_all
         (fun from ->
-          match List.rev (T.route t ~from (Key.to_point key)) with
+          match List.rev (hops (T.route t ~from (Key.to_point key))) with
           | [] -> Node_id.equal from owner
           | last :: _ -> Node_id.equal last owner)
         (T.node_ids t))
@@ -267,7 +271,7 @@ let test_chord_single_node () =
   Alcotest.(check int) "size" 1 (Chord.size c);
   let id = List.hd (Chord.node_ids c) in
   Alcotest.(check bool) "owns everything" true
-    (Chord.next_hop c id (Key.of_int 42) = None);
+    (Chord.next_hop c id (Key.of_int 42) = Route.Owner);
   Alcotest.(check bool) "self successor" true
     (Node_id.equal (Chord.successor c id) id)
 
@@ -313,7 +317,7 @@ let test_chord_route_reaches_owner () =
     let key = Key.of_int k in
     let from = ids.(k mod Array.length ids) in
     let owner = Chord.owner_of_key c key in
-    match List.rev (Chord.route c ~from key) with
+    match List.rev (hops (Chord.route c ~from key)) with
     | [] -> Alcotest.(check bool) "already owner" true (Node_id.equal from owner)
     | last :: _ ->
         Alcotest.(check bool) "route ends at owner" true
@@ -327,7 +331,7 @@ let test_chord_path_length_logarithmic () =
   let total = ref 0 in
   for k = 0 to 99 do
     let from = ids.(Rng.int rng (Array.length ids)) in
-    total := !total + List.length (Chord.route c ~from (Key.of_int k))
+    total := !total + List.length (hops (Chord.route c ~from (Key.of_int k)))
   done;
   let avg = float_of_int !total /. 100. in
   (* expected ~ (log2 n)/2 = 4; generous upper bound well below the
@@ -413,7 +417,7 @@ let test_pastry_route_reaches_owner () =
     let key = Key.of_int k in
     let from = ids.(k mod Array.length ids) in
     let owner = Pastry.owner_of_key p key in
-    match List.rev (Pastry.route p ~from key) with
+    match List.rev (hops (Pastry.route p ~from key)) with
     | [] -> Alcotest.(check bool) "already owner" true (Node_id.equal from owner)
     | last :: _ ->
         Alcotest.(check bool) "route ends at owner" true
@@ -427,7 +431,7 @@ let test_pastry_paths_short () =
   let total = ref 0 in
   for k = 0 to 99 do
     let from = ids.(Rng.int rng (Array.length ids)) in
-    total := !total + List.length (Pastry.route p ~from (Key.of_int k))
+    total := !total + List.length (hops (Pastry.route p ~from (Key.of_int k)))
   done;
   let avg = float_of_int !total /. 100. in
   (* prefix routing resolves ~a hex digit per hop: log16(256) = 2 *)
@@ -491,10 +495,11 @@ let test_net_dispatch () =
       | Error m -> Alcotest.fail m);
       let key = Key.of_int 3 in
       let owner = Net.owner_of_key net key in
-      Alcotest.(check bool) "owner owns" true (Net.next_hop net owner key = None);
+      Alcotest.(check bool) "owner owns" true
+        (Net.next_hop net owner key = Route.Owner);
       List.iter
         (fun from ->
-          match List.rev (Net.route net ~from key) with
+          match List.rev (hops (Net.route net ~from key)) with
           | [] -> Alcotest.(check bool) "self" true (Node_id.equal from owner)
           | last :: _ ->
               Alcotest.(check bool) "ends at owner" true
@@ -512,6 +517,93 @@ let test_net_inspectors () =
   let pa = Net.create ~rng ~kind:Net.Pastry ~n:4 () in
   Alcotest.(check bool) "pastry is pastry" true (Net.as_pastry pa <> None);
   Alcotest.(check bool) "pastry is not can" true (Net.as_can pa = None)
+
+(* {1 Typed routing failures (fault tolerance)} *)
+
+(* Regression: a node leaving mid-route used to [failwith] out of the
+   caller.  Both asking the dead node for its next hop and routing
+   from it must now return a typed outcome, while live nodes reroute
+   around the hole. *)
+let test_mid_route_leave_is_typed () =
+  let rng = Rng.create ~seed:91 in
+  let t = T.create ~rng ~n:32 ~placement:`Random () in
+  let key = Key.of_int 7 in
+  let p = Key.to_point key in
+  let from =
+    List.find (fun id -> T.next_hop t id p <> Route.Owner) (T.node_ids t)
+  in
+  match T.next_hop t from p with
+  | Route.Owner | Route.Stuck _ -> Alcotest.fail "expected a forwarding hop"
+  | Route.Forward hop ->
+      ignore (T.leave t hop);
+      (match T.next_hop t hop p with
+      | Route.Stuck Route.Dead_node -> ()
+      | _ -> Alcotest.fail "dead hop should be Stuck Dead_node");
+      (match T.route t ~from:hop p with
+      | Route.Unreachable { reason = Route.Dead_node; partial = [] } -> ()
+      | _ -> Alcotest.fail "route from the dead hop should be Unreachable");
+      (match T.route t ~from p with
+      | Route.Delivered _ -> ()
+      | Route.Unreachable _ ->
+          Alcotest.fail "live node should reroute around the hole")
+
+let test_net_route_from_dead_node_typed () =
+  let rng = Rng.create ~seed:92 in
+  List.iter
+    (fun kind ->
+      let net = Net.create ~rng ~kind ~n:16 () in
+      let victim = List.hd (Net.node_ids net) in
+      ignore (Net.leave net victim);
+      let key = Key.of_int 5 in
+      (match Net.next_hop net victim key with
+      | Route.Stuck Route.Dead_node -> ()
+      | _ -> Alcotest.fail "expected Stuck Dead_node");
+      (match Net.route net ~from:victim key with
+      | Route.Unreachable { reason = Route.Dead_node; _ } -> ()
+      | _ -> Alcotest.fail "expected Unreachable");
+      (* live nodes still deliver *)
+      List.iter
+        (fun from ->
+          match Net.route net ~from key with
+          | Route.Delivered _ -> ()
+          | Route.Unreachable _ -> Alcotest.fail "live route must deliver")
+        (Net.node_ids net))
+    [ Net.Can `Random; Net.Chord; Net.Pastry ]
+
+(* A crash-then-recover cycle must bump the membership generation
+   twice, so a cached next hop recorded before the crash can never be
+   served after it (the cache is keyed to the generation). *)
+let test_generation_bumps_across_crash_recover () =
+  let rng = Rng.create ~seed:93 in
+  List.iter
+    (fun kind ->
+      let net = Net.create ~rng ~route_cache:true ~kind ~n:16 () in
+      let key = Key.of_int 11 in
+      (* warm the cache *)
+      List.iter (fun from -> ignore (Net.route net ~from key)) (Net.node_ids net);
+      let g0 = Net.generation net in
+      let victim = List.hd (Net.node_ids net) in
+      ignore (Net.leave net victim);
+      let g1 = Net.generation net in
+      Alcotest.(check bool) "crash bumps generation" true (g1 > g0);
+      ignore (Net.join_random net ~rng);
+      let g2 = Net.generation net in
+      Alcotest.(check bool) "recovery bumps generation again" true (g2 > g1);
+      (* cached answers after the churn agree with an uncached overlay:
+         no stale next hop survives the generation move *)
+      List.iter
+        (fun from ->
+          match Net.route net ~from key with
+          | Route.Delivered [] -> ()
+          | Route.Delivered hops ->
+              List.iter
+                (fun h ->
+                  Alcotest.(check bool) "hop is alive" true
+                    (Net.is_alive net h))
+                hops
+          | Route.Unreachable _ -> Alcotest.fail "route must deliver")
+        (Net.node_ids net))
+    [ Net.Can `Random; Net.Chord; Net.Pastry ]
 
 let () =
   Alcotest.run "cup_overlay"
@@ -593,5 +685,14 @@ let () =
         [
           Alcotest.test_case "dispatch" `Quick test_net_dispatch;
           Alcotest.test_case "inspectors" `Quick test_net_inspectors;
+        ] );
+      ( "typed routing failures",
+        [
+          Alcotest.test_case "mid-route leave is typed" `Quick
+            test_mid_route_leave_is_typed;
+          Alcotest.test_case "route from dead node" `Quick
+            test_net_route_from_dead_node_typed;
+          Alcotest.test_case "generation bumps across crash/recover" `Quick
+            test_generation_bumps_across_crash_recover;
         ] );
     ]

@@ -128,6 +128,45 @@ let test_parallel_sweep_identical () =
       Alcotest.(check string) (at "trace ring") seq_tr par_tr)
     (List.combine sequential parallel)
 
+(* Fault injection must stay byte-deterministic under parallel
+   fan-out: crash victims and loss draws come from dedicated PRNG
+   substreams consumed in engine-event order, never from shared
+   state. *)
+let fault_base =
+  {
+    sweep_base with
+    Scenario.crashes =
+      Some { Scenario.crash_rate = 0.02; recover_after = 20.; warmup = 30. };
+    loss = Some { Scenario.drop = 0.2; jitter = 0.5 };
+  }
+
+let observed_fault_run seed =
+  let cfg =
+    Scenario.with_policy { fault_base with Scenario.seed } Policy.second_chance
+  in
+  let live = Runner.Live.create cfg in
+  let ring = Trace.create ~capacity:512 () in
+  Runner.Live.set_tracer live (Some (Trace.record ring));
+  let r = Runner.Live.finish live in
+  ( Format.asprintf "%a" Counters.pp r.counters,
+    r.engine_events,
+    String.concat "\n"
+      (List.map
+         (fun e -> Format.asprintf "%a" Trace.pp_event e)
+         (Trace.events ring)) )
+
+let test_parallel_fault_runs_identical () =
+  let seeds = [ 1; 42; 1001 ] in
+  let sequential =
+    Pool.with_pool ~jobs:1 (fun pool -> Pool.map pool observed_fault_run seeds)
+  in
+  let parallel =
+    Pool.with_pool ~jobs:4 (fun pool -> Pool.map pool observed_fault_run seeds)
+  in
+  Alcotest.(check bool)
+    "crash/loss runs identical across jobs=1 and jobs=4" true
+    (sequential = parallel)
+
 let test_experiment_pool_identical () =
   (* The public entry point: Experiments with ?pool versus without. *)
   let module E = Cup_sim.Experiments in
@@ -156,6 +195,8 @@ let () =
         [
           Alcotest.test_case "jobs=1 vs jobs=4 sweep" `Quick
             test_parallel_sweep_identical;
+          Alcotest.test_case "jobs=1 vs jobs=4 under crash/loss" `Quick
+            test_parallel_fault_runs_identical;
           Alcotest.test_case "experiments ?pool identical" `Quick
             test_experiment_pool_identical;
         ] );

@@ -93,6 +93,33 @@ let equivalence_scenarios =
           refresh_sample = 0.5;
         }
         (Policy.Logarithmic 0.5) );
+    (* Fault injection must obey the same byte-determinism contract:
+       crash victims and loss draws come from dedicated substreams
+       consumed in engine-event order. *)
+    ( "crash-only",
+      Scenario.with_policy
+        {
+          base with
+          crashes =
+            Some
+              { Scenario.crash_rate = 0.02; recover_after = 30.; warmup = 30. };
+        }
+        Policy.second_chance );
+    ( "loss-only",
+      Scenario.with_policy
+        { base with loss = Some { Scenario.drop = 0.2; jitter = 0.5 } }
+        Policy.second_chance );
+    ( "crash-and-loss",
+      Scenario.with_policy
+        {
+          base with
+          overlay = T.Chord;
+          crashes =
+            Some
+              { Scenario.crash_rate = 0.02; recover_after = 20.; warmup = 30. };
+          loss = Some { Scenario.drop = 0.15; jitter = 1.0 };
+        }
+        (Policy.Linear 0.25) );
   ]
 
 let test_scheduler_equivalence () =
@@ -454,6 +481,76 @@ let test_authority_crash_loses_then_recovers_directory () =
     (Cup_proto.Node.local_directory (Runner.Live.node live new_auth) key <> []);
   ignore (Runner.Live.finish live)
 
+(* {1 Fault injection} *)
+
+(* The acceptance scenario: crashes mid-propagation plus heavy
+   message loss.  The run must complete without raising — the routing
+   layer reports typed [Unreachable] outcomes instead of [failwith] —
+   and the fault counters must show the machinery actually fired. *)
+let fault_cfg =
+  Scenario.with_policy
+    {
+      base with
+      crashes =
+        Some { Scenario.crash_rate = 0.05; recover_after = 15.; warmup = 10. };
+      loss = Some { Scenario.drop = 0.3; jitter = 0.5 };
+    }
+    Policy.second_chance
+
+let test_fault_injection_acceptance () =
+  let r = Runner.run fault_cfg in
+  Alcotest.(check bool) "queries answered or typed-unreachable" true
+    (r.queries_posted > 0);
+  Alcotest.(check bool) "messages were lost" true
+    (Counters.lost_messages r.counters > 0);
+  Alcotest.(check bool) "transport retried" true
+    (Counters.retries r.counters > 0);
+  Alcotest.(check bool) "repairs completed" true
+    (Counters.repairs r.counters > 0);
+  Alcotest.(check bool) "unreachable outcomes recorded" true
+    (Counters.unreachable r.counters > 0)
+
+let test_fault_counters_in_pp () =
+  let r = Runner.run fault_cfg in
+  let printed = Format.asprintf "%a" Counters.pp r.counters in
+  Alcotest.(check bool) "faults line printed under injection" true
+    (let rec contains i =
+       i + 7 <= String.length printed
+       && (String.sub printed i 7 = "faults:" || contains (i + 1))
+     in
+     contains 0);
+  (* fault-free runs keep the historical counter shape *)
+  let clean = Runner.run (Scenario.with_policy base Policy.second_chance) in
+  let printed = Format.asprintf "%a" Counters.pp clean.counters in
+  Alcotest.(check bool) "no faults line without injection" true
+    (let rec contains i =
+       i + 7 <= String.length printed
+       && (String.sub printed i 7 = "faults:" || contains (i + 1))
+     in
+     not (contains 0))
+
+(* Justification-deadline table boundedness: interior tree nodes
+   receive refresh updates every cycle but stop seeing queries once
+   subscriptions coalesce upstream.  Expired deadlines are swept when
+   the next update arrives, so quadrupling the run length must not
+   quadruple the retained backlog. *)
+let test_justification_backlog_bounded () =
+  let backlog_at duration =
+    let cfg =
+      Scenario.with_policy
+        { base with query_duration = duration; drain = 0. }
+        Policy.All_out
+    in
+    let live = Runner.Live.create cfg in
+    Runner.Live.run_until live (base.query_start +. duration);
+    Runner.Live.justification_backlog live
+  in
+  let short = backlog_at 600. and long = backlog_at 2400. in
+  Alcotest.(check bool)
+    (Printf.sprintf "backlog bounded (600s: %d, 2400s: %d)" short long)
+    true
+    (long < (2 * short) + 64)
+
 (* {1 Replication} *)
 
 let test_replicate_statistics () =
@@ -800,6 +897,15 @@ let () =
           Alcotest.test_case "cup over chord" `Quick test_cup_over_chord;
           Alcotest.test_case "authority crash recovery" `Quick
             test_authority_crash_loses_then_recovers_directory;
+        ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "crash+loss acceptance" `Quick
+            test_fault_injection_acceptance;
+          Alcotest.test_case "fault counters in pp" `Quick
+            test_fault_counters_in_pp;
+          Alcotest.test_case "justification backlog bounded" `Quick
+            test_justification_backlog_bounded;
         ] );
       ( "replication",
         [ Alcotest.test_case "statistics" `Quick test_replicate_statistics ] );
