@@ -34,6 +34,7 @@ let harness_json : (string * Json.t) list ref = ref []
 let sched_json : (string * Json.t) list ref = ref []
 let faults_json : (string * Json.t) list ref = ref []
 let micro_json : (string * float) list ref = ref []
+let metrics_json : (string * float) list ref = ref []
 
 let write_csv name ~header rows =
   match !csv_dir with
@@ -1085,6 +1086,91 @@ let micro () =
     rows;
   Table.print table
 
+(* Metrics micro-benchmarks: the per-sample cost of the observability
+   layer's histogram record and the per-merge cost of the exact
+   seed-order registry fold. *)
+let metrics_bench () =
+  let open Bechamel in
+  let module Histogram = Cup_metrics.Histogram in
+  let module Registry = Cup_metrics.Registry in
+  let live = Histogram.create () in
+  let sample = ref 0 in
+  let record_test =
+    Test.make ~name:"histogram record"
+      (Staged.stage (fun () ->
+           incr sample;
+           Histogram.add live (0.001 +. float_of_int (!sample land 1023))))
+  in
+  let a = Histogram.create () and b = Histogram.create () in
+  for i = 0 to 999 do
+    Histogram.add a (0.001 +. float_of_int (i mod 500));
+    Histogram.add b (0.5 +. float_of_int ((i * 7) mod 800))
+  done;
+  let merge_test =
+    Test.make ~name:"histogram merge (1k+1k samples)"
+      (Staged.stage (fun () -> ignore (Histogram.merge a b)))
+  in
+  let ra = Registry.create () and rb = Registry.create () in
+  List.iter
+    (fun r ->
+      for l = 0 to 3 do
+        let h =
+          Registry.histogram r
+            ~labels:[ ("level", string_of_int l) ]
+            "cup_update_propagation_seconds"
+        in
+        for i = 0 to 249 do
+          Registry.observe h (0.01 +. float_of_int i)
+        done
+      done;
+      Registry.inc ~by:1000 (Registry.counter r "cup_hops_total"))
+    [ ra; rb ];
+  let registry_merge_test =
+    Test.make ~name:"registry merge (4-level run pair)"
+      (Staged.stage (fun () -> ignore (Registry.merge ra rb)))
+  in
+  let counter = Registry.counter (Registry.create ()) "bench_total" in
+  let counter_test =
+    Test.make ~name:"registry counter inc"
+      (Staged.stage (fun () -> Registry.inc counter))
+  in
+  let tests =
+    Test.make_grouped ~name:"metrics" ~fmt:"%s %s"
+      [ record_test; merge_test; registry_merge_test; counter_test ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _metric tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some (est :: _) -> rows := (name, est) :: !rows
+          | Some [] | None -> ())
+        tbl)
+    results;
+  let rows = List.sort compare !rows in
+  metrics_json := rows;
+  let table =
+    Table.create ~title:"Metrics layer (Bechamel, monotonic clock)"
+      ~columns:[ "benchmark"; "ns/run" ]
+  in
+  List.iter
+    (fun (name, est) -> Table.add_row table [ name; Printf.sprintf "%.1f" est ])
+    rows;
+  Table.print table
+
 (* {1 Driver} *)
 
 let write_harness_json ~jobs ~scale =
@@ -1119,12 +1205,24 @@ let write_harness_json ~jobs ~scale =
       @ (match !faults_json with
         | [] -> []
         | fields -> [ ("faults", Json.Obj fields) ])
+      @ (match !micro_json with
+        | [] -> []
+        | rows ->
+            [
+              ( "micro_ns_per_run",
+                Json.List
+                  (List.map
+                     (fun (name, ns) ->
+                       Json.Obj
+                         [ ("name", Json.String name); ("ns", Json.Float ns) ])
+                     rows) );
+            ])
       @
-      match !micro_json with
+      match !metrics_json with
       | [] -> []
       | rows ->
           [
-            ( "micro_ns_per_run",
+            ( "metrics_ns_per_run",
               Json.List
                 (List.map
                    (fun (name, ns) ->
@@ -1259,6 +1357,9 @@ let () =
   timed "micro" (fun () ->
       section "Micro-benchmarks";
       micro ());
+  timed "metrics" (fun () ->
+      section "Metrics-layer micro-benchmarks";
+      metrics_bench ());
   Option.iter Pool.shutdown pool;
   write_harness_json ~jobs ~scale;
   Printf.printf "\ndone.\n"

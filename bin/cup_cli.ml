@@ -4,7 +4,9 @@
      cup run    — run one simulation with explicit parameters
      cup sweep  — sweep the push level for one query rate
      cup exp    — run a named paper experiment (fig3 fig4 table1 ...)
-     cup replay — pretty-print a JSONL protocol trace
+     cup trace  — analyze a JSONL protocol trace: propagation trees,
+                  latency percentiles, per-key summary
+     cup replay — alias of `cup trace` that also prints every event
 *)
 
 open Cmdliner
@@ -262,6 +264,18 @@ let profile_flag =
           "Enable the engine profiling probes and print per-label callback \
            counts, host time, and the event-heap high-water mark.")
 
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Record latency histograms (query latency in hops, update \
+           propagation latency per tree level, repair latency) and the \
+           run's counters into a metrics registry, dumped to $(docv) at \
+           run end — Prometheus text exposition, or CSV when $(docv) ends \
+           in .csv.")
+
 let crash_rate =
   Arg.(
     value & opt float 0.
@@ -301,7 +315,8 @@ let loss_jitter =
 
 (* A run that needs live observability: attach sinks/samplers/probes
    before driving the engine to completion. *)
-let run_observed cfg ~trace_out ~sample_interval ~sample_out ~profile =
+let run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
+    ~profile =
   let live = Runner.Live.create cfg in
   if profile then
     Cup_dess.Engine.enable_profiling (Runner.Live.engine live);
@@ -312,6 +327,14 @@ let run_observed cfg ~trace_out ~sample_interval ~sample_out ~profile =
         let sink = Sink.jsonl_file path in
         Sink.attach live sink;
         Some (path, sink)
+  in
+  let metrics =
+    match metrics_out with
+    | None -> None
+    | Some path ->
+        let registry = Cup_metrics.Registry.create () in
+        Runner.Live.set_metrics live (Some registry);
+        Some (path, registry)
   in
   let sampler =
     let interval =
@@ -329,6 +352,22 @@ let run_observed cfg ~trace_out ~sample_interval ~sample_out ~profile =
   | Some (path, sink) ->
       Sink.close sink;
       Printf.printf "trace: %d events -> %s\n" (Sink.events_seen sink) path);
+  (match metrics with
+  | None -> ()
+  | Some (path, registry) ->
+      let module Registry = Cup_metrics.Registry in
+      if Filename.check_suffix path ".csv" then
+        Cup_report.Csv.write ~path ~header:Registry.csv_header
+          (Registry.csv_rows registry)
+      else begin
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Registry.to_prometheus registry))
+      end;
+      Printf.printf "metrics: %d series -> %s\n"
+        (Registry.series_count registry)
+        path);
   match sampler with
   | None -> ()
   | Some ts ->
@@ -344,8 +383,8 @@ let run_observed cfg ~trace_out ~sample_interval ~sample_out ~profile =
 
 let run_cmd =
   let action seed nodes keys rate duration lifetime replicas policy overlay
-      scheduler runs jobs trace_out sample_interval sample_out profile
-      crash_rate crash_recover loss_rate loss_jitter =
+      scheduler runs jobs trace_out metrics_out sample_interval sample_out
+      profile crash_rate crash_recover loss_rate loss_jitter =
     let cfg =
       {
         (scenario_of ~seed ~nodes ~keys ~rate ~duration ~lifetime ~replicas
@@ -368,8 +407,8 @@ let run_cmd =
       }
     in
     let observed =
-      trace_out <> None || sample_interval <> None || sample_out <> None
-      || profile
+      trace_out <> None || metrics_out <> None || sample_interval <> None
+      || sample_out <> None || profile
     in
     (match sample_interval with
     | Some i when i <= 0. ->
@@ -394,10 +433,12 @@ let run_cmd =
     end;
     if runs > 1 && observed then
       prerr_endline
-        "cup run: note: --trace-out/--sample-*/--profile apply only to \
-         single runs; ignored with --runs > 1";
+        "cup run: note: --trace-out/--metrics-out/--sample-*/--profile \
+         apply only to single runs; ignored with --runs > 1";
     if runs <= 1 && observed then
-      try run_observed cfg ~trace_out ~sample_interval ~sample_out ~profile
+      try
+        run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
+          ~profile
       with Sys_error msg ->
         prerr_endline ("cup run: " ^ msg);
         exit 1
@@ -419,16 +460,87 @@ let run_cmd =
     Term.(
       const action $ seed $ nodes $ keys $ rate $ duration $ lifetime
       $ replicas $ policy $ overlay $ scheduler $ runs $ jobs $ trace_out
-      $ sample_interval $ sample_out $ profile_flag $ crash_rate
-      $ crash_recover $ loss_rate $ loss_jitter)
+      $ metrics_out $ sample_interval $ sample_out $ profile_flag
+      $ crash_rate $ crash_recover $ loss_rate $ loss_jitter)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one CUP simulation and print its cost summary.")
     term
 
-(* {1 cup replay} *)
+(* {1 cup trace / cup replay}
 
-let replay_cmd =
+   One implementation behind both names: parse the JSONL trace,
+   optionally pretty-print (filtered) events, then reconstruct the
+   propagation trees from the span links and report the analysis.
+   `replay` is the historical name and prints the events by default;
+   `trace` leads with the analysis.  Exit status is non-zero when any
+   line fails to parse or any span references a missing parent. *)
+
+let trace_action ~print_events_default file key_filter print_events
+    no_summary max_traces =
+  let ic = open_in file in
+  let events = ref [] and total = ref 0 and bad = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          if String.trim line <> "" then begin
+            incr total;
+            match Cup_obs.Event_json.of_string line with
+            | Ok event -> events := event :: !events
+            | Error msg ->
+                incr bad;
+                Printf.eprintf "line %d: %s\n" !total msg
+          end
+        done
+      with End_of_file -> ());
+  let events = List.rev !events in
+  let wanted (e : Cup_sim.Trace.event) =
+    match key_filter with
+    | None -> true
+    | Some k -> (
+        match e with
+        | Query_posted { key; _ }
+        | Query_forwarded { key; _ }
+        | Update_delivered { key; _ }
+        | Clear_bit_delivered { key; _ }
+        | Local_answer { key; _ }
+        | Message_lost { key; _ }
+        | Repair_query { key; _ } ->
+            Cup_overlay.Key.to_int key = k
+        | Node_crashed _ | Node_recovered _ -> false)
+  in
+  let shown = ref 0 in
+  if print_events_default || print_events || key_filter <> None then
+    List.iter
+      (fun e ->
+        if wanted e then begin
+          incr shown;
+          Format.printf "%a@." Cup_sim.Trace.pp_event e
+        end;
+        ignore e)
+      events;
+  if !shown > 0 then
+    Printf.printf "-- %d events (%d shown%s)\n" !total !shown
+      (if !bad > 0 then Printf.sprintf ", %d unparseable" !bad else "");
+  let summary = Cup_obs.Analyzer.analyze events in
+  if not no_summary then
+    Format.printf "%a" (Cup_obs.Analyzer.pp_summary ~max_traces) summary;
+  if !bad > 0 then begin
+    Printf.eprintf "cup trace: %d unparseable line%s\n" !bad
+      (if !bad = 1 then "" else "s");
+    exit 1
+  end;
+  if summary.Cup_obs.Analyzer.orphans > 0 then begin
+    Printf.eprintf "cup trace: %d orphan span%s (broken causal links)\n"
+      summary.Cup_obs.Analyzer.orphans
+      (if summary.Cup_obs.Analyzer.orphans = 1 then "" else "s");
+    exit 1
+  end
+
+let mk_trace_cmd ~name ~doc ~print_events_default =
   let file =
     Arg.(
       required
@@ -440,73 +552,52 @@ let replay_cmd =
     Arg.(
       value
       & opt (some int) None
-      & info [ "key" ] ~docv:"K" ~doc:"Only show events touching key $(docv).")
+      & info [ "key" ] ~docv:"K"
+          ~doc:
+            "Only print events touching key $(docv) (implies printing \
+             events; the analysis still covers the whole trace).")
   in
-  let action file key_filter =
-    let ic = open_in file in
-    let by_type = Hashtbl.create 8 in
-    let shown = ref 0 and total = ref 0 and bad = ref 0 in
-    let wanted (e : Cup_sim.Trace.event) =
-      match key_filter with
-      | None -> true
-      | Some k -> (
-          match e with
-          | Query_posted { key; _ }
-          | Query_forwarded { key; _ }
-          | Update_delivered { key; _ }
-          | Clear_bit_delivered { key; _ }
-          | Local_answer { key; _ }
-          | Message_lost { key; _ }
-          | Repair_query { key; _ } ->
-              Cup_overlay.Key.to_int key = k
-          | Node_crashed _ | Node_recovered _ -> false)
-    in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        try
-          while true do
-            let line = input_line ic in
-            if String.trim line <> "" then begin
-              incr total;
-              match Cup_obs.Event_json.of_string line with
-              | Ok event ->
-                  let typ =
-                    match Cup_obs.Json.of_string line with
-                    | Ok j ->
-                        Option.value ~default:"?"
-                          (Option.bind (Cup_obs.Json.member "type" j)
-                             Cup_obs.Json.to_str)
-                    | Error _ -> "?"
-                  in
-                  Hashtbl.replace by_type typ
-                    (1 + Option.value ~default:0 (Hashtbl.find_opt by_type typ));
-                  if wanted event then begin
-                    incr shown;
-                    Format.printf "%a@." Cup_sim.Trace.pp_event event
-                  end
-              | Error msg ->
-                  incr bad;
-                  Printf.eprintf "line %d: %s\n" !total msg
-            end
-          done
-        with End_of_file -> ());
-    Printf.printf "-- %d events (%d shown%s)"
-      !total !shown
-      (if !bad > 0 then Printf.sprintf ", %d unparseable" !bad else "");
-    Hashtbl.fold (fun typ n acc -> (typ, n) :: acc) by_type []
-    |> List.sort compare
-    |> List.iter (fun (typ, n) -> Printf.printf ", %s: %d" typ n);
-    print_newline ();
-    if !bad > 0 then exit 1
+  let print_events =
+    Arg.(
+      value & flag
+      & info [ "events" ]
+          ~doc:"Pretty-print every event before the analysis.")
   in
-  let term = Term.(const action $ file $ key_filter) in
-  Cmd.v
-    (Cmd.info "replay"
-       ~doc:
-         "Pretty-print a JSONL protocol trace written by $(b,cup run \
-          --trace-out).")
-    term
+  let no_summary =
+    Arg.(
+      value & flag
+      & info [ "no-summary" ]
+          ~doc:
+            "Skip the propagation-tree analysis output (orphan spans and \
+             unparseable lines still fail the exit status).")
+  in
+  let max_traces =
+    Arg.(
+      value & opt int 5
+      & info [ "max-traces" ] ~docv:"N"
+          ~doc:
+            "Show the $(docv) largest propagation trees with their \
+             critical paths.")
+  in
+  let term =
+    Term.(
+      const (trace_action ~print_events_default)
+      $ file $ key_filter $ print_events $ no_summary $ max_traces)
+  in
+  Cmd.v (Cmd.info name ~doc) term
+
+let trace_cmd =
+  mk_trace_cmd ~name:"trace" ~print_events_default:false
+    ~doc:
+      "Analyze a JSONL protocol trace: reconstruct every propagation tree \
+       from its causal span links and report depth, fan-out, critical \
+       paths, latency percentiles and a per-key summary."
+
+let replay_cmd =
+  mk_trace_cmd ~name:"replay" ~print_events_default:true
+    ~doc:
+      "Pretty-print a JSONL protocol trace, then analyze it (alias of \
+       $(b,cup trace --events))."
 
 (* {1 cup sweep} *)
 
@@ -686,4 +777,4 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group ~default info [ run_cmd; sweep_cmd; exp_cmd; replay_cmd ]))
+       (Cmd.group ~default info [ run_cmd; sweep_cmd; exp_cmd; trace_cmd; replay_cmd ]))

@@ -92,6 +92,19 @@ let merge a b =
   m.max_seen <- Float.max a.max_seen b.max_seen;
   m
 
+let config t = (t.min_value, t.max_value, t.bins_per_decade)
+
+let buckets t =
+  let last = Array.length t.counts - 1 in
+  let rec collect i acc =
+    if i < 0 then acc
+    else if t.counts.(i) = 0 then collect (i - 1) acc
+    else
+      let upper = if i = last then Float.infinity else bin_upper t i in
+      collect (i - 1) ((upper, t.counts.(i)) :: acc)
+  in
+  collect last []
+
 let pp fmt t =
   if t.n = 0 then Format.pp_print_string fmt "(empty)"
   else

@@ -29,5 +29,12 @@ val mean : t -> float
 val merge : t -> t -> t
 (** Requires identical bin configurations. *)
 
+val config : t -> float * float * int
+(** [(min_value, max_value, bins_per_decade)]. *)
+
+val buckets : t -> (float * int) list
+(** Occupied bins as [(upper_bound, count)], ascending; the overflow
+    bin's bound is [infinity].  Counts are per-bin (not cumulative). *)
+
 val pp : Format.formatter -> t -> unit
 (** One-line summary: count, mean, p50/p90/p99/max estimates. *)

@@ -1,0 +1,393 @@
+module Trace = Cup_sim.Trace
+module Time = Cup_dess.Time
+module Node_id = Cup_overlay.Node_id
+module Key = Cup_overlay.Key
+
+let type_name = function
+  | Trace.Query_posted _ -> "query_posted"
+  | Trace.Query_forwarded _ -> "query_forwarded"
+  | Trace.Update_delivered _ -> "update_delivered"
+  | Trace.Clear_bit_delivered _ -> "clear_bit_delivered"
+  | Trace.Local_answer _ -> "local_answer"
+  | Trace.Node_crashed _ -> "node_crashed"
+  | Trace.Node_recovered _ -> "node_recovered"
+  | Trace.Message_lost _ -> "message_lost"
+  | Trace.Repair_query _ -> "repair_query"
+
+let event_key = function
+  | Trace.Query_posted { key; _ }
+  | Trace.Query_forwarded { key; _ }
+  | Trace.Update_delivered { key; _ }
+  | Trace.Clear_bit_delivered { key; _ }
+  | Trace.Local_answer { key; _ }
+  | Trace.Message_lost { key; _ }
+  | Trace.Repair_query { key; _ } ->
+      Some (Key.to_int key)
+  | Trace.Node_crashed _ | Trace.Node_recovered _ -> None
+
+type tree = {
+  trace_id : int;
+  kind : string;  (** ["query"], ["update"], ["repair"] or ["mixed"] *)
+  spans : int;
+  depth : int;  (** longest root-to-leaf chain, roots at depth 1 *)
+  max_fanout : int;  (** most children under one span *)
+  start_at : float;
+  end_at : float;
+  critical_path : Trace.event list;
+      (** root → latest event of the trace, following parent links *)
+}
+
+type key_stats = {
+  mutable k_events : int;
+  mutable k_queries : int;
+  mutable k_hits : int;
+  mutable k_misses : int;
+  mutable k_updates : int;
+  mutable k_lost : int;
+  mutable k_repairs : int;
+  mutable k_miss_latencies : float list;  (** seconds, unsorted *)
+}
+
+type summary = {
+  events : int;
+  membership : int;  (** crash/recover events (carry no span) *)
+  legacy : int;  (** protocol events without span ids (legacy traces) *)
+  by_type : (string * int) list;  (** sorted by type name *)
+  traces : tree list;  (** sorted by trace id *)
+  orphans : int;
+  orphan_examples : (int * int) list;  (** (span_id, missing parent), ≤ 5 *)
+  hits : int;
+  misses : int;
+  unanswered : int;  (** posted queries with no matching local answer *)
+  miss_latencies : float array;  (** seconds, sorted ascending *)
+  per_key : (int * key_stats) list;  (** sorted by key *)
+}
+
+(* Exact nearest-rank percentile over a sorted sample array. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else if q <= 0. then sorted.(0)
+  else
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(Stdlib.min (n - 1) (Stdlib.max 0 (rank - 1)))
+
+let mean_of sorted =
+  let n = Array.length sorted in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. sorted /. float_of_int n
+
+(* One pass over a full trace reconstructs every propagation tree from
+   the span links.  Parents are indexed across the whole trace first,
+   so an "orphan" really is a span whose parent was never emitted —
+   not merely one delivered in the same engine event. *)
+let analyze (events : Trace.event list) : summary =
+  let n_events = List.length events in
+  let by_type = Hashtbl.create 16 in
+  let count_type e =
+    let name = type_name e in
+    Hashtbl.replace by_type name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt by_type name))
+  in
+  (* pass 1: index all span ids *)
+  let known_spans = Hashtbl.create 1024 in
+  List.iter
+    (fun e ->
+      match Trace.event_span e with
+      | Some (_, span_id, _) when span_id <> 0 ->
+          Hashtbl.replace known_spans span_id ()
+      | _ -> ())
+    events;
+  (* pass 2: everything else, in trace (= time) order *)
+  let membership = ref 0 and legacy = ref 0 in
+  let orphans = ref 0 and orphan_examples = ref [] in
+  let depth_of = Hashtbl.create 1024 (* span id -> depth in its trace *) in
+  let children = Hashtbl.create 1024 (* span id -> child count *) in
+  (* trace id -> (spans, max depth, max fanout, start, end, latest event,
+     kinds seen) *)
+  let traces = Hashtbl.create 256 in
+  let span_event = Hashtbl.create 1024 (* span id -> event *) in
+  let per_key = Hashtbl.create 16 in
+  let key_stats k =
+    match Hashtbl.find_opt per_key k with
+    | Some s -> s
+    | None ->
+        let s =
+          {
+            k_events = 0;
+            k_queries = 0;
+            k_hits = 0;
+            k_misses = 0;
+            k_updates = 0;
+            k_lost = 0;
+            k_repairs = 0;
+            k_miss_latencies = [];
+          }
+        in
+        Hashtbl.replace per_key k s;
+        s
+  in
+  (* FIFO matching of posted queries to local answers per (node, key):
+     a Local_answer with [waiters = w] settles the w oldest
+     outstanding posts at that node, exactly the coalescing the
+     protocol performs.  Misses yield post→answer latencies. *)
+  let outstanding = Hashtbl.create 256 in
+  let hits = ref 0 and misses = ref 0 in
+  let miss_latencies = ref [] in
+  let root_kind e =
+    match e with
+    | Trace.Query_posted _ -> "query"
+    | Trace.Repair_query _ -> "repair"
+    | _ -> "update"
+  in
+  let note_trace ~trace_id ~depth ~fanout_parent e =
+    if trace_id <> 0 then begin
+      let at = Time.to_seconds (Trace.event_time e) in
+      let entry =
+        match Hashtbl.find_opt traces trace_id with
+        | Some entry -> entry
+        | None ->
+            let entry = (ref 0, ref 0, ref 0, ref at, ref at, ref e, ref "") in
+            Hashtbl.replace traces trace_id entry;
+            entry
+      in
+      let spans, max_depth, max_fanout, start_at, end_at, latest, kind =
+        entry
+      in
+      incr spans;
+      if depth > !max_depth then max_depth := depth;
+      (match fanout_parent with
+      | Some parent ->
+          let c =
+            1 + Option.value ~default:0 (Hashtbl.find_opt children parent)
+          in
+          Hashtbl.replace children parent c;
+          if c > !max_fanout then max_fanout := c
+      | None -> ());
+      if at < !start_at then start_at := at;
+      if at >= !end_at then begin
+        end_at := at;
+        latest := e
+      end;
+      if depth = 1 then
+        kind :=
+          (match !kind with
+          | "" -> root_kind e
+          | k when k = root_kind e -> k
+          | _ -> "mixed")
+    end
+  in
+  List.iter
+    (fun e ->
+      count_type e;
+      (match event_key e with
+      | Some k -> (key_stats k).k_events <- (key_stats k).k_events + 1
+      | None -> ());
+      match Trace.event_span e with
+      | None -> incr membership
+      | Some (trace_id, span_id, parent_id) ->
+          if span_id = 0 then incr legacy
+          else begin
+            let depth =
+              if parent_id = 0 then 1
+              else
+                match Hashtbl.find_opt depth_of parent_id with
+                | Some d -> d + 1
+                | None ->
+                    if not (Hashtbl.mem known_spans parent_id) then begin
+                      incr orphans;
+                      if List.length !orphan_examples < 5 then
+                        orphan_examples :=
+                          (span_id, parent_id) :: !orphan_examples
+                    end;
+                    1
+            in
+            Hashtbl.replace depth_of span_id depth;
+            Hashtbl.replace span_event span_id e;
+            note_trace ~trace_id ~depth
+              ~fanout_parent:(if parent_id = 0 then None else Some parent_id)
+              e
+          end;
+          (* per-key and latency accounting, span-less legacy events
+             included *)
+          (match e with
+          | Trace.Query_posted { at; node; key; _ } ->
+              let ks = key_stats (Key.to_int key) in
+              ks.k_queries <- ks.k_queries + 1;
+              let slot = (Node_id.to_int node, Key.to_int key) in
+              let q =
+                match Hashtbl.find_opt outstanding slot with
+                | Some q -> q
+                | None ->
+                    let q = Queue.create () in
+                    Hashtbl.replace outstanding slot q;
+                    q
+              in
+              Queue.push (Time.to_seconds at) q
+          | Trace.Local_answer { at; node; key; hit; waiters; _ } ->
+              let ks = key_stats (Key.to_int key) in
+              let slot = (Node_id.to_int node, Key.to_int key) in
+              let q =
+                match Hashtbl.find_opt outstanding slot with
+                | Some q -> q
+                | None -> Queue.create ()
+              in
+              let answer_at = Time.to_seconds at in
+              for _ = 1 to waiters do
+                match Queue.take_opt q with
+                | None -> ()
+                | Some posted ->
+                    if hit then begin
+                      incr hits;
+                      ks.k_hits <- ks.k_hits + 1
+                    end
+                    else begin
+                      incr misses;
+                      ks.k_misses <- ks.k_misses + 1;
+                      let lat = answer_at -. posted in
+                      miss_latencies := lat :: !miss_latencies;
+                      ks.k_miss_latencies <- lat :: ks.k_miss_latencies
+                    end
+              done
+          | Trace.Update_delivered { key; _ } ->
+              let ks = key_stats (Key.to_int key) in
+              ks.k_updates <- ks.k_updates + 1
+          | Trace.Message_lost { key; _ } ->
+              let ks = key_stats (Key.to_int key) in
+              ks.k_lost <- ks.k_lost + 1
+          | Trace.Repair_query { key; _ } ->
+              let ks = key_stats (Key.to_int key) in
+              ks.k_repairs <- ks.k_repairs + 1
+          | _ -> ()))
+    events;
+  let unanswered =
+    Hashtbl.fold (fun _ q acc -> acc + Queue.length q) outstanding 0
+  in
+  (* critical path: from each trace's latest event, climb parent links
+     back to the root *)
+  let critical_path latest =
+    let rec climb e acc =
+      match Trace.event_span e with
+      | Some (_, _, parent_id) when parent_id <> 0 -> (
+          match Hashtbl.find_opt span_event parent_id with
+          | Some parent -> climb parent (e :: acc)
+          | None -> e :: acc)
+      | _ -> e :: acc
+    in
+    climb latest []
+  in
+  let trees =
+    Hashtbl.fold
+      (fun trace_id
+           (spans, max_depth, max_fanout, start_at, end_at, latest, kind) acc ->
+        {
+          trace_id;
+          kind = (if !kind = "" then "update" else !kind);
+          spans = !spans;
+          depth = !max_depth;
+          max_fanout = !max_fanout;
+          start_at = !start_at;
+          end_at = !end_at;
+          critical_path = critical_path !latest;
+        }
+        :: acc)
+      traces []
+  in
+  let trees = List.sort (fun a b -> Int.compare a.trace_id b.trace_id) trees in
+  let lat = Array.of_list !miss_latencies in
+  Array.sort Float.compare lat;
+  Hashtbl.iter
+    (fun _ ks ->
+      ks.k_miss_latencies <- List.sort Float.compare ks.k_miss_latencies)
+    per_key;
+  {
+    events = n_events;
+    membership = !membership;
+    legacy = !legacy;
+    by_type =
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun name c acc -> (name, c) :: acc) by_type []);
+    traces = trees;
+    orphans = !orphans;
+    orphan_examples = List.rev !orphan_examples;
+    hits = !hits;
+    misses = !misses;
+    unanswered;
+    miss_latencies = lat;
+    per_key =
+      List.sort
+        (fun (a, _) (b, _) -> Int.compare a b)
+        (Hashtbl.fold (fun k s acc -> (k, s) :: acc) per_key []);
+  }
+
+(* {2 Reporting} *)
+
+let pp_latencies fmt sorted =
+  Format.fprintf fmt "p50=%.3fs p90=%.3fs p99=%.3fs max=%.3fs mean=%.3fs"
+    (percentile sorted 0.5) (percentile sorted 0.9) (percentile sorted 0.99)
+    (percentile sorted 1.0) (mean_of sorted)
+
+let pp_tree fmt t =
+  Format.fprintf fmt
+    "trace %d (%s): %d spans, depth %d, fan-out %d, %.3fs → %.3fs@."
+    t.trace_id t.kind t.spans t.depth t.max_fanout t.start_at t.end_at;
+  Format.fprintf fmt "    critical path (%d hops):@."
+    (List.length t.critical_path);
+  List.iter
+    (fun e -> Format.fprintf fmt "      %a@." Trace.pp_event e)
+    t.critical_path
+
+let pp_summary ?(max_traces = 5) fmt (s : summary) =
+  Format.fprintf fmt "%d events (%d membership, %d legacy without spans)@."
+    s.events s.membership s.legacy;
+  List.iter
+    (fun (name, c) -> Format.fprintf fmt "  %-20s %d@." name c)
+    s.by_type;
+  Format.fprintf fmt "propagation trees: %d, orphan spans: %d@."
+    (List.length s.traces) s.orphans;
+  List.iter
+    (fun (span_id, parent) ->
+      Format.fprintf fmt "  orphan: span %d references missing parent %d@."
+        span_id parent)
+    s.orphan_examples;
+  (match s.traces with
+  | [] -> ()
+  | traces ->
+      let depth = List.fold_left (fun a t -> Stdlib.max a t.depth) 0 traces in
+      let fanout =
+        List.fold_left (fun a t -> Stdlib.max a t.max_fanout) 0 traces
+      in
+      Format.fprintf fmt "  max depth %d, max fan-out %d@." depth fanout);
+  Format.fprintf fmt
+    "queries: %d hits, %d misses, %d unanswered at trace end@." s.hits
+    s.misses s.unanswered;
+  if Array.length s.miss_latencies > 0 then
+    Format.fprintf fmt "miss latency: %a@." pp_latencies s.miss_latencies;
+  (match s.per_key with
+  | [] -> ()
+  | per_key ->
+      Format.fprintf fmt
+        "per-key:@.  %6s %8s %8s %6s %8s %8s %6s %8s %10s@." "key" "events"
+        "queries" "hits" "misses" "updates" "lost" "repairs" "p99-miss";
+      List.iter
+        (fun (k, ks) ->
+          let lat = Array.of_list ks.k_miss_latencies in
+          Format.fprintf fmt "  %6d %8d %8d %6d %8d %8d %6d %8d %9.3fs@." k
+            ks.k_events ks.k_queries ks.k_hits ks.k_misses ks.k_updates
+            ks.k_lost ks.k_repairs (percentile lat 0.99))
+        per_key);
+  let biggest =
+    List.filteri
+      (fun i _ -> i < max_traces)
+      (List.sort
+         (fun a b ->
+           match Int.compare b.spans a.spans with
+           | 0 -> Int.compare a.trace_id b.trace_id
+           | c -> c)
+         s.traces)
+  in
+  match biggest with
+  | [] -> ()
+  | trees ->
+      Format.fprintf fmt "largest traces:@.";
+      List.iter (fun t -> Format.fprintf fmt "  %a" pp_tree t) trees

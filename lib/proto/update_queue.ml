@@ -1,8 +1,15 @@
 type ordering = Latency_first | Flash_crowd | Fifo
 
 (* [expiry] caches [earliest_expiry item.update] so comparisons do not
-   re-walk the update's entry list. *)
-type item = { seq : int; update : Update.t; expiry : Cup_dess.Time.t }
+   re-walk the update's entry list.  [tag] is opaque caller context
+   (the runner threads trace-span ids through it) returned with the
+   update by [pop_tagged]; it never affects ordering. *)
+type item = {
+  seq : int;
+  update : Update.t;
+  expiry : Cup_dess.Time.t;
+  tag : (int * int * float) option;
+}
 
 (* Pairing heap: O(1) push, O(log n) amortized pop, keyed by the
    [priority] order below.  The priority is a total order (ties broken
@@ -69,22 +76,27 @@ let rec merge_pairs ordering = function
   | h1 :: h2 :: rest ->
       merge ordering (merge ordering h1 h2) (merge_pairs ordering rest)
 
-let push t update =
+let push ?tag t update =
   let item =
-    { seq = t.next_seq; update; expiry = earliest_expiry update }
+    { seq = t.next_seq; update; expiry = earliest_expiry update; tag }
   in
   t.next_seq <- t.next_seq + 1;
   t.heap <- merge t.ordering t.heap (Node (item, []));
   t.count <- t.count + 1
 
-let rec pop t ~now =
+let rec pop_tagged t ~now =
   match t.heap with
   | Empty -> None
   | Node (best, children) ->
       t.heap <- merge_pairs t.ordering children;
       t.count <- t.count - 1;
-      if Update.is_expired best.update ~now then pop t ~now
-      else Some best.update
+      if Update.is_expired best.update ~now then pop_tagged t ~now
+      else Some (best.update, best.tag)
+
+let pop t ~now =
+  match pop_tagged t ~now with
+  | None -> None
+  | Some (update, _) -> Some update
 
 let rec heap_items acc = function
   | Empty -> acc

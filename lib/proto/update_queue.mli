@@ -27,12 +27,19 @@ val length : t -> int
 
 val is_empty : t -> bool
 
-val push : t -> Update.t -> unit
+val push : ?tag:int * int * float -> t -> Update.t -> unit
+(** [tag] is opaque caller context returned with the update by
+    {!pop_tagged} — the simulation runner uses it to carry trace-span
+    ids across the queueing delay.  It never affects pop order. *)
 
 val pop : t -> now:Cup_dess.Time.t -> Update.t option
 (** Highest-priority update still worth sending; expired updates
     encountered on the way are dropped.  [None] when nothing sendable
     remains. *)
+
+val pop_tagged :
+  t -> now:Cup_dess.Time.t -> (Update.t * (int * int * float) option) option
+(** Like {!pop} but also returns the [tag] passed at {!push} time. *)
 
 val drop_expired : t -> now:Cup_dess.Time.t -> int
 (** Eliminate every expired queued update; returns how many were

@@ -11,6 +11,8 @@ module Update_queue = Cup_proto.Update_queue
 module Replica_id = Cup_proto.Replica_id
 module Entry = Cup_proto.Entry
 module Counters = Cup_metrics.Counters
+module Registry = Cup_metrics.Registry
+module Histogram = Cup_metrics.Histogram
 module Rng = Cup_prng.Rng
 module Dist = Cup_prng.Dist
 
@@ -57,10 +59,49 @@ type repair_state = {
   mutable r_deadline : float; (* absolute seconds *)
   mutable r_attempts : int;
   mutable r_scheduled : bool; (* a check event is pending *)
+  mutable r_started : float;
+      (* when the first repair attempt of the current outage fired
+         (absolute seconds); meaningful while [r_attempts > 0] *)
 }
 
 let max_transport_retries = 4
 let max_repair_attempts = 5
+
+(* {2 Causal span context}
+
+   When a tracer or a metrics registry is attached ("observing"),
+   every root cause — a posted query, an origin-server replica event,
+   a repair attempt — opens a trace, and the context below rides along
+   the delivery path so each emitted event records which span caused
+   it.  Ids come from [next_span], bumped in engine event order: the
+   engine executes an identical total order across schedulers and job
+   counts, so span ids are byte-deterministic too.
+
+   When nothing is observing, every path threads the one shared
+   [no_ctx] value and ids stay 0: no allocation, no counter bumps, so
+   the hot path is unchanged from the untraced baseline. *)
+
+type span_ctx = {
+  sc_trace : int; (* trace id of the root cause *)
+  sc_parent : int; (* span id of the causing event; 0 at a root *)
+  sc_root_at : float; (* root-cause time, seconds (propagation latency) *)
+}
+
+let no_ctx = { sc_trace = 0; sc_parent = 0; sc_root_at = 0. }
+
+(* [sid = 0] means "not observing": keep threading the shared context
+   instead of allocating a copy. *)
+let child_ctx ctx sid = if sid = 0 then ctx else { ctx with sc_parent = sid }
+
+(* Pre-resolved registry handles, so the delivery path updates
+   histograms without any by-name lookups.  [level_latency.(l)] is the
+   propagation-latency histogram of tree level [l], grown on demand. *)
+type metric_set = {
+  registry : Registry.t;
+  query_latency : Histogram.t;
+  repair_latency : Histogram.t;
+  mutable level_latency : Histogram.t option array;
+}
 
 type live = {
   cfg : Scenario.t;
@@ -94,6 +135,8 @@ type live = {
   mutable queries_posted : int;
   mutable replica_events : int;
   mutable tracer : (Trace.event -> unit) option;
+  mutable metrics : metric_set option;
+  mutable next_span : int; (* last span id handed out; 0 = none yet *)
   started : float; (* host wallclock at creation *)
 }
 
@@ -105,6 +148,37 @@ let emit t event =
   match t.tracer with Some f -> f event | None -> ()
 
 let tracing t = t.tracer <> None
+let observing t = t.tracer <> None || t.metrics <> None
+
+(* Fresh span id, or 0 when nothing is observing (the counter must not
+   advance then, so attaching a tracer never perturbs an untraced
+   baseline and the disabled path allocates nothing). *)
+let new_span t =
+  if observing t then begin
+    let id = t.next_span + 1 in
+    t.next_span <- id;
+    id
+  end
+  else 0
+
+let level_hist ms level =
+  let n = Array.length ms.level_latency in
+  if level >= n then begin
+    let grown = Array.make (Stdlib.max (level + 1) (2 * n)) None in
+    Array.blit ms.level_latency 0 grown 0 n;
+    ms.level_latency <- grown
+  end;
+  match ms.level_latency.(level) with
+  | Some h -> h
+  | None ->
+      let h =
+        Registry.histogram ms.registry
+          ~help:"Update propagation latency from origin event to delivery"
+          ~labels:[ ("level", string_of_int level) ]
+          ~min_value:1e-3 "cup_update_propagation_seconds"
+      in
+      ms.level_latency.(level) <- Some h;
+      h
 
 let get_node t id = Node_id.Table.find t.nodes id
 let now t = Engine.now t.engine
@@ -220,31 +294,42 @@ let judge_pending_updates t ~node ~key =
    later.  Hops are recorded at delivery so that first-time-update
    hops can be classified by the receiver's pending flag. *)
 
-let rec perform t ~from actions =
-  List.iter (fun a -> perform_one t ~from a) actions
+let rec perform t ~ctx ~from actions =
+  List.iter (fun a -> perform_one t ~ctx ~from a) actions
 
-and perform_one t ~from = function
-  | Node.Send_query { to_; key } -> send_query t ~from ~to_ ~attempt:0 key
+and perform_one t ~ctx ~from = function
+  | Node.Send_query { to_; key } -> send_query t ~ctx ~from ~to_ ~attempt:0 key
   | Node.Send_clear_bit { to_; key } ->
       if not t.cfg.piggyback_clear_bits then
         Counters.record_clear_bit_hop t.counters;
       (* The sender is cutting itself out of the key's tree: it no
          longer expects updates, so stop watching its deadline. *)
       if t.fault_mode then Hashtbl.remove t.repair (justif_key from key);
+      let sid = new_span t in
       if lost_in_transit t ~from ~to_ then begin
         (* A lost clear-bit is harmless: the upstream keeps pushing
            until the bit is cleared by a later cut-off or expiry. *)
         Counters.record_lost_message t.counters;
         if tracing t then
-          emit t (Trace.Message_lost { at = now t; from_ = from; to_; key })
+          emit t
+            (Trace.Message_lost
+               {
+                 at = now t;
+                 from_ = from;
+                 to_;
+                 key;
+                 trace_id = ctx.sc_trace;
+                 span_id = sid;
+                 parent_id = ctx.sc_parent;
+               })
       end
       else
         ignore
           (Engine.schedule_after ~label:"deliver.clear_bit" t.engine
              ~delay:t.cfg.hop_delay (fun _ ->
-               deliver_clear_bit t ~from ~to_ key))
+               deliver_clear_bit t ~ctx ~sid ~from ~to_ key))
   | Node.Send_update { to_; update; answering } ->
-      send_update t ~from ~to_ ~answering update
+      send_update t ~ctx ~from ~to_ ~answering update
   | Node.Answer_local { posted_at; hit; key; _ } ->
       if tracing t then
         emit t
@@ -255,6 +340,9 @@ and perform_one t ~from = function
                key;
                hit;
                waiters = List.length posted_at;
+               trace_id = ctx.sc_trace;
+               span_id = new_span t;
+               parent_id = ctx.sc_parent;
              });
       if hit then
         List.iter (fun _ -> Counters.record_hit t.counters) posted_at
@@ -262,38 +350,65 @@ and perform_one t ~from = function
         let n = now t in
         List.iter
           (fun posted ->
-            Counters.record_miss t.counters
-              ~hops:(Time.diff n posted *. t.inv_hop_delay))
+            let hops = Time.diff n posted *. t.inv_hop_delay in
+            Counters.record_miss t.counters ~hops;
+            match t.metrics with
+            | Some ms -> Histogram.add ms.query_latency hops
+            | None -> ())
           posted_at
       end
 
 (* One query crossing one overlay edge.  [attempt] counts transport
    retries of this logical query: 0 on the first send, bumped each
    time the message is lost on the wire or reaches a crashed node. *)
-and send_query t ~from ~to_ ~attempt key =
+and send_query t ~ctx ~from ~to_ ~attempt key =
   Counters.record_query_hop t.counters;
   if t.fault_mode then
     arm_repair t ~node:from ~key
       ~deadline:(Time.to_seconds (now t) +. t.repair_timeout);
+  let sid = new_span t in
   if lost_in_transit t ~from ~to_ then begin
     Counters.record_lost_message t.counters;
     if tracing t then
-      emit t (Trace.Message_lost { at = now t; from_ = from; to_; key });
-    (* Sender-side timeout: re-route after a capped backoff. *)
+      emit t
+        (Trace.Message_lost
+           {
+             at = now t;
+             from_ = from;
+             to_;
+             key;
+             trace_id = ctx.sc_trace;
+             span_id = sid;
+             parent_id = ctx.sc_parent;
+           });
+    (* Sender-side timeout: re-route after a capped backoff.  The
+       retry descends from the lost message's span, so the repair cost
+       shows up on the trace's critical path. *)
+    let ctx = child_ctx ctx sid in
     ignore
       (Engine.schedule_after ~label:"transport.retry" t.engine
          ~delay:(retry_delay t attempt) (fun _ ->
-           retry_query t ~from ~key ~attempt:(attempt + 1)))
+           retry_query t ~ctx ~from ~key ~attempt:(attempt + 1)))
   end
   else
     ignore
       (Engine.schedule_after ~label:"deliver.query" t.engine
          ~delay:t.cfg.hop_delay (fun _ ->
-           deliver_query t ~attempt ~from ~to_ key))
+           deliver_query t ~ctx ~sid ~attempt ~from ~to_ key))
 
-and deliver_query t ?(attempt = 0) ~from ~to_ key =
+and deliver_query t ~ctx ?(sid = 0) ?(attempt = 0) ~from ~to_ key =
   if tracing t then
-    emit t (Trace.Query_forwarded { at = now t; from_ = from; to_; key });
+    emit t
+      (Trace.Query_forwarded
+         {
+           at = now t;
+           from_ = from;
+           to_;
+           key;
+           trace_id = ctx.sc_trace;
+           span_id = sid;
+           parent_id = ctx.sc_parent;
+         });
   if Net.is_alive t.net to_ then begin
     if attempt > 0 then Counters.record_repair t.counters;
     judge_pending_updates t ~node:to_ ~key;
@@ -308,7 +423,7 @@ and deliver_query t ?(attempt = 0) ~from ~to_ key =
         let next_hop =
           match hop with Route.Forward h -> Some h | _ -> None
         in
-        perform t ~from:to_
+        perform t ~ctx:(child_ctx ctx sid) ~from:to_
           (Node.handle_query node ~now:(now t) ~next_hop
              (Node.From_neighbor from) key)
   end
@@ -317,16 +432,28 @@ and deliver_query t ?(attempt = 0) ~from ~to_ key =
        out and re-routes around the hole the overlay has since
        repaired. *)
     Counters.record_lost_message t.counters;
+    let lost_sid = new_span t in
     if tracing t then
-      emit t (Trace.Message_lost { at = now t; from_ = from; to_; key });
+      emit t
+        (Trace.Message_lost
+           {
+             at = now t;
+             from_ = from;
+             to_;
+             key;
+             trace_id = ctx.sc_trace;
+             span_id = lost_sid;
+             parent_id = sid;
+           });
+    let ctx = child_ctx ctx lost_sid in
     ignore
       (Engine.schedule_after ~label:"transport.retry" t.engine
          ~delay:(retry_delay t attempt) (fun _ ->
-           retry_query t ~from ~key ~attempt:(attempt + 1)))
+           retry_query t ~ctx ~from ~key ~attempt:(attempt + 1)))
   end
 
 (* Re-route a lost or bounced query from its original sender. *)
-and retry_query t ~from ~key ~attempt =
+and retry_query t ~ctx ~from ~key ~attempt =
   if attempt > max_transport_retries then
     Counters.record_unreachable t.counters
   else if not (Net.is_alive t.net from) then
@@ -342,29 +469,42 @@ and retry_query t ~from ~key ~attempt =
            flight, so there is no upstream left to ask; local waiters
            fall back to expiration-based polling. *)
         Counters.record_unreachable t.counters
-    | Route.Forward h -> send_query t ~from ~to_:h ~attempt key
+    | Route.Forward h -> send_query t ~ctx ~from ~to_:h ~attempt key
   end
 
-and deliver_clear_bit t ~from ~to_ key =
+and deliver_clear_bit t ~ctx ?(sid = 0) ~from ~to_ key =
   if tracing t then
-    emit t (Trace.Clear_bit_delivered { at = now t; from_ = from; to_; key });
+    emit t
+      (Trace.Clear_bit_delivered
+         {
+           at = now t;
+           from_ = from;
+           to_;
+           key;
+           trace_id = ctx.sc_trace;
+           span_id = sid;
+           parent_id = ctx.sc_parent;
+         });
   if Net.is_alive t.net to_ then begin
     let node = get_node t to_ in
-    perform t ~from:to_ (Node.handle_clear_bit node ~now:(now t) ~from key)
+    perform t
+      ~ctx:(child_ctx ctx sid)
+      ~from:to_
+      (Node.handle_clear_bit node ~now:(now t) ~from key)
   end
 
-and send_update t ~from ~to_ ~answering (update : Update.t) =
+and send_update t ~ctx ~from ~to_ ~answering (update : Update.t) =
   match (update.kind, t.cfg.capacity_mode) with
   | Update.First_time, _ when answering ->
       (* Query answers always flow: a capacity-limited node degrades
          its dependents to standard caching but still answers them.
          Proactive first-time pushes are ordinary update propagation
          and take the capacity-limited paths below. *)
-      transmit_update t ~from ~to_ ~answering update
+      transmit_update t ~ctx ~from ~to_ ~answering update
   | _, Scenario.Bernoulli ->
       let c = capacity_of t from in
       if c >= 1. || Dist.bernoulli t.cap_rng ~p:c then
-        transmit_update t ~from ~to_ update
+        transmit_update t ~ctx ~from ~to_ update
       else Counters.record_dropped_update t.counters
   | _, Scenario.Token_bucket _ ->
       let ch = channel_of t from in
@@ -376,10 +516,18 @@ and send_update t ~from ~to_ ~answering (update : Update.t) =
             Node_id.Table.replace ch.queues to_ q;
             q
       in
-      Update_queue.push queue update;
+      (* The span context must survive the queueing delay; it rides
+         the queue as an opaque tag and is rebuilt at drain time. *)
+      if observing t then
+        Update_queue.push
+          ~tag:(ctx.sc_trace, ctx.sc_parent, ctx.sc_root_at)
+          queue update
+      else Update_queue.push queue update;
       schedule_drain t from ch
 
-and transmit_update t ~from ~to_ ?(answering = false) (update : Update.t) =
+and transmit_update t ~ctx ~from ~to_ ?(answering = false) (update : Update.t)
+    =
+  let sid = new_span t in
   if lost_in_transit t ~from ~to_ then begin
     (* Updates are not retransmitted: the subscriber's
        justification-deadline repair (below) detects the gap and
@@ -387,15 +535,25 @@ and transmit_update t ~from ~to_ ?(answering = false) (update : Update.t) =
     Counters.record_lost_message t.counters;
     if tracing t then
       emit t
-        (Trace.Message_lost { at = now t; from_ = from; to_; key = update.key })
+        (Trace.Message_lost
+           {
+             at = now t;
+             from_ = from;
+             to_;
+             key = update.key;
+             trace_id = ctx.sc_trace;
+             span_id = sid;
+             parent_id = ctx.sc_parent;
+           })
   end
   else
     ignore
       (Engine.schedule_after ~label:"deliver.update" t.engine
          ~delay:t.cfg.hop_delay (fun _ ->
-           deliver_update t ~from ~to_ ~answering update))
+           deliver_update t ~ctx ~sid ~from ~to_ ~answering update))
 
-and deliver_update t ~from ~to_ ~answering (update : Update.t) =
+and deliver_update t ~ctx ?(sid = 0) ~from ~to_ ~answering (update : Update.t)
+    =
   if tracing t then
     emit t
       (Trace.Update_delivered
@@ -407,7 +565,16 @@ and deliver_update t ~from ~to_ ~answering (update : Update.t) =
            kind = update.kind;
            level = update.level;
            answering;
+           trace_id = ctx.sc_trace;
+           span_id = sid;
+           parent_id = ctx.sc_parent;
          });
+  (match t.metrics with
+  | Some ms when (not answering) && ctx != no_ctx ->
+      Histogram.add
+        (level_hist ms update.level)
+        (Time.to_seconds (now t) -. ctx.sc_root_at)
+  | _ -> ());
   let node_alive = Net.is_alive t.net to_ in
   (match update.kind with
   | Update.First_time -> Counters.record_first_time_hop t.counters ~answering
@@ -418,7 +585,10 @@ and deliver_update t ~from ~to_ ~answering (update : Update.t) =
     if not answering then register_update_for_justification t ~node:to_ update;
     if t.fault_mode then note_update_for_repair t ~node:to_ update;
     let node = get_node t to_ in
-    perform t ~from:to_ (Node.handle_update node ~now:(now t) ~from update)
+    perform t
+      ~ctx:(child_ctx ctx sid)
+      ~from:to_
+      (Node.handle_update node ~now:(now t) ~from update)
   end
   else if t.fault_mode then begin
     (* The child crashed: the update is lost and the sender prunes the
@@ -427,7 +597,16 @@ and deliver_update t ~from ~to_ ~answering (update : Update.t) =
     Counters.record_lost_message t.counters;
     if tracing t then
       emit t
-        (Trace.Message_lost { at = now t; from_ = from; to_; key = update.key });
+        (Trace.Message_lost
+           {
+             at = now t;
+             from_ = from;
+             to_;
+             key = update.key;
+             trace_id = ctx.sc_trace;
+             span_id = new_span t;
+             parent_id = sid;
+           });
     if Net.is_alive t.net from then
       match Node_id.Table.find_opt t.nodes from with
       | Some sender ->
@@ -460,6 +639,7 @@ and arm_repair t ~node ~key ~deadline =
           r_deadline = deadline;
           r_attempts = 0;
           r_scheduled = false;
+          r_started = 0.;
         }
       in
       Hashtbl.replace t.repair packed st;
@@ -483,7 +663,12 @@ and note_update_for_repair t ~node (update : Update.t) =
   | Some st ->
       if st.r_attempts > 0 then begin
         st.r_attempts <- 0;
-        Counters.record_repair t.counters
+        Counters.record_repair t.counters;
+        (* Update flow restored: the outage ran from the first
+           re-issued interest to this delivery. *)
+        match t.metrics with
+        | Some ms -> Histogram.add ms.repair_latency (tnow -. st.r_started)
+        | None -> ()
       end;
       if deadline > st.r_deadline then st.r_deadline <- deadline;
       schedule_repair_check t st
@@ -533,6 +718,7 @@ and repair_check t st =
       end
       else begin
         st.r_attempts <- st.r_attempts + 1;
+        if st.r_attempts = 1 then st.r_started <- tnow;
         match Net.next_hop t.net st.r_node st.r_key with
         | Route.Owner ->
             (* Became the authority itself; nothing to re-subscribe
@@ -543,6 +729,10 @@ and repair_check t st =
             drop ()
         | Route.Forward h ->
             Counters.record_retry t.counters;
+            (* A repair attempt is a root cause of its own: the
+               re-issued interest and whatever flows back form a fresh
+               trace rooted at this event. *)
+            let rid = new_span t in
             if tracing t then
               emit t
                 (Trace.Repair_query
@@ -551,15 +741,22 @@ and repair_check t st =
                      node = st.r_node;
                      key = st.r_key;
                      attempt = st.r_attempts;
+                     trace_id = rid;
+                     span_id = rid;
+                     parent_id = 0;
                    });
             st.r_deadline <-
               tnow
               +. (t.repair_timeout
                  *. Float.of_int (1 lsl Stdlib.min st.r_attempts 5));
+            let ctx =
+              if rid = 0 then no_ctx
+              else { sc_trace = rid; sc_parent = rid; sc_root_at = tnow }
+            in
             (* Raw re-issue on the wire: bypasses the node's own query
                coalescing, which would swallow the retry while the
                pending-first flag is still set. *)
-            send_query t ~from:st.r_node ~to_:h ~attempt:0 st.r_key;
+            send_query t ~ctx ~from:st.r_node ~to_:h ~attempt:0 st.r_key;
             schedule_repair_check t st
       end
     end
@@ -605,10 +802,16 @@ and drain_once t node_id ch =
   match longest with
   | None -> ()
   | Some (neighbor, queue, _) ->
-      (match Update_queue.pop queue ~now:(now t) with
-      | Some update ->
+      (match Update_queue.pop_tagged queue ~now:(now t) with
+      | Some (update, tag) ->
           ch.last_send <- Time.to_seconds (now t);
-          transmit_update t ~from:node_id ~to_:neighbor update
+          let ctx =
+            match tag with
+            | Some (sc_trace, sc_parent, sc_root_at) ->
+                { sc_trace; sc_parent; sc_root_at }
+            | None -> no_ctx
+          in
+          transmit_update t ~ctx ~from:node_id ~to_:neighbor update
       | None -> ());
       let remaining =
         Node_id.Table.fold
@@ -621,7 +824,29 @@ and drain_once t node_id ch =
 
 let post_query t ~node ~key =
   if Net.is_alive t.net node then begin
-    if tracing t then emit t (Trace.Query_posted { at = now t; node; key });
+    (* A locally posted query roots a new trace; everything it causes
+       descends from this span. *)
+    let rid = new_span t in
+    if tracing t then
+      emit t
+        (Trace.Query_posted
+           {
+             at = now t;
+             node;
+             key;
+             trace_id = rid;
+             span_id = rid;
+             parent_id = 0;
+           });
+    let ctx =
+      if rid = 0 then no_ctx
+      else
+        {
+          sc_trace = rid;
+          sc_parent = rid;
+          sc_root_at = Time.to_seconds (now t);
+        }
+    in
     judge_pending_updates t ~node ~key;
     t.queries_posted <- t.queries_posted + 1;
     let n = get_node t node in
@@ -631,7 +856,7 @@ let post_query t ~node ~key =
         let next_hop =
           match hop with Route.Forward h -> Some h | _ -> None
         in
-        perform t ~from:node
+        perform t ~ctx ~from:node
           (Node.handle_query n ~now:(now t) ~next_hop
              (Node.From_local (now t)) key)
   end
@@ -655,6 +880,19 @@ let pump_queries t gen =
   in
   next ()
 
+(* An origin-server replica event roots a new trace.  No event is
+   emitted for the root itself, so its children carry [parent_id = 0]:
+   the first delivery hops are the roots of the trace's forest. *)
+let origin_ctx t =
+  let rid = new_span t in
+  if rid = 0 then no_ctx
+  else
+    {
+      sc_trace = rid;
+      sc_parent = 0;
+      sc_root_at = Time.to_seconds (Engine.now t.engine);
+    }
+
 let dispatch_replica_event t (e : Cup_workload.Replica_gen.event) =
   t.replica_events <- t.replica_events + 1;
   let key = t.keys.(e.key_index) in
@@ -665,9 +903,11 @@ let dispatch_replica_event t (e : Cup_workload.Replica_gen.event) =
     match e.kind with
     | Cup_workload.Replica_gen.Birth ->
         let entry = Entry.make ~replica ~expiry:(Time.add e.at e.lifetime) in
-        perform t ~from:auth (Node.replica_birth node ~now:(now t) ~key entry)
+        perform t ~ctx:(origin_ctx t) ~from:auth
+          (Node.replica_birth node ~now:(now t) ~key entry)
     | Cup_workload.Replica_gen.Death ->
-        perform t ~from:auth (Node.replica_death node ~now:(now t) ~key replica)
+        perform t ~ctx:(origin_ctx t) ~from:auth
+          (Node.replica_death node ~now:(now t) ~key replica)
     | Cup_workload.Replica_gen.Refresh ->
         let entry = Entry.make ~replica ~expiry:(Time.add e.at e.lifetime) in
         if t.cfg.refresh_batch_window > 0. then begin
@@ -684,7 +924,9 @@ let dispatch_replica_event t (e : Cup_workload.Replica_gen.event) =
                      Key.Table.remove t.batches key;
                      let auth = Key.Table.find t.authority key in
                      if Net.is_alive t.net auth then
-                       perform t ~from:auth
+                       (* The batched flush is the root cause: it is
+                          what actually enters the tree. *)
+                       perform t ~ctx:(origin_ctx t) ~from:auth
                          (Node.replica_refresh_batch (get_node t auth)
                             ~now:(now t) ~key !buffer)))
         end
@@ -693,16 +935,18 @@ let dispatch_replica_event t (e : Cup_workload.Replica_gen.event) =
           if
             t.cfg.refresh_sample >= 1.
             || Dist.bernoulli t.sample_rng ~p:t.cfg.refresh_sample
-          then perform t ~from:auth actions
-          else
+          then perform t ~ctx:(origin_ctx t) ~from:auth actions
+          else begin
             (* Section 3.6 suppression: the directory was updated by
                [replica_refresh]; drop the propagation. *)
+            let ctx = origin_ctx t in
             List.iter
               (function
                 | Node.Send_update _ ->
                     Counters.record_dropped_update t.counters
-                | other -> perform_one t ~from:auth other)
+                | other -> perform_one t ~ctx ~from:auth other)
               actions
+          end
         end
   end
 
@@ -800,6 +1044,8 @@ let create_base cfg =
       queries_posted = 0;
       replica_events = 0;
       tracer = None;
+      metrics = None;
+      next_span = 0;
       started = Unix.gettimeofday ();
     }
   in
@@ -867,8 +1113,55 @@ let aggregate_stats t =
     t.nodes;
   total
 
+(* Snapshot the run's counters into the attached registry so a
+   [--metrics-out] dump carries the whole-run totals next to the
+   latency histograms recorded live. *)
+let export_counters_to_registry t ms =
+  let reg = ms.registry in
+  let c = t.counters in
+  let add_counter ?labels name help v =
+    Registry.inc ~by:v (Registry.counter reg ~help ?labels name)
+  in
+  let hop_help = "Overlay hops by message class" in
+  add_counter "cup_hops_total" hop_help (Counters.query_hops c)
+    ~labels:[ ("class", "query") ];
+  add_counter "cup_hops_total" hop_help
+    (Counters.first_time_answer_hops c)
+    ~labels:[ ("class", "first_time_answer") ];
+  add_counter "cup_hops_total" hop_help
+    (Counters.first_time_proactive_hops c)
+    ~labels:[ ("class", "first_time_proactive") ];
+  add_counter "cup_hops_total" hop_help (Counters.refresh_hops c)
+    ~labels:[ ("class", "refresh") ];
+  add_counter "cup_hops_total" hop_help (Counters.delete_hops c)
+    ~labels:[ ("class", "delete") ];
+  add_counter "cup_hops_total" hop_help (Counters.append_hops c)
+    ~labels:[ ("class", "append") ];
+  add_counter "cup_hops_total" hop_help (Counters.clear_bit_hops c)
+    ~labels:[ ("class", "clear_bit") ];
+  let query_help = "Locally posted queries by outcome" in
+  add_counter "cup_queries_total" query_help (Counters.hits c)
+    ~labels:[ ("result", "hit") ];
+  add_counter "cup_queries_total" query_help (Counters.misses c)
+    ~labels:[ ("result", "miss") ];
+  add_counter "cup_dropped_updates_total"
+    "Updates suppressed by reduced outgoing capacity"
+    (Counters.dropped_updates c);
+  let fault_help = "Fault-path incidents by kind" in
+  add_counter "cup_faults_total" fault_help (Counters.lost_messages c)
+    ~labels:[ ("kind", "lost_message") ];
+  add_counter "cup_faults_total" fault_help (Counters.retries c)
+    ~labels:[ ("kind", "retry") ];
+  add_counter "cup_faults_total" fault_help (Counters.repairs c)
+    ~labels:[ ("kind", "repair") ];
+  add_counter "cup_faults_total" fault_help (Counters.unreachable c)
+    ~labels:[ ("kind", "unreachable") ]
+
 let finish t =
   Engine.run t.engine;
+  (match t.metrics with
+  | Some ms -> export_counters_to_registry t ms
+  | None -> ());
   let engine_events = Engine.events_executed t.engine in
   let wallclock = Unix.gettimeofday () -. t.started in
   {
@@ -1047,6 +1340,31 @@ module Live = struct
   let node_join = node_join
   let node_leave ?graceful t id = node_leave ?graceful t id
   let set_tracer t tracer = t.tracer <- tracer
+
+  let set_metrics t = function
+    | None -> t.metrics <- None
+    | Some registry ->
+        t.metrics <-
+          Some
+            {
+              registry;
+              query_latency =
+                Registry.histogram registry
+                  ~help:
+                    "Per-miss query latency in overlay hops, posting to \
+                     local answer"
+                  "cup_query_latency_hops";
+              repair_latency =
+                Registry.histogram registry
+                  ~help:
+                    "Seconds from a first re-issued interest to the update \
+                     flow resuming"
+                  ~min_value:1e-3 "cup_repair_seconds";
+              level_latency = Array.make 8 None;
+            }
+
+  let metrics t =
+    match t.metrics with Some ms -> Some ms.registry | None -> None
 
   let justification_backlog t =
     Hashtbl.fold (fun _ deadlines acc -> acc + List.length !deadlines) t.justif 0

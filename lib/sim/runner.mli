@@ -99,6 +99,20 @@ module Live : sig
   val set_tracer : t -> (Trace.event -> unit) option -> unit
   (** Observe every protocol event (see {!Trace}); [None] detaches. *)
 
+  val set_metrics : t -> Cup_metrics.Registry.t option -> unit
+  (** Record latency histograms into the given registry as the run
+      executes — per-miss query latency in hops
+      ([cup_query_latency_hops]), update propagation latency per tree
+      level ([cup_update_propagation_seconds{level="..."}]), and
+      subscription-repair latency ([cup_repair_seconds]) — and
+      snapshot the hop/fault counters into it at {!finish}.  Attaching
+      a registry also turns on span-id allocation (see {!Trace}), so
+      ids stay deterministic whether or not a tracer is attached too.
+      [None] detaches. *)
+
+  val metrics : t -> Cup_metrics.Registry.t option
+  (** The registry attached with {!set_metrics}, if any. *)
+
   val node_leave : ?graceful:bool -> t -> Cup_overlay.Node_id.t -> unit
   (** Departure with the taker absorbing the node's zone/range.
       [graceful] (default [true]) hands the authority directories

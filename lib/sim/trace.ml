@@ -3,12 +3,22 @@ module Node_id = Cup_overlay.Node_id
 module Key = Cup_overlay.Key
 
 type event =
-  | Query_posted of { at : Time.t; node : Node_id.t; key : Key.t }
+  | Query_posted of {
+      at : Time.t;
+      node : Node_id.t;
+      key : Key.t;
+      trace_id : int;
+      span_id : int;
+      parent_id : int;
+    }
   | Query_forwarded of {
       at : Time.t;
       from_ : Node_id.t;
       to_ : Node_id.t;
       key : Key.t;
+      trace_id : int;
+      span_id : int;
+      parent_id : int;
     }
   | Update_delivered of {
       at : Time.t;
@@ -18,12 +28,18 @@ type event =
       kind : Cup_proto.Update.kind;
       level : int;
       answering : bool;
+      trace_id : int;
+      span_id : int;
+      parent_id : int;
     }
   | Clear_bit_delivered of {
       at : Time.t;
       from_ : Node_id.t;
       to_ : Node_id.t;
       key : Key.t;
+      trace_id : int;
+      span_id : int;
+      parent_id : int;
     }
   | Local_answer of {
       at : Time.t;
@@ -31,6 +47,9 @@ type event =
       key : Key.t;
       hit : bool;
       waiters : int;
+      trace_id : int;
+      span_id : int;
+      parent_id : int;
     }
   | Node_crashed of { at : Time.t; node : Node_id.t }
   | Node_recovered of { at : Time.t; node : Node_id.t }
@@ -39,12 +58,18 @@ type event =
       from_ : Node_id.t;
       to_ : Node_id.t;
       key : Key.t;
+      trace_id : int;
+      span_id : int;
+      parent_id : int;
     }
   | Repair_query of {
       at : Time.t;
       node : Node_id.t;
       key : Key.t;
       attempt : int;
+      trace_id : int;
+      span_id : int;
+      parent_id : int;
     }
 
 let event_time = function
@@ -59,23 +84,34 @@ let event_time = function
   | Repair_query { at; _ } ->
       at
 
+let event_span = function
+  | Query_posted { trace_id; span_id; parent_id; _ }
+  | Query_forwarded { trace_id; span_id; parent_id; _ }
+  | Update_delivered { trace_id; span_id; parent_id; _ }
+  | Clear_bit_delivered { trace_id; span_id; parent_id; _ }
+  | Local_answer { trace_id; span_id; parent_id; _ }
+  | Message_lost { trace_id; span_id; parent_id; _ }
+  | Repair_query { trace_id; span_id; parent_id; _ } ->
+      Some (trace_id, span_id, parent_id)
+  | Node_crashed _ | Node_recovered _ -> None
+
 let pp_event fmt = function
-  | Query_posted { at; node; key } ->
+  | Query_posted { at; node; key; _ } ->
       Format.fprintf fmt "%a  %a: local client queries %a" Time.pp at
         Node_id.pp node Key.pp key
-  | Query_forwarded { at; from_; to_; key } ->
+  | Query_forwarded { at; from_; to_; key; _ } ->
       Format.fprintf fmt "%a  %a -> %a: query for %a" Time.pp at Node_id.pp
         from_ Node_id.pp to_ Key.pp key
-  | Update_delivered { at; from_; to_; key; kind; level; answering } ->
+  | Update_delivered { at; from_; to_; key; kind; level; answering; _ } ->
       Format.fprintf fmt "%a  %a -> %a: %s update for %a (level %d%s)"
         Time.pp at Node_id.pp from_ Node_id.pp to_
         (Cup_proto.Update.kind_to_string kind)
         Key.pp key level
         (if answering then ", answering" else "")
-  | Clear_bit_delivered { at; from_; to_; key } ->
+  | Clear_bit_delivered { at; from_; to_; key; _ } ->
       Format.fprintf fmt "%a  %a -> %a: clear-bit for %a" Time.pp at
         Node_id.pp from_ Node_id.pp to_ Key.pp key
-  | Local_answer { at; node; key; hit; waiters } ->
+  | Local_answer { at; node; key; hit; waiters; _ } ->
       Format.fprintf fmt "%a  %a: %s for %a (%d client%s)" Time.pp at
         Node_id.pp node
         (if hit then "cache hit" else "answer delivered")
@@ -86,10 +122,10 @@ let pp_event fmt = function
   | Node_recovered { at; node } ->
       Format.fprintf fmt "%a  %a: joined as replacement" Time.pp at Node_id.pp
         node
-  | Message_lost { at; from_; to_; key } ->
+  | Message_lost { at; from_; to_; key; _ } ->
       Format.fprintf fmt "%a  %a -> %a: message for %a lost" Time.pp at
         Node_id.pp from_ Node_id.pp to_ Key.pp key
-  | Repair_query { at; node; key; attempt } ->
+  | Repair_query { at; node; key; attempt; _ } ->
       Format.fprintf fmt "%a  %a: re-issues interest in %a (attempt %d)"
         Time.pp at Node_id.pp node Key.pp key attempt
 

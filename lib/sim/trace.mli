@@ -6,6 +6,25 @@
     with {!Runner.Live.set_tracer} to debug protocol behaviour or to
     narrate it (see [examples/walkthrough.ml]).
 
+    {2 Causal spans}
+
+    Every protocol event except the membership pair carries three span
+    fields linking it into a propagation tree:
+
+    - [trace_id] names the root cause — a posted query, an
+      origin-server update, or a repair attempt.  All events caused by
+      the same root share one trace id.
+    - [span_id] uniquely names this event within the run.
+    - [parent_id] is the [span_id] of the event that caused this one,
+      or [0] when the event is itself a root of its trace.
+
+    Ids are drawn from a per-run counter in deterministic engine
+    order, so they are byte-identical across schedulers and job
+    counts.  A run with no tracer (and no metrics registry) attached
+    does not allocate ids at all; such ids print as [0], which is also
+    what the JSONL codec substitutes when parsing legacy id-less
+    traces.
+
     {!t} is a bounded ring buffer of events: constant memory no matter
     how long the run, keeping the most recent [capacity] events. *)
 
@@ -14,12 +33,18 @@ type event =
       at : Cup_dess.Time.t;
       node : Cup_overlay.Node_id.t;
       key : Cup_overlay.Key.t;
+      trace_id : int;
+      span_id : int;
+      parent_id : int;
     }
   | Query_forwarded of {
       at : Cup_dess.Time.t;
       from_ : Cup_overlay.Node_id.t;
       to_ : Cup_overlay.Node_id.t;
       key : Cup_overlay.Key.t;
+      trace_id : int;
+      span_id : int;
+      parent_id : int;
     }
   | Update_delivered of {
       at : Cup_dess.Time.t;
@@ -29,12 +54,18 @@ type event =
       kind : Cup_proto.Update.kind;
       level : int;
       answering : bool;
+      trace_id : int;
+      span_id : int;
+      parent_id : int;
     }
   | Clear_bit_delivered of {
       at : Cup_dess.Time.t;
       from_ : Cup_overlay.Node_id.t;
       to_ : Cup_overlay.Node_id.t;
       key : Cup_overlay.Key.t;
+      trace_id : int;
+      span_id : int;
+      parent_id : int;
     }
   | Local_answer of {
       at : Cup_dess.Time.t;
@@ -42,6 +73,9 @@ type event =
       key : Cup_overlay.Key.t;
       hit : bool;
       waiters : int;
+      trace_id : int;
+      span_id : int;
+      parent_id : int;
     }
   | Node_crashed of {
       at : Cup_dess.Time.t;
@@ -56,17 +90,28 @@ type event =
       from_ : Cup_overlay.Node_id.t;
       to_ : Cup_overlay.Node_id.t;
       key : Cup_overlay.Key.t;
+      trace_id : int;
+      span_id : int;
+      parent_id : int;
     }  (** a message dropped on the wire or sent to a crashed node *)
   | Repair_query of {
       at : Cup_dess.Time.t;
       node : Cup_overlay.Node_id.t;
       key : Cup_overlay.Key.t;
       attempt : int;
+      trace_id : int;
+      span_id : int;
+      parent_id : int;
     }
       (** the justification-deadline timeout fired and the node
           re-issued its interest up the overlay path *)
 
 val event_time : event -> Cup_dess.Time.t
+
+val event_span : event -> (int * int * int) option
+(** [(trace_id, span_id, parent_id)] for protocol events, [None] for
+    the membership events which carry no span. *)
+
 val pp_event : Format.formatter -> event -> unit
 
 type t

@@ -6,6 +6,11 @@ module Counters = Cup_metrics.Counters
 
 let close = Alcotest.(check (float 1e-9))
 
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
 (* {1 Welford} *)
 
 let test_welford_empty () =
@@ -131,6 +136,155 @@ let prop_histogram_quantile_monotone =
       in
       mono vs)
 
+let arb_samples =
+  QCheck.(list_of_size Gen.(int_range 0 60) (float_range 0.001 50000.))
+
+let hist_of xs =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) xs;
+  h
+
+let hist_equal a b =
+  (* exact on counts and bin occupancy; total within float rounding *)
+  Histogram.count a = Histogram.count b
+  && Histogram.buckets a = Histogram.buckets b
+  && abs_float (Histogram.total a -. Histogram.total b)
+     <= 1e-9 *. (1. +. abs_float (Histogram.total a))
+
+let prop_histogram_merge_associative =
+  QCheck.Test.make ~count:200 ~name:"merge is associative"
+    QCheck.(triple arb_samples arb_samples arb_samples)
+    (fun (xs, ys, zs) ->
+      let a = hist_of xs and b = hist_of ys and c = hist_of zs in
+      hist_equal
+        (Histogram.merge (Histogram.merge a b) c)
+        (Histogram.merge a (Histogram.merge b c)))
+
+let prop_histogram_merge_commutes_on_counts =
+  QCheck.Test.make ~count:200
+    ~name:"merge commutes exactly on bin counts"
+    QCheck.(pair arb_samples arb_samples)
+    (fun (xs, ys) ->
+      let a = hist_of xs and b = hist_of ys in
+      hist_equal (Histogram.merge a b) (Histogram.merge b a))
+
+let prop_histogram_fixed_order_fold_reproducible =
+  (* the Cup_parallel contract: folding per-seed histograms in seed
+     order gives the same bytes however the work was scheduled *)
+  QCheck.Test.make ~count:100 ~name:"seed-order fold is reproducible"
+    QCheck.(list_of_size Gen.(int_range 1 8) arb_samples)
+    (fun groups ->
+      let fold () =
+        List.fold_left
+          (fun acc xs -> Histogram.merge acc (hist_of xs))
+          (Histogram.create ()) groups
+      in
+      hist_equal (fold ()) (fold ()))
+
+let test_histogram_config_and_buckets () =
+  let h = Histogram.create ~min_value:1. ~max_value:1000. ~bins_per_decade:5 () in
+  let mn, mx, bpd = Histogram.config h in
+  close "min" 1. mn;
+  close "max" 1000. mx;
+  Alcotest.(check int) "bins per decade" 5 bpd;
+  Alcotest.(check (list (pair (float 1e-9) int))) "empty" []
+    (Histogram.buckets h);
+  Histogram.add h 2.;
+  Histogram.add h 2.1;
+  Histogram.add h 500.;
+  Histogram.add h 1e9 (* overflow *);
+  let bs = Histogram.buckets h in
+  Alcotest.(check int) "three occupied bins" 3 (List.length bs);
+  Alcotest.(check int) "counts sum to n" (Histogram.count h)
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 bs);
+  let bounds = List.map fst bs in
+  Alcotest.(check bool) "bounds ascending" true
+    (List.sort compare bounds = bounds);
+  Alcotest.(check bool) "overflow bound is +inf" true
+    (List.exists (fun (b, _) -> b = infinity) bs)
+
+(* {1 Registry} *)
+
+module Registry = Cup_metrics.Registry
+
+let test_registry_find_or_create () =
+  let r = Registry.create () in
+  let c1 = Registry.counter r "cup_hops_total" ~labels:[ ("class", "query") ] in
+  let c2 = Registry.counter r "cup_hops_total" ~labels:[ ("class", "query") ] in
+  Registry.inc c1;
+  Registry.inc ~by:2 c2;
+  Alcotest.(check int) "same handle" 3 (Registry.counter_value c1);
+  let g = Registry.gauge r "cup_temp" in
+  Registry.set g 1.5;
+  close "gauge" 1.5 (Registry.gauge_value (Registry.gauge r "cup_temp"));
+  ignore (Registry.histogram r "cup_lat");
+  Alcotest.(check int) "three series" 3 (Registry.series_count r);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument
+       "Registry: cup_temp already registered as a gauge, requested as \
+        counter")
+    (fun () -> ignore (Registry.counter r "cup_temp"))
+
+let test_registry_merge () =
+  let mk hits lat =
+    let r = Registry.create () in
+    Registry.inc ~by:hits (Registry.counter r "hits_total");
+    let g = Registry.gauge r "peak" in
+    Registry.set g (float_of_int hits);
+    let h = Registry.histogram r "lat" in
+    List.iter (Registry.observe h) lat;
+    r
+  in
+  let a = mk 3 [ 1.; 2. ] and b = mk 5 [ 10. ] in
+  let m = Registry.merge a b in
+  Alcotest.(check int) "counters sum" 8
+    (Registry.counter_value (Registry.counter m "hits_total"));
+  close "gauges keep max" 5. (Registry.gauge_value (Registry.gauge m "peak"));
+  Alcotest.(check int) "histogram counts merge" 3
+    (Histogram.count (Registry.histogram m "lat"));
+  (* inputs untouched *)
+  Alcotest.(check int) "left input unmutated" 3
+    (Registry.counter_value (Registry.counter a "hits_total"));
+  Alcotest.(check int) "right input unmutated" 1
+    (Histogram.count (Registry.histogram b "lat"))
+
+let test_registry_prometheus_and_csv () =
+  let r = Registry.create () in
+  Registry.inc ~by:7
+    (Registry.counter r "cup_hops_total" ~help:"Protocol hops"
+       ~labels:[ ("class", "query") ]);
+  Registry.inc ~by:2
+    (Registry.counter r "cup_hops_total" ~labels:[ ("class", "refresh") ]);
+  let h =
+    Registry.histogram r ~min_value:0.001 ~max_value:10. "cup_lat_seconds"
+  in
+  List.iter (Registry.observe h) [ 0.01; 0.02; 5. ];
+  let text = Registry.to_prometheus r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exposition has " ^ needle) true
+        (contains ~needle text))
+    [
+      "# HELP cup_hops_total Protocol hops";
+      "# TYPE cup_hops_total counter";
+      "cup_hops_total{class=\"query\"} 7";
+      "cup_hops_total{class=\"refresh\"} 2";
+      "# TYPE cup_lat_seconds histogram";
+      "le=\"+Inf\"";
+      "cup_lat_seconds_count 3";
+    ];
+  (* deterministic: same content, same bytes *)
+  Alcotest.(check string) "exposition reproducible" text
+    (Registry.to_prometheus r);
+  let rows = Registry.csv_rows r in
+  Alcotest.(check int) "one csv row per series" (Registry.series_count r)
+    (List.length rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check int) "row width" (List.length Registry.csv_header)
+        (List.length row))
+    rows
+
 (* {1 Counters} *)
 
 let test_counters_cost_buckets () =
@@ -189,11 +343,6 @@ let test_counters_merge () =
   Alcotest.(check (float 1e-9)) "latency kept" 2.
     (Counters.avg_miss_latency_hops m)
 
-let contains ~needle haystack =
-  let n = String.length needle and h = String.length haystack in
-  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
-  scan 0
-
 let test_counters_pp_smoke () =
   let c = Counters.create () in
   Counters.record_query_hop c;
@@ -224,7 +373,21 @@ let () =
           Alcotest.test_case "merge" `Quick test_histogram_merge;
           Alcotest.test_case "validation" `Quick
             test_histogram_quantile_validation;
+          Alcotest.test_case "config and buckets" `Quick
+            test_histogram_config_and_buckets;
           QCheck_alcotest.to_alcotest prop_histogram_quantile_monotone;
+          QCheck_alcotest.to_alcotest prop_histogram_merge_associative;
+          QCheck_alcotest.to_alcotest prop_histogram_merge_commutes_on_counts;
+          QCheck_alcotest.to_alcotest
+            prop_histogram_fixed_order_fold_reproducible;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "find or create" `Quick
+            test_registry_find_or_create;
+          Alcotest.test_case "merge" `Quick test_registry_merge;
+          Alcotest.test_case "prometheus and csv" `Quick
+            test_registry_prometheus_and_csv;
         ] );
       ( "counters",
         [

@@ -82,12 +82,24 @@ let test_json_rejects_garbage () =
 (* {1 Event JSON round-trip} *)
 
 let all_events =
+  (* a small but causally consistent trace: one query trace (1) whose
+     spans chain 1 → 2 → … and one update forest rooted at parent 0 *)
   let at = Time.of_seconds 350.125 in
   let n i = Node_id.of_int i in
   let k = Key.of_int 3 in
   [
-    Trace.Query_posted { at; node = n 4; key = k };
-    Trace.Query_forwarded { at; from_ = n 4; to_ = n 9; key = k };
+    Trace.Query_posted
+      { at; node = n 4; key = k; trace_id = 1; span_id = 1; parent_id = 0 };
+    Trace.Query_forwarded
+      {
+        at;
+        from_ = n 4;
+        to_ = n 9;
+        key = k;
+        trace_id = 1;
+        span_id = 2;
+        parent_id = 1;
+      };
     Trace.Update_delivered
       {
         at;
@@ -97,6 +109,9 @@ let all_events =
         kind = Cup_proto.Update.First_time;
         level = 1;
         answering = true;
+        trace_id = 1;
+        span_id = 3;
+        parent_id = 2;
       };
     Trace.Update_delivered
       {
@@ -107,6 +122,9 @@ let all_events =
         kind = Cup_proto.Update.Refresh;
         level = 3;
         answering = false;
+        trace_id = 7;
+        span_id = 4;
+        parent_id = 0;
       };
     Trace.Update_delivered
       {
@@ -117,6 +135,9 @@ let all_events =
         kind = Cup_proto.Update.Delete;
         level = 2;
         answering = false;
+        trace_id = 7;
+        span_id = 5;
+        parent_id = 4;
       };
     Trace.Update_delivered
       {
@@ -127,30 +148,211 @@ let all_events =
         kind = Cup_proto.Update.Append;
         level = 7;
         answering = false;
+        trace_id = 7;
+        span_id = 6;
+        parent_id = 4;
       };
-    Trace.Clear_bit_delivered { at; from_ = n 4; to_ = n 9; key = k };
-    Trace.Local_answer { at; node = n 4; key = k; hit = false; waiters = 2 };
+    Trace.Clear_bit_delivered
+      {
+        at;
+        from_ = n 4;
+        to_ = n 9;
+        key = k;
+        trace_id = 1;
+        span_id = 7;
+        parent_id = 3;
+      };
+    Trace.Local_answer
+      {
+        at;
+        node = n 4;
+        key = k;
+        hit = false;
+        waiters = 2;
+        trace_id = 1;
+        span_id = 8;
+        parent_id = 3;
+      };
     Trace.Node_crashed { at; node = n 9 };
     Trace.Node_recovered { at; node = n 16 };
-    Trace.Message_lost { at; from_ = n 9; to_ = n 4; key = k };
-    Trace.Repair_query { at; node = n 4; key = k; attempt = 2 };
+    Trace.Message_lost
+      {
+        at;
+        from_ = n 9;
+        to_ = n 4;
+        key = k;
+        trace_id = 1;
+        span_id = 9;
+        parent_id = 2;
+      };
+    Trace.Repair_query
+      {
+        at;
+        node = n 4;
+        key = k;
+        attempt = 2;
+        trace_id = 10;
+        span_id = 10;
+        parent_id = 0;
+      };
   ]
 
-let test_event_json_roundtrip () =
-  List.iter
-    (fun event ->
+(* QCheck generator covering every [Trace.event] constructor with
+   arbitrary field values, so the codec round-trip is a property over
+   the whole event type rather than a hand-picked list. *)
+let event_gen : Trace.event QCheck.Gen.t =
+  let open QCheck.Gen in
+  let at = map Time.of_seconds (float_range 0. 100_000.) in
+  let node = map Node_id.of_int (int_range 0 4095) in
+  let key = map Key.of_int (int_range 0 4095) in
+  let span_id = int_range 0 1_000_000 in
+  let spans = triple span_id span_id span_id in
+  let kind =
+    oneofl
+      Cup_proto.Update.
+        [ First_time; Refresh; Delete; Append ]
+  in
+  oneof
+    [
+      map3
+        (fun at (node, key) (trace_id, span_id, parent_id) ->
+          Trace.Query_posted { at; node; key; trace_id; span_id; parent_id })
+        at (pair node key) spans;
+      map3
+        (fun at (from_, to_, key) (trace_id, span_id, parent_id) ->
+          Trace.Query_forwarded
+            { at; from_; to_; key; trace_id; span_id; parent_id })
+        at (triple node node key) spans;
+      map3
+        (fun (at, from_, to_) (key, kind, level, answering)
+             (trace_id, span_id, parent_id) ->
+          Trace.Update_delivered
+            {
+              at;
+              from_;
+              to_;
+              key;
+              kind;
+              level;
+              answering;
+              trace_id;
+              span_id;
+              parent_id;
+            })
+        (triple at node node)
+        (quad key kind (int_range 0 64) bool)
+        spans;
+      map3
+        (fun at (from_, to_, key) (trace_id, span_id, parent_id) ->
+          Trace.Clear_bit_delivered
+            { at; from_; to_; key; trace_id; span_id; parent_id })
+        at (triple node node key) spans;
+      map3
+        (fun (at, node, key) (hit, waiters) (trace_id, span_id, parent_id) ->
+          Trace.Local_answer
+            { at; node; key; hit; waiters; trace_id; span_id; parent_id })
+        (triple at node key)
+        (pair bool (int_range 0 100))
+        spans;
+      map2 (fun at node -> Trace.Node_crashed { at; node }) at node;
+      map2 (fun at node -> Trace.Node_recovered { at; node }) at node;
+      map3
+        (fun at (from_, to_, key) (trace_id, span_id, parent_id) ->
+          Trace.Message_lost
+            { at; from_; to_; key; trace_id; span_id; parent_id })
+        at (triple node node key) spans;
+      map3
+        (fun (at, node, key) attempt (trace_id, span_id, parent_id) ->
+          Trace.Repair_query
+            { at; node; key; attempt; trace_id; span_id; parent_id })
+        (triple at node key) (int_range 1 10) spans;
+    ]
+
+let arb_event =
+  QCheck.make
+    ~print:(fun e -> Format.asprintf "%a" Trace.pp_event e)
+    event_gen
+
+let prop_event_json_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"encode → parse → encode is byte-identical"
+    arb_event (fun event ->
       let line = Event_json.to_string event in
       match Event_json.of_string line with
+      | Error e -> QCheck.Test.fail_reportf "%s: %s" line e
       | Ok event' ->
-          Alcotest.(check bool) line true (event = event');
-          (* the line is one self-describing object with a type field *)
+          if event <> event' then
+            QCheck.Test.fail_reportf "value changed: %s" line;
+          let line' = Event_json.to_string event' in
+          if line <> line' then
+            QCheck.Test.fail_reportf "bytes changed: %s vs %s" line line';
           (match Json.of_string line with
           | Ok j ->
-              Alcotest.(check bool) "has type field" true
-                (Option.is_some
-                   (Option.bind (Json.member "type" j) Json.to_str))
-          | Error e -> Alcotest.fail e)
-      | Error e -> Alcotest.fail (line ^ ": " ^ e))
+              if
+                Option.is_none
+                  (Option.bind (Json.member "type" j) Json.to_str)
+              then QCheck.Test.fail_reportf "no type field: %s" line
+          | Error e -> QCheck.Test.fail_reportf "not an object: %s" e);
+          true)
+
+let test_event_json_legacy_parse () =
+  (* pre-span traces (no trace/span/parent fields) must still parse,
+     with the ids defaulting to 0 *)
+  let cases =
+    [
+      ( "{\"type\":\"query_posted\",\"at\":1.5,\"node\":4,\"key\":3}",
+        Trace.Query_posted
+          {
+            at = Time.of_seconds 1.5;
+            node = Node_id.of_int 4;
+            key = Key.of_int 3;
+            trace_id = 0;
+            span_id = 0;
+            parent_id = 0;
+          } );
+      ( "{\"type\":\"update_delivered\",\"at\":2.0,\"from\":9,\"to\":4,\
+         \"key\":3,\"kind\":\"refresh\",\"level\":2,\"answering\":false}",
+        Trace.Update_delivered
+          {
+            at = Time.of_seconds 2.0;
+            from_ = Node_id.of_int 9;
+            to_ = Node_id.of_int 4;
+            key = Key.of_int 3;
+            kind = Cup_proto.Update.Refresh;
+            level = 2;
+            answering = false;
+            trace_id = 0;
+            span_id = 0;
+            parent_id = 0;
+          } );
+      ( "{\"type\":\"repair_query\",\"at\":3.0,\"node\":4,\"key\":3,\
+         \"attempt\":1}",
+        Trace.Repair_query
+          {
+            at = Time.of_seconds 3.0;
+            node = Node_id.of_int 4;
+            key = Key.of_int 3;
+            attempt = 1;
+            trace_id = 0;
+            span_id = 0;
+            parent_id = 0;
+          } );
+    ]
+  in
+  List.iter
+    (fun (line, expected) ->
+      match Event_json.of_string line with
+      | Ok e -> Alcotest.(check bool) line true (e = expected)
+      | Error msg -> Alcotest.fail (line ^ ": " ^ msg))
+    cases;
+  (* span ids surface through the accessor; membership events carry none *)
+  List.iter
+    (fun e ->
+      match (Trace.event_span e, e) with
+      | None, (Trace.Node_crashed _ | Trace.Node_recovered _) -> ()
+      | Some _, (Trace.Node_crashed _ | Trace.Node_recovered _) ->
+          Alcotest.fail "membership event claims a span"
+      | None, _ -> Alcotest.fail "protocol event lost its span"
+      | Some _, _ -> ())
     all_events
 
 let test_event_json_rejects_bad_events () =
@@ -374,6 +576,163 @@ let test_timeseries_queue_depths_under_token_bucket () =
        (fun (s : Timeseries.sample) -> s.max_queue_depth <= s.queued_updates)
        (Timeseries.samples ts))
 
+(* {1 Spans on live runs} *)
+
+let faulty =
+  (* crash + loss injection: the adversarial setting for causal links *)
+  {
+    base with
+    nodes = 64;
+    query_duration = 600.;
+    crashes =
+      Some { Scenario.crash_rate = 0.02; recover_after = 20.; warmup = 30. };
+    loss = Some { Scenario.drop = 0.15; jitter = 1.0 };
+  }
+
+let trace_bytes scenario =
+  (* run [scenario] streaming every event through the JSONL codec,
+     returning the byte-for-byte trace and the run result *)
+  let buf = Buffer.create 4096 in
+  let live = Runner.Live.create scenario in
+  Runner.Live.set_tracer live
+    (Some
+       (fun e ->
+         Buffer.add_string buf (Event_json.to_string e);
+         Buffer.add_char buf '\n'));
+  let r = Runner.Live.finish live in
+  (Buffer.contents buf, r)
+
+let events_of_bytes bytes =
+  String.split_on_char '\n' bytes
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun l ->
+         match Event_json.of_string l with
+         | Ok e -> e
+         | Error msg -> Alcotest.fail (l ^ ": " ^ msg))
+
+let test_spans_deterministic_across_schedulers () =
+  let heap, _ = trace_bytes { faulty with scheduler = Some `Heap } in
+  let cal, _ = trace_bytes { faulty with scheduler = Some `Calendar } in
+  Alcotest.(check bool)
+    "byte-identical trace (span ids included) heap vs calendar" true
+    (heap = cal);
+  Alcotest.(check bool) "trace is nonempty" true (String.length heap > 0)
+
+let test_spans_deterministic_across_jobs () =
+  (* the per-run span counter must not leak across runs: a pool
+     executing runs on 4 domains yields the same bytes as jobs=1 *)
+  let seeds = [ 2001; 2002; 2003; 2004; 2005; 2006 ] in
+  let run_all jobs =
+    Cup_parallel.Pool.with_pool ~jobs (fun pool ->
+        Cup_parallel.Pool.map pool
+          (fun seed -> fst (trace_bytes { faulty with seed }))
+          seeds)
+  in
+  Alcotest.(check bool) "jobs=1 and jobs=4 give identical traces" true
+    (run_all 1 = run_all 4)
+
+let test_metrics_attachment_keeps_trace_bytes () =
+  (* attaching a registry alongside the tracer must not perturb span
+     allocation *)
+  let plain, _ = trace_bytes faulty in
+  let buf = Buffer.create 4096 in
+  let live = Runner.Live.create faulty in
+  let registry = Cup_metrics.Registry.create () in
+  Runner.Live.set_metrics live (Some registry);
+  Runner.Live.set_tracer live
+    (Some
+       (fun e ->
+         Buffer.add_string buf (Event_json.to_string e);
+         Buffer.add_char buf '\n'));
+  ignore (Runner.Live.finish live);
+  Alcotest.(check bool) "same bytes with metrics attached" true
+    (plain = Buffer.contents buf);
+  Alcotest.(check bool) "registry filled" true
+    (Cup_metrics.Registry.series_count registry > 0)
+
+let test_registry_deterministic_across_schedulers () =
+  let exposition scheduler =
+    let live = Runner.Live.create { faulty with scheduler = Some scheduler } in
+    let registry = Cup_metrics.Registry.create () in
+    Runner.Live.set_metrics live (Some registry);
+    ignore (Runner.Live.finish live);
+    Cup_metrics.Registry.to_prometheus registry
+  in
+  let heap = exposition `Heap in
+  Alcotest.(check string) "byte-identical exposition heap vs calendar" heap
+    (exposition `Calendar);
+  Alcotest.(check bool) "exposition nonempty" true (String.length heap > 0)
+
+(* {1 Analyzer} *)
+
+let test_analyzer_no_orphans_under_faults () =
+  let bytes, r = trace_bytes faulty in
+  let events = events_of_bytes bytes in
+  let s = Cup_obs.Analyzer.analyze events in
+  Alcotest.(check int) "saw every event" (List.length events) s.events;
+  Alcotest.(check int) "zero orphan spans under crash+loss" 0 s.orphans;
+  Alcotest.(check int) "no legacy events in a fresh trace" 0 s.legacy;
+  Alcotest.(check bool) "reconstructed some traces" true (s.traces <> []);
+  List.iter
+    (fun (t : Cup_obs.Analyzer.tree) ->
+      Alcotest.(check bool) "depth ≥ 1" true (t.depth >= 1);
+      Alcotest.(check bool) "spans ≥ depth" true (t.spans >= t.depth);
+      Alcotest.(check bool) "critical path nonempty" true
+        (t.critical_path <> []);
+      Alcotest.(check bool) "critical path bounded by depth" true
+        (List.length t.critical_path <= t.depth))
+    s.traces;
+  (* hit/miss replay matches the runner's own counters *)
+  Alcotest.(check int) "hits" (Counters.hits r.counters) s.hits;
+  Alcotest.(check int) "misses" (Counters.misses r.counters) s.misses;
+  Alcotest.(check int) "every posted query answered" 0 s.unanswered
+
+let test_analyzer_latency_matches_counters () =
+  (* recovered miss latencies (seconds) = counters' latencies (hops)
+     × hop_delay, so the means must agree to rounding *)
+  let bytes, r = trace_bytes faulty in
+  let s = Cup_obs.Analyzer.analyze (events_of_bytes bytes) in
+  Alcotest.(check int) "one latency sample per miss" s.misses
+    (Array.length s.miss_latencies);
+  if s.misses > 0 then begin
+    let mean_hops =
+      Cup_obs.Analyzer.mean_of s.miss_latencies /. faulty.hop_delay
+    in
+    Alcotest.(check (float 1e-6)) "mean latency matches counters"
+      (Counters.avg_miss_latency_hops r.counters)
+      mean_hops;
+    let p50 = Cup_obs.Analyzer.percentile s.miss_latencies 0.50 in
+    let p99 = Cup_obs.Analyzer.percentile s.miss_latencies 0.99 in
+    Alcotest.(check bool) "p50 ≤ p99 ≤ max" true
+      (p50 <= p99 && p99 <= s.miss_latencies.(Array.length s.miss_latencies - 1))
+  end
+
+let test_analyzer_handles_legacy_and_orphans () =
+  let at = Time.of_seconds 1.0 in
+  let n = Node_id.of_int 1 and k = Key.of_int 0 in
+  let legacy =
+    Trace.Query_posted
+      { at; node = n; key = k; trace_id = 0; span_id = 0; parent_id = 0 }
+  in
+  let orphan =
+    Trace.Query_forwarded
+      {
+        at;
+        from_ = n;
+        to_ = Node_id.of_int 2;
+        key = k;
+        trace_id = 5;
+        span_id = 77;
+        parent_id = 66;
+        (* 66 never appears *)
+      }
+  in
+  let s = Cup_obs.Analyzer.analyze [ legacy; orphan ] in
+  Alcotest.(check int) "legacy counted" 1 s.legacy;
+  Alcotest.(check int) "orphan detected" 1 s.orphans;
+  Alcotest.(check bool) "orphan example recorded" true
+    (List.mem (77, 66) s.orphan_examples)
+
 let test_timeseries_rejects_bad_interval () =
   let live = Runner.Live.create quiet_base in
   Alcotest.check_raises "zero interval"
@@ -393,9 +752,31 @@ let () =
         ] );
       ( "event json",
         [
-          Alcotest.test_case "round trip" `Quick test_event_json_roundtrip;
+          QCheck_alcotest.to_alcotest prop_event_json_roundtrip;
+          Alcotest.test_case "legacy id-less parse" `Quick
+            test_event_json_legacy_parse;
           Alcotest.test_case "rejects bad events" `Quick
             test_event_json_rejects_bad_events;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "deterministic across schedulers" `Quick
+            test_spans_deterministic_across_schedulers;
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_spans_deterministic_across_jobs;
+          Alcotest.test_case "metrics do not perturb trace" `Quick
+            test_metrics_attachment_keeps_trace_bytes;
+          Alcotest.test_case "registry deterministic across schedulers" `Quick
+            test_registry_deterministic_across_schedulers;
+        ] );
+      ( "analyzer",
+        [
+          Alcotest.test_case "no orphans under faults" `Quick
+            test_analyzer_no_orphans_under_faults;
+          Alcotest.test_case "latency matches counters" `Quick
+            test_analyzer_latency_matches_counters;
+          Alcotest.test_case "legacy and orphans" `Quick
+            test_analyzer_handles_legacy_and_orphans;
         ] );
       ( "sinks",
         [

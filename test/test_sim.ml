@@ -584,6 +584,9 @@ let test_trace_ring_bounds () =
            at = Cup_dess.Time.of_seconds (float_of_int i);
            node = Cup_overlay.Node_id.of_int i;
            key = Cup_overlay.Key.of_int 0;
+           trace_id = 0;
+           span_id = 0;
+           parent_id = 0;
          })
   done;
   Alcotest.(check int) "keeps capacity" 3 (Trace.length tr);
@@ -610,6 +613,9 @@ let test_trace_wraparound_order_and_filter () =
            at = Cup_dess.Time.of_seconds (float_of_int i);
            node = Cup_overlay.Node_id.of_int i;
            key = Cup_overlay.Key.of_int (i mod 2);
+           trace_id = 0;
+           span_id = 0;
+           parent_id = 0;
          })
   done;
   Alcotest.(check int) "dropped = total - capacity" (total - capacity)
