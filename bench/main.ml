@@ -25,11 +25,18 @@ module Table = Cup_report.Table
 module Plot = Cup_report.Plot
 module Pool = Cup_parallel.Pool
 module Json = Cup_obs.Json
+module Resource = Cup_obs.Resource
 
 let csv_dir : string option ref = ref None
 
-(* Accumulated for BENCH_harness.json, in execution order. *)
-let target_timings : (string * float) list ref = ref []
+(* Accumulated for BENCH_harness.json, in execution order: name, wall
+   seconds, and the process-resource snapshots bracketing the target
+   (peak RSS so far plus GC deltas — host-dependent, so they live next
+   to the equally host-dependent wall time, never in a byte-compared
+   artifact). *)
+let target_timings :
+    (string * float * Resource.snapshot * Resource.snapshot) list ref =
+  ref []
 let harness_json : (string * Json.t) list ref = ref []
 let sched_json : (string * Json.t) list ref = ref []
 let faults_json : (string * Json.t) list ref = ref []
@@ -747,6 +754,10 @@ let faults scale =
           Cup_sim.Runner.run
             { cfg with Scenario.scheduler = Some scheduler; route_cache }
         in
+        (* Show the conservation identity in the compared bytes: the
+           transport line is deterministic, so flipping it on for every
+           config keeps the byte-identity check meaningful. *)
+        Cup_metrics.Counters.expose_transport r.Cup_sim.Runner.counters;
         let printed =
           Format.asprintf "%a" Cup_metrics.Counters.pp r.Cup_sim.Runner.counters
         in
@@ -788,11 +799,28 @@ let faults scale =
         && Cup_metrics.Counters.repairs r.counters > 0)
       results
   in
+  (* Message conservation over the transport counters: everything sent
+     was delivered or lost, and nothing is still in flight once the
+     engine has drained — the same V1 identity [cup run --audit]
+     enforces online. *)
+  let conserved =
+    List.for_all
+      (fun (_, _, (r : Cup_sim.Runner.result)) ->
+        let c = r.counters in
+        Cup_metrics.Counters.in_flight c = 0
+        && Cup_metrics.Counters.sent c
+           = Cup_metrics.Counters.delivered c
+             + Cup_metrics.Counters.transport_lost c)
+      results
+  in
+  Printf.printf "message conservation (sent = delivered + lost): %s\n"
+    (if conserved then "yes" else "NO (accounting leak)");
   faults_json :=
     [
       ("workload", Json.String "crash 0.02/s + loss 0.15 over base scenario");
       ("identical_results", Json.Bool identical);
       ("repair_machinery_fired", Json.Bool repaired);
+      ("conservation_holds", Json.Bool conserved);
       ( "configs",
         Json.List
           (List.map
@@ -814,6 +842,12 @@ let faults scale =
     prerr_endline
       "faults: counters differ between scheduler/route-cache configurations \
        under fault injection — determinism contract broken";
+    exit 1
+  end;
+  if not conserved then begin
+    prerr_endline
+      "faults: transport counters violate sent = delivered + lost with \
+       in_flight = 0 — message accounting leaks";
     exit 1
   end
 
@@ -1188,11 +1222,30 @@ let write_harness_json ~jobs ~scale =
          ( "targets",
            Json.List
              (List.rev_map
-                (fun (name, seconds) ->
+                (fun (name, seconds, (b : Resource.snapshot)
+                          , (a : Resource.snapshot)) ->
                   Json.Obj
                     [
                       ("name", Json.String name);
                       ("seconds", Json.Float seconds);
+                      ("peak_rss_bytes", Json.Int a.peak_rss_bytes);
+                      ( "gc",
+                        Json.Obj
+                          [
+                            ( "minor_words",
+                              Json.Float (a.minor_words -. b.minor_words) );
+                            ( "promoted_words",
+                              Json.Float (a.promoted_words -. b.promoted_words)
+                            );
+                            ( "major_words",
+                              Json.Float (a.major_words -. b.major_words) );
+                            ( "minor_collections",
+                              Json.Int (a.minor_collections - b.minor_collections)
+                            );
+                            ( "major_collections",
+                              Json.Int (a.major_collections - b.major_collections)
+                            );
+                          ] );
                     ])
                 !target_timings) );
        ]
@@ -1283,9 +1336,12 @@ let () =
   let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
   let timed name f =
     if want name then begin
+      let before = Resource.snapshot () in
       let t0 = Unix.gettimeofday () in
       f ();
-      target_timings := (name, Unix.gettimeofday () -. t0) :: !target_timings
+      let seconds = Unix.gettimeofday () -. t0 in
+      target_timings :=
+        (name, seconds, before, Resource.snapshot ()) :: !target_timings
     end
   in
   let fig3_sweeps = ref [] and fig4_sweeps = ref [] in

@@ -276,6 +276,35 @@ let metrics_out =
            run end — Prometheus text exposition, or CSV when $(docv) ends \
            in .csv.")
 
+let serve_port =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "serve" ] ~docv:"PORT"
+        ~doc:
+          "Serve live run health over HTTP on 127.0.0.1:$(docv) while the \
+           simulation runs (0 picks an ephemeral port, printed at start).  \
+           $(b,GET /metrics) is the Prometheus exposition — byte-identical \
+           to the --metrics-out file for the deterministic families, with \
+           the non-deterministic cup_process_* resource gauges appended; \
+           $(b,GET /health) is a JSON heartbeat (virtual time, events/s, \
+           queue depths, fault and transport counters); $(b,GET \
+           /trace?n=K) returns the last K protocol events as JSONL.  The \
+           process keeps serving after the run finishes, until \
+           interrupted.")
+
+let audit_flag =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "Stream every protocol event through the online invariant \
+           auditor: V1 message conservation (sent = delivered + lost + \
+           in-flight), V2 per-replica freshness monotonicity, V3 bounded \
+           justification backlog, V4 causal span soundness.  The first \
+           breach aborts the run with a numbered violation report and \
+           exit status 3.")
+
 let crash_rate =
   Arg.(
     value & opt float 0.
@@ -313,29 +342,86 @@ let loss_jitter =
            channel drops at rate*(1 + J*u) for a deterministic per-channel \
            u in [-1, 1).  Only meaningful with --loss-rate > 0.")
 
+let write_metrics ~path registry =
+  let module Registry = Cup_metrics.Registry in
+  if Filename.check_suffix path ".csv" then
+    Cup_report.Csv.write ~path ~header:Registry.csv_header
+      (Registry.csv_rows registry)
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Registry.to_prometheus registry))
+  end;
+  Printf.printf "metrics: %d series -> %s\n"
+    (Registry.series_count registry)
+    path
+
+let violation_exit v =
+  Format.eprintf "cup run: audit failed@.  %a@." Cup_obs.Audit.pp_violation v;
+  exit 3
+
 (* A run that needs live observability: attach sinks/samplers/probes
    before driving the engine to completion. *)
 let run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
-    ~profile =
+    ~profile ~serve ~audit =
+  let module Audit = Cup_obs.Audit in
+  let module Serve = Cup_obs.Serve in
+  let module Resource = Cup_obs.Resource in
   let live = Runner.Live.create cfg in
   if profile then
     Cup_dess.Engine.enable_profiling (Runner.Live.engine live);
-  let sink =
-    match trace_out with
-    | None -> None
-    | Some path ->
-        let sink = Sink.jsonl_file path in
-        Sink.attach live sink;
-        Some (path, sink)
+  let file_sink =
+    Option.map (fun path -> (path, Sink.jsonl_file path)) trace_out
   in
-  let metrics =
-    match metrics_out with
-    | None -> None
-    | Some path ->
-        let registry = Cup_metrics.Registry.create () in
-        Runner.Live.set_metrics live (Some registry);
-        Some (path, registry)
+  let registry =
+    if metrics_out <> None || serve <> None then begin
+      let registry = Cup_metrics.Registry.create () in
+      Runner.Live.set_metrics live (Some registry);
+      Some registry
+    end
+    else None
   in
+  let auditor =
+    if audit then begin
+      let bound =
+        max 1024 (16 * cfg.Scenario.nodes * Scenario.total_keys cfg)
+      in
+      Some
+        (Audit.create ~max_backlog:bound
+           ~backlog:(fun () -> Runner.Live.justification_backlog live)
+           ~counters:(Runner.Live.counters live) ())
+    end
+    else None
+  in
+  let resource, server =
+    match serve with
+    | None -> (None, None)
+    | Some port ->
+        let process = Cup_metrics.Registry.create () in
+        let sampler = Resource.attach ~registry:process live in
+        let srv =
+          Serve.start ~port ~resource:process
+            ~registry:(Option.get registry) live
+        in
+        Printf.printf
+          "serving on http://127.0.0.1:%d (GET /metrics, /health, \
+           /trace?n=K)\n\
+           %!"
+          (Serve.port srv);
+        (Some sampler, Some srv)
+  in
+  (match
+     List.filter_map Fun.id
+       [
+         Option.map snd file_sink;
+         Option.map Serve.sink server;
+         Option.map Audit.sink auditor;
+       ]
+   with
+  | [] -> ()
+  | [ sink ] -> Sink.attach live sink
+  | sinks -> Sink.attach live (Sink.fanout sinks));
   let sampler =
     let interval =
       match (sample_interval, sample_out) with
@@ -345,30 +431,27 @@ let run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
     in
     Option.map (fun interval -> Timeseries.attach ~interval live) interval
   in
-  let result = Runner.Live.finish live in
+  let result =
+    try Runner.Live.finish live with Audit.Violation v -> violation_exit v
+  in
+  (match auditor with
+  | None -> ()
+  | Some a -> ( try Audit.finish a with Audit.Violation v -> violation_exit v));
   print_result result;
-  (match sink with
+  (match auditor with
+  | None -> ()
+  | Some a ->
+      Printf.printf "audit: OK (%d events, 4 invariants)\n"
+        (Audit.events_checked a));
+  (match file_sink with
   | None -> ()
   | Some (path, sink) ->
       Sink.close sink;
       Printf.printf "trace: %d events -> %s\n" (Sink.events_seen sink) path);
-  (match metrics with
-  | None -> ()
-  | Some (path, registry) ->
-      let module Registry = Cup_metrics.Registry in
-      if Filename.check_suffix path ".csv" then
-        Cup_report.Csv.write ~path ~header:Registry.csv_header
-          (Registry.csv_rows registry)
-      else begin
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () -> output_string oc (Registry.to_prometheus registry))
-      end;
-      Printf.printf "metrics: %d series -> %s\n"
-        (Registry.series_count registry)
-        path);
-  match sampler with
+  (match (metrics_out, registry) with
+  | Some path, Some registry -> write_metrics ~path registry
+  | _ -> ());
+  (match sampler with
   | None -> ()
   | Some ts ->
       (match sample_out with
@@ -379,12 +462,25 @@ let run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
             (List.length (Timeseries.samples ts))
             path);
       print_newline ();
-      print_string (Timeseries.cost_plot ts)
+      print_string (Timeseries.cost_plot ts));
+  match (server, resource) with
+  | Some srv, sampler ->
+      Option.iter Resource.sample_now sampler;
+      Serve.mark_finished srv;
+      Printf.printf
+        "run finished; still serving http://127.0.0.1:%d — interrupt to \
+         exit\n\
+         %!"
+        (Serve.port srv);
+      while true do
+        Thread.delay 3600.
+      done
+  | None, _ -> ()
 
 let run_cmd =
   let action seed nodes keys rate duration lifetime replicas policy overlay
       scheduler runs jobs trace_out metrics_out sample_interval sample_out
-      profile crash_rate crash_recover loss_rate loss_jitter =
+      profile serve audit crash_rate crash_recover loss_rate loss_jitter =
     let cfg =
       {
         (scenario_of ~seed ~nodes ~keys ~rate ~duration ~lifetime ~replicas
@@ -406,10 +502,11 @@ let run_cmd =
            else None);
       }
     in
-    let observed =
-      trace_out <> None || metrics_out <> None || sample_interval <> None
-      || sample_out <> None || profile
+    let observed_single =
+      trace_out <> None || sample_interval <> None || sample_out <> None
+      || profile || serve <> None || audit
     in
+    let observed = observed_single || metrics_out <> None in
     (match sample_interval with
     | Some i when i <= 0. ->
         prerr_endline "cup run: --sample-interval must be > 0";
@@ -431,20 +528,27 @@ let run_cmd =
       prerr_endline "cup run: --loss-jitter must be in [0, 1]";
       exit 1
     end;
-    if runs > 1 && observed then
+    if runs > 1 && observed_single then
       prerr_endline
-        "cup run: note: --trace-out/--metrics-out/--sample-*/--profile \
+        "cup run: note: --trace-out/--sample-*/--profile/--serve/--audit \
          apply only to single runs; ignored with --runs > 1";
     if runs <= 1 && observed then
       try
         run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
-          ~profile
+          ~profile ~serve ~audit
       with Sys_error msg ->
         prerr_endline ("cup run: " ^ msg);
         exit 1
     else if runs <= 1 then print_result (Runner.run cfg)
     else begin
-      let r = with_jobs jobs (fun pool -> E.replicate ?pool cfg ~runs) in
+      let r, merged =
+        with_jobs jobs (fun pool ->
+            match metrics_out with
+            | None -> (E.replicate ?pool cfg ~runs, None)
+            | Some _ ->
+                let r, registry = E.replicate_metrics ?pool cfg ~runs in
+                (r, Some registry))
+      in
       Printf.printf "over %d seeds (mean +/- stddev):\n" r.runs;
       Printf.printf "  total cost:   %.1f +/- %.1f hops\n" r.total_mean
         r.total_stddev;
@@ -453,7 +557,14 @@ let run_cmd =
       Printf.printf "  misses:       %.1f +/- %.1f\n" r.misses_mean
         r.misses_stddev;
       Printf.printf "  miss latency: %.2f +/- %.2f hops\n" r.latency_mean
-        r.latency_stddev
+        r.latency_stddev;
+      match (metrics_out, merged) with
+      | Some path, Some registry -> (
+          try write_metrics ~path registry
+          with Sys_error msg ->
+            prerr_endline ("cup run: " ^ msg);
+            exit 1)
+      | _ -> ()
     end
   in
   let term =
@@ -461,7 +572,8 @@ let run_cmd =
       const action $ seed $ nodes $ keys $ rate $ duration $ lifetime
       $ replicas $ policy $ overlay $ scheduler $ runs $ jobs $ trace_out
       $ metrics_out $ sample_interval $ sample_out $ profile_flag
-      $ crash_rate $ crash_recover $ loss_rate $ loss_jitter)
+      $ serve_port $ audit_flag $ crash_rate $ crash_recover $ loss_rate
+      $ loss_jitter)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one CUP simulation and print its cost summary.")

@@ -13,6 +13,11 @@ type t = {
   mutable retries : int;
   mutable repairs : int;
   mutable unreachable : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable transport_lost : int;
+  mutable in_flight : int;
+  mutable transport_visible : bool;
   latency_hops : Welford.t;
   latency_histogram : Histogram.t;
 }
@@ -33,6 +38,11 @@ let create () =
     retries = 0;
     repairs = 0;
     unreachable = 0;
+    sent = 0;
+    delivered = 0;
+    transport_lost = 0;
+    in_flight = 0;
+    transport_visible = false;
     latency_hops = Welford.create ();
     latency_histogram = Histogram.create ();
   }
@@ -63,6 +73,23 @@ let record_miss t ~hops =
 let record_dropped_update t = t.dropped_updates <- t.dropped_updates + 1
 let record_lost_message t = t.lost_messages <- t.lost_messages + 1
 let record_retry t = t.retries <- t.retries + 1
+
+(* Each transport recorder moves one message between exactly two terms
+   of the conservation identity sent = delivered + lost + in_flight,
+   so the identity holds at every instant, not just at run end. *)
+let record_sent t =
+  t.sent <- t.sent + 1;
+  t.in_flight <- t.in_flight + 1
+
+let record_delivered t =
+  t.delivered <- t.delivered + 1;
+  t.in_flight <- t.in_flight - 1
+
+let record_transport_lost t =
+  t.transport_lost <- t.transport_lost + 1;
+  t.in_flight <- t.in_flight - 1
+
+let expose_transport t = t.transport_visible <- true
 let record_repair t = t.repairs <- t.repairs + 1
 let record_unreachable t = t.unreachable <- t.unreachable + 1
 
@@ -90,6 +117,10 @@ let lost_messages t = t.lost_messages
 let retries t = t.retries
 let repairs t = t.repairs
 let unreachable t = t.unreachable
+let sent t = t.sent
+let delivered t = t.delivered
+let transport_lost t = t.transport_lost
+let in_flight t = t.in_flight
 let miss_latency_hops t = t.latency_hops
 let miss_latency_histogram t = t.latency_histogram
 
@@ -113,6 +144,11 @@ let merge a b =
     retries = a.retries + b.retries;
     repairs = a.repairs + b.repairs;
     unreachable = a.unreachable + b.unreachable;
+    sent = a.sent + b.sent;
+    delivered = a.delivered + b.delivered;
+    transport_lost = a.transport_lost + b.transport_lost;
+    in_flight = a.in_flight + b.in_flight;
+    transport_visible = a.transport_visible || b.transport_visible;
     latency_hops = Welford.merge a.latency_hops b.latency_hops;
     latency_histogram = Histogram.merge a.latency_histogram b.latency_histogram;
   }
@@ -134,4 +170,11 @@ let pp fmt t =
     Format.fprintf fmt
       "@,faults:    %d lost, %d retries, %d repairs, %d unreachable"
       t.lost_messages t.retries t.repairs t.unreachable;
+  (* The transport line appears only when conservation checking was
+     turned on ({!expose_transport}) so default output keeps its
+     historical shape. *)
+  if t.transport_visible then
+    Format.fprintf fmt
+      "@,transport: %d sent = %d delivered + %d lost + %d in flight" t.sent
+      t.delivered t.transport_lost t.in_flight;
   Format.fprintf fmt "@]"

@@ -59,6 +59,35 @@ val record_unreachable : t -> unit
     {!Cup_overlay.Route.Unreachable}, retransmissions were exhausted,
     or a subscription degraded to expiration-based polling. *)
 
+(** {1 Transport conservation}
+
+    Message-level accounting for the conservation identity
+
+    {[ sent = delivered + transport_lost + in_flight ]}
+
+    maintained invariantly: every recorder moves one message between
+    exactly two terms.  Unlike {!record_lost_message} (a fault-model
+    statistic), these count {e every} message handed to the simulated
+    transport — queries, updates and clear-bits alike — so an auditor
+    can detect a delivery path that drops messages without accounting
+    for them ([in_flight] stuck nonzero after the engine drains). *)
+
+val record_sent : t -> unit
+(** A message handed to the transport ([sent]++, [in_flight]++). *)
+
+val record_delivered : t -> unit
+(** A message reached a live receiver ([delivered]++, [in_flight]--). *)
+
+val record_transport_lost : t -> unit
+(** A message dropped on the wire or addressed to a dead receiver
+    ([transport_lost]++, [in_flight]--). *)
+
+val expose_transport : t -> unit
+(** Make {!pp} print the transport line.  Off by default so existing
+    output shapes (and their byte-compare suites) are unchanged;
+    turned on when a conservation check is live ([cup run --audit],
+    [bench faults]). *)
+
 (** {1 Reading} *)
 
 val query_hops : t -> int
@@ -81,6 +110,10 @@ val lost_messages : t -> int
 val retries : t -> int
 val repairs : t -> int
 val unreachable : t -> int
+val sent : t -> int
+val delivered : t -> int
+val transport_lost : t -> int
+val in_flight : t -> int
 
 val miss_latency_hops : t -> Welford.t
 (** Distribution of per-miss latencies, in hops. *)

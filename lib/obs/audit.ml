@@ -1,0 +1,166 @@
+module Trace = Cup_sim.Trace
+module Time = Cup_dess.Time
+module Node_id = Cup_overlay.Node_id
+module Key = Cup_overlay.Key
+module Counters = Cup_metrics.Counters
+module Update = Cup_proto.Update
+
+type violation = {
+  code : string;
+  invariant : string;
+  at : float;
+  detail : string;
+}
+
+exception Violation of violation
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%s %s] t=%.6g: %s" v.code v.invariant v.at v.detail
+
+type t = {
+  counters : Counters.t;
+  backlog : (unit -> int) option;
+  max_backlog : int option;
+  check_every : int;
+  (* per node: (key, replica) -> expiry high-water of entries already
+     delivered there, mirroring the receiving cache's overwrite
+     semantics (Delete/First_time/crash reset it) *)
+  fresh : (int, (int * int, float) Hashtbl.t) Hashtbl.t;
+  seen_spans : (int, unit) Hashtbl.t;
+  mutable events_checked : int;
+  mutable last_at : float;
+}
+
+let create ?max_backlog ?backlog ?(check_every = 1024) ~counters () =
+  if check_every <= 0 then
+    invalid_arg "Audit.create: check_every must be > 0";
+  Counters.expose_transport counters;
+  {
+    counters;
+    backlog;
+    max_backlog;
+    check_every;
+    fresh = Hashtbl.create 256;
+    seen_spans = Hashtbl.create 4096;
+    events_checked = 0;
+    last_at = 0.;
+  }
+
+let events_checked t = t.events_checked
+
+let violate ~code ~invariant ~at detail =
+  raise (Violation { code; invariant; at; detail })
+
+(* V1: the identity must hold at every instant — each transport
+   recorder moves a message between exactly two terms — so any drift
+   means a delivery path bypassed the accounting. *)
+let check_conservation t ~at ~final =
+  let c = t.counters in
+  let sent = Counters.sent c
+  and delivered = Counters.delivered c
+  and lost = Counters.transport_lost c
+  and in_flight = Counters.in_flight c in
+  if in_flight < 0 then
+    violate ~code:"V1" ~invariant:"conservation" ~at
+      (Printf.sprintf "in_flight is negative (%d)" in_flight);
+  if sent <> delivered + lost + in_flight then
+    violate ~code:"V1" ~invariant:"conservation" ~at
+      (Printf.sprintf "%d sent <> %d delivered + %d lost + %d in flight" sent
+         delivered lost in_flight);
+  if final && in_flight <> 0 then
+    violate ~code:"V1" ~invariant:"conservation" ~at
+      (Printf.sprintf
+         "%d messages still in flight after the engine drained" in_flight)
+
+let check_backlog t ~at =
+  match (t.backlog, t.max_backlog) with
+  | Some probe, Some bound ->
+      let backlog = probe () in
+      if backlog > bound then
+        violate ~code:"V3" ~invariant:"backlog" ~at
+          (Printf.sprintf "justification backlog %d exceeds bound %d" backlog
+             bound)
+  | _ -> ()
+
+let check_span t ~at event =
+  match Trace.event_span event with
+  | None -> ()
+  | Some (_, span_id, parent_id) ->
+      if parent_id <> 0 && not (Hashtbl.mem t.seen_spans parent_id) then
+        violate ~code:"V4" ~invariant:"spans" ~at
+          (Printf.sprintf "parent span %d not seen before its child %d"
+             parent_id span_id);
+      if span_id <> 0 then
+        if Hashtbl.mem t.seen_spans span_id then
+          violate ~code:"V4" ~invariant:"spans" ~at
+            (Printf.sprintf "span id %d emitted twice" span_id)
+        else Hashtbl.replace t.seen_spans span_id ()
+
+let node_table t node =
+  let id = Node_id.to_int node in
+  match Hashtbl.find_opt t.fresh id with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 16 in
+      Hashtbl.replace t.fresh id tbl;
+      tbl
+
+(* V2: mirror of [Node.apply_update] — [Refresh]/[Append] overwrite
+   cache entries unconditionally, so an entry staler than one already
+   delivered would regress the receiver's cache.  Entries expired on
+   arrival are exempt: the receiver prunes them. *)
+let check_freshness t ~at ~to_ ~key ~kind entries =
+  let tbl = node_table t to_ in
+  let k = Key.to_int key in
+  match kind with
+  | Update.Delete -> List.iter (fun (r, _) -> Hashtbl.remove tbl (k, r)) entries
+  | Update.First_time ->
+      (* the receiver replaces its entry list for the key wholesale *)
+      let stale =
+        Hashtbl.fold
+          (fun (k', r) _ acc -> if k' = k then (k', r) :: acc else acc)
+          tbl []
+      in
+      List.iter (Hashtbl.remove tbl) stale;
+      List.iter
+        (fun (r, expiry) ->
+          if expiry >= at then Hashtbl.replace tbl (k, r) expiry)
+        entries
+  | Update.Refresh | Update.Append ->
+      List.iter
+        (fun (r, expiry) ->
+          if expiry >= at then begin
+            (match Hashtbl.find_opt tbl (k, r) with
+            | Some prev when expiry < prev -. 1e-9 ->
+                violate ~code:"V2" ~invariant:"freshness" ~at
+                  (Printf.sprintf
+                     "node %d key %d replica %d: delivered expiry %.6g \
+                      regresses the %.6g already delivered"
+                     (Node_id.to_int to_) k r expiry prev)
+            | _ -> ());
+            match Hashtbl.find_opt tbl (k, r) with
+            | Some prev when prev >= expiry -> ()
+            | _ -> Hashtbl.replace tbl (k, r) expiry
+          end)
+        entries
+
+let observe t event =
+  t.events_checked <- t.events_checked + 1;
+  let at = Time.to_seconds (Trace.event_time event) in
+  t.last_at <- at;
+  check_span t ~at event;
+  (match event with
+  | Trace.Update_delivered { to_; key; kind; entries; _ } ->
+      check_freshness t ~at ~to_ ~key ~kind entries
+  | Trace.Node_crashed { node; _ } ->
+      Hashtbl.remove t.fresh (Node_id.to_int node)
+  | _ -> ());
+  check_conservation t ~at ~final:false;
+  if t.events_checked mod t.check_every = 0 then check_backlog t ~at
+
+let sink t = Sink.of_callback (observe t)
+
+let finish t =
+  let at = t.last_at in
+  check_conservation t ~at ~final:true;
+  check_backlog t ~at

@@ -1,0 +1,74 @@
+(** Online protocol-invariant auditor.
+
+    Streams every {!Cup_sim.Trace} event through incremental checks as
+    the run executes — the always-on oracle style of
+    deterministic-simulation fuzzers (TigerBeetle's VOPR,
+    detsys-testkit): a violation aborts the run at the first breach
+    with a numbered report, instead of being reconstructed after the
+    fact from a trace file.
+
+    The four invariants:
+
+    - {b V1 conservation} — [sent = delivered + lost + in_flight] over
+      the transport counters ({!Cup_metrics.Counters.record_sent}
+      family), with [in_flight >= 0] throughout and [in_flight = 0]
+      once the engine has drained ({!finish}).
+    - {b V2 freshness} — per (node, key, replica), no delivered
+      [Refresh]/[Append] entry may carry an expiry older than one
+      already delivered there: the receiver's cache would silently
+      regress to staler data.  Entries already expired on arrival are
+      exempt (the receiver drops them), and [Delete]/[First_time]/
+      node crashes reset the high-water exactly like the receiving
+      cache.
+    - {b V3 backlog} — the justification backlog stays under a bound,
+      so the Section 3.1 accounting cannot leak deadlines.
+    - {b V4 spans} — every event's parent span was emitted before it,
+      and no span id is emitted twice: the causal forest is sound
+      online, not just in [cup trace] afterwards.
+
+    Attach with [Sink.attach live (Audit.sink auditor)] — or through
+    [cup run --audit], which also calls {!finish} after the run and
+    turns the exception into a non-zero exit. *)
+
+type violation = {
+  code : string;  (** ["V1"] .. ["V4"] *)
+  invariant : string;  (** e.g. ["conservation"] *)
+  at : float;  (** virtual seconds of the offending event *)
+  detail : string;
+}
+
+exception Violation of violation
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val create :
+  ?max_backlog:int ->
+  ?backlog:(unit -> int) ->
+  ?check_every:int ->
+  counters:Cup_metrics.Counters.t ->
+  unit ->
+  t
+(** [counters] is the run's counter block (conservation reads it on
+    every event).  [backlog] is a probe for the justification backlog
+    — typically [fun () -> Live.justification_backlog live] — polled
+    every [check_every] events (default [1024], the probe walks a
+    table) and compared against [max_backlog] when both are given.
+    Calling [create] also flips {!Cup_metrics.Counters.expose_transport}
+    on [counters], so a printed counter block shows the identity being
+    enforced. *)
+
+val sink : t -> Sink.t
+(** The auditor as a trace sink; raises {!Violation} from inside the
+    offending event. *)
+
+val observe : t -> Cup_sim.Trace.event -> unit
+(** Feed one event directly (what {!sink} does); useful for auditing
+    replayed JSONL streams. *)
+
+val finish : t -> unit
+(** End-of-run checks: conservation with [in_flight = 0], final
+    backlog.  Raises {!Violation}. *)
+
+val events_checked : t -> int

@@ -35,7 +35,7 @@ let to_json (e : Trace.event) : Json.t =
         :: at t :: node "from" from_ :: node "to" to_ :: key k
         :: span ~trace_id ~span_id ~parent_id [])
   | Trace.Update_delivered
-      { at = t; from_; to_; key = k; kind; level; answering;
+      { at = t; from_; to_; key = k; kind; level; answering; entries;
         trace_id; span_id; parent_id } ->
       Json.Obj
         (("type", Json.String "update_delivered")
@@ -43,6 +43,16 @@ let to_json (e : Trace.event) : Json.t =
         :: ("kind", Json.String (Update.kind_to_string kind))
         :: ("level", Json.Int level)
         :: ("answering", Json.Bool answering)
+        :: ( "entries",
+             Json.List
+               (List.map
+                  (fun (replica, expiry) ->
+                    Json.Obj
+                      [
+                        ("replica", Json.Int replica);
+                        ("expiry", Json.Float expiry);
+                      ])
+                  entries) )
         :: span ~trace_id ~span_id ~parent_id [])
   | Trace.Clear_bit_delivered
       { at = t; from_; to_; key = k; trace_id; span_id; parent_id } ->
@@ -143,10 +153,29 @@ let of_json (j : Json.t) : (Trace.event, string) result =
       in
       let* level = field "level" Json.to_int in
       let* answering = field "answering" Json.to_bool in
+      (* Payload entries were absent from traces written before the
+         audit codec; default to [] so legacy JSONL keeps parsing. *)
+      let* entries =
+        match Json.member "entries" j with
+        | None -> Ok []
+        | Some (Json.List items) ->
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                match
+                  ( Option.bind (Json.member "replica" item) Json.to_int,
+                    Option.bind (Json.member "expiry" item) Json.to_float )
+                with
+                | Some r, Some e -> Ok ((r, e) :: acc)
+                | _ -> Error "ill-typed update entry")
+              (Ok []) items
+            |> Result.map List.rev
+        | Some _ -> Error "ill-typed field \"entries\""
+      in
       let* trace_id, span_id, parent_id = span () in
       Ok
         (Trace.Update_delivered
-           { at; from_; to_; key = k; kind; level; answering;
+           { at; from_; to_; key = k; kind; level; answering; entries;
              trace_id; span_id; parent_id })
   | "clear_bit_delivered" ->
       let* at = time "at" in

@@ -1,0 +1,261 @@
+type response = { status : int; content_type : string; body : string }
+
+let text body =
+  { status = 200; content_type = "text/plain; version=0.0.4"; body }
+
+let json body = { status = 200; content_type = "application/json"; body }
+
+let not_found =
+  { status = 404; content_type = "text/plain"; body = "not found\n" }
+
+type handler = (string * string) list -> response
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  stop_r : Unix.file_descr; (* self-pipe: written by [stop] *)
+  stop_w : Unix.file_descr;
+  thread : Thread.t;
+  mutable stopped : bool;
+  lock : Mutex.t;
+}
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Unknown"
+
+let parse_query s =
+  if s = "" then []
+  else
+    String.split_on_char '&' s
+    |> List.filter_map (fun kv ->
+           if kv = "" then None
+           else
+             match String.index_opt kv '=' with
+             | None -> Some (kv, "")
+             | Some i ->
+                 Some
+                   ( String.sub kv 0 i,
+                     String.sub kv (i + 1) (String.length kv - i - 1) ))
+
+(* First request line, e.g. "GET /trace?n=50 HTTP/1.1". *)
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; _version ] ->
+      let path, query =
+        match String.index_opt target '?' with
+        | None -> (target, "")
+        | Some i ->
+            ( String.sub target 0 i,
+              String.sub target (i + 1) (String.length target - i - 1) )
+      in
+      Some (meth, path, parse_query query)
+  | _ -> None
+
+let write_response fd { status; content_type; body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\n\
+       Content-Type: %s\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n"
+      status (reason status) content_type (String.length body)
+  in
+  let payload = head ^ body in
+  let n = String.length payload in
+  let rec send off =
+    if off < n then
+      let written = Unix.write_substring fd payload off (n - off) in
+      if written > 0 then send (off + written)
+  in
+  send 0
+
+let contains_substring s marker =
+  let ml = String.length marker in
+  let last = String.length s - ml in
+  let rec find i = i <= last && (String.sub s i ml = marker || find (i + 1)) in
+  find 0
+
+(* Read until the blank line ending the request head (we never accept
+   bodies), bounded so a misbehaving client cannot grow the buffer.
+   A bare \n\n is tolerated alongside \r\n\r\n for hand-typed
+   clients. *)
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > 8192 then None
+    else
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then None
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        if contains_substring s "\r\n\r\n" || contains_substring s "\n\n" then
+          Some s
+        else go ()
+      end
+  in
+  try go () with Unix.Unix_error _ -> None
+
+let handle_connection routes fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5. with _ -> ());
+  let resp =
+    match read_head fd with
+    | None ->
+        { status = 400; content_type = "text/plain"; body = "bad request\n" }
+    | Some head -> (
+        let first_line =
+          match String.index_opt head '\r' with
+          | Some i -> String.sub head 0 i
+          | None -> (
+              match String.index_opt head '\n' with
+              | Some i -> String.sub head 0 i
+              | None -> head)
+        in
+        match parse_request_line first_line with
+        | None ->
+            {
+              status = 400;
+              content_type = "text/plain";
+              body = "bad request\n";
+            }
+        | Some (meth, _, _) when meth <> "GET" ->
+            {
+              status = 405;
+              content_type = "text/plain";
+              body = "only GET is supported\n";
+            }
+        | Some (_, path, query) -> (
+            match List.assoc_opt path routes with
+            | None -> not_found
+            | Some handler -> (
+                try handler query
+                with exn ->
+                  {
+                    status = 500;
+                    content_type = "text/plain";
+                    body = Printexc.to_string exn ^ "\n";
+                  })))
+  in
+  (try write_response fd resp with Unix.Unix_error _ | Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve_loop ~listen_fd ~stop_r routes =
+  let rec loop () =
+    match Unix.select [ listen_fd; stop_r ] [] [] (-1.) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error _ -> ()
+    | ready, _, _ ->
+        if List.mem stop_r ready then ()
+        else begin
+          (match Unix.accept listen_fd with
+          | fd, _ -> handle_connection routes fd
+          | exception Unix.Unix_error _ -> ());
+          loop ()
+        end
+  in
+  loop ()
+
+let start ?(port = 0) ~routes () =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen listen_fd 16
+   with exn ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise exn);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  {
+    listen_fd;
+    bound_port;
+    stop_r;
+    stop_w;
+    thread = Thread.create (fun () -> serve_loop ~listen_fd ~stop_r routes) ();
+    stopped = false;
+    lock = Mutex.create ();
+  }
+
+let port t = t.bound_port
+
+let stop t =
+  Mutex.lock t.lock;
+  let was_stopped = t.stopped in
+  t.stopped <- true;
+  Mutex.unlock t.lock;
+  if not was_stopped then begin
+    (try ignore (Unix.write_substring t.stop_w "x" 0 1)
+     with Unix.Unix_error _ -> ());
+    Thread.join t.thread;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ t.listen_fd; t.stop_r; t.stop_w ]
+  end
+
+let get ?(timeout = 5.) ~port path =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+      let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+      try
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let req =
+          Printf.sprintf
+            "GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n"
+            path
+        in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 4096 in
+        let rec drain () =
+          let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+          if n > 0 then begin
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+          end
+        in
+        drain ();
+        finally ();
+        let raw = Buffer.contents buf in
+        let split_at marker =
+          let ml = String.length marker in
+          let rec find i =
+            if i + ml > String.length raw then None
+            else if String.sub raw i ml = marker then Some i
+            else find (i + 1)
+          in
+          find 0 |> Option.map (fun i -> (String.sub raw 0 i, i + ml))
+        in
+        let head, body_start =
+          match split_at "\r\n\r\n" with
+          | Some (h, b) -> (h, b)
+          | None -> (
+              match split_at "\n\n" with
+              | Some (h, b) -> (h, b)
+              | None -> (raw, String.length raw))
+        in
+        let body =
+          String.sub raw body_start (String.length raw - body_start)
+        in
+        match String.split_on_char ' ' head with
+        | _ :: code :: _ -> (
+            match int_of_string_opt code with
+            | Some status -> Ok (status, body)
+            | None -> Error ("unparseable status line: " ^ head))
+        | _ -> Error "empty response"
+      with Unix.Unix_error (e, _, _) ->
+        finally ();
+        Error (Unix.error_message e))

@@ -1,0 +1,52 @@
+(** A dependency-free HTTP/1.1 server for run-health endpoints.
+
+    Plain [Unix] sockets and one background systhread running a
+    select/accept loop — just enough HTTP to serve Prometheus scrapes
+    and JSON heartbeats ({!Serve}), with no third-party web stack.
+    Requests are handled serially on the server thread; handlers
+    should therefore be quick and must be safe to call from a thread
+    other than the simulation's (in practice: only read data the main
+    thread publishes under a mutex, as {!Serve} does).
+
+    Only [GET] is supported; other methods get [405], unknown paths
+    [404], and a handler exception [500].  Connections are
+    close-delimited ([Connection: close] with an exact
+    [Content-Length]), so any HTTP client — including [curl] — works.
+
+    The server binds the loopback interface only. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val text : string -> response
+(** [200] with [text/plain; version=0.0.4] — the Prometheus text
+    exposition content type. *)
+
+val json : string -> response
+(** [200] with [application/json]. *)
+
+val not_found : response
+
+type handler = (string * string) list -> response
+(** A route handler receives the decoded query parameters, in request
+    order ([/trace?n=50] gives [[("n", "50")]]). *)
+
+type t
+
+val start : ?port:int -> routes:(string * handler) list -> unit -> t
+(** Bind [127.0.0.1:port] ([port] defaults to [0]: pick an ephemeral
+    port, see {!port}) and serve [routes] (exact path match) on a
+    background thread until {!stop}.  Raises [Unix.Unix_error] when
+    the port is taken. *)
+
+val port : t -> int
+(** The actually bound port (useful with [~port:0]). *)
+
+val stop : t -> unit
+(** Shut the listener down and join the server thread.  Idempotent. *)
+
+val get :
+  ?timeout:float -> port:int -> string -> (int * string, string) result
+(** Minimal blocking client for tests and smoke checks:
+    [get ~port "/health"] connects to [127.0.0.1:port], issues one GET
+    and returns [(status, body)].  [timeout] (default [5.] seconds)
+    bounds the socket reads. *)

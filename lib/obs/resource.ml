@@ -1,0 +1,141 @@
+module Live = Cup_sim.Runner.Live
+module Scenario = Cup_sim.Scenario
+module Engine = Cup_dess.Engine
+module Time = Cup_dess.Time
+module Registry = Cup_metrics.Registry
+
+type snapshot = {
+  rss_bytes : int;
+  peak_rss_bytes : int;
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;
+}
+
+(* "VmRSS:      12345 kB" → bytes.  Returns 0 for absent keys so the
+   probe degrades gracefully off Linux. *)
+let proc_status_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> (0, 0)
+  | ic ->
+      let rss = ref 0 and hwm = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           let grab prefix cell =
+             if String.length line > String.length prefix
+                && String.sub line 0 (String.length prefix) = prefix
+             then
+               Scanf.sscanf
+                 (String.sub line (String.length prefix)
+                    (String.length line - String.length prefix))
+                 " %d" (fun kb -> cell := kb * 1024)
+           in
+           (try grab "VmRSS:" rss with Scanf.Scan_failure _ | Failure _ -> ());
+           try grab "VmHWM:" hwm with Scanf.Scan_failure _ | Failure _ -> ()
+         done
+       with End_of_file -> ());
+      close_in ic;
+      (!rss, !hwm)
+
+let snapshot () =
+  let gc = Gc.quick_stat () in
+  let rss_bytes, peak_rss_bytes = proc_status_kb () in
+  {
+    rss_bytes;
+    peak_rss_bytes;
+    minor_words = gc.Gc.minor_words;
+    promoted_words = gc.Gc.promoted_words;
+    major_words = gc.Gc.major_words;
+    minor_collections = gc.Gc.minor_collections;
+    major_collections = gc.Gc.major_collections;
+    compactions = gc.Gc.compactions;
+    heap_words = gc.Gc.heap_words;
+  }
+
+type t = {
+  live : Live.t;
+  rss : Registry.gauge;
+  peak_rss : Registry.gauge;
+  minor_words : Registry.gauge;
+  promoted_words : Registry.gauge;
+  major_words : Registry.gauge;
+  minor_collections : Registry.gauge;
+  major_collections : Registry.gauge;
+  compactions : Registry.gauge;
+  heap_words : Registry.gauge;
+  pending_hw : Registry.gauge;
+  mutable peak_rss_seen : int;
+  mutable pending_seen : int;
+}
+
+let sample_now t =
+  let s = snapshot () in
+  let qs = Live.queue_stats t.live in
+  if s.peak_rss_bytes > t.peak_rss_seen then
+    t.peak_rss_seen <- s.peak_rss_bytes;
+  if qs.Cup_sim.Runner.pending_events > t.pending_seen then
+    t.pending_seen <- qs.Cup_sim.Runner.pending_events;
+  Registry.set t.rss (float_of_int s.rss_bytes);
+  Registry.set t.peak_rss (float_of_int t.peak_rss_seen);
+  Registry.set t.minor_words s.minor_words;
+  Registry.set t.promoted_words s.promoted_words;
+  Registry.set t.major_words s.major_words;
+  Registry.set t.minor_collections (float_of_int s.minor_collections);
+  Registry.set t.major_collections (float_of_int s.major_collections);
+  Registry.set t.compactions (float_of_int s.compactions);
+  Registry.set t.heap_words (float_of_int s.heap_words);
+  Registry.set t.pending_hw (float_of_int t.pending_seen)
+
+let peak_rss_bytes t = t.peak_rss_seen
+let pending_high_water t = t.pending_seen
+
+let attach ?(interval = 10.) ~registry live =
+  if interval <= 0. then invalid_arg "Resource.attach: interval must be > 0";
+  let gauge name help = Registry.gauge registry ~help name in
+  let t =
+    {
+      live;
+      rss = gauge "cup_process_rss_bytes" "Resident set size (VmRSS)";
+      peak_rss =
+        gauge "cup_process_peak_rss_bytes"
+          "Peak resident set size (VmHWM high-water)";
+      minor_words =
+        gauge "cup_process_gc_minor_words" "Cumulative minor-heap words";
+      promoted_words =
+        gauge "cup_process_gc_promoted_words"
+          "Cumulative words promoted to the major heap";
+      major_words =
+        gauge "cup_process_gc_major_words" "Cumulative major-heap words";
+      minor_collections =
+        gauge "cup_process_gc_minor_collections" "Minor collections";
+      major_collections =
+        gauge "cup_process_gc_major_collections" "Major collection cycles";
+      compactions = gauge "cup_process_gc_compactions" "Heap compactions";
+      heap_words = gauge "cup_process_gc_heap_words" "Current major-heap words";
+      pending_hw =
+        gauge "cup_process_pending_events_high_water"
+          "Highest engine pending-event count seen at sample times";
+      peak_rss_seen = 0;
+      pending_seen = 0;
+    }
+  in
+  let engine = Live.engine live in
+  let sim_end = Scenario.sim_end (Live.scenario live) in
+  let now = Time.to_seconds (Engine.now engine) in
+  let first = interval *. Float.of_int (int_of_float (now /. interval) + 1) in
+  let rec arm at =
+    if at <= sim_end then
+      ignore
+        (Engine.schedule ~label:"obs.resource" engine ~at:(Time.of_seconds at)
+           (fun _ ->
+             sample_now t;
+             arm (at +. interval)))
+  in
+  sample_now t;
+  arm first;
+  t

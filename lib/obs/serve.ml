@@ -1,0 +1,190 @@
+module Runner = Cup_sim.Runner
+module Live = Runner.Live
+module Scenario = Cup_sim.Scenario
+module Engine = Cup_dess.Engine
+module Time = Cup_dess.Time
+module Registry = Cup_metrics.Registry
+module Counters = Cup_metrics.Counters
+
+type t = {
+  live : Live.t;
+  registry : Registry.t;
+  resource : Registry.t option;
+  lock : Mutex.t;
+  mutable metrics_snapshot : string;
+  mutable health_snapshot : string;
+  mutable finished : bool;
+  trace_lines : string array; (* pre-serialized JSONL, ring *)
+  mutable trace_next : int;
+  mutable trace_stored : int;
+  mutable server : Http_server.t option; (* None only during start *)
+}
+
+(* Runs on the engine thread.  Mid-run the registry holds only the
+   live histograms — the counter families are exported at [finish] —
+   so a scrape-time copy gets the same snapshot injected, keeping the
+   bytes on the exact path the [--metrics-out] file will take. *)
+let render_metrics t =
+  let deterministic =
+    if t.finished then Registry.to_prometheus t.registry
+    else begin
+      let copy = Registry.merge (Registry.create ()) t.registry in
+      Runner.export_counters (Live.counters t.live) copy;
+      Registry.to_prometheus copy
+    end
+  in
+  match t.resource with
+  | None -> deterministic
+  | Some r -> deterministic ^ Registry.to_prometheus r
+
+let render_health t =
+  let engine = Live.engine t.live in
+  let c = Live.counters t.live in
+  let qs = Live.queue_stats t.live in
+  let virtual_time = Time.to_seconds (Engine.now engine) in
+  let events = Engine.events_executed engine in
+  let elapsed = Live.wallclock_elapsed t.live in
+  let events_per_sec =
+    if elapsed > 0. then float_of_int events /. elapsed else 0.
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("status", Json.String "ok");
+         ("finished", Json.Bool t.finished);
+         ("virtual_time", Json.Float virtual_time);
+         ( "sim_end",
+           Json.Float (Scenario.sim_end (Live.scenario t.live)) );
+         ("events_executed", Json.Int events);
+         ("events_per_sec", Json.Float events_per_sec);
+         ("pending_events", Json.Int qs.Runner.pending_events);
+         ("queued_updates", Json.Int qs.Runner.queued_updates);
+         ("max_queue_depth", Json.Int qs.Runner.max_queue_depth);
+         ( "justification_backlog",
+           Json.Int (Live.justification_backlog t.live) );
+         ("queries_posted", Json.Int (Live.queries_posted t.live));
+         ( "faults",
+           Json.Obj
+             [
+               ("lost_messages", Json.Int (Counters.lost_messages c));
+               ("retries", Json.Int (Counters.retries c));
+               ("repairs", Json.Int (Counters.repairs c));
+               ("unreachable", Json.Int (Counters.unreachable c));
+             ] );
+         ( "transport",
+           Json.Obj
+             [
+               ("sent", Json.Int (Counters.sent c));
+               ("delivered", Json.Int (Counters.delivered c));
+               ("lost", Json.Int (Counters.transport_lost c));
+               ("in_flight", Json.Int (Counters.in_flight c));
+             ] );
+       ])
+
+let refresh_snapshots t =
+  let metrics = render_metrics t in
+  let health = render_health t in
+  Mutex.lock t.lock;
+  t.metrics_snapshot <- metrics;
+  t.health_snapshot <- health;
+  Mutex.unlock t.lock
+
+(* Handlers: server thread, snapshot reads only. *)
+
+let handle_metrics t _query =
+  Mutex.lock t.lock;
+  let body = t.metrics_snapshot in
+  Mutex.unlock t.lock;
+  Http_server.text body
+
+let handle_health t _query =
+  Mutex.lock t.lock;
+  let body = t.health_snapshot in
+  Mutex.unlock t.lock;
+  Http_server.json body
+
+let handle_trace t query =
+  let requested =
+    match List.assoc_opt "n" query with
+    | Some s -> ( match int_of_string_opt s with Some n when n >= 0 -> n | _ -> 100)
+    | None -> 100
+  in
+  Mutex.lock t.lock;
+  let capacity = Array.length t.trace_lines in
+  let n = min requested t.trace_stored in
+  let start = (t.trace_next - n + capacity) mod capacity in
+  let buf = Buffer.create (n * 160) in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf t.trace_lines.((start + i) mod capacity);
+    Buffer.add_char buf '\n'
+  done;
+  Mutex.unlock t.lock;
+  { Http_server.status = 200; content_type = "application/jsonl"; body = Buffer.contents buf }
+
+let record_line t line =
+  Mutex.lock t.lock;
+  let capacity = Array.length t.trace_lines in
+  t.trace_lines.(t.trace_next) <- line;
+  t.trace_next <- (t.trace_next + 1) mod capacity;
+  if t.trace_stored < capacity then t.trace_stored <- t.trace_stored + 1;
+  Mutex.unlock t.lock
+
+let sink t = Sink.of_callback (fun e -> record_line t (Event_json.to_string e))
+
+let start ?(port = 0) ?(refresh = 5.) ?(trace_capacity = 1024) ?resource
+    ~registry live =
+  if refresh <= 0. then invalid_arg "Serve.start: refresh must be > 0";
+  if trace_capacity <= 0 then
+    invalid_arg "Serve.start: trace_capacity must be > 0";
+  let t =
+    {
+      live;
+      registry;
+      resource;
+      lock = Mutex.create ();
+      metrics_snapshot = "";
+      health_snapshot = "";
+      finished = false;
+      trace_lines = Array.make trace_capacity "";
+      trace_next = 0;
+      trace_stored = 0;
+      server = None;
+    }
+  in
+  let engine = Live.engine live in
+  let sim_end = Scenario.sim_end (Live.scenario live) in
+  let now = Time.to_seconds (Engine.now engine) in
+  let first =
+    refresh *. Float.of_int (int_of_float (now /. refresh) + 1)
+  in
+  let server =
+    Http_server.start ~port
+      ~routes:
+        [
+          ("/metrics", handle_metrics t);
+          ("/health", handle_health t);
+          ("/trace", handle_trace t);
+        ]
+      ()
+  in
+  t.server <- Some server;
+  refresh_snapshots t;
+  let rec arm at =
+    if at <= sim_end then
+      ignore
+        (Engine.schedule ~label:"obs.serve" engine ~at:(Time.of_seconds at)
+           (fun _ ->
+             refresh_snapshots t;
+             arm (at +. refresh)))
+  in
+  arm first;
+  t
+
+let port t =
+  match t.server with Some s -> Http_server.port s | None -> 0
+
+let mark_finished t =
+  t.finished <- true;
+  refresh_snapshots t
+
+let stop t = match t.server with Some s -> Http_server.stop s | None -> ()

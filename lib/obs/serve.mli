@@ -1,0 +1,59 @@
+(** Live run-health endpoints over {!Http_server}.
+
+    Wires one running simulation to three GET routes:
+
+    - [/metrics] — Prometheus text exposition of the run's registry.
+      For the deterministic metric families this is {e byte-identical}
+      to the [--metrics-out] file written at finish: after
+      {!mark_finished} the snapshot is the final registry itself, and
+      mid-run scrapes serve a registry copy with the same counter
+      snapshot ({!Cup_sim.Runner.export_counters}) injected.  The
+      non-deterministic [cup_process_*] families (when a {!Resource}
+      registry is passed) are appended {e after} the deterministic
+      ones so consumers can strip them with a prefix filter.
+    - [/health] — JSON heartbeat: virtual time, events processed,
+      events/sec, pending events, queue depths, justification
+      backlog, fault and transport counters.
+    - [/trace?n=K] — the most recent [K] (default [100], capped at
+      the ring capacity) trace events as JSONL, if {!sink} is
+      attached.
+
+    {b Threading.}  Handlers run on the server thread while the
+    engine runs on the main thread, so they never touch live
+    simulation state: the engine thread publishes pre-rendered
+    snapshot strings under a mutex on a virtual-time schedule
+    ([refresh], like {!Timeseries} sampling), and handlers only read
+    those.  Scrapes therefore observe the run at the last refresh
+    tick, advancing as virtual time does. *)
+
+type t
+
+val start :
+  ?port:int ->
+  ?refresh:float ->
+  ?trace_capacity:int ->
+  ?resource:Cup_metrics.Registry.t ->
+  registry:Cup_metrics.Registry.t ->
+  Cup_sim.Runner.Live.t ->
+  t
+(** Bind [127.0.0.1:port] ([0] = ephemeral, see {!port}) and schedule
+    snapshot refreshes every [refresh] virtual seconds (default
+    [5.]) until the scenario's [sim_end].  [registry] must be the
+    registry attached to the run with [set_metrics]; [resource] is
+    the separate [cup_process_*] registry, appended after the
+    deterministic families. *)
+
+val port : t -> int
+
+val sink : t -> Sink.t
+(** Feed protocol events to the [/trace] ring (serialized once, at
+    emission, on the engine thread). *)
+
+val mark_finished : t -> unit
+(** Call after [Live.finish]: republish the snapshots from the final
+    registry (which now contains the exported counters) and flip
+    ["finished": true] in [/health].  The server keeps serving until
+    {!stop}. *)
+
+val stop : t -> unit
+(** Shut the HTTP server down.  Idempotent. *)

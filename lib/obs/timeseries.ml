@@ -40,10 +40,7 @@ let samples t = List.rev t.rev_samples
 
 let take t at =
   let counters = Live.counters t.live in
-  let engine = Live.engine t.live in
-  let depths = Live.update_queue_depths t.live in
-  let queued_updates = List.fold_left (fun acc (_, d) -> acc + d) 0 depths in
-  let max_queue_depth = List.fold_left (fun acc (_, d) -> max acc d) 0 depths in
+  let qs = Live.queue_stats t.live in
   let c = t.cursor in
   let total = Counters.total_cost counters in
   let miss = Counters.miss_cost counters in
@@ -60,9 +57,9 @@ let take t at =
       hits = hits - c.c_hits;
       misses = misses - c.c_misses;
       dropped_updates = dropped - c.c_dropped;
-      pending_events = Engine.pending engine;
-      queued_updates;
-      max_queue_depth;
+      pending_events = qs.Cup_sim.Runner.pending_events;
+      queued_updates = qs.Cup_sim.Runner.queued_updates;
+      max_queue_depth = qs.Cup_sim.Runner.max_queue_depth;
     }
     :: t.rev_samples;
   c.c_total <- total;

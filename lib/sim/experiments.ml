@@ -527,13 +527,7 @@ type replicated = {
   latency_stddev : float;
 }
 
-let replicate ?pool cfg ~runs =
-  if runs < 1 then invalid_arg "Experiments.replicate: runs must be >= 1";
-  let results =
-    pmap ?pool
-      (fun i -> Runner.run { cfg with Scenario.seed = cfg.Scenario.seed + i })
-      (List.init runs Fun.id)
-  in
+let replicated_of_results ~runs results =
   let total = Cup_metrics.Welford.create () in
   let miss = Cup_metrics.Welford.create () in
   let misses = Cup_metrics.Welford.create () in
@@ -558,6 +552,42 @@ let replicate ?pool cfg ~runs =
     latency_mean = Cup_metrics.Welford.mean latency;
     latency_stddev = Cup_metrics.Welford.stddev latency;
   }
+
+let replicate ?pool cfg ~runs =
+  if runs < 1 then invalid_arg "Experiments.replicate: runs must be >= 1";
+  let results =
+    pmap ?pool
+      (fun i -> Runner.run { cfg with Scenario.seed = cfg.Scenario.seed + i })
+      (List.init runs Fun.id)
+  in
+  replicated_of_results ~runs results
+
+let replicate_metrics ?pool cfg ~runs =
+  if runs < 1 then
+    invalid_arg "Experiments.replicate_metrics: runs must be >= 1";
+  let observed =
+    pmap ?pool
+      (fun i ->
+        let live =
+          Runner.Live.create { cfg with Scenario.seed = cfg.Scenario.seed + i }
+        in
+        let registry = Cup_metrics.Registry.create () in
+        Runner.Live.set_metrics live (Some registry);
+        let r = Runner.Live.finish live in
+        (r, registry))
+      (List.init runs Fun.id)
+  in
+  let stats = replicated_of_results ~runs (List.map fst observed) in
+  (* Merge in seed order: [Registry.merge] is exact (counters sum, bin
+     counts add), so the merged exposition is byte-identical across
+     job counts and schedulers. *)
+  let merged =
+    List.fold_left
+      (fun acc (_, registry) -> Cup_metrics.Registry.merge acc registry)
+      (Cup_metrics.Registry.create ())
+      observed
+  in
+  (stats, merged)
 
 (* {1 Model versus simulation} *)
 

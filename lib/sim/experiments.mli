@@ -211,6 +211,18 @@ val replicate :
     for confidence intervals around any single-seed number.  Requires
     [runs >= 1]. *)
 
+val replicate_metrics :
+  ?pool:Cup_parallel.Pool.t ->
+  Scenario.t ->
+  runs:int ->
+  replicated * Cup_metrics.Registry.t
+(** Like {!replicate}, but each run also records into its own metrics
+    registry ({!Runner.Live.set_metrics}); the per-run registries are
+    merged in seed order with the exact deterministic
+    {!Cup_metrics.Registry.merge}, so the combined exposition is
+    byte-identical across schedulers and job counts.  Behind
+    [--metrics-out] with [--runs > 1]. *)
+
 (** {1 Model versus simulation (Section 3.1)} *)
 
 type model_row = {

@@ -305,11 +305,13 @@ and perform_one t ~ctx ~from = function
       (* The sender is cutting itself out of the key's tree: it no
          longer expects updates, so stop watching its deadline. *)
       if t.fault_mode then Hashtbl.remove t.repair (justif_key from key);
+      Counters.record_sent t.counters;
       let sid = new_span t in
       if lost_in_transit t ~from ~to_ then begin
         (* A lost clear-bit is harmless: the upstream keeps pushing
            until the bit is cleared by a later cut-off or expiry. *)
         Counters.record_lost_message t.counters;
+        Counters.record_transport_lost t.counters;
         if tracing t then
           emit t
             (Trace.Message_lost
@@ -366,9 +368,11 @@ and send_query t ~ctx ~from ~to_ ~attempt key =
   if t.fault_mode then
     arm_repair t ~node:from ~key
       ~deadline:(Time.to_seconds (now t) +. t.repair_timeout);
+  Counters.record_sent t.counters;
   let sid = new_span t in
   if lost_in_transit t ~from ~to_ then begin
     Counters.record_lost_message t.counters;
+    Counters.record_transport_lost t.counters;
     if tracing t then
       emit t
         (Trace.Message_lost
@@ -410,6 +414,7 @@ and deliver_query t ~ctx ?(sid = 0) ?(attempt = 0) ~from ~to_ key =
            parent_id = ctx.sc_parent;
          });
   if Net.is_alive t.net to_ then begin
+    Counters.record_delivered t.counters;
     if attempt > 0 then Counters.record_repair t.counters;
     judge_pending_updates t ~node:to_ ~key;
     let node = get_node t to_ in
@@ -427,10 +432,14 @@ and deliver_query t ~ctx ?(sid = 0) ?(attempt = 0) ~from ~to_ key =
           (Node.handle_query node ~now:(now t) ~next_hop
              (Node.From_neighbor from) key)
   end
-  else if t.fault_mode then begin
+  else begin
     (* The next hop crashed with the query in flight: the sender times
        out and re-routes around the hole the overlay has since
-       repaired. *)
+       repaired.  Transport accounting covers every dead receiver
+       (graceful churn included), not just injected faults, so the
+       conservation identity drains to zero in either case. *)
+    Counters.record_transport_lost t.counters;
+    if t.fault_mode then begin
     Counters.record_lost_message t.counters;
     let lost_sid = new_span t in
     if tracing t then
@@ -450,6 +459,7 @@ and deliver_query t ~ctx ?(sid = 0) ?(attempt = 0) ~from ~to_ key =
       (Engine.schedule_after ~label:"transport.retry" t.engine
          ~delay:(retry_delay t attempt) (fun _ ->
            retry_query t ~ctx ~from ~key ~attempt:(attempt + 1)))
+    end
   end
 
 (* Re-route a lost or bounced query from its original sender. *)
@@ -486,12 +496,17 @@ and deliver_clear_bit t ~ctx ?(sid = 0) ~from ~to_ key =
            parent_id = ctx.sc_parent;
          });
   if Net.is_alive t.net to_ then begin
+    Counters.record_delivered t.counters;
     let node = get_node t to_ in
     perform t
       ~ctx:(child_ctx ctx sid)
       ~from:to_
       (Node.handle_clear_bit node ~now:(now t) ~from key)
   end
+  else
+    (* A clear-bit to a dead receiver needs no repair, but it must
+       still leave the in-flight ledger. *)
+    Counters.record_transport_lost t.counters
 
 and send_update t ~ctx ~from ~to_ ~answering (update : Update.t) =
   match (update.kind, t.cfg.capacity_mode) with
@@ -527,12 +542,14 @@ and send_update t ~ctx ~from ~to_ ~answering (update : Update.t) =
 
 and transmit_update t ~ctx ~from ~to_ ?(answering = false) (update : Update.t)
     =
+  Counters.record_sent t.counters;
   let sid = new_span t in
   if lost_in_transit t ~from ~to_ then begin
     (* Updates are not retransmitted: the subscriber's
        justification-deadline repair (below) detects the gap and
        re-issues its interest instead. *)
     Counters.record_lost_message t.counters;
+    Counters.record_transport_lost t.counters;
     if tracing t then
       emit t
         (Trace.Message_lost
@@ -565,6 +582,11 @@ and deliver_update t ~ctx ?(sid = 0) ~from ~to_ ~answering (update : Update.t)
            kind = update.kind;
            level = update.level;
            answering;
+           entries =
+             List.map
+               (fun (e : Entry.t) ->
+                 (Replica_id.to_int e.replica, Time.to_seconds e.expiry))
+               update.entries;
            trace_id = ctx.sc_trace;
            span_id = sid;
            parent_id = ctx.sc_parent;
@@ -582,6 +604,7 @@ and deliver_update t ~ctx ?(sid = 0) ~from ~to_ ~answering (update : Update.t)
   | Update.Delete -> Counters.record_update_hop t.counters `Delete
   | Update.Append -> Counters.record_update_hop t.counters `Append);
   if node_alive then begin
+    Counters.record_delivered t.counters;
     if not answering then register_update_for_justification t ~node:to_ update;
     if t.fault_mode then note_update_for_repair t ~node:to_ update;
     let node = get_node t to_ in
@@ -590,7 +613,9 @@ and deliver_update t ~ctx ?(sid = 0) ~from ~to_ ~answering (update : Update.t)
       ~from:to_
       (Node.handle_update node ~now:(now t) ~from update)
   end
-  else if t.fault_mode then begin
+  else begin
+    Counters.record_transport_lost t.counters;
+    if t.fault_mode then begin
     (* The child crashed: the update is lost and the sender prunes the
        dead edge from its propagation tree so later updates stop
        burning hops on it. *)
@@ -613,6 +638,7 @@ and deliver_update t ~ctx ?(sid = 0) ~from ~to_ ~answering (update : Update.t)
           Node.drop_neighbor sender to_;
           Counters.record_repair t.counters
       | None -> ()
+    end
   end
 
 (* {2 Subscription repair (fault mode)}
@@ -1115,10 +1141,11 @@ let aggregate_stats t =
 
 (* Snapshot the run's counters into the attached registry so a
    [--metrics-out] dump carries the whole-run totals next to the
-   latency histograms recorded live. *)
-let export_counters_to_registry t ms =
-  let reg = ms.registry in
-  let c = t.counters in
+   latency histograms recorded live.  Standalone over (counters,
+   registry) so a live HTTP scrape ({!Cup_obs.Serve}) can inject a
+   mid-run snapshot into a registry copy using the same code path —
+   keeping the scrape byte-identical to the file written at finish. *)
+let export_counters c reg =
   let add_counter ?labels name help v =
     Registry.inc ~by:v (Registry.counter reg ~help ?labels name)
   in
@@ -1155,12 +1182,21 @@ let export_counters_to_registry t ms =
   add_counter "cup_faults_total" fault_help (Counters.repairs c)
     ~labels:[ ("kind", "repair") ];
   add_counter "cup_faults_total" fault_help (Counters.unreachable c)
-    ~labels:[ ("kind", "unreachable") ]
+    ~labels:[ ("kind", "unreachable") ];
+  let transport_help = "Transport-level messages by conservation state" in
+  add_counter "cup_transport_messages_total" transport_help (Counters.sent c)
+    ~labels:[ ("state", "sent") ];
+  add_counter "cup_transport_messages_total" transport_help
+    (Counters.delivered c)
+    ~labels:[ ("state", "delivered") ];
+  add_counter "cup_transport_messages_total" transport_help
+    (Counters.transport_lost c)
+    ~labels:[ ("state", "lost") ]
 
 let finish t =
   Engine.run t.engine;
   (match t.metrics with
-  | Some ms -> export_counters_to_registry t ms
+  | Some ms -> export_counters t.counters ms.registry
   | None -> ());
   let engine_events = Engine.events_executed t.engine in
   let wallclock = Unix.gettimeofday () -. t.started in
@@ -1303,6 +1339,12 @@ let create cfg =
 
 let run cfg = finish (create cfg)
 
+type queue_stats = {
+  pending_events : int;
+  queued_updates : int;
+  max_queue_depth : int;
+}
+
 module Live = struct
   type t = live
 
@@ -1310,6 +1352,30 @@ module Live = struct
   let engine t = t.engine
   let scenario t = t.cfg
   let network t = t.net
+
+  (* The one shared depth accessor: /health, Timeseries and the
+     queue-depth report all read the same fold instead of each
+     re-deriving it from the engine and channel tables. *)
+  let queue_stats t =
+    let queued, deepest =
+      Node_id.Table.fold
+        (fun _ ch (total, deepest) ->
+          let depth =
+            Node_id.Table.fold
+              (fun _ q acc -> acc + Update_queue.length q)
+              ch.queues 0
+          in
+          (total + depth, Stdlib.max deepest depth))
+        t.channels (0, 0)
+    in
+    {
+      pending_events = Engine.pending t.engine;
+      queued_updates = queued;
+      max_queue_depth = deepest;
+    }
+
+  let wallclock_elapsed t = Unix.gettimeofday () -. t.started
+  let queries_posted t = t.queries_posted
 
   (* Walk the memoized sorted membership instead of sorting the
      channel table on every report tick. *)

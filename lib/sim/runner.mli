@@ -56,6 +56,23 @@ val run : Scenario.t -> result
 (** Raises [Invalid_argument] when the scenario fails
     {!Scenario.validate}. *)
 
+val export_counters : Cup_metrics.Counters.t -> Cup_metrics.Registry.t -> unit
+(** Snapshot hop/query/fault/transport counters into a registry as the
+    [cup_hops_total], [cup_queries_total], [cup_dropped_updates_total],
+    [cup_faults_total] and [cup_transport_messages_total] families.
+    Called on the attached registry at {!Live.finish}; exposed so a
+    live scrape can inject the same snapshot into a registry copy and
+    stay byte-identical with the file written at finish. *)
+
+type queue_stats = {
+  pending_events : int;  (** events in the engine heap right now *)
+  queued_updates : int;
+      (** updates across all Section 2.8 token-bucket channels; always
+          [0] outside token-bucket capacity mode *)
+  max_queue_depth : int;
+      (** largest single node's total outgoing queue *)
+}
+
 (** {1 Lower-level access}
 
     [Live] exposes a constructed simulation before it runs, so tests
@@ -73,6 +90,17 @@ module Live : sig
   (** Nodes with a nonempty Section 2.8 outgoing update channel and
       the total number of updates queued there, in node order.  Always
       empty outside token-bucket capacity mode. *)
+
+  val queue_stats : t -> queue_stats
+  (** Engine pending-event count and update-channel depth gauges in
+      one read — the accessor behind [/health], {!Cup_obs.Timeseries}
+      samples and the queue-depth report. *)
+
+  val wallclock_elapsed : t -> float
+  (** Host seconds since the live simulation was created. *)
+
+  val queries_posted : t -> int
+  (** Locally posted queries so far. *)
 
   val node : t -> Cup_overlay.Node_id.t -> Cup_proto.Node.t
   val counters : t -> Cup_metrics.Counters.t

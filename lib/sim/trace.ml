@@ -28,6 +28,7 @@ type event =
       kind : Cup_proto.Update.kind;
       level : int;
       answering : bool;
+      entries : (int * float) list;
       trace_id : int;
       span_id : int;
       parent_id : int;

@@ -54,6 +54,12 @@ type event =
       kind : Cup_proto.Update.kind;
       level : int;
       answering : bool;
+      entries : (int * float) list;
+          (** the update's payload as [(replica id, expiry seconds)]
+              pairs, in the update's own order — enough for an online
+              freshness-monotonicity oracle ({!Cup_obs.Audit}) to
+              track the receiver's cache without replaying the
+              protocol.  Empty on legacy JSONL traces. *)
       trace_id : int;
       span_id : int;
       parent_id : int;

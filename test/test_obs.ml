@@ -109,6 +109,7 @@ let all_events =
         kind = Cup_proto.Update.First_time;
         level = 1;
         answering = true;
+        entries = [ (1, 650.5); (2, 700.) ];
         trace_id = 1;
         span_id = 3;
         parent_id = 2;
@@ -122,6 +123,7 @@ let all_events =
         kind = Cup_proto.Update.Refresh;
         level = 3;
         answering = false;
+        entries = [ (1, 820.25) ];
         trace_id = 7;
         span_id = 4;
         parent_id = 0;
@@ -135,6 +137,7 @@ let all_events =
         kind = Cup_proto.Update.Delete;
         level = 2;
         answering = false;
+        entries = [ (2, 0.) ];
         trace_id = 7;
         span_id = 5;
         parent_id = 4;
@@ -148,6 +151,7 @@ let all_events =
         kind = Cup_proto.Update.Append;
         level = 7;
         answering = false;
+        entries = [];
         trace_id = 7;
         span_id = 6;
         parent_id = 4;
@@ -224,7 +228,7 @@ let event_gen : Trace.event QCheck.Gen.t =
             { at; from_; to_; key; trace_id; span_id; parent_id })
         at (triple node node key) spans;
       map3
-        (fun (at, from_, to_) (key, kind, level, answering)
+        (fun (at, from_, to_) ((key, kind, level, answering), entries)
              (trace_id, span_id, parent_id) ->
           Trace.Update_delivered
             {
@@ -235,12 +239,16 @@ let event_gen : Trace.event QCheck.Gen.t =
               kind;
               level;
               answering;
+              entries;
               trace_id;
               span_id;
               parent_id;
             })
         (triple at node node)
-        (quad key kind (int_range 0 64) bool)
+        (pair
+           (quad key kind (int_range 0 64) bool)
+           (list_size (int_range 0 4)
+              (pair (int_range 0 4095) (float_range 0. 100_000.))))
         spans;
       map3
         (fun at (from_, to_, key) (trace_id, span_id, parent_id) ->
@@ -320,6 +328,7 @@ let test_event_json_legacy_parse () =
             kind = Cup_proto.Update.Refresh;
             level = 2;
             answering = false;
+            entries = [];
             trace_id = 0;
             span_id = 0;
             parent_id = 0;
@@ -740,6 +749,355 @@ let test_timeseries_rejects_bad_interval () =
       ignore (Timeseries.attach ~interval:0. live));
   ignore (Runner.Live.finish live)
 
+(* {1 HTTP server} *)
+
+module Http_server = Cup_obs.Http_server
+module Serve = Cup_obs.Serve
+module Resource = Cup_obs.Resource
+module Audit = Cup_obs.Audit
+module Registry = Cup_metrics.Registry
+
+let test_http_server_smoke () =
+  let srv =
+    Http_server.start ~port:0
+      ~routes:
+        [
+          ( "/ping",
+            fun query ->
+              let x =
+                match List.assoc_opt "x" query with Some v -> v | None -> "-"
+              in
+              Http_server.text ("pong " ^ x) );
+          ("/boom", fun _ -> failwith "handler exploded");
+        ]
+      ()
+  in
+  let port = Http_server.port srv in
+  Alcotest.(check bool) "ephemeral port bound" true (port > 0);
+  (match Http_server.get ~port "/ping?x=7" with
+  | Ok (status, body) ->
+      Alcotest.(check int) "ping status" 200 status;
+      Alcotest.(check string) "ping body" "pong 7" body
+  | Error e -> Alcotest.fail ("ping: " ^ e));
+  (match Http_server.get ~port "/ping" with
+  | Ok (status, body) ->
+      Alcotest.(check int) "no-query status" 200 status;
+      Alcotest.(check string) "no-query body" "pong -" body
+  | Error e -> Alcotest.fail ("ping no-query: " ^ e));
+  (match Http_server.get ~port "/missing" with
+  | Ok (status, _) -> Alcotest.(check int) "unknown path" 404 status
+  | Error e -> Alcotest.fail ("missing: " ^ e));
+  (match Http_server.get ~port "/boom" with
+  | Ok (status, _) -> Alcotest.(check int) "handler exception" 500 status
+  | Error e -> Alcotest.fail ("boom: " ^ e));
+  Http_server.stop srv;
+  Http_server.stop srv (* idempotent *)
+
+let field_bool name j =
+  match Option.bind (Json.member name j) Json.to_bool with
+  | Some b -> b
+  | None -> Alcotest.fail ("missing bool field " ^ name)
+
+let field_float name j =
+  match Option.bind (Json.member name j) Json.to_float with
+  | Some f -> f
+  | None -> Alcotest.fail ("missing float field " ^ name)
+
+(* Run one simulation with all the serving machinery attached; the
+   finished /metrics must lead with the exact deterministic exposition
+   and carry only cup_process_* families after it. *)
+let test_serve_endpoints () =
+  let cfg = { base with Scenario.seed = 2002 } in
+  let live = Runner.Live.create cfg in
+  let registry = Registry.create () in
+  Runner.Live.set_metrics live (Some registry);
+  let process = Registry.create () in
+  let resource = Resource.attach ~interval:200. ~registry:process live in
+  let srv = Serve.start ~refresh:100. ~resource:process ~registry live in
+  Sink.attach live (Serve.sink srv);
+  let port = Serve.port srv in
+  Runner.Live.run_until live 650.;
+  let health_json body =
+    match Json.of_string body with
+    | Ok json -> json
+    | Error e -> Alcotest.fail ("health parse: " ^ e)
+  in
+  let mid_vt =
+    match Http_server.get ~port "/health" with
+    | Ok (200, body) ->
+        let j = health_json body in
+        Alcotest.(check bool) "mid-run not finished" false
+          (field_bool "finished" j);
+        let vt = field_float "virtual_time" j in
+        Alcotest.(check bool) "virtual time advancing" true (vt > 0.);
+        vt
+    | Ok (status, _) ->
+        Alcotest.fail (Printf.sprintf "mid-run health status %d" status)
+    | Error e -> Alcotest.fail ("mid-run health: " ^ e)
+  in
+  ignore (Runner.Live.finish live);
+  Resource.sample_now resource;
+  Serve.mark_finished srv;
+  (match Http_server.get ~port "/health" with
+  | Ok (200, body) ->
+      let j = health_json body in
+      Alcotest.(check bool) "finished flag" true (field_bool "finished" j);
+      Alcotest.(check bool) "virtual time advanced past mid-run" true
+        (field_float "virtual_time" j >= mid_vt)
+  | Ok (status, _) ->
+      Alcotest.fail (Printf.sprintf "final health status %d" status)
+  | Error e -> Alcotest.fail ("final health: " ^ e));
+  (match Http_server.get ~port "/metrics" with
+  | Ok (200, body) ->
+      let deterministic = Registry.to_prometheus registry in
+      let dlen = String.length deterministic in
+      Alcotest.(check bool) "scrape at least as long" true
+        (String.length body >= dlen);
+      Alcotest.(check string) "deterministic families byte-identical"
+        deterministic (String.sub body 0 dlen);
+      let rest = String.sub body dlen (String.length body - dlen) in
+      List.iter
+        (fun line ->
+          if String.trim line <> "" then
+            Alcotest.(check bool)
+              (Printf.sprintf "resource-only suffix: %s" line)
+              true
+              (String.length line > 0
+              && (line.[0] = '#'
+                  || String.starts_with ~prefix:"cup_process_" line)))
+        (String.split_on_char '\n' rest);
+      Alcotest.(check bool) "resource families present" true
+        (List.exists
+           (String.starts_with ~prefix:"cup_process_peak_rss_bytes")
+           (String.split_on_char '\n' rest))
+  | Ok (status, _) ->
+      Alcotest.fail (Printf.sprintf "metrics status %d" status)
+  | Error e -> Alcotest.fail ("metrics: " ^ e));
+  (match Http_server.get ~port "/trace?n=5" with
+  | Ok (200, body) ->
+      let lines =
+        List.filter
+          (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' body)
+      in
+      Alcotest.(check bool) "trace tail non-empty, bounded" true
+        (List.length lines > 0 && List.length lines <= 5);
+      List.iter
+        (fun line ->
+          match Event_json.of_string line with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("trace line: " ^ e))
+        lines
+  | Ok (status, _) ->
+      Alcotest.fail (Printf.sprintf "trace status %d" status)
+  | Error e -> Alcotest.fail ("trace: " ^ e));
+  Serve.stop srv
+
+(* Serving must not perturb the simulation: the registry exposition of
+   a served run equals that of a bare run of the same scenario. *)
+let test_serve_does_not_perturb_metrics () =
+  let cfg = { base with Scenario.seed = 2003 } in
+  let bare =
+    let live = Runner.Live.create cfg in
+    let registry = Registry.create () in
+    Runner.Live.set_metrics live (Some registry);
+    ignore (Runner.Live.finish live);
+    Registry.to_prometheus registry
+  in
+  let served =
+    let live = Runner.Live.create cfg in
+    let registry = Registry.create () in
+    Runner.Live.set_metrics live (Some registry);
+    let process = Registry.create () in
+    let resource = Resource.attach ~interval:150. ~registry:process live in
+    let srv = Serve.start ~refresh:75. ~resource:process ~registry live in
+    Sink.attach live (Serve.sink srv);
+    ignore (Runner.Live.finish live);
+    Resource.sample_now resource;
+    Serve.mark_finished srv;
+    Serve.stop srv;
+    Registry.to_prometheus registry
+  in
+  Alcotest.(check string) "served run byte-identical to bare run" bare served
+
+(* {1 Resource telemetry} *)
+
+let test_resource_snapshot_sane () =
+  let s1 = Resource.snapshot () in
+  let junk = ref [] in
+  for i = 0 to 99_999 do
+    junk := (i, float_of_int i) :: !junk
+  done;
+  ignore (Sys.opaque_identity !junk);
+  let s2 = Resource.snapshot () in
+  Alcotest.(check bool) "minor words monotone" true
+    (s2.Resource.minor_words >= s1.Resource.minor_words);
+  Alcotest.(check bool) "allocation visible" true
+    (s2.Resource.minor_words > s1.Resource.minor_words);
+  Alcotest.(check bool) "heap words positive" true (s2.Resource.heap_words > 0);
+  Alcotest.(check bool) "rss non-negative" true (s2.Resource.rss_bytes >= 0);
+  if s2.Resource.rss_bytes > 0 then
+    Alcotest.(check bool) "peak >= current rss" true
+      (s2.Resource.peak_rss_bytes >= s2.Resource.rss_bytes)
+
+let test_resource_registry_namespace () =
+  let live = Runner.Live.create quiet_base in
+  let registry = Registry.create () in
+  let sampler = Resource.attach ~interval:300. ~registry live in
+  ignore (Runner.Live.finish live);
+  Resource.sample_now sampler;
+  let exposition = Registry.to_prometheus registry in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        Alcotest.(check bool)
+          (Printf.sprintf "cup_process_ prefix: %s" line)
+          true
+          (String.starts_with ~prefix:"cup_process_" line
+          || String.starts_with ~prefix:"# HELP cup_process_" line
+          || String.starts_with ~prefix:"# TYPE cup_process_" line))
+    (String.split_on_char '\n' exposition);
+  Alcotest.(check bool) "sampler saw a peak" true
+    (Resource.peak_rss_bytes sampler >= 0);
+  Alcotest.(check bool) "pending high-water sampled" true
+    (Resource.pending_high_water sampler >= 0)
+
+(* {1 Online invariant auditor} *)
+
+let faulty_audit_base =
+  {
+    base with
+    Scenario.seed = 31;
+    crashes =
+      Some { Scenario.crash_rate = 0.02; recover_after = 20.; warmup = 30. };
+    loss = Some { Scenario.drop = 0.15; jitter = 0.5 };
+  }
+
+let run_audited cfg =
+  let live = Runner.Live.create cfg in
+  let auditor =
+    Audit.create ~max_backlog:100_000
+      ~backlog:(fun () -> Runner.Live.justification_backlog live)
+      ~counters:(Runner.Live.counters live)
+      ()
+  in
+  Sink.attach live (Audit.sink auditor);
+  let r = Runner.Live.finish live in
+  Audit.finish auditor;
+  (auditor, r)
+
+let test_audit_clean_runs_pass () =
+  List.iter
+    (fun scheduler ->
+      let auditor, _ =
+        run_audited { faulty_audit_base with Scenario.scheduler }
+      in
+      Alcotest.(check bool) "events were checked" true
+        (Audit.events_checked auditor > 0))
+    [ None; Some `Calendar ]
+
+let check_violation name code f =
+  match f () with
+  | () -> Alcotest.fail (name ^ ": expected a violation")
+  | exception Audit.Violation v ->
+      Alcotest.(check string) (name ^ " code") code v.Audit.code
+
+let delivered ~at ~span ~parent ~entries =
+  Trace.Update_delivered
+    {
+      at = Time.of_seconds at;
+      from_ = Node_id.of_int 9;
+      to_ = Node_id.of_int 4;
+      key = Key.of_int 3;
+      kind = Cup_proto.Update.Refresh;
+      level = 1;
+      answering = false;
+      entries;
+      trace_id = 1;
+      span_id = span;
+      parent_id = parent;
+    }
+
+let test_audit_catches_stale_delivery () =
+  let a = Audit.create ~counters:(Counters.create ()) () in
+  Audit.observe a (delivered ~at:100. ~span:1 ~parent:0 ~entries:[ (1, 500.) ]);
+  check_violation "stale refresh" "V2" (fun () ->
+      Audit.observe a
+        (delivered ~at:110. ~span:2 ~parent:0 ~entries:[ (1, 400.) ]))
+
+let test_audit_exempts_expired_entries () =
+  let a = Audit.create ~counters:(Counters.create ()) () in
+  Audit.observe a (delivered ~at:100. ~span:1 ~parent:0 ~entries:[ (1, 500.) ]);
+  (* expired on arrival: the receiver drops it, so no regression *)
+  Audit.observe a (delivered ~at:600. ~span:2 ~parent:0 ~entries:[ (1, 450.) ]);
+  Alcotest.(check int) "both events checked" 2 (Audit.events_checked a)
+
+let test_audit_catches_orphan_span () =
+  let a = Audit.create ~counters:(Counters.create ()) () in
+  check_violation "orphan parent" "V4" (fun () ->
+      Audit.observe a
+        (delivered ~at:50. ~span:7 ~parent:99 ~entries:[ (1, 300.) ]));
+  let b = Audit.create ~counters:(Counters.create ()) () in
+  Audit.observe b (delivered ~at:50. ~span:7 ~parent:0 ~entries:[ (1, 300.) ]);
+  check_violation "duplicate span" "V4" (fun () ->
+      Audit.observe b
+        (delivered ~at:51. ~span:7 ~parent:0 ~entries:[ (2, 300.) ]))
+
+let test_audit_catches_conservation_leak () =
+  let counters = Counters.create () in
+  let a = Audit.create ~counters () in
+  Counters.record_sent counters;
+  Audit.observe a (delivered ~at:10. ~span:1 ~parent:0 ~entries:[]);
+  (* one message still in flight once the run is over: V1 at finish *)
+  check_violation "undelivered message" "V1" (fun () -> Audit.finish a)
+
+let test_audit_catches_backlog_breach () =
+  let a =
+    Audit.create ~max_backlog:3
+      ~backlog:(fun () -> 10)
+      ~check_every:1
+      ~counters:(Counters.create ())
+      ()
+  in
+  check_violation "backlog bound" "V3" (fun () ->
+      Audit.observe a (delivered ~at:5. ~span:1 ~parent:0 ~entries:[]))
+
+(* {1 Multi-run metrics merge} *)
+
+let test_replicate_metrics_deterministic () =
+  let module E = Cup_sim.Experiments in
+  let cfg = { base with Scenario.seed = 77 } in
+  let stats_seq, reg_seq = E.replicate_metrics cfg ~runs:3 in
+  let stats_pool, reg_pool =
+    Cup_parallel.Pool.with_pool ~jobs:2 (fun pool ->
+        E.replicate_metrics ~pool cfg ~runs:3)
+  in
+  let stats_cal, reg_cal =
+    E.replicate_metrics
+      { cfg with Scenario.scheduler = Some `Calendar }
+      ~runs:3
+  in
+  Alcotest.(check bool) "stats identical across jobs" true
+    (stats_seq = stats_pool);
+  Alcotest.(check bool) "stats identical across schedulers" true
+    (stats_seq = stats_cal);
+  Alcotest.(check string) "merged exposition identical across jobs"
+    (Registry.to_prometheus reg_seq)
+    (Registry.to_prometheus reg_pool);
+  Alcotest.(check string) "merged exposition identical across schedulers"
+    (Registry.to_prometheus reg_seq)
+    (Registry.to_prometheus reg_cal);
+  (* the merge is a real aggregate: three runs' hop counters summed *)
+  let single =
+    let live = Runner.Live.create cfg in
+    let registry = Registry.create () in
+    Runner.Live.set_metrics live (Some registry);
+    ignore (Runner.Live.finish live);
+    registry
+  in
+  Alcotest.(check bool) "merged exposition differs from a single run" true
+    (Registry.to_prometheus reg_seq <> Registry.to_prometheus single)
+
 let () =
   Alcotest.run "cup_obs"
     [
@@ -797,5 +1155,38 @@ let () =
             test_timeseries_queue_depths_under_token_bucket;
           Alcotest.test_case "bad interval" `Quick
             test_timeseries_rejects_bad_interval;
+        ] );
+      ( "http",
+        [
+          Alcotest.test_case "server smoke" `Quick test_http_server_smoke;
+          Alcotest.test_case "serve endpoints" `Quick test_serve_endpoints;
+          Alcotest.test_case "serving does not perturb metrics" `Quick
+            test_serve_does_not_perturb_metrics;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "snapshot sane" `Quick test_resource_snapshot_sane;
+          Alcotest.test_case "registry namespace" `Quick
+            test_resource_registry_namespace;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "clean fault runs pass" `Quick
+            test_audit_clean_runs_pass;
+          Alcotest.test_case "catches stale delivery" `Quick
+            test_audit_catches_stale_delivery;
+          Alcotest.test_case "exempts expired entries" `Quick
+            test_audit_exempts_expired_entries;
+          Alcotest.test_case "catches orphan span" `Quick
+            test_audit_catches_orphan_span;
+          Alcotest.test_case "catches conservation leak" `Quick
+            test_audit_catches_conservation_leak;
+          Alcotest.test_case "catches backlog breach" `Quick
+            test_audit_catches_backlog_breach;
+        ] );
+      ( "replicate-metrics",
+        [
+          Alcotest.test_case "deterministic merge" `Quick
+            test_replicate_metrics_deterministic;
         ] );
     ]
