@@ -10,7 +10,14 @@
      dune exec bench/main.exe -- table1 --jobs 4  # fan runs over 4 domains
      dune exec bench/main.exe -- harness          # sequential-vs-parallel timing
      dune exec bench/main.exe -- sched            # scheduler/route-cache before-after
+     dune exec bench/main.exe -- scale            # 10k/100k/1M-node sharded runs
+     dune exec bench/main.exe -- scale-smoke      # 10k only (CI)
      dune exec bench/main.exe -- --scheduler heap # force the event-queue impl
+
+   The scale targets are explicit-only (never part of the default
+   target set): they record events/sec and peak RSS through the
+   struct-of-arrays scale runner and cross-check that sharded runs are
+   byte-identical to shards=1.
 
    Independent simulator runs fan out across a Cup_parallel domain
    pool ([--jobs N]; default: one job per core, [--jobs 1] is fully
@@ -40,6 +47,7 @@ let target_timings :
 let harness_json : (string * Json.t) list ref = ref []
 let sched_json : (string * Json.t) list ref = ref []
 let faults_json : (string * Json.t) list ref = ref []
+let scale_json : (string * Json.t) list ref = ref []
 let micro_json : (string * float) list ref = ref []
 let metrics_json : (string * float) list ref = ref []
 
@@ -774,7 +782,8 @@ let faults scale =
     Table.create
       ~title:"Fault injection: crash+loss run across scheduler/cache configs"
       ~columns:
-        [ "config"; "lost"; "retries"; "repairs"; "unreachable"; "events/sec" ]
+        [ "config"; "lost"; "retries"; "repairs"; "unreachable";
+          "cache hit/miss"; "events/sec" ]
   in
   List.iter
     (fun (name, _, (r : Cup_sim.Runner.result)) ->
@@ -786,6 +795,11 @@ let faults scale =
           Table.cell_int (Cup_metrics.Counters.retries c);
           Table.cell_int (Cup_metrics.Counters.repairs c);
           Table.cell_int (Cup_metrics.Counters.unreachable c);
+          (* Host-independent but config-dependent: lives outside the
+             byte-compared counter block (Counters.pp), printed here. *)
+          Printf.sprintf "%d/%d"
+            (Cup_metrics.Counters.route_cache_hits c)
+            (Cup_metrics.Counters.route_cache_misses c);
           Printf.sprintf "%.0f" r.events_per_sec;
         ])
     results;
@@ -834,6 +848,10 @@ let faults scale =
                    ("repairs", Json.Int (Cup_metrics.Counters.repairs c));
                    ( "unreachable",
                      Json.Int (Cup_metrics.Counters.unreachable c) );
+                   ( "route_cache_hits",
+                     Json.Int (Cup_metrics.Counters.route_cache_hits c) );
+                   ( "route_cache_misses",
+                     Json.Int (Cup_metrics.Counters.route_cache_misses c) );
                    ("events_per_sec", Json.Float r.events_per_sec);
                  ])
              results) );
@@ -848,6 +866,159 @@ let faults scale =
     prerr_endline
       "faults: transport counters violate sent = delivered + lost with \
        in_flight = 0 — message accounting leaks";
+    exit 1
+  end
+
+(* {1 Scale: batch-synchronous sharded runs up to a million nodes} *)
+
+(* The ISSUE-7 tentpole record: events/sec and peak RSS at 10k / 100k /
+   1M nodes through the struct-of-arrays + ring-overlay scale runner,
+   plus the shard byte-identity witness — shards=4 must reproduce the
+   shards=1 summary (and, at 10k, the full JSONL trace) byte for byte.
+   Runs in increasing size order so the per-size VmHWM snapshots are
+   meaningful despite peak RSS being monotone across the process.
+
+   Not part of the [all] target set: the 1M run costs real time and
+   memory, so it only runs when named explicitly ([scale]; [scale-smoke]
+   is the 10k-only variant CI uses). *)
+let scale_configs which =
+  let module Scale = Cup_sim.Scale in
+  let mk name nodes keys rate identity =
+    (name, { Scale.default with Scale.nodes; keys; rate }, identity)
+  in
+  match which with
+  | `Smoke -> [ mk "scale-10k" 10_000 512 2_000. `Trace ]
+  | `Full ->
+      [
+        mk "scale-10k" 10_000 512 2_000. `Trace;
+        mk "scale-100k" 100_000 2_048 5_000. `Summary;
+        mk "scale-1m" 1_000_000 8_192 10_000. `None;
+      ]
+
+let scale_runs which =
+  let module Scale = Cup_sim.Scale in
+  (* O(1)-memory trace comparison: chain a digest over the line stream
+     instead of buffering megabytes of JSONL. *)
+  let observe ~traced cfg =
+    let digest = ref "" and lines = ref 0 in
+    let tracer =
+      if traced then
+        Some
+          (fun line ->
+            incr lines;
+            digest := Digest.string (!digest ^ line))
+      else None
+    in
+    let r = Scale.run ?tracer cfg in
+    (r, Scale.summary r, !digest, !lines)
+  in
+  let table =
+    Table.create ~title:"Scale runs (ring overlay, flat node state, shards=1)"
+      ~columns:
+        [ "config"; "nodes"; "events"; "wall (s)"; "events/sec";
+          "peak RSS (MB)"; "live slots" ]
+  in
+  let rows =
+    List.map
+      (fun (name, (cfg : Scale.config), identity) ->
+        let traced = identity = `Trace in
+        let r1, summary1, digest1, lines1 = observe ~traced cfg in
+        let rss = (Resource.snapshot ()).Resource.peak_rss_bytes in
+        Table.add_row table
+          [
+            name;
+            Table.cell_int cfg.Scale.nodes;
+            Table.cell_int r1.Scale.events;
+            Printf.sprintf "%.2f" r1.Scale.wallclock;
+            Printf.sprintf "%.0f" r1.Scale.events_per_sec;
+            Table.cell_int (rss / (1024 * 1024));
+            Table.cell_int r1.Scale.live_slots;
+          ];
+        let identical =
+          match identity with
+          | `None -> None
+          | `Summary | `Trace ->
+              let _, summary4, digest4, lines4 =
+                observe ~traced { cfg with Scale.shards = 4 }
+              in
+              Some
+                (String.equal summary1 summary4
+                && String.equal digest1 digest4
+                && lines1 = lines4)
+        in
+        (name, cfg, r1, rss, identical))
+      (scale_configs which)
+  in
+  Table.print table;
+  let all_identical =
+    List.for_all
+      (fun (name, _, _, _, identical) ->
+        match identical with
+        | None -> true
+        | Some ok ->
+            Printf.printf "%s: shards=4 byte-identical to shards=1: %s\n" name
+              (if ok then "yes" else "NO (determinism violated)");
+            ok)
+      rows
+  in
+  write_csv "scale"
+    ~header:
+      [ "config"; "nodes"; "keys"; "events"; "wall_seconds"; "events_per_sec";
+        "peak_rss_bytes"; "live_slots" ]
+    (List.map
+       (fun (name, (cfg : Scale.config), (r : Scale.result), rss, _) ->
+         [
+           name;
+           string_of_int cfg.Scale.nodes;
+           string_of_int cfg.Scale.keys;
+           string_of_int r.Scale.events;
+           Printf.sprintf "%.4f" r.Scale.wallclock;
+           Printf.sprintf "%.0f" r.Scale.events_per_sec;
+           string_of_int rss;
+           string_of_int r.Scale.live_slots;
+         ])
+       rows);
+  scale_json :=
+    [
+      ( "workload",
+        Json.String
+          "batch-synchronous sharded runs: ring overlay, flat node state" );
+      ( "configs",
+        Json.List
+          (List.map
+             (fun (name, (cfg : Scale.config), (r : Scale.result), rss,
+                       identical) ->
+               Json.Obj
+                 ([
+                    ("name", Json.String name);
+                    ("nodes", Json.Int cfg.Scale.nodes);
+                    ("keys", Json.Int cfg.Scale.keys);
+                    ("query_rate", Json.Float cfg.Scale.rate);
+                    ("windows", Json.Int r.Scale.windows);
+                    ("events", Json.Int r.Scale.events);
+                    ("wall_seconds", Json.Float r.Scale.wallclock);
+                    ("events_per_sec", Json.Float r.Scale.events_per_sec);
+                    ("peak_rss_bytes", Json.Int rss);
+                    ("live_slots", Json.Int r.Scale.live_slots);
+                    ( "total_cost",
+                      Json.Int
+                        (let t = r.Scale.totals in
+                         t.Scale.query_hops + t.Scale.ft_answer_hops
+                         + t.Scale.ft_proactive_hops + t.Scale.refresh_hops
+                         + t.Scale.delete_hops + t.Scale.append_hops
+                         + t.Scale.clear_hops) );
+                  ]
+                 @
+                 match identical with
+                 | None -> []
+                 | Some ok -> [ ("sharded_identical", Json.Bool ok) ]))
+             rows) );
+      ("sharded_identical", Json.Bool all_identical);
+    ];
+  if not all_identical then begin
+    prerr_endline
+      "scale: sharded run diverged from shards=1 — window-synchronizer \
+       determinism contract broken";
     exit 1
   end
 
@@ -1258,6 +1429,9 @@ let write_harness_json ~jobs ~scale =
       @ (match !faults_json with
         | [] -> []
         | fields -> [ ("faults", Json.Obj fields) ])
+      @ (match !scale_json with
+        | [] -> []
+        | fields -> [ ("scale", Json.Obj fields) ])
       @ (match !micro_json with
         | [] -> []
         | rows ->
@@ -1334,16 +1508,18 @@ let () =
     | `Heap -> "heap"
     | `Calendar -> "calendar");
   let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
-  let timed name f =
-    if want name then begin
-      let before = Resource.snapshot () in
-      let t0 = Unix.gettimeofday () in
-      f ();
-      let seconds = Unix.gettimeofday () -. t0 in
-      target_timings :=
-        (name, seconds, before, Resource.snapshot ()) :: !target_timings
-    end
+  let timed_run name f =
+    let before = Resource.snapshot () in
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let seconds = Unix.gettimeofday () -. t0 in
+    target_timings :=
+      (name, seconds, before, Resource.snapshot ()) :: !target_timings
   in
+  let timed name f = if want name then timed_run name f in
+  (* Explicit-only: the scale targets never ride along with [all] —
+     the 1M run is too big to spring on a routine bench invocation. *)
+  let timed_explicit name f = if List.mem name targets then timed_run name f in
   let fig3_sweeps = ref [] and fig4_sweeps = ref [] in
   timed "fig3" (fun () ->
       section "Figure 3: total and miss cost vs push level (low query rates)";
@@ -1404,6 +1580,12 @@ let () =
   timed "faults" (fun () ->
       section "Fault injection: determinism and repair overhead";
       faults scale);
+  timed_explicit "scale" (fun () ->
+      section "Scale: 10k / 100k / 1M-node batch-synchronous runs";
+      scale_runs `Full);
+  timed_explicit "scale-smoke" (fun () ->
+      section "Scale smoke: 10k-node run, shards=1 vs shards=4";
+      scale_runs `Smoke);
   timed "profile" (fun () ->
       section "Engine throughput and profiling probes";
       print_profiles scale);

@@ -2,6 +2,7 @@
 
    Subcommands:
      cup run    — run one simulation with explicit parameters
+     cup scale  — run a batch-synchronous sharded run (millions of nodes)
      cup sweep  — sweep the push level for one query rate
      cup exp    — run a named paper experiment (fig3 fig4 table1 ...)
      cup trace  — analyze a JSONL protocol trace: propagation trees,
@@ -149,6 +150,17 @@ let scheduler =
           "Event-queue implementation: heap (binary heap, the default) \
            or calendar (bucketed calendar queue).  Results are \
            byte-identical either way; only wall-clock speed differs.")
+
+let flat_state =
+  Arg.(
+    value & flag
+    & info [ "flat-state" ]
+        ~doc:
+          "Run the protocol state machine on the flat struct-of-arrays \
+           backend (Node_store) instead of the map-backed nodes.  Results \
+           are byte-identical either way (enforced by the state-equivalence \
+           suite); the flat backend allocates per-(node, key) slots from \
+           pre-sized arrays and exists for very large runs.")
 
 let runs =
   Arg.(
@@ -479,14 +491,16 @@ let run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
 
 let run_cmd =
   let action seed nodes keys rate duration lifetime replicas policy overlay
-      scheduler runs jobs trace_out metrics_out sample_interval sample_out
-      profile serve audit crash_rate crash_recover loss_rate loss_jitter =
+      scheduler flat_state runs jobs trace_out metrics_out sample_interval
+      sample_out profile serve audit crash_rate crash_recover loss_rate
+      loss_jitter =
     let cfg =
       {
         (scenario_of ~seed ~nodes ~keys ~rate ~duration ~lifetime ~replicas
            ~policy ~overlay)
         with
         scheduler;
+        flat_node_state = flat_state;
         crashes =
           (if crash_rate > 0. then
              Some
@@ -570,7 +584,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ seed $ nodes $ keys $ rate $ duration $ lifetime
-      $ replicas $ policy $ overlay $ scheduler $ runs $ jobs $ trace_out
+      $ replicas $ policy $ overlay $ scheduler $ flat_state $ runs $ jobs
+      $ trace_out
       $ metrics_out $ sample_interval $ sample_out $ profile_flag
       $ serve_port $ audit_flag $ crash_rate $ crash_recover $ loss_rate
       $ loss_jitter)
@@ -710,6 +725,127 @@ let replay_cmd =
     ~doc:
       "Pretty-print a JSONL protocol trace, then analyze it (alias of \
        $(b,cup trace --events))."
+
+(* {1 cup scale} *)
+
+(* The batch-synchronous sharded runner: everything printed before the
+   final "wallclock:" line is deterministic and byte-identical across
+   --shards values (CI compares shards=1 against shards=4). *)
+let scale_cmd =
+  let module Scale = Cup_sim.Scale in
+  let nodes =
+    Arg.(
+      value & opt int Scale.default.nodes
+      & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of ring nodes.")
+  in
+  let keys =
+    Arg.(
+      value & opt int Scale.default.keys
+      & info [ "k"; "keys" ] ~docv:"N" ~doc:"Number of keys in the index.")
+  in
+  let rate =
+    Arg.(
+      value & opt float Scale.default.rate
+      & info [ "rate" ] ~docv:"Q/S" ~doc:"Network-wide query rate (Poisson).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Partition the run across $(docv) domains with a conservative \
+             time-window synchronizer.  Results are byte-identical for \
+             every value; only wall-clock time changes.")
+  in
+  let duration =
+    Arg.(
+      value & opt float Scale.default.query_duration
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Query-posting window length.")
+  in
+  let lifetime =
+    Arg.(
+      value & opt float Scale.default.lifetime
+      & info [ "lifetime" ] ~docv:"SECONDS"
+          ~doc:"Entry lifetime; authorities refresh every lifetime/2.")
+  in
+  let replicas =
+    Arg.(
+      value & opt int Scale.default.replicas
+      & info [ "replicas" ] ~docv:"N" ~doc:"Replicas per key.")
+  in
+  let zipf =
+    Arg.(
+      value & opt float Scale.default.zipf
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:"Key-popularity Zipf exponent (0 = uniform).")
+  in
+  let action seed nodes keys rate shards duration lifetime replicas zipf
+      trace_out =
+    let cfg =
+      {
+        Scale.default with
+        seed;
+        nodes;
+        keys;
+        rate;
+        shards;
+        query_duration = duration;
+        lifetime;
+        replicas;
+        zipf;
+      }
+    in
+    let out =
+      Option.map
+        (fun path ->
+          let oc = open_out path in
+          ( path,
+            oc,
+            ref 0,
+            fun line ->
+              output_string oc line;
+              output_char oc '\n' ))
+        trace_out
+    in
+    let result =
+      try
+        Scale.run
+          ?tracer:
+            (Option.map
+               (fun (_, _, count, emit) line ->
+                 incr count;
+                 emit line)
+               out)
+          cfg
+      with Invalid_argument msg ->
+        prerr_endline ("cup scale: " ^ msg);
+        exit 1
+    in
+    print_string (Scale.summary result);
+    (match out with
+    | None -> ()
+    | Some (path, oc, count, _) ->
+        close_out oc;
+        Printf.printf "trace: %d events -> %s\n" !count path);
+    Printf.printf "wallclock: %.2fs (%.0f events/s, %d shards, peak rss %d MB)\n"
+      result.Scale.wallclock result.Scale.events_per_sec shards
+      ((Cup_obs.Resource.snapshot ()).Cup_obs.Resource.peak_rss_bytes
+      / (1024 * 1024))
+  in
+  let term =
+    Term.(
+      const action $ seed $ nodes $ keys $ rate $ shards $ duration $ lifetime
+      $ replicas $ zipf $ trace_out)
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Run CUP at very large network sizes: struct-of-arrays node state \
+          over an arithmetic ring overlay, optionally sharded across \
+          domains.  Output (and --trace-out) is byte-identical for every \
+          --shards value.")
+    term
 
 (* {1 cup sweep} *)
 
@@ -889,4 +1025,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group ~default info [ run_cmd; sweep_cmd; exp_cmd; trace_cmd; replay_cmd ]))
+       (Cmd.group ~default info
+          [ run_cmd; scale_cmd; sweep_cmd; exp_cmd; trace_cmd; replay_cmd ]))

@@ -64,23 +64,50 @@ let rec insert_sorted cell = function
 let bucket_index t s = int_of_float (s /. t.width) mod Array.length t.buckets
 
 (* Re-tune the width to Brown's rule of thumb — a few events per
-   bucket — using the live cells' time spread, then redistribute.
-   Called with the cells already pulled out of the old bucket array. *)
+   bucket — then redistribute.  Called with the cells already pulled
+   out of the old bucket array.
+
+   The naive rule, [3 * (max - min) / count], collapses under
+   repair-heavy schedules: fault workloads mix dense near-future timers
+   (10 ms hop deliveries) with a handful of far-future cells (entry
+   expiries, repair deadlines hundreds of seconds out), and those
+   outliers inflate the spread until hundreds of dense events share one
+   bucket, turning every sorted insert O(bucket).  So the width comes
+   from the {e bulk} density instead: the inter-decile spread of a
+   sorted strided sample, scaled by the fraction of events it covers.
+   On an outlier-free timeline the deciles span the whole spread and
+   the formula reduces exactly to Brown's rule.
+
+   Determinism: the sample is strided, not random, and width only
+   changes bucket geometry — pop order is the (time, seq) total order
+   regardless (see the contract above). *)
+let max_width_sample = 256
+
 let retune t new_nbuckets cells =
   (match cells with
   | _ :: _ :: _ ->
-      let lo, hi =
-        List.fold_left
-          (fun (lo, hi) c ->
-            let s = Time.to_seconds c.time in
-            (Float.min lo s, Float.max hi s))
-          (Float.infinity, Float.neg_infinity)
-          cells
+      let ts =
+        Array.of_list (List.map (fun c -> Time.to_seconds c.time) cells)
       in
-      let spread = hi -. lo in
-      if spread > 0. then
+      let n = Array.length ts in
+      let stride = 1 + ((n - 1) / max_width_sample) in
+      let k = 1 + ((n - 1) / stride) in
+      let sample = Array.init k (fun i -> ts.(i * stride)) in
+      Array.sort Float.compare sample;
+      let lo_i = k / 10 in
+      let hi_i = k - 1 - lo_i in
+      let bulk = sample.(hi_i) -. sample.(lo_i) in
+      let covered =
+        float_of_int (hi_i - lo_i) /. float_of_int (Stdlib.max 1 (k - 1))
+      in
+      let spread = sample.(k - 1) -. sample.(0) in
+      if bulk > 0. then
         t.width <-
-          Float.max min_width (3. *. spread /. float_of_int (List.length cells))
+          Float.max min_width (3. *. bulk /. (covered *. float_of_int n))
+      else if spread > 0. then
+        (* Bulk degenerate (most events at one instant) but outliers
+           exist: fall back to the full-spread rule. *)
+        t.width <- Float.max min_width (3. *. spread /. float_of_int n)
   | _ -> ());
   t.buckets <- Array.make new_nbuckets [];
   t.size <- 0;

@@ -1,0 +1,44 @@
+type 'a t = {
+  shards : int;
+  windows : int;
+  bins : 'a list array array; (* [window].(shard), newest first *)
+  mutable pending : int;
+  mutable dropped : int;
+}
+
+let create ~shards ~windows =
+  if shards < 1 then invalid_arg "Window_sync.create: shards must be >= 1";
+  if windows < 1 then invalid_arg "Window_sync.create: windows must be >= 1";
+  {
+    shards;
+    windows;
+    bins = Array.init windows (fun _ -> Array.make shards []);
+    pending = 0;
+    dropped = 0;
+  }
+
+let check_shard t shard =
+  if shard < 0 || shard >= t.shards then
+    invalid_arg "Window_sync: shard out of range"
+
+let post t ~shard ~window msg =
+  check_shard t shard;
+  if window < 0 then invalid_arg "Window_sync.post: negative window";
+  if window >= t.windows then t.dropped <- t.dropped + 1
+  else begin
+    t.bins.(window).(shard) <- msg :: t.bins.(window).(shard);
+    t.pending <- t.pending + 1
+  end
+
+let drain t ~shard ~window =
+  check_shard t shard;
+  if window < 0 || window >= t.windows then []
+  else begin
+    let msgs = t.bins.(window).(shard) in
+    t.bins.(window).(shard) <- [];
+    t.pending <- t.pending - List.length msgs;
+    List.rev msgs
+  end
+
+let pending t = t.pending
+let dropped t = t.dropped

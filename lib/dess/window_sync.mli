@@ -1,0 +1,41 @@
+(** Conservative time-window synchronizer for sharded simulation.
+
+    A single discrete-event run can be partitioned across shards when
+    every cross-node message takes at least one fixed delay [d] (the
+    lookahead, in conservative parallel-DES terms): quantize virtual
+    time into windows of width [d], and a message {e emitted} during
+    window [w] can only be {e delivered} in window [w + 1] or later.
+    Then the state reached at the end of window [w] is independent of
+    how nodes are partitioned into shards — each shard can process its
+    own window-[w] events in isolation, and the shards exchange their
+    emitted messages at the window barrier.
+
+    This module is the exchange buffer: a windows x shards matrix of
+    message bins.  It is deliberately {e not} thread-safe — the scale
+    runner accumulates each shard's outbox privately during the
+    parallel phase and posts everything from the coordinator between
+    barriers, in shard order, which keeps bin contents deterministic.
+
+    Messages posted to a window beyond the horizon (at or past
+    [windows]) are counted in {!dropped} rather than stored: the run is
+    ending and nothing can deliver them.  The drop decision depends
+    only on the emission window, never on the shard layout, so it
+    preserves the byte-identity contract. *)
+
+type 'a t
+
+val create : shards:int -> windows:int -> 'a t
+(** Raises [Invalid_argument] unless [shards >= 1] and [windows >= 1]. *)
+
+val post : 'a t -> shard:int -> window:int -> 'a -> unit
+(** Append a message to [shard]'s bin for [window].  Posting at a
+    window [>= windows] drops the message (see above). *)
+
+val drain : 'a t -> shard:int -> window:int -> 'a list
+(** Take and clear [shard]'s bin for [window], in posting order. *)
+
+val pending : 'a t -> int
+(** Messages posted but not yet drained. *)
+
+val dropped : 'a t -> int
+(** Messages discarded because they were posted past the horizon. *)

@@ -18,6 +18,12 @@ type t = {
   mutable transport_lost : int;
   mutable in_flight : int;
   mutable transport_visible : bool;
+  (* Route-cache effectiveness.  Deliberately NOT part of [pp] or any
+     deterministic output: the cache is a speed-only mechanism, and
+     these differ across cache-on/off/bypass configurations whose
+     protocol results are byte-identical. *)
+  mutable route_cache_hits : int;
+  mutable route_cache_misses : int;
   latency_hops : Welford.t;
   latency_histogram : Histogram.t;
 }
@@ -43,6 +49,8 @@ let create () =
     transport_lost = 0;
     in_flight = 0;
     transport_visible = false;
+    route_cache_hits = 0;
+    route_cache_misses = 0;
     latency_hops = Welford.create ();
     latency_histogram = Histogram.create ();
   }
@@ -90,6 +98,11 @@ let record_transport_lost t =
   t.in_flight <- t.in_flight - 1
 
 let expose_transport t = t.transport_visible <- true
+
+let set_route_cache_stats t ~hits ~misses =
+  t.route_cache_hits <- hits;
+  t.route_cache_misses <- misses
+
 let record_repair t = t.repairs <- t.repairs + 1
 let record_unreachable t = t.unreachable <- t.unreachable + 1
 
@@ -121,6 +134,8 @@ let sent t = t.sent
 let delivered t = t.delivered
 let transport_lost t = t.transport_lost
 let in_flight t = t.in_flight
+let route_cache_hits t = t.route_cache_hits
+let route_cache_misses t = t.route_cache_misses
 let miss_latency_hops t = t.latency_hops
 let miss_latency_histogram t = t.latency_histogram
 
@@ -149,6 +164,8 @@ let merge a b =
     transport_lost = a.transport_lost + b.transport_lost;
     in_flight = a.in_flight + b.in_flight;
     transport_visible = a.transport_visible || b.transport_visible;
+    route_cache_hits = a.route_cache_hits + b.route_cache_hits;
+    route_cache_misses = a.route_cache_misses + b.route_cache_misses;
     latency_hops = Welford.merge a.latency_hops b.latency_hops;
     latency_histogram = Histogram.merge a.latency_histogram b.latency_histogram;
   }

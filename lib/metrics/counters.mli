@@ -88,6 +88,15 @@ val expose_transport : t -> unit
     turned on when a conservation check is live ([cup run --audit],
     [bench faults]). *)
 
+val set_route_cache_stats : t -> hits:int -> misses:int -> unit
+(** Copy the overlay's next-hop cache tally
+    ({!Cup_overlay.Net.route_cache_stats}) into this counter set at run
+    end.  Never printed by {!pp} — cache effectiveness varies across
+    cache configurations whose protocol results are byte-identical, so
+    it stays out of every deterministic surface and is read back only
+    through {!route_cache_hits}/{!route_cache_misses} (bench reports,
+    diagnostics). *)
+
 (** {1 Reading} *)
 
 val query_hops : t -> int
@@ -114,6 +123,8 @@ val sent : t -> int
 val delivered : t -> int
 val transport_lost : t -> int
 val in_flight : t -> int
+val route_cache_hits : t -> int
+val route_cache_misses : t -> int
 
 val miss_latency_hops : t -> Welford.t
 (** Distribution of per-miss latencies, in hops. *)

@@ -17,6 +17,11 @@ type t = {
   cache_enabled : bool;
   hop_cache : (int, Route.hop) Hashtbl.t;
   mutable hop_gen : int; (* generation [hop_cache] entries belong to *)
+  churn_lookups : int; (* bypass threshold; 0 = never bypass *)
+  mutable gen_lookups : int; (* lookups served in the current generation *)
+  mutable bypass : bool; (* skip cache maintenance this generation *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 type change = {
@@ -25,7 +30,7 @@ type change = {
   affected : Node_id.t list;
 }
 
-let create ?rng ?(route_cache = true) ~kind ~n () =
+let create ?rng ?(route_cache = true) ?(churn_lookups = 0) ~kind ~n () =
   let impl =
     match kind with
     | Can placement -> Can_net (Topology.create ?rng ~n ~placement ())
@@ -37,6 +42,11 @@ let create ?rng ?(route_cache = true) ~kind ~n () =
     cache_enabled = route_cache;
     hop_cache = Hashtbl.create (if route_cache then 4096 else 1);
     hop_gen = -1;
+    churn_lookups;
+    gen_lookups = 0;
+    bypass = false;
+    cache_hits = 0;
+    cache_misses = 0;
   }
 
 let kind net =
@@ -95,21 +105,46 @@ let next_hop_uncached impl id key =
 let pack_hop_key id key = (Node_id.to_int id lsl 31) lor Key.to_int key
 
 let next_hop net id key =
-  if not net.cache_enabled then next_hop_uncached net.impl id key
+  if not net.cache_enabled then begin
+    net.cache_misses <- net.cache_misses + 1;
+    next_hop_uncached net.impl id key
+  end
   else begin
     let gen = generation net in
     if gen <> net.hop_gen then begin
-      Hashtbl.reset net.hop_cache;
+      (* Under heavy churn a generation can be invalidated before the
+         refill pays for itself.  When the generation that just died
+         served fewer lookups than the refill would need to amortize,
+         route the next generation uncached instead of rebuilding — and
+         if it then survives past the threshold, resume caching. *)
+      net.bypass <-
+        net.churn_lookups > 0 && net.hop_gen >= 0
+        && net.gen_lookups < net.churn_lookups;
+      net.gen_lookups <- 0;
+      if Hashtbl.length net.hop_cache > 0 then Hashtbl.reset net.hop_cache;
       net.hop_gen <- gen
     end;
-    let packed = pack_hop_key id key in
-    match Hashtbl.find_opt net.hop_cache packed with
-    | Some hop -> hop
-    | None ->
-        let hop = next_hop_uncached net.impl id key in
-        Hashtbl.add net.hop_cache packed hop;
-        hop
+    net.gen_lookups <- net.gen_lookups + 1;
+    if net.bypass && net.gen_lookups > net.churn_lookups then
+      net.bypass <- false;
+    if net.bypass then begin
+      net.cache_misses <- net.cache_misses + 1;
+      next_hop_uncached net.impl id key
+    end
+    else
+      let packed = pack_hop_key id key in
+      match Hashtbl.find_opt net.hop_cache packed with
+      | Some hop ->
+          net.cache_hits <- net.cache_hits + 1;
+          hop
+      | None ->
+          net.cache_misses <- net.cache_misses + 1;
+          let hop = next_hop_uncached net.impl id key in
+          Hashtbl.add net.hop_cache packed hop;
+          hop
   end
+
+let route_cache_stats net = (net.cache_hits, net.cache_misses)
 
 (* Same per-kind step budgets as the underlying [route]s use. *)
 let route_limit net =

@@ -19,7 +19,13 @@ type change = {
 }
 
 val create :
-  ?rng:Cup_prng.Rng.t -> ?route_cache:bool -> kind:kind -> n:int -> unit -> t
+  ?rng:Cup_prng.Rng.t ->
+  ?route_cache:bool ->
+  ?churn_lookups:int ->
+  kind:kind ->
+  n:int ->
+  unit ->
+  t
 (** [Can `Random] and [Chord] require [rng] for placement ([Chord]
     falls back to evenly-spaced positions without it).
 
@@ -28,7 +34,13 @@ val create :
     (node, key) pair and invalidated wholesale whenever the overlay's
     {!generation} moves (any join, leave, or churn event).  Caching
     never changes any answer — overlay routing is a pure function of
-    the membership — so runs are byte-identical with it on or off. *)
+    the membership — so runs are byte-identical with it on or off.
+
+    [churn_lookups] (default [0] = off) adapts the cache to churn:
+    when a generation is invalidated after serving fewer than this
+    many lookups, the next generation is routed uncached (no refill
+    cost) until it proves stable by surviving that many lookups.
+    Speed-only, like [route_cache] itself. *)
 
 val kind : t -> kind
 val size : t -> int
@@ -38,6 +50,11 @@ val generation : t -> int
     join and leave.  The next-hop cache is keyed to this stamp. *)
 
 val route_cache_enabled : t -> bool
+
+val route_cache_stats : t -> int * int
+(** [(hits, misses)] of the next-hop cache over this net's lifetime.
+    Bypassed and cache-disabled lookups count as misses.  Diagnostic
+    only — deliberately outside the deterministic counter set. *)
 
 val node_ids : t -> Node_id.t list
 (** Alive node ids in increasing order; memoized per {!generation}. *)

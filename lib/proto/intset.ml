@@ -1,0 +1,56 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let cardinal t = t.len
+let is_empty t = t.len = 0
+
+(* Index of [x], or the insertion point encoded as [-(pos) - 1]. *)
+let search t x =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.data.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  if !lo < t.len && t.data.(!lo) = x then !lo else -(!lo) - 1
+
+let mem t x = search t x >= 0
+
+let add t x =
+  let i = search t x in
+  if i < 0 then begin
+    let pos = -i - 1 in
+    let cap = Array.length t.data in
+    if t.len = cap then begin
+      let grown = Array.make (Stdlib.max 4 (2 * cap)) 0 in
+      Array.blit t.data 0 grown 0 t.len;
+      t.data <- grown
+    end;
+    Array.blit t.data pos t.data (pos + 1) (t.len - pos);
+    t.data.(pos) <- x;
+    t.len <- t.len + 1
+  end
+
+let remove t x =
+  let i = search t x in
+  if i >= 0 then begin
+    Array.blit t.data (i + 1) t.data i (t.len - i - 1);
+    t.len <- t.len - 1
+  end
+
+let clear t = t.len <- 0
+let get t i = t.data.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.data.(i) :: acc) in
+  go (t.len - 1) []
+
+let remap t ~old_id ~new_id =
+  if mem t old_id then begin
+    remove t old_id;
+    add t new_id
+  end

@@ -1,0 +1,42 @@
+(** Sorted growable int-array set.
+
+    The flat node-state tables ({!Node_store}) keep interest vectors
+    and waiting sets as sorted [int array]s instead of functional
+    [Node_id.Set]s: no per-element boxing, no tree rebalancing, and
+    iteration is a linear array walk.  Elements are kept in strictly
+    increasing order, so {!to_list} and {!iter} enumerate exactly the
+    order [Node_id.Set.elements] would — the property the byte-identity
+    contract with the map-backed {!Node} rests on.
+
+    Sets here are tiny (a node's overlay degree), so inserts and
+    removals shift with [Array.blit] rather than anything clever. *)
+
+type t
+
+val create : unit -> t
+val cardinal : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+val add : t -> int -> unit
+(** No-op when already present. *)
+
+val remove : t -> int -> unit
+(** No-op when absent. *)
+
+val clear : t -> unit
+(** Empty the set, keeping its capacity for reuse. *)
+
+val get : t -> int -> int
+(** [get t i] is the [i]-th smallest element.  Undefined outside
+    [0 .. cardinal t - 1] (no bounds check beyond the array's own). *)
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending order. *)
+
+val to_list : t -> int list
+(** Ascending order — element-for-element what
+    [Node_id.Set.elements] yields on the same membership. *)
+
+val remap : t -> old_id:int -> new_id:int -> unit
+(** If [old_id] is a member, remove it and add [new_id]; otherwise do
+    nothing.  Mirrors {!Interest.remap}. *)

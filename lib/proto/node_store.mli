@@ -1,0 +1,149 @@
+(** Flat struct-of-arrays node-state tables.
+
+    A drop-in state backend for the CUP protocol: one {!t} holds the
+    per-(node, key) protocol state of {e every} node in the overlay in
+    pre-allocated, int-indexed parallel arrays, instead of one {!Node.t}
+    heap object per node with functional maps inside.  Slots are
+    recycled through an intrusive freelist and chained per node, so a
+    million-node run costs a few flat arrays rather than millions of
+    balanced-tree nodes.
+
+    Every handler mirrors the corresponding {!Node} handler exactly:
+    given the same history it returns the same action list, element for
+    element, and advances the (aggregated) {!Node.stats} by the same
+    amounts.  [test/test_state_equiv.ml] checks this end-to-end against
+    whole simulation traces.  The handlers take an explicit [node]
+    argument where {!Node}'s take the state object itself; stats are
+    aggregated across all nodes in one shared record. *)
+
+type t
+
+val create : ?slots_hint:int -> Node.config -> t
+(** [slots_hint] pre-sizes the slot pool (it still grows on demand). *)
+
+val config : t -> Node.config
+
+val stats : t -> Node.stats
+(** Aggregate over all nodes — the sum the runner computes by folding
+    per-node stats in the map-backed representation. *)
+
+val live_slots : t -> int
+(** Currently allocated (node, key) state slots, for capacity
+    telemetry. *)
+
+(** {1 Node registry}
+
+    The map-backed runner tracks node liveness by table membership;
+    the flat backend tracks it here. *)
+
+val register : t -> Cup_overlay.Node_id.t -> unit
+val mem : t -> Cup_overlay.Node_id.t -> bool
+
+(** {1 Protocol handlers (mirror {!Node})} *)
+
+val handle_query :
+  t ->
+  node:Cup_overlay.Node_id.t ->
+  now:Cup_dess.Time.t ->
+  next_hop:Cup_overlay.Node_id.t option ->
+  Node.source ->
+  Cup_overlay.Key.t ->
+  Node.action list
+
+val handle_update :
+  t ->
+  node:Cup_overlay.Node_id.t ->
+  now:Cup_dess.Time.t ->
+  from:Cup_overlay.Node_id.t ->
+  Update.t ->
+  Node.action list
+
+val handle_clear_bit :
+  t ->
+  node:Cup_overlay.Node_id.t ->
+  now:Cup_dess.Time.t ->
+  from:Cup_overlay.Node_id.t ->
+  Cup_overlay.Key.t ->
+  Node.action list
+
+(** {1 Authority-side operations} *)
+
+val add_local_key : t -> Cup_overlay.Node_id.t -> Cup_overlay.Key.t -> unit
+val owns : t -> Cup_overlay.Node_id.t -> Cup_overlay.Key.t -> bool
+
+val local_directory :
+  t -> Cup_overlay.Node_id.t -> Cup_overlay.Key.t -> Entry.t list
+
+val replica_birth :
+  t ->
+  node:Cup_overlay.Node_id.t ->
+  now:Cup_dess.Time.t ->
+  key:Cup_overlay.Key.t ->
+  Entry.t ->
+  Node.action list
+
+val replica_refresh :
+  t ->
+  node:Cup_overlay.Node_id.t ->
+  now:Cup_dess.Time.t ->
+  key:Cup_overlay.Key.t ->
+  Entry.t ->
+  Node.action list
+
+val replica_refresh_batch :
+  t ->
+  node:Cup_overlay.Node_id.t ->
+  now:Cup_dess.Time.t ->
+  key:Cup_overlay.Key.t ->
+  Entry.t list ->
+  Node.action list
+
+val replica_death :
+  t ->
+  node:Cup_overlay.Node_id.t ->
+  now:Cup_dess.Time.t ->
+  key:Cup_overlay.Key.t ->
+  Replica_id.t ->
+  Node.action list
+
+(** {1 Churn support} *)
+
+val remap_neighbor :
+  t ->
+  node:Cup_overlay.Node_id.t ->
+  old_id:Cup_overlay.Node_id.t ->
+  new_id:Cup_overlay.Node_id.t ->
+  unit
+
+val drop_neighbor :
+  t -> node:Cup_overlay.Node_id.t -> Cup_overlay.Node_id.t -> unit
+
+val retain_neighbors :
+  t -> node:Cup_overlay.Node_id.t -> Cup_overlay.Node_id.t list -> unit
+
+val handover_local :
+  t -> Cup_overlay.Node_id.t -> Cup_overlay.Key.t -> Entry.t list
+(** Remove and return the directory entries for an owned key, freeing
+    its slot back to the pool. *)
+
+val receive_local :
+  t -> Cup_overlay.Node_id.t -> Cup_overlay.Key.t -> Entry.t list -> unit
+
+(** {1 Introspection} *)
+
+val fresh_entries :
+  t ->
+  node:Cup_overlay.Node_id.t ->
+  now:Cup_dess.Time.t ->
+  Cup_overlay.Key.t ->
+  Entry.t list
+
+val pending_first : t -> Cup_overlay.Node_id.t -> Cup_overlay.Key.t -> bool
+
+val interested_neighbors :
+  t -> Cup_overlay.Node_id.t -> Cup_overlay.Key.t -> Cup_overlay.Node_id.t list
+
+val popularity : t -> Cup_overlay.Node_id.t -> Cup_overlay.Key.t -> int
+val distance_of : t -> Cup_overlay.Node_id.t -> Cup_overlay.Key.t -> int option
+val cached_keys : t -> Cup_overlay.Node_id.t -> Cup_overlay.Key.t list
+val owned_keys : t -> Cup_overlay.Node_id.t -> Cup_overlay.Key.t list

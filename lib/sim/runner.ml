@@ -6,6 +6,7 @@ module Node_id = Cup_overlay.Node_id
 module Key = Cup_overlay.Key
 module Splitmix = Cup_prng.Splitmix
 module Node = Cup_proto.Node
+module Node_store = Cup_proto.Node_store
 module Update = Cup_proto.Update
 module Update_queue = Cup_proto.Update_queue
 module Replica_id = Cup_proto.Replica_id
@@ -103,11 +104,19 @@ type metric_set = {
   mutable level_latency : Histogram.t option array;
 }
 
+(* Which representation holds the per-(node, key) protocol state.  The
+   two are byte-equivalent (checked end-to-end by [test_state_equiv]):
+   [Map_nodes] is one {!Node.t} heap object per node, [Flat_nodes] is
+   the struct-of-arrays pool sized for million-node runs. *)
+type backend =
+  | Map_nodes of Node.t Node_id.Table.t
+  | Flat_nodes of Node_store.t
+
 type live = {
   cfg : Scenario.t;
   engine : Engine.t;
   net : Net.t;
-  nodes : Node.t Node_id.Table.t;
+  nodes : backend;
   keys : Key.t array;
   authority : Node_id.t Key.Table.t;
   counters : Counters.t;
@@ -180,8 +189,114 @@ let level_hist ms level =
       ms.level_latency.(level) <- Some h;
       h
 
-let get_node t id = Node_id.Table.find t.nodes id
 let now t = Engine.now t.engine
+
+(* {2 State-backend dispatch}
+
+   Every protocol-state touch goes through one of these [b_]
+   wrappers.  The match is a two-way branch on an immutable field, so
+   the cost is noise next to the handler bodies. *)
+
+let b_register t id =
+  match t.nodes with
+  | Map_nodes nodes -> Node_id.Table.replace nodes id (Node.create ~id t.cfg.Scenario.node_config)
+  | Flat_nodes store -> Node_store.register store id
+
+let b_mem t id =
+  match t.nodes with
+  | Map_nodes nodes -> Node_id.Table.mem nodes id
+  | Flat_nodes store -> Node_store.mem store id
+
+let b_handle_query t id ~now ~next_hop source key =
+  match t.nodes with
+  | Map_nodes nodes ->
+      Node.handle_query (Node_id.Table.find nodes id) ~now ~next_hop source key
+  | Flat_nodes store ->
+      Node_store.handle_query store ~node:id ~now ~next_hop source key
+
+let b_handle_update t id ~now ~from update =
+  match t.nodes with
+  | Map_nodes nodes ->
+      Node.handle_update (Node_id.Table.find nodes id) ~now ~from update
+  | Flat_nodes store -> Node_store.handle_update store ~node:id ~now ~from update
+
+let b_handle_clear_bit t id ~now ~from key =
+  match t.nodes with
+  | Map_nodes nodes ->
+      Node.handle_clear_bit (Node_id.Table.find nodes id) ~now ~from key
+  | Flat_nodes store ->
+      Node_store.handle_clear_bit store ~node:id ~now ~from key
+
+let b_add_local_key t id key =
+  match t.nodes with
+  | Map_nodes nodes -> Node.add_local_key (Node_id.Table.find nodes id) key
+  | Flat_nodes store -> Node_store.add_local_key store id key
+
+let b_replica_birth t id ~now ~key entry =
+  match t.nodes with
+  | Map_nodes nodes ->
+      Node.replica_birth (Node_id.Table.find nodes id) ~now ~key entry
+  | Flat_nodes store -> Node_store.replica_birth store ~node:id ~now ~key entry
+
+let b_replica_refresh t id ~now ~key entry =
+  match t.nodes with
+  | Map_nodes nodes ->
+      Node.replica_refresh (Node_id.Table.find nodes id) ~now ~key entry
+  | Flat_nodes store ->
+      Node_store.replica_refresh store ~node:id ~now ~key entry
+
+let b_replica_refresh_batch t id ~now ~key entries =
+  match t.nodes with
+  | Map_nodes nodes ->
+      Node.replica_refresh_batch (Node_id.Table.find nodes id) ~now ~key entries
+  | Flat_nodes store ->
+      Node_store.replica_refresh_batch store ~node:id ~now ~key entries
+
+let b_replica_death t id ~now ~key replica =
+  match t.nodes with
+  | Map_nodes nodes ->
+      Node.replica_death (Node_id.Table.find nodes id) ~now ~key replica
+  | Flat_nodes store ->
+      Node_store.replica_death store ~node:id ~now ~key replica
+
+let b_pending_first t id key =
+  match t.nodes with
+  | Map_nodes nodes -> Node.pending_first (Node_id.Table.find nodes id) key
+  | Flat_nodes store -> Node_store.pending_first store id key
+
+let b_interested_neighbors t id key =
+  match t.nodes with
+  | Map_nodes nodes ->
+      Node.interested_neighbors (Node_id.Table.find nodes id) key
+  | Flat_nodes store -> Node_store.interested_neighbors store id key
+
+let b_remap_neighbor t id ~old_id ~new_id =
+  match t.nodes with
+  | Map_nodes nodes ->
+      Node.remap_neighbor (Node_id.Table.find nodes id) ~old_id ~new_id
+  | Flat_nodes store -> Node_store.remap_neighbor store ~node:id ~old_id ~new_id
+
+let b_drop_neighbor t id neighbor =
+  match t.nodes with
+  | Map_nodes nodes -> Node.drop_neighbor (Node_id.Table.find nodes id) neighbor
+  | Flat_nodes store -> Node_store.drop_neighbor store ~node:id neighbor
+
+let b_retain_neighbors t id current =
+  match t.nodes with
+  | Map_nodes nodes ->
+      Node.retain_neighbors (Node_id.Table.find nodes id) current
+  | Flat_nodes store -> Node_store.retain_neighbors store ~node:id current
+
+let b_handover_local t id key =
+  match t.nodes with
+  | Map_nodes nodes -> Node.handover_local (Node_id.Table.find nodes id) key
+  | Flat_nodes store -> Node_store.handover_local store id key
+
+let b_receive_local t id key entries =
+  match t.nodes with
+  | Map_nodes nodes ->
+      Node.receive_local (Node_id.Table.find nodes id) key entries
+  | Flat_nodes store -> Node_store.receive_local store id key entries
 
 let capacity_of t id =
   match Node_id.Table.find_opt t.capacity id with
@@ -417,7 +532,6 @@ and deliver_query t ~ctx ?(sid = 0) ?(attempt = 0) ~from ~to_ key =
     Counters.record_delivered t.counters;
     if attempt > 0 then Counters.record_repair t.counters;
     judge_pending_updates t ~node:to_ ~key;
-    let node = get_node t to_ in
     match Net.next_hop t.net to_ key with
     | Route.Stuck _ ->
         (* The receiver can make no routing progress toward the key's
@@ -429,7 +543,7 @@ and deliver_query t ~ctx ?(sid = 0) ?(attempt = 0) ~from ~to_ key =
           match hop with Route.Forward h -> Some h | _ -> None
         in
         perform t ~ctx:(child_ctx ctx sid) ~from:to_
-          (Node.handle_query node ~now:(now t) ~next_hop
+          (b_handle_query t to_ ~now:(now t) ~next_hop
              (Node.From_neighbor from) key)
   end
   else begin
@@ -497,11 +611,10 @@ and deliver_clear_bit t ~ctx ?(sid = 0) ~from ~to_ key =
          });
   if Net.is_alive t.net to_ then begin
     Counters.record_delivered t.counters;
-    let node = get_node t to_ in
     perform t
       ~ctx:(child_ctx ctx sid)
       ~from:to_
-      (Node.handle_clear_bit node ~now:(now t) ~from key)
+      (b_handle_clear_bit t to_ ~now:(now t) ~from key)
   end
   else
     (* A clear-bit to a dead receiver needs no repair, but it must
@@ -607,11 +720,10 @@ and deliver_update t ~ctx ?(sid = 0) ~from ~to_ ~answering (update : Update.t)
     Counters.record_delivered t.counters;
     if not answering then register_update_for_justification t ~node:to_ update;
     if t.fault_mode then note_update_for_repair t ~node:to_ update;
-    let node = get_node t to_ in
     perform t
       ~ctx:(child_ctx ctx sid)
       ~from:to_
-      (Node.handle_update node ~now:(now t) ~from update)
+      (b_handle_update t to_ ~now:(now t) ~from update)
   end
   else begin
     Counters.record_transport_lost t.counters;
@@ -632,12 +744,10 @@ and deliver_update t ~ctx ?(sid = 0) ~from ~to_ ~answering (update : Update.t)
              span_id = new_span t;
              parent_id = sid;
            });
-    if Net.is_alive t.net from then
-      match Node_id.Table.find_opt t.nodes from with
-      | Some sender ->
-          Node.drop_neighbor sender to_;
-          Counters.record_repair t.counters
-      | None -> ()
+    if Net.is_alive t.net from && b_mem t from then begin
+      b_drop_neighbor t from to_;
+      Counters.record_repair t.counters
+    end
     end
   end
 
@@ -723,10 +833,9 @@ and repair_check t st =
     let drop () = Hashtbl.remove t.repair packed in
     if not (Net.is_alive t.net st.r_node) then drop ()
     else begin
-      let node = get_node t st.r_node in
       let needs =
-        Node.pending_first node st.r_key
-        || Node.interested_neighbors node st.r_key <> []
+        b_pending_first t st.r_node st.r_key
+        || b_interested_neighbors t st.r_node st.r_key <> []
       in
       if not needs then
         (* No waiters and no downstream interest: a stale leaf cache
@@ -875,7 +984,6 @@ let post_query t ~node ~key =
     in
     judge_pending_updates t ~node ~key;
     t.queries_posted <- t.queries_posted + 1;
-    let n = get_node t node in
     match Net.next_hop t.net node key with
     | Route.Stuck _ -> Counters.record_unreachable t.counters
     | (Route.Owner | Route.Forward _) as hop ->
@@ -883,7 +991,7 @@ let post_query t ~node ~key =
           match hop with Route.Forward h -> Some h | _ -> None
         in
         perform t ~ctx ~from:node
-          (Node.handle_query n ~now:(now t) ~next_hop
+          (b_handle_query t node ~now:(now t) ~next_hop
              (Node.From_local (now t)) key)
   end
 
@@ -924,16 +1032,15 @@ let dispatch_replica_event t (e : Cup_workload.Replica_gen.event) =
   let key = t.keys.(e.key_index) in
   let auth = Key.Table.find t.authority key in
   if Net.is_alive t.net auth then begin
-    let node = get_node t auth in
     let replica = Replica_id.of_int e.replica in
     match e.kind with
     | Cup_workload.Replica_gen.Birth ->
         let entry = Entry.make ~replica ~expiry:(Time.add e.at e.lifetime) in
         perform t ~ctx:(origin_ctx t) ~from:auth
-          (Node.replica_birth node ~now:(now t) ~key entry)
+          (b_replica_birth t auth ~now:(now t) ~key entry)
     | Cup_workload.Replica_gen.Death ->
         perform t ~ctx:(origin_ctx t) ~from:auth
-          (Node.replica_death node ~now:(now t) ~key replica)
+          (b_replica_death t auth ~now:(now t) ~key replica)
     | Cup_workload.Replica_gen.Refresh ->
         let entry = Entry.make ~replica ~expiry:(Time.add e.at e.lifetime) in
         if t.cfg.refresh_batch_window > 0. then begin
@@ -953,11 +1060,11 @@ let dispatch_replica_event t (e : Cup_workload.Replica_gen.event) =
                        (* The batched flush is the root cause: it is
                           what actually enters the tree. *)
                        perform t ~ctx:(origin_ctx t) ~from:auth
-                         (Node.replica_refresh_batch (get_node t auth)
-                            ~now:(now t) ~key !buffer)))
+                         (b_replica_refresh_batch t auth ~now:(now t) ~key
+                            !buffer)))
         end
         else begin
-          let actions = Node.replica_refresh node ~now:(now t) ~key entry in
+          let actions = b_replica_refresh t auth ~now:(now t) ~key entry in
           if
             t.cfg.refresh_sample >= 1.
             || Dist.bernoulli t.sample_rng ~p:t.cfg.refresh_sample
@@ -1023,20 +1130,37 @@ let create_base cfg =
   let root = Rng.create ~seed:cfg.Scenario.seed in
   let topo_rng = Rng.substream root "topology" in
   let net =
-    Net.create ~rng:topo_rng ~route_cache:cfg.route_cache ~kind:cfg.overlay
+    Net.create ~rng:topo_rng ~route_cache:cfg.route_cache
+      ~churn_lookups:cfg.route_cache_churn_lookups ~kind:cfg.overlay
       ~n:cfg.nodes ()
   in
-  let nodes = Node_id.Table.create cfg.nodes in
-  List.iter
-    (fun id -> Node_id.Table.replace nodes id (Node.create ~id cfg.node_config))
-    (Net.node_ids net);
+  let nodes =
+    if cfg.flat_node_state then begin
+      let store =
+        Node_store.create ~slots_hint:(4 * cfg.nodes) cfg.node_config
+      in
+      List.iter (Node_store.register store) (Net.node_ids net);
+      Flat_nodes store
+    end
+    else begin
+      let table = Node_id.Table.create cfg.nodes in
+      List.iter
+        (fun id ->
+          Node_id.Table.replace table id (Node.create ~id cfg.node_config))
+        (Net.node_ids net);
+      Map_nodes table
+    end
+  in
   let keys = Array.init (Scenario.total_keys cfg) Key.of_int in
   let authority = Key.Table.create (Array.length keys) in
   Array.iter
     (fun key ->
       let owner = Net.owner_of_key net key in
       Key.Table.replace authority key owner;
-      Node.add_local_key (Node_id.Table.find nodes owner) key)
+      match nodes with
+      | Map_nodes table ->
+          Node.add_local_key (Node_id.Table.find table owner) key
+      | Flat_nodes store -> Node_store.add_local_key store owner key)
     keys;
   let t =
     {
@@ -1124,19 +1248,35 @@ let aggregate_stats t =
       expired_updates_dropped = 0;
     }
   in
-  Node_id.Table.iter
-    (fun _ node ->
-      let s = Node.stats node in
-      total.queries_in <- total.queries_in + s.queries_in;
-      total.queries_coalesced <- total.queries_coalesced + s.queries_coalesced;
-      total.cache_answers <- total.cache_answers + s.cache_answers;
-      total.updates_in <- total.updates_in + s.updates_in;
-      total.updates_forwarded <- total.updates_forwarded + s.updates_forwarded;
-      total.clear_bits_sent <- total.clear_bits_sent + s.clear_bits_sent;
-      total.clear_bits_in <- total.clear_bits_in + s.clear_bits_in;
-      total.expired_updates_dropped <-
-        total.expired_updates_dropped + s.expired_updates_dropped)
-    t.nodes;
+  (match t.nodes with
+  | Map_nodes nodes ->
+      Node_id.Table.iter
+        (fun _ node ->
+          let s = Node.stats node in
+          total.queries_in <- total.queries_in + s.queries_in;
+          total.queries_coalesced <-
+            total.queries_coalesced + s.queries_coalesced;
+          total.cache_answers <- total.cache_answers + s.cache_answers;
+          total.updates_in <- total.updates_in + s.updates_in;
+          total.updates_forwarded <-
+            total.updates_forwarded + s.updates_forwarded;
+          total.clear_bits_sent <- total.clear_bits_sent + s.clear_bits_sent;
+          total.clear_bits_in <- total.clear_bits_in + s.clear_bits_in;
+          total.expired_updates_dropped <-
+            total.expired_updates_dropped + s.expired_updates_dropped)
+        nodes
+  | Flat_nodes store ->
+      (* The store aggregates as it goes (one shared record); copy so
+         the result owns its stats like the map path's fold does. *)
+      let s = Node_store.stats store in
+      total.queries_in <- s.queries_in;
+      total.queries_coalesced <- s.queries_coalesced;
+      total.cache_answers <- s.cache_answers;
+      total.updates_in <- s.updates_in;
+      total.updates_forwarded <- s.updates_forwarded;
+      total.clear_bits_sent <- s.clear_bits_sent;
+      total.clear_bits_in <- s.clear_bits_in;
+      total.expired_updates_dropped <- s.expired_updates_dropped);
   total
 
 (* Snapshot the run's counters into the attached registry so a
@@ -1195,6 +1335,8 @@ let export_counters c reg =
 
 let finish t =
   Engine.run t.engine;
+  let hits, misses = Net.route_cache_stats t.net in
+  Counters.set_route_cache_stats t.counters ~hits ~misses;
   (match t.metrics with
   | Some ms -> export_counters t.counters ms.registry
   | None -> ());
@@ -1226,12 +1368,12 @@ let reassign_authorities ?(handover = true) t =
     (fun key auth ->
       let owner = Net.owner_of_key t.net key in
       if not (Node_id.equal owner auth) then begin
-        (match Node_id.Table.find_opt t.nodes auth with
-        | Some old_node ->
-            let entries = Node.handover_local old_node key in
-            if handover then Node.receive_local (get_node t owner) key entries
-            else Node.add_local_key (get_node t owner) key
-        | None -> Node.add_local_key (get_node t owner) key);
+        (if b_mem t auth then begin
+           let entries = b_handover_local t auth key in
+           if handover then b_receive_local t owner key entries
+           else b_add_local_key t owner key
+         end
+         else b_add_local_key t owner key);
         Key.Table.replace t.authority key owner
       end)
     t.authority
@@ -1239,10 +1381,8 @@ let reassign_authorities ?(handover = true) t =
 let patch_affected t affected =
   List.iter
     (fun id ->
-      if Net.is_alive t.net id then
-        match Node_id.Table.find_opt t.nodes id with
-        | Some node -> Node.retain_neighbors node (Net.neighbors t.net id)
-        | None -> ())
+      if Net.is_alive t.net id && b_mem t id then
+        b_retain_neighbors t id (Net.neighbors t.net id))
     affected
 
 let node_join t =
@@ -1253,8 +1393,7 @@ let node_join t =
         (Format.pp_print_option Node_id.pp)
         change.peer
         (List.length change.affected));
-  let node = Node.create ~id:change.subject t.cfg.node_config in
-  Node_id.Table.replace t.nodes change.subject node;
+  b_register t change.subject;
   reassign_authorities t;
   patch_affected t (change.subject :: change.affected);
   change.subject
@@ -1278,7 +1417,7 @@ let node_leave ?(graceful = true) t id =
       List.iter
         (fun a ->
           if Net.is_alive t.net a then
-            Node.remap_neighbor (get_node t a) ~old_id:id ~new_id:taker)
+            b_remap_neighbor t a ~old_id:id ~new_id:taker)
         change.affected
   | None -> ());
   patch_affected t change.affected
@@ -1392,7 +1531,13 @@ module Live = struct
             in
             if depth > 0 then Some (id, depth) else None)
       (Net.node_ids t.net)
-  let node t id = get_node t id
+  let node t id =
+    match t.nodes with
+    | Map_nodes nodes -> Node_id.Table.find nodes id
+    | Flat_nodes _ ->
+        invalid_arg
+          "Runner.Live.node: per-node introspection is unavailable under \
+           flat_node_state"
   let counters t = t.counters
   let key_of_index t i = t.keys.(i)
   let authority_of t key = Key.Table.find t.authority key

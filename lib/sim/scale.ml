@@ -1,0 +1,453 @@
+(* Batch-synchronous sharded CUP runs over the arithmetic ring overlay.
+   See scale.mli for the synchronization and byte-identity contract. *)
+
+module Ring = Cup_overlay.Ring
+module Node_id = Cup_overlay.Node_id
+module Key = Cup_overlay.Key
+module Node = Cup_proto.Node
+module Node_store = Cup_proto.Node_store
+module Update = Cup_proto.Update
+module Entry = Cup_proto.Entry
+module Replica_id = Cup_proto.Replica_id
+module Time = Cup_dess.Time
+module Window_sync = Cup_dess.Window_sync
+module Pool = Cup_parallel.Pool
+module Query_gen = Cup_workload.Query_gen
+
+type config = {
+  seed : int;
+  nodes : int;
+  keys : int;
+  replicas : int;
+  rate : float;
+  shards : int;
+  hop_delay : float;
+  lifetime : float;
+  query_start : float;
+  query_duration : float;
+  drain : float;
+  zipf : float;
+}
+
+let default =
+  {
+    seed = 1;
+    nodes = 10_000;
+    keys = 512;
+    replicas = 2;
+    rate = 2000.;
+    shards = 1;
+    hop_delay = 0.01;
+    lifetime = 8.;
+    query_start = 8.;
+    query_duration = 10.;
+    drain = 2.;
+    zipf = 0.9;
+  }
+
+type totals = {
+  mutable posts : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable answered : int;
+  mutable latency_hops : int;
+  mutable query_hops : int;
+  mutable ft_answer_hops : int;
+  mutable ft_proactive_hops : int;
+  mutable refresh_hops : int;
+  mutable delete_hops : int;
+  mutable append_hops : int;
+  mutable clear_hops : int;
+  mutable deliveries : int;
+  mutable refreshes : int;
+}
+
+let zero_totals () =
+  {
+    posts = 0;
+    hits = 0;
+    misses = 0;
+    answered = 0;
+    latency_hops = 0;
+    query_hops = 0;
+    ft_answer_hops = 0;
+    ft_proactive_hops = 0;
+    refresh_hops = 0;
+    delete_hops = 0;
+    append_hops = 0;
+    clear_hops = 0;
+    deliveries = 0;
+    refreshes = 0;
+  }
+
+(* Summed in shard order at run end; integer addition is
+   order-independent anyway. *)
+let add_totals into from =
+  into.posts <- into.posts + from.posts;
+  into.hits <- into.hits + from.hits;
+  into.misses <- into.misses + from.misses;
+  into.answered <- into.answered + from.answered;
+  into.latency_hops <- into.latency_hops + from.latency_hops;
+  into.query_hops <- into.query_hops + from.query_hops;
+  into.ft_answer_hops <- into.ft_answer_hops + from.ft_answer_hops;
+  into.ft_proactive_hops <- into.ft_proactive_hops + from.ft_proactive_hops;
+  into.refresh_hops <- into.refresh_hops + from.refresh_hops;
+  into.delete_hops <- into.delete_hops + from.delete_hops;
+  into.append_hops <- into.append_hops + from.append_hops;
+  into.clear_hops <- into.clear_hops + from.clear_hops;
+  into.deliveries <- into.deliveries + from.deliveries;
+  into.refreshes <- into.refreshes + from.refreshes
+
+type result = {
+  config : config;
+  totals : totals;
+  windows : int;
+  events : int;
+  live_slots : int;
+  dropped_at_horizon : int;
+  wallclock : float;
+  events_per_sec : float;
+}
+
+(* {1 Events}
+
+   Messages carry the emitting node and its per-source emission
+   sequence number: (src, seq) is globally unique, making the in-window
+   sort key a total order.  Workload events carry their pre-generation
+   index, which is globally unique and increasing by construction. *)
+
+type payload =
+  | P_query of Key.t
+  | P_update of Update.t * bool (* answering *)
+  | P_clear of Key.t
+
+type msg = { dst : int; cls : int; src : int; seq : int; payload : payload }
+
+type local_ev =
+  | L_refresh of { key : int; idx : int }
+  | L_post of { node : int; key : int; idx : int }
+
+type work = W_msg of msg | W_local of local_ev
+
+(* Canonical in-window processing order: deliveries first (they were
+   in flight when the window opened), then authority refreshes, then
+   query posts; ties broken by ids that are independent of the shard
+   layout. *)
+let work_key = function
+  | W_msg m -> (0, m.dst, m.cls, m.src, m.seq)
+  | W_local (L_refresh { key; idx }) -> (1, idx, key, 0, 0)
+  | W_local (L_post { node; idx; _ }) -> (2, idx, node, 0, 0)
+
+let compare_work a b : int = Stdlib.compare (work_key a) (work_key b)
+
+let validate cfg =
+  let fail msg = invalid_arg ("Scale.run: " ^ msg) in
+  if cfg.nodes < 1 then fail "nodes must be >= 1";
+  if cfg.keys < 1 then fail "keys must be >= 1";
+  if cfg.replicas < 1 then fail "replicas must be >= 1";
+  if cfg.rate <= 0. then fail "rate must be > 0";
+  if cfg.shards < 1 then fail "shards must be >= 1";
+  if cfg.hop_delay <= 0. then fail "hop_delay must be > 0";
+  if cfg.lifetime <= 0. then fail "lifetime must be > 0";
+  if cfg.query_start < 0. then fail "query_start must be >= 0";
+  if cfg.query_duration <= 0. then fail "query_duration must be > 0";
+  if cfg.drain < 0. then fail "drain must be >= 0";
+  if cfg.zipf < 0. then fail "zipf must be >= 0"
+
+let trace_line w work out_count =
+  match work with
+  | W_msg { dst; src; seq; payload; _ } -> (
+      match payload with
+      | P_query key ->
+          Printf.sprintf
+            "{\"w\":%d,\"type\":\"query\",\"dst\":%d,\"src\":%d,\"seq\":%d,\"key\":%d,\"out\":%d}"
+            w dst src seq (Key.to_int key) out_count
+      | P_update (u, answering) ->
+          Printf.sprintf
+            "{\"w\":%d,\"type\":\"update\",\"dst\":%d,\"src\":%d,\"seq\":%d,\"key\":%d,\"kind\":\"%s\",\"level\":%d,\"answering\":%b,\"out\":%d}"
+            w dst src seq
+            (Key.to_int u.Update.key)
+            (Update.kind_to_string u.Update.kind)
+            u.Update.level answering out_count
+      | P_clear key ->
+          Printf.sprintf
+            "{\"w\":%d,\"type\":\"clear\",\"dst\":%d,\"src\":%d,\"seq\":%d,\"key\":%d,\"out\":%d}"
+            w dst src seq (Key.to_int key) out_count)
+  | W_local (L_refresh { key; idx }) ->
+      Printf.sprintf
+        "{\"w\":%d,\"type\":\"refresh\",\"key\":%d,\"idx\":%d,\"out\":%d}" w key
+        idx out_count
+  | W_local (L_post { node; key; idx }) ->
+      Printf.sprintf
+        "{\"w\":%d,\"type\":\"post\",\"node\":%d,\"key\":%d,\"idx\":%d,\"out\":%d}"
+        w node key idx out_count
+
+let run ?tracer cfg =
+  validate cfg;
+  let t0 = Unix.gettimeofday () in
+  let width = cfg.hop_delay in
+  let sim_end = cfg.query_start +. cfg.query_duration +. cfg.drain in
+  let windows = max 1 (int_of_float (Float.ceil (sim_end /. width))) in
+  let shards = cfg.shards in
+  let ring = Ring.create ~n:cfg.nodes in
+  let shard_of node = node mod shards in
+  let window_of t =
+    let w = int_of_float (t /. width) in
+    if w >= windows then windows - 1 else if w < 0 then 0 else w
+  in
+  (* {2 Workload pre-generation}
+
+     All stochastic choices happen here, before any shard runs: the
+     simulation itself draws no randomness, so its behaviour depends
+     only on this event list — not on the shard layout.  Events are
+     binned by (window, shard of the acting node) and stamped with a
+     global pre-generation index. *)
+  let locals = Array.init windows (fun _ -> Array.make shards []) in
+  let idx = ref 0 in
+  let push_local w s ev = locals.(w).(s) <- ev :: locals.(w).(s) in
+  (* Authority refresh schedule: every key refreshes its whole
+     directory each half-lifetime, with a deterministic per-key phase
+     so the network-wide refresh load is spread evenly. *)
+  let period = cfg.lifetime /. 2. in
+  for k = 0 to cfg.keys - 1 do
+    let auth = Ring.owner ring k in
+    let frac =
+      Int64.to_float
+        (Int64.shift_right_logical
+           (Cup_prng.Splitmix.mix (Int64.of_int ((k * 2) + 1)))
+           11)
+      *. 0x1p-53
+    in
+    let t = ref (frac *. period) in
+    while !t < sim_end do
+      push_local (window_of !t) (shard_of auth) (L_refresh { key = k; idx = !idx });
+      incr idx;
+      t := !t +. period
+    done
+  done;
+  (* Poisson query arrivals; Zipf (or uniform) key popularity. *)
+  let rng = Cup_prng.Rng.substream (Cup_prng.Rng.create ~seed:cfg.seed) "scale-queries" in
+  let gen =
+    Query_gen.create ~rng ~rate:cfg.rate
+      ~start:(Time.of_seconds cfg.query_start)
+      ~stop:(Time.of_seconds (cfg.query_start +. cfg.query_duration))
+      ~nodes:cfg.nodes
+      ~key_dist:
+        (if cfg.zipf > 0. then Query_gen.Zipf (cfg.keys, cfg.zipf)
+         else Query_gen.Uniform cfg.keys)
+  in
+  Query_gen.fold gen ~init:() ~f:(fun () (ev : Query_gen.event) ->
+      push_local
+        (window_of (Time.to_seconds ev.at))
+        (shard_of ev.node_index)
+        (L_post { node = ev.node_index; key = ev.key_index; idx = !idx });
+      incr idx);
+  (* {2 Shard state} *)
+  let node_cfg = Node.default_config in
+  let slots_hint = max 1024 (cfg.nodes / shards / 4) in
+  let stores =
+    Array.init shards (fun _ -> Node_store.create ~slots_hint node_cfg)
+  in
+  for k = 0 to cfg.keys - 1 do
+    let auth = Ring.owner ring k in
+    Node_store.add_local_key stores.(shard_of auth) (Node_id.of_int auth)
+      (Key.of_int k)
+  done;
+  (* Per-source emission counters: shared array, but each index is
+     written only by the shard that owns the node, so parallel windows
+     never race. *)
+  let emit_seq = Array.make cfg.nodes 0 in
+  let sync : msg Window_sync.t = Window_sync.create ~shards ~windows in
+  let tot = Array.init shards (fun _ -> zero_totals ()) in
+  let next_hop_of node key =
+    match
+      Ring.next_hop ring ~node ~target:(Ring.owner ring (Key.to_int key))
+    with
+    | None -> None
+    | Some h -> Some (Node_id.of_int h)
+  in
+  let traced = tracer <> None in
+  (* {2 One shard, one window} *)
+  let process_shard w s =
+    let now_s = float_of_int w *. width in
+    let now = Time.of_seconds now_s in
+    let store = stores.(s) in
+    let t = tot.(s) in
+    let works =
+      List.sort compare_work
+        (List.rev_append
+           (List.rev_map (fun m -> W_msg m) (Window_sync.drain sync ~shard:s ~window:w))
+           (List.map (fun l -> W_local l) locals.(w).(s)))
+    in
+    locals.(w).(s) <- [];
+    let out = ref [] in
+    let lines = ref [] in
+    let emitted = ref 0 in
+    let emit src cls payload to_ =
+      let dst = Node_id.to_int to_ in
+      let seq = emit_seq.(src) in
+      emit_seq.(src) <- seq + 1;
+      incr emitted;
+      out := { dst; cls; src; seq; payload } :: !out
+    in
+    let exec node acts =
+      List.iter
+        (fun (act : Node.action) ->
+          match act with
+          | Node.Send_query { to_; key } ->
+              t.query_hops <- t.query_hops + 1;
+              emit node 0 (P_query key) to_
+          | Node.Send_update { to_; update; answering } ->
+              (match update.Update.kind with
+              | Update.First_time ->
+                  if answering then t.ft_answer_hops <- t.ft_answer_hops + 1
+                  else t.ft_proactive_hops <- t.ft_proactive_hops + 1
+              | Update.Refresh -> t.refresh_hops <- t.refresh_hops + 1
+              | Update.Delete -> t.delete_hops <- t.delete_hops + 1
+              | Update.Append -> t.append_hops <- t.append_hops + 1);
+              emit node 1 (P_update (update, answering)) to_
+          | Node.Send_clear_bit { to_; key } ->
+              t.clear_hops <- t.clear_hops + 1;
+              emit node 2 (P_clear key) to_
+          | Node.Answer_local { posted_at; hit; _ } ->
+              if hit then t.hits <- t.hits + List.length posted_at
+              else begin
+                t.answered <- t.answered + List.length posted_at;
+                List.iter
+                  (fun p ->
+                    t.latency_hops <-
+                      t.latency_hops
+                      + int_of_float
+                          (Float.round ((now_s -. Time.to_seconds p) /. width)))
+                  posted_at
+              end)
+        acts
+    in
+    List.iter
+      (fun work ->
+        let emitted0 = !emitted in
+        (match work with
+        | W_msg m -> (
+            t.deliveries <- t.deliveries + 1;
+            let nid = Node_id.of_int m.dst in
+            let from = Node_id.of_int m.src in
+            match m.payload with
+            | P_query key ->
+                exec m.dst
+                  (Node_store.handle_query store ~node:nid ~now
+                     ~next_hop:(next_hop_of m.dst key)
+                     (Node.From_neighbor from) key)
+            | P_update (u, _) ->
+                exec m.dst (Node_store.handle_update store ~node:nid ~now ~from u)
+            | P_clear key ->
+                exec m.dst
+                  (Node_store.handle_clear_bit store ~node:nid ~now ~from key))
+        | W_local (L_refresh { key; _ }) ->
+            t.refreshes <- t.refreshes + 1;
+            let auth = Ring.owner ring key in
+            let expiry = Time.of_seconds (now_s +. cfg.lifetime) in
+            let entries =
+              List.init cfg.replicas (fun r ->
+                  Entry.make ~replica:(Replica_id.of_int r) ~expiry)
+            in
+            exec auth
+              (Node_store.replica_refresh_batch store
+                 ~node:(Node_id.of_int auth) ~now ~key:(Key.of_int key) entries)
+        | W_local (L_post { node; key; _ }) ->
+            t.posts <- t.posts + 1;
+            let k = Key.of_int key in
+            let acts =
+              Node_store.handle_query store ~node:(Node_id.of_int node) ~now
+                ~next_hop:(next_hop_of node k) (Node.From_local now) k
+            in
+            let hit =
+              List.exists
+                (function
+                  | Node.Answer_local { hit = true; _ } -> true | _ -> false)
+                acts
+            in
+            if not hit then t.misses <- t.misses + 1;
+            exec node acts);
+        if traced then
+          lines := (work_key work, trace_line w work (!emitted - emitted0)) :: !lines)
+      works;
+    (List.rev !out, List.rev !lines)
+  in
+  (* {2 The window barrier loop} *)
+  let pool = if shards > 1 then Some (Pool.create ~jobs:shards) else None in
+  let shard_ids = List.init shards Fun.id in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Pool.shutdown pool)
+    (fun () ->
+      for w = 0 to windows - 1 do
+        let results =
+          match pool with
+          | Some p -> Pool.map p (fun s -> process_shard w s) shard_ids
+          | None -> List.map (fun s -> process_shard w s) shard_ids
+        in
+        (* Route every shard's outbox, in shard order then emission
+           order, into the next window's bins. *)
+        List.iter
+          (fun (outs, _) ->
+            List.iter
+              (fun (m : msg) ->
+                Window_sync.post sync ~shard:(shard_of m.dst) ~window:(w + 1) m)
+              outs)
+          results;
+        match tracer with
+        | None -> ()
+        | Some emit_line ->
+            List.concat_map snd results
+            |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+            |> List.iter (fun ((_ : int * int * int * int * int), line) ->
+                   emit_line line)
+      done);
+  let totals = zero_totals () in
+  Array.iter (fun t -> add_totals totals t) tot;
+  let live_slots =
+    Array.fold_left (fun acc st -> acc + Node_store.live_slots st) 0 stores
+  in
+  let events = totals.deliveries + totals.posts + totals.refreshes in
+  let wallclock = Unix.gettimeofday () -. t0 in
+  {
+    config = cfg;
+    totals;
+    windows;
+    events;
+    live_slots;
+    dropped_at_horizon = Window_sync.dropped sync;
+    wallclock;
+    events_per_sec =
+      (if wallclock > 0. then float_of_int events /. wallclock else 0.);
+  }
+
+let summary r =
+  let c = r.config and t = r.totals in
+  let b = Buffer.create 512 in
+  Printf.bprintf b
+    "scale: nodes=%d keys=%d replicas=%d rate=%g zipf=%g lifetime=%g \
+     hop-delay=%g windows=%d\n"
+    c.nodes c.keys c.replicas c.rate c.zipf c.lifetime c.hop_delay r.windows;
+  Printf.bprintf b "queries: posted=%d hits=%d misses=%d answered=%d\n" t.posts
+    t.hits t.misses t.answered;
+  Printf.bprintf b
+    "hops: query=%d ft-answer=%d ft-proactive=%d refresh=%d delete=%d \
+     append=%d clear=%d\n"
+    t.query_hops t.ft_answer_hops t.ft_proactive_hops t.refresh_hops
+    t.delete_hops t.append_hops t.clear_hops;
+  let miss_cost = t.query_hops + t.ft_answer_hops in
+  let overhead =
+    t.ft_proactive_hops + t.refresh_hops + t.delete_hops + t.append_hops
+    + t.clear_hops
+  in
+  Printf.bprintf b "cost: miss=%d overhead=%d total=%d\n" miss_cost overhead
+    (miss_cost + overhead);
+  Printf.bprintf b "miss latency (hops): sum=%d answered=%d avg=%s\n"
+    t.latency_hops t.answered
+    (if t.answered = 0 then "-"
+     else Printf.sprintf "%.2f" (float_of_int t.latency_hops /. float_of_int t.answered));
+  Printf.bprintf b
+    "state: live-slots=%d deliveries=%d refresh-events=%d \
+     dropped-at-horizon=%d\n"
+    r.live_slots t.deliveries t.refreshes r.dropped_at_horizon;
+  Buffer.contents b

@@ -40,6 +40,8 @@ type t = {
   refresh_batch_window : float;
   refresh_sample : float;
   piggyback_clear_bits : bool;
+  flat_node_state : bool;
+  route_cache_churn_lookups : int;
 }
 
 let default =
@@ -69,6 +71,8 @@ let default =
     refresh_batch_window = 0.;
     refresh_sample = 1.;
     piggyback_clear_bits = false;
+    flat_node_state = false;
+    route_cache_churn_lookups = 64;
   }
 
 let sim_end t = t.query_start +. t.query_duration +. t.drain
@@ -114,6 +118,11 @@ let validate t =
     check
       (t.refresh_sample >= 0. && t.refresh_sample <= 1.)
       "refresh_sample must be in [0, 1]"
+  in
+  let* () =
+    check
+      (t.route_cache_churn_lookups >= 0)
+      "route_cache_churn_lookups must be >= 0"
   in
   let* () =
     match t.capacity_mode with

@@ -113,6 +113,20 @@ type t = {
       (** When [true], clear-bit hops are not charged to the overhead
           (Section 2.7 allows piggy-backing them onto queries or
           updates; the paper's accounting conservatively does not). *)
+  flat_node_state : bool;
+      (** run the protocol state machine on the flat struct-of-arrays
+          tables ({!Cup_proto.Node_store}) instead of one map-backed
+          {!Cup_proto.Node} per node.  Byte-identical results either
+          way (checked by [test_state_equiv]); the flat backend exists
+          for memory footprint at large [nodes].  The live-introspection
+          hook {!Runner.Live.node} is unavailable under it. *)
+  route_cache_churn_lookups : int;
+      (** the overlay's next-hop cache is bypassed for a topology
+          generation when the {e previous} generation served fewer than
+          this many lookups before being invalidated — refilling a
+          cache that churns faster than it is read costs more than
+          routing uncached.  [0] never bypasses.  Speed-only knob:
+          results are byte-identical regardless. *)
 }
 
 val default : t

@@ -1,0 +1,205 @@
+(* State-representation equivalence: the same scenario driven through
+   the legacy map-backed node state ([Scenario.flat_node_state =
+   false]) and the flat struct-of-arrays tables must produce identical
+   counters, node stats, result fields and trace bytes — under both
+   schedulers.  This is the contract that makes the flat backend a pure
+   memory optimisation. *)
+
+module Scenario = Cup_sim.Scenario
+module Runner = Cup_sim.Runner
+module Counters = Cup_metrics.Counters
+module Policy = Cup_proto.Policy
+module Net = Cup_overlay.Net
+
+let base =
+  {
+    Scenario.default with
+    nodes = 48;
+    total_keys_override = Some 2;
+    query_rate = 0.5;
+    query_start = 300.;
+    query_duration = 900.;
+    drain = 300.;
+  }
+
+(* The full observable surface of a run: printed counters, aggregated
+   node stats, the scalar result fields, and the trace serialized to
+   its JSONL bytes. *)
+let observe cfg =
+  let live = Runner.Live.create cfg in
+  let buf = Buffer.create 4096 in
+  Runner.Live.set_tracer live
+    (Some
+       (fun e ->
+         Buffer.add_string buf (Cup_obs.Event_json.to_string e);
+         Buffer.add_char buf '\n'));
+  let r = Runner.Live.finish live in
+  ( Format.asprintf "%a" Counters.pp r.counters,
+    r.node_stats,
+    ( r.queries_posted,
+      r.replica_events,
+      r.engine_events,
+      r.tracked_updates,
+      r.justified_updates ),
+    Buffer.contents buf )
+
+let check_equiv name cfg =
+  let counters_m, stats_m, scalars_m, trace_m =
+    observe { cfg with Scenario.flat_node_state = false }
+  in
+  let counters_f, stats_f, scalars_f, trace_f =
+    observe { cfg with Scenario.flat_node_state = true }
+  in
+  Alcotest.(check string) (name ^ ": counters") counters_m counters_f;
+  Alcotest.(check bool) (name ^ ": node stats") true (stats_m = stats_f);
+  Alcotest.(check (list int))
+    (name ^ ": result fields")
+    (let a, b, c, d, e = scalars_m in
+     [ a; b; c; d; e ])
+    (let a, b, c, d, e = scalars_f in
+     [ a; b; c; d; e ]);
+  Alcotest.(check string) (name ^ ": trace bytes") trace_m trace_f
+
+(* {1 The required matrix: 3 seeds x heap/calendar} *)
+
+let seeds = [ 1101; 2202; 3303 ]
+
+let test_seed_scheduler_matrix () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun sched ->
+          let name =
+            Printf.sprintf "seed %d %s" seed
+              (match sched with `Heap -> "heap" | `Calendar -> "calendar")
+          in
+          check_equiv name
+            (Scenario.with_policy
+               { base with seed; scheduler = Some sched }
+               Policy.second_chance))
+        [ `Heap; `Calendar ])
+    seeds
+
+(* {1 Feature coverage: the paths that touch node state differently} *)
+
+(* Churn exercises remap/drop/retain/handover/receive; loss exercises
+   the repair introspection; token-bucket exercises queued updates;
+   batching exercises refresh_batch; Zipf + several keys exercises the
+   per-key tables. *)
+let test_faults_and_churn () =
+  check_equiv "crash-and-loss"
+    (Scenario.with_policy
+       {
+         base with
+         seed = 4404;
+         overlay = Net.Chord;
+         crashes =
+           Some { Scenario.crash_rate = 0.02; recover_after = 20.; warmup = 30. };
+         loss = Some { Scenario.drop = 0.15; jitter = 1.0 };
+       }
+       Policy.second_chance)
+
+let test_token_bucket_batching () =
+  check_equiv "token-bucket-batching"
+    (Scenario.with_policy
+       {
+         base with
+         seed = 5505;
+         capacity_mode = Scenario.Token_bucket 50.;
+         refresh_batch_window = 5.;
+         replicas_per_key = 3;
+         death_prob = 0.2;
+         faults =
+           Some
+             (Scenario.Once_down { fraction = 0.25; reduced = 0.25; warmup = 60. });
+       }
+       (Policy.Linear 0.25))
+
+let test_zipf_multikey () =
+  check_equiv "pastry-zipf"
+    (Scenario.with_policy
+       {
+         base with
+         seed = 6606;
+         overlay = Net.Pastry;
+         key_dist = `Zipf 0.9;
+         total_keys_override = Some 4;
+         refresh_sample = 0.5;
+       }
+       (Policy.Logarithmic 0.5))
+
+(* {1 Random scenarios} *)
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* seed = int_range 1 1_000_000 in
+    let* nodes = int_range 16 64 in
+    let* keys = int_range 1 4 in
+    let* overlay =
+      oneofl [ Net.Can `Random; Net.Can `Grid; Net.Chord; Net.Pastry ]
+    in
+    let* policy =
+      oneofl
+        [
+          Policy.second_chance;
+          Policy.Linear 0.25;
+          Policy.Logarithmic 0.5;
+          Policy.Standard_caching;
+        ]
+    in
+    let* replicas = int_range 1 3 in
+    let* death_prob = oneofl [ 0.; 0.2 ] in
+    let* crashes =
+      oneofl
+        [
+          None;
+          Some { Scenario.crash_rate = 0.02; recover_after = 20.; warmup = 30. };
+        ]
+    in
+    let* loss =
+      oneofl [ None; Some { Scenario.drop = 0.1; jitter = 0.5 } ]
+    in
+    return
+      (Scenario.with_policy
+         {
+           base with
+           seed;
+           nodes;
+           total_keys_override = Some keys;
+           overlay;
+           replicas_per_key = replicas;
+           death_prob;
+           crashes;
+           loss;
+           query_duration = 600.;
+           drain = 200.;
+         }
+         policy))
+
+let prop_random_equivalence =
+  QCheck.Test.make ~count:10 ~name:"map and flat backends are byte-equivalent"
+    (QCheck.make scenario_gen) (fun cfg ->
+      let counters_m, stats_m, scalars_m, trace_m =
+        observe { cfg with Scenario.flat_node_state = false }
+      in
+      let counters_f, stats_f, scalars_f, trace_f =
+        observe { cfg with Scenario.flat_node_state = true }
+      in
+      counters_m = counters_f && stats_m = stats_f && scalars_m = scalars_f
+      && trace_m = trace_f)
+
+let () =
+  Alcotest.run "cup_state_equiv"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "3 seeds x heap/calendar" `Quick
+            test_seed_scheduler_matrix;
+          Alcotest.test_case "crash and loss churn" `Quick test_faults_and_churn;
+          Alcotest.test_case "token bucket + batching" `Quick
+            test_token_bucket_batching;
+          Alcotest.test_case "zipf multi-key" `Quick test_zipf_multikey;
+        ] );
+      ( "random",
+        [ QCheck_alcotest.to_alcotest prop_random_equivalence ] );
+    ]
