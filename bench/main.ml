@@ -12,6 +12,7 @@
      dune exec bench/main.exe -- sched            # scheduler/route-cache before-after
      dune exec bench/main.exe -- scale            # 10k/100k/1M-node sharded runs
      dune exec bench/main.exe -- scale-smoke      # 10k only (CI)
+     dune exec bench/main.exe -- trace-io         # sink throughput + analyzer RSS
      dune exec bench/main.exe -- --scheduler heap # force the event-queue impl
 
    The scale targets are explicit-only (never part of the default
@@ -48,6 +49,7 @@ let harness_json : (string * Json.t) list ref = ref []
 let sched_json : (string * Json.t) list ref = ref []
 let faults_json : (string * Json.t) list ref = ref []
 let scale_json : (string * Json.t) list ref = ref []
+let trace_io_json : (string * Json.t) list ref = ref []
 let micro_json : (string * float) list ref = ref []
 let metrics_json : (string * float) list ref = ref []
 
@@ -904,19 +906,34 @@ let scale_runs which =
     let tracer =
       if traced then
         Some
-          (fun line ->
+          (fun ev ->
             incr lines;
-            digest := Digest.string (!digest ^ line))
+            digest := Digest.string (!digest ^ Scale.trace_line ev))
       else None
     in
     let r = Scale.run ?tracer cfg in
     (r, Scale.summary r, !digest, !lines)
   in
+  (* Binary-traced repeat of each config: the [.ctrace] writer encodes
+     on the simulation thread and writes on its own background thread,
+     so the numbers that matter are the traced wall time relative to
+     untraced (the tracing-overhead contract), the trace bytes written
+     and how often the producer stalled waiting for the disk. *)
+  let observe_binary cfg =
+    let module Bw = Cup_obs.Binary_writer in
+    let path = Filename.temp_file "cup-scale" ".ctrace" in
+    let w = Bw.to_file path in
+    let r = Scale.run ~tracer:(Bw.emit_scale w) cfg in
+    Bw.close w;
+    Sys.remove path;
+    (r, Bw.bytes_written w, Bw.stalls w)
+  in
   let table =
     Table.create ~title:"Scale runs (ring overlay, flat node state, shards=1)"
       ~columns:
         [ "config"; "nodes"; "events"; "wall (s)"; "events/sec";
-          "peak RSS (MB)"; "live slots" ]
+          "peak RSS (MB)"; "live slots"; "traced wall (s)"; "trace MB";
+          "stalls"; "overhead" ]
   in
   let rows =
     List.map
@@ -924,6 +941,40 @@ let scale_runs which =
         let traced = identity = `Trace in
         let r1, summary1, digest1, lines1 = observe ~traced cfg in
         let rss = (Resource.snapshot ()).Resource.peak_rss_bytes in
+        (* The digest-traced run pays for the MD5 chain, so the
+           overhead baseline is a clean untraced run when [r1] was
+           traced.  Below 1M nodes the overhead ratio comes from
+           interleaved untraced/traced pairs with a min over each arm:
+           these walls are a few seconds on a shared host, where
+           scheduler drift between two distant samples can exceed the
+           tracing cost itself. *)
+        let repeats = if cfg.Scale.nodes >= 1_000_000 then 1 else 3 in
+        let untraced_samples = ref [] and binary_samples = ref [] in
+        for i = 1 to repeats do
+          let u =
+            if (not traced) && i = 1 then r1.Scale.wallclock
+            else
+              let r0, _, _, _ = observe ~traced:false cfg in
+              r0.Scale.wallclock
+          in
+          untraced_samples := u :: !untraced_samples;
+          binary_samples := observe_binary cfg :: !binary_samples
+        done;
+        let untraced_wall =
+          List.fold_left min infinity !untraced_samples
+        in
+        let rb, trace_bytes, stalls =
+          List.fold_left
+            (fun (((ra : Scale.result), _, _) as a)
+                 (((rb : Scale.result), _, _) as b) ->
+              if rb.Scale.wallclock < ra.Scale.wallclock then b else a)
+            (List.hd !binary_samples)
+            (List.tl !binary_samples)
+        in
+        let overhead =
+          if untraced_wall > 0. then rb.Scale.wallclock /. untraced_wall
+          else 1.
+        in
         Table.add_row table
           [
             name;
@@ -933,6 +984,10 @@ let scale_runs which =
             Printf.sprintf "%.0f" r1.Scale.events_per_sec;
             Table.cell_int (rss / (1024 * 1024));
             Table.cell_int r1.Scale.live_slots;
+            Printf.sprintf "%.2f" rb.Scale.wallclock;
+            Table.cell_int (trace_bytes / (1024 * 1024));
+            Table.cell_int stalls;
+            Printf.sprintf "%.2fx" overhead;
           ];
         let identical =
           match identity with
@@ -946,13 +1001,14 @@ let scale_runs which =
                 && String.equal digest1 digest4
                 && lines1 = lines4)
         in
-        (name, cfg, r1, rss, identical))
+        (name, cfg, r1, rss, identical,
+         (untraced_wall, rb.Scale.wallclock, trace_bytes, stalls, overhead)))
       (scale_configs which)
   in
   Table.print table;
   let all_identical =
     List.for_all
-      (fun (name, _, _, _, identical) ->
+      (fun (name, _, _, _, identical, _) ->
         match identical with
         | None -> true
         | Some ok ->
@@ -964,9 +1020,11 @@ let scale_runs which =
   write_csv "scale"
     ~header:
       [ "config"; "nodes"; "keys"; "events"; "wall_seconds"; "events_per_sec";
-        "peak_rss_bytes"; "live_slots" ]
+        "peak_rss_bytes"; "live_slots"; "traced_wall_seconds"; "trace_bytes";
+        "writer_stalls"; "traced_overhead" ]
     (List.map
-       (fun (name, (cfg : Scale.config), (r : Scale.result), rss, _) ->
+       (fun (name, (cfg : Scale.config), (r : Scale.result), rss, _,
+                 (_, traced_wall, trace_bytes, stalls, overhead)) ->
          [
            name;
            string_of_int cfg.Scale.nodes;
@@ -976,6 +1034,10 @@ let scale_runs which =
            Printf.sprintf "%.0f" r.Scale.events_per_sec;
            string_of_int rss;
            string_of_int r.Scale.live_slots;
+           Printf.sprintf "%.4f" traced_wall;
+           string_of_int trace_bytes;
+           string_of_int stalls;
+           Printf.sprintf "%.4f" overhead;
          ])
        rows);
   scale_json :=
@@ -987,7 +1049,9 @@ let scale_runs which =
         Json.List
           (List.map
              (fun (name, (cfg : Scale.config), (r : Scale.result), rss,
-                       identical) ->
+                       identical,
+                       (untraced_wall, traced_wall, trace_bytes, stalls,
+                        overhead)) ->
                Json.Obj
                  ([
                     ("name", Json.String name);
@@ -1007,6 +1071,11 @@ let scale_runs which =
                          + t.Scale.ft_proactive_hops + t.Scale.refresh_hops
                          + t.Scale.delete_hops + t.Scale.append_hops
                          + t.Scale.clear_hops) );
+                    ("untraced_wall_seconds", Json.Float untraced_wall);
+                    ("traced_wall_seconds", Json.Float traced_wall);
+                    ("trace_bytes", Json.Int trace_bytes);
+                    ("writer_stalls", Json.Int stalls);
+                    ("traced_overhead", Json.Float overhead);
                   ]
                  @
                  match identical with
@@ -1021,6 +1090,207 @@ let scale_runs which =
        determinism contract broken";
     exit 1
   end
+
+(* {1 Trace I/O: sink throughput and streaming-analyzer footprint} *)
+
+(* One crash+loss run is captured once into memory; its protocol
+   events are then replayed many times over into (a) the JSONL sink
+   and (b) the binary double-buffered writer, giving events/sec and
+   bytes/event per format with the simulation cost factored out.  The
+   same scenario is also run end to end untraced / JSONL / binary for
+   whole-run overhead, and the multi-million-event binary file is
+   streamed back through {!Cup_obs.Trace_reader} +
+   {!Cup_obs.Analyzer.Streaming} with heap-growth bracketing — the
+   constant-memory-analyzer witness. *)
+let trace_io scale =
+  let module Scenario = Cup_sim.Scenario in
+  let module Runner = Cup_sim.Runner in
+  let module Sink = Cup_obs.Sink in
+  let module Bw = Cup_obs.Binary_writer in
+  let cfg =
+    Scenario.with_policy
+      {
+        (E.base_scenario scale) with
+        Scenario.crashes =
+          Some { Scenario.crash_rate = 0.02; recover_after = 20.; warmup = 30. };
+        loss = Some { Scenario.drop = 0.15; jitter = 0.5 };
+      }
+      Cup_proto.Policy.second_chance
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  (* Whole-run wall time with a given sink attached; the sink's close
+     (flush / writer join) is part of the measured region — that is
+     the cost a traced run actually pays. *)
+  let run_with make_sink =
+    let live = Runner.Live.create cfg in
+    let sink = make_sink () in
+    Option.iter (Sink.attach live) sink;
+    time (fun () ->
+        let r = Runner.Live.finish live in
+        Option.iter Sink.close sink;
+        r)
+  in
+  let capture = ref [] in
+  let _ =
+    run_with (fun () ->
+        Some (Sink.of_callback (fun ev -> capture := ev :: !capture)))
+  in
+  let events = Array.of_list (List.rev !capture) in
+  capture := [];
+  let captured = Array.length events in
+  let target =
+    match scale with E.Scaled -> 1_000_000 | E.Full -> 4_000_000
+  in
+  let replays = max 1 ((target + captured - 1) / max 1 captured) in
+  let total = replays * captured in
+  let per_sec n s = if s > 0. then float_of_int n /. s else 0. in
+  (* Sink-only throughput: same event array through each encoder. *)
+  let (), baseline_s =
+    time (fun () ->
+        for _ = 1 to replays do
+          Array.iter (fun ev -> ignore (Sys.opaque_identity ev)) events
+        done)
+  in
+  let tmp_jsonl = Filename.temp_file "cup-trace-io" ".jsonl" in
+  let (), jsonl_s =
+    time (fun () ->
+        let sink = Sink.jsonl_file tmp_jsonl in
+        for _ = 1 to replays do
+          Array.iter (Sink.emit sink) events
+        done;
+        Sink.close sink)
+  in
+  let jsonl_bytes = (Unix.stat tmp_jsonl).Unix.st_size in
+  Sys.remove tmp_jsonl;
+  let tmp_bin = Filename.temp_file "cup-trace-io" ".ctrace" in
+  let w = Bw.to_file tmp_bin in
+  let (), binary_s =
+    time (fun () ->
+        for _ = 1 to replays do
+          Array.iter (Bw.emit_event w) events
+        done;
+        Bw.close w)
+  in
+  let binary_bytes = Bw.bytes_written w and stalls = Bw.stalls w in
+  let speedup = if binary_s > 0. then jsonl_s /. binary_s else 1. in
+  (* Stream the binary file back through the constant-memory analyzer;
+     major-heap growth across the pass is the bounded-RSS witness. *)
+  let module Reader = Cup_obs.Trace_reader in
+  let module Analyzer = Cup_obs.Analyzer in
+  Gc.full_major ();
+  let heap0 = (Resource.snapshot ()).Resource.heap_words in
+  let (analyzed, summary_events), analyze_s =
+    time (fun () ->
+        let st = Analyzer.Streaming.create () in
+        let n = ref 0 in
+        Reader.iter tmp_bin ~f:(fun _ord item ->
+            match item with
+            | Reader.Event ev ->
+                incr n;
+                Analyzer.Streaming.feed st ev
+            | Reader.Scale_record _ | Reader.Raw _ | Reader.Malformed _ -> ());
+        let s = Analyzer.Streaming.finish st in
+        (!n, s.Analyzer.events))
+  in
+  let heap1 = (Resource.snapshot ()).Resource.heap_words in
+  let heap_growth = (heap1 - heap0) * (Sys.word_size / 8) in
+  Sys.remove tmp_bin;
+  (* End-to-end traced runs. *)
+  let _, run_untraced_s = run_with (fun () -> None) in
+  let tmp = Filename.temp_file "cup-trace-io-run" ".jsonl" in
+  let _, run_jsonl_s = run_with (fun () -> Some (Sink.jsonl_file tmp)) in
+  Sys.remove tmp;
+  let tmp = Filename.temp_file "cup-trace-io-run" ".ctrace" in
+  let _, run_binary_s = run_with (fun () -> Some (Sink.binary_file tmp)) in
+  Sys.remove tmp;
+  let overhead s =
+    if run_untraced_s > 0. then s /. run_untraced_s else 1.
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Trace sinks: %d captured events replayed to %d emits" captured
+           total)
+      ~columns:[ "sink"; "wall (s)"; "events/sec"; "bytes/event"; "stalls" ]
+  in
+  Table.add_row table
+    [ "none"; Printf.sprintf "%.3f" baseline_s;
+      Printf.sprintf "%.0f" (per_sec total baseline_s); "-"; "-" ];
+  Table.add_row table
+    [ "jsonl"; Printf.sprintf "%.3f" jsonl_s;
+      Printf.sprintf "%.0f" (per_sec total jsonl_s);
+      Printf.sprintf "%.1f" (float_of_int jsonl_bytes /. float_of_int total);
+      "-" ];
+  Table.add_row table
+    [ "binary"; Printf.sprintf "%.3f" binary_s;
+      Printf.sprintf "%.0f" (per_sec total binary_s);
+      Printf.sprintf "%.1f" (float_of_int binary_bytes /. float_of_int total);
+      string_of_int stalls ];
+  Table.print table;
+  Printf.printf "binary vs jsonl: %.2fx events/sec\n" speedup;
+  Printf.printf
+    "streaming analyzer: %d events in %.3fs (%.0f events/sec), major-heap \
+     growth %d KiB\n"
+    analyzed analyze_s (per_sec analyzed analyze_s) (heap_growth / 1024);
+  Printf.printf
+    "end-to-end run: untraced %.3fs, jsonl %.3fs (%.2fx), binary %.3fs \
+     (%.2fx)\n"
+    run_untraced_s run_jsonl_s (overhead run_jsonl_s) run_binary_s
+    (overhead run_binary_s);
+  assert (summary_events = analyzed);
+  let sink_obj seconds bytes st =
+    Json.Obj
+      ([
+         ("seconds", Json.Float seconds);
+         ("events_per_sec", Json.Float (per_sec total seconds));
+       ]
+      @ (match bytes with
+        | None -> []
+        | Some b ->
+            [
+              ("bytes", Json.Int b);
+              ( "bytes_per_event",
+                Json.Float (float_of_int b /. float_of_int total) );
+            ])
+      @ match st with None -> [] | Some s -> [ ("writer_stalls", Json.Int s) ])
+  in
+  trace_io_json :=
+    [
+      ( "workload",
+        Json.String "crash+loss protocol event stream, captured then replayed"
+      );
+      ("captured_events", Json.Int captured);
+      ("replayed_events", Json.Int total);
+      ("untraced", sink_obj baseline_s None None);
+      ("jsonl", sink_obj jsonl_s (Some jsonl_bytes) None);
+      ("binary", sink_obj binary_s (Some binary_bytes) (Some stalls));
+      ("binary_vs_jsonl_speedup", Json.Float speedup);
+      ("run_untraced_seconds", Json.Float run_untraced_s);
+      ("run_jsonl_seconds", Json.Float run_jsonl_s);
+      ("run_jsonl_overhead", Json.Float (overhead run_jsonl_s));
+      ("run_binary_seconds", Json.Float run_binary_s);
+      ("run_binary_overhead", Json.Float (overhead run_binary_s));
+      ( "analyzer",
+        Json.Obj
+          [
+            ("events", Json.Int analyzed);
+            ("seconds", Json.Float analyze_s);
+            ("events_per_sec", Json.Float (per_sec analyzed analyze_s));
+            ("major_heap_growth_bytes", Json.Int heap_growth);
+            ( "peak_rss_bytes",
+              Json.Int (Resource.snapshot ()).Resource.peak_rss_bytes );
+          ] );
+    ];
+  if speedup < 3.0 then
+    Printf.eprintf
+      "trace-io: WARNING: binary sink only %.2fx the JSONL sink — below the \
+       3x contract\n%!"
+      speedup
 
 (* {1 Parallel-harness speedup measurement} *)
 
@@ -1387,7 +1657,9 @@ let write_harness_json ~jobs ~scale =
          ("jobs", Json.Int jobs);
          ( "recommended_domain_count",
            Json.Int (Pool.default_jobs ()) );
-         ( "scale",
+         (* Named [scale_level] so the key cannot collide with the
+            scale-runs section below. *)
+         ( "scale_level",
            Json.String (match scale with E.Scaled -> "scaled" | E.Full -> "full")
          );
          ( "targets",
@@ -1432,6 +1704,9 @@ let write_harness_json ~jobs ~scale =
       @ (match !scale_json with
         | [] -> []
         | fields -> [ ("scale", Json.Obj fields) ])
+      @ (match !trace_io_json with
+        | [] -> []
+        | fields -> [ ("trace_io", Json.Obj fields) ])
       @ (match !micro_json with
         | [] -> []
         | rows ->
@@ -1580,6 +1855,9 @@ let () =
   timed "faults" (fun () ->
       section "Fault injection: determinism and repair overhead";
       faults scale);
+  timed "trace-io" (fun () ->
+      section "Trace I/O: sink throughput and streaming-analyzer footprint";
+      trace_io scale);
   timed_explicit "scale" (fun () ->
       section "Scale: 10k / 100k / 1M-node batch-synchronous runs";
       scale_runs `Full);

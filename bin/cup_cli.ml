@@ -5,8 +5,9 @@
      cup scale  — run a batch-synchronous sharded run (millions of nodes)
      cup sweep  — sweep the push level for one query rate
      cup exp    — run a named paper experiment (fig3 fig4 table1 ...)
-     cup trace  — analyze a JSONL protocol trace: propagation trees,
-                  latency percentiles, per-key summary
+     cup trace  — analyze a protocol trace (JSONL or binary .ctrace):
+                  propagation trees, latency percentiles, per-key summary
+     cup trace convert — convert a trace between JSONL and .ctrace
      cup replay — alias of `cup trace` that also prints every event
 *)
 
@@ -246,9 +247,11 @@ let trace_out =
     & opt (some string) None
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:
-          "Stream every protocol event to $(docv) as JSONL (one \
-           self-describing JSON object per line); replay with $(b,cup \
-           replay).")
+          "Stream every protocol event to $(docv): JSONL (one \
+           self-describing JSON object per line) by default, or the \
+           compact binary format via a background writer thread when \
+           $(docv) ends in .ctrace.  Both replay with $(b,cup replay) \
+           and convert with $(b,cup trace convert).")
 
 let sample_interval =
   Arg.(
@@ -384,7 +387,14 @@ let run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
   if profile then
     Cup_dess.Engine.enable_profiling (Runner.Live.engine live);
   let file_sink =
-    Option.map (fun path -> (path, Sink.jsonl_file path)) trace_out
+    Option.map
+      (fun path ->
+        let sink =
+          if Filename.check_suffix path ".ctrace" then Sink.binary_file path
+          else Sink.jsonl_file path
+        in
+        (path, sink))
+      trace_out
   in
   let registry =
     if metrics_out <> None || serve <> None then begin
@@ -594,36 +604,22 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one CUP simulation and print its cost summary.")
     term
 
-(* {1 cup trace / cup replay}
+(* {1 cup trace / cup replay / cup trace convert}
 
-   One implementation behind both names: parse the JSONL trace,
-   optionally pretty-print (filtered) events, then reconstruct the
-   propagation trees from the span links and report the analysis.
-   `replay` is the historical name and prints the events by default;
-   `trace` leads with the analysis.  Exit status is non-zero when any
-   line fails to parse or any span references a missing parent. *)
+   One implementation behind both names: stream the trace (JSONL or
+   binary .ctrace, sniffed from the file header) through the
+   single-pass analyzer, optionally pretty-printing (filtered) events
+   on the way — the event list is never materialized, so arbitrarily
+   large traces analyze in bounded memory.  `replay` is the historical
+   name and prints the events by default; `trace` leads with the
+   analysis.  Exit status is non-zero when any record fails to parse
+   or any span references a missing parent. *)
 
 let trace_action ~print_events_default file key_filter print_events
     no_summary max_traces =
-  let ic = open_in file in
-  let events = ref [] and total = ref 0 and bad = ref 0 in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      try
-        while true do
-          let line = input_line ic in
-          if String.trim line <> "" then begin
-            incr total;
-            match Cup_obs.Event_json.of_string line with
-            | Ok event -> events := event :: !events
-            | Error msg ->
-                incr bad;
-                Printf.eprintf "line %d: %s\n" !total msg
-          end
-        done
-      with End_of_file -> ());
-  let events = List.rev !events in
+  let module Reader = Cup_obs.Trace_reader in
+  let total = ref 0 and bad = ref 0 and shown = ref 0 in
+  let printing = print_events_default || print_events || key_filter <> None in
   let wanted (e : Cup_sim.Trace.event) =
     match key_filter with
     | None -> true
@@ -639,20 +635,30 @@ let trace_action ~print_events_default file key_filter print_events
             Cup_overlay.Key.to_int key = k
         | Node_crashed _ | Node_recovered _ -> false)
   in
-  let shown = ref 0 in
-  if print_events_default || print_events || key_filter <> None then
-    List.iter
-      (fun e ->
-        if wanted e then begin
-          incr shown;
-          Format.printf "%a@." Cup_sim.Trace.pp_event e
-        end;
-        ignore e)
-      events;
+  let streaming = Cup_obs.Analyzer.Streaming.create () in
+  Reader.iter file ~f:(fun n item ->
+      incr total;
+      match item with
+      | Reader.Event e ->
+          Cup_obs.Analyzer.Streaming.feed streaming e;
+          if printing && wanted e then begin
+            incr shown;
+            Format.printf "%a@." Cup_sim.Trace.pp_event e
+          end
+      | Reader.Scale_record _ ->
+          incr bad;
+          Printf.eprintf
+            "line %d: scale-runner record, not a protocol event\n" n
+      | Reader.Raw { error; _ } ->
+          incr bad;
+          Printf.eprintf "line %d: %s\n" n error
+      | Reader.Malformed msg ->
+          incr bad;
+          Printf.eprintf "record %d: %s\n" n msg);
   if !shown > 0 then
     Printf.printf "-- %d events (%d shown%s)\n" !total !shown
       (if !bad > 0 then Printf.sprintf ", %d unparseable" !bad else "");
-  let summary = Cup_obs.Analyzer.analyze events in
+  let summary = Cup_obs.Analyzer.Streaming.finish streaming in
   if not no_summary then
     Format.printf "%a" (Cup_obs.Analyzer.pp_summary ~max_traces) summary;
   if !bad > 0 then begin
@@ -667,13 +673,73 @@ let trace_action ~print_events_default file key_filter print_events
     exit 1
   end
 
-let mk_trace_cmd ~name ~doc ~print_events_default =
-  let file =
+(* Lossless either way: protocol events re-encode through the codecs,
+   scale-runner records through their canonical line rendering, and
+   anything unrecognized is carried verbatim (an opaque record in
+   binary, the raw line in JSONL) — so converting a cup-written trace
+   binary→JSONL byte-matches a directly-written JSONL run, and
+   JSONL→binary byte-matches a directly-written .ctrace. *)
+let convert_action input output =
+  let module Reader = Cup_obs.Trace_reader in
+  let module Writer = Cup_obs.Binary_writer in
+  match Reader.detect input with
+  | Reader.Binary ->
+      let oc = open_out output in
+      let count = ref 0 and bad = ref 0 in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Reader.iter input ~f:(fun n item ->
+              incr count;
+              let line =
+                match item with
+                | Reader.Event e -> Some (Cup_obs.Event_json.to_string e)
+                | Reader.Scale_record s -> Some (Cup_sim.Scale.trace_line s)
+                | Reader.Raw { line; _ } -> Some line
+                | Reader.Malformed msg ->
+                    incr bad;
+                    decr count;
+                    Printf.eprintf "record %d: %s\n" n msg;
+                    None
+              in
+              match line with
+              | Some line ->
+                  output_string oc line;
+                  output_char oc '\n'
+              | None -> ()));
+      Printf.printf "converted %d records -> %s (JSONL)\n" !count output;
+      if !bad > 0 then begin
+        Printf.eprintf "cup trace convert: trace truncated or corrupt\n";
+        exit 1
+      end
+  | Reader.Jsonl ->
+      let w = Writer.to_file output in
+      Fun.protect
+        ~finally:(fun () -> Writer.close w)
+        (fun () ->
+          Reader.iter input ~f:(fun _ item ->
+              match item with
+              | Reader.Event e -> Writer.emit_event w e
+              | Reader.Scale_record s -> Writer.emit_scale w s
+              | Reader.Raw { line; _ } -> Writer.emit_line w line
+              | Reader.Malformed _ -> assert false));
+      Printf.printf "converted %d records -> %s (binary)\n" (Writer.records w)
+        output
+
+let mk_trace_term ~print_events_default ~allow_convert =
+  (* One [pos_all] so [cup trace FILE] and [cup trace convert IN OUT]
+     share the command: Cmdliner's [Cmd.group ~default] would swallow
+     the filename as an unknown sub-command, so the dispatch on the
+     first positional is done by hand. *)
+  let args =
     Arg.(
-      required
-      & pos 0 (some file) None
-      & info [] ~docv:"TRACE.jsonl"
-          ~doc:"JSONL protocol trace written by $(b,cup run --trace-out).")
+      value & pos_all string []
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Protocol trace written by $(b,cup run --trace-out) — JSONL \
+             or binary .ctrace, detected from the file header.  Or \
+             $(b,convert) $(i,IN) $(i,OUT) to convert a trace between \
+             the two formats.")
   in
   let key_filter =
     Arg.(
@@ -706,25 +772,53 @@ let mk_trace_cmd ~name ~doc ~print_events_default =
             "Show the $(docv) largest propagation trees with their \
              critical paths.")
   in
-  let term =
-    Term.(
-      const (trace_action ~print_events_default)
-      $ file $ key_filter $ print_events $ no_summary $ max_traces)
+  let dispatch args key_filter print_events no_summary max_traces =
+    let require_file path k =
+      if Sys.file_exists path && not (Sys.is_directory path) then k ()
+      else `Error (false, Printf.sprintf "%s: no such file" path)
+    in
+    match args with
+    | [ "convert"; input; output ] when allow_convert ->
+        require_file input (fun () -> `Ok (convert_action input output))
+    | "convert" :: rest when allow_convert ->
+        `Error
+          ( true,
+            Printf.sprintf "convert expects IN and OUT, got %d argument%s"
+              (List.length rest)
+              (if List.length rest = 1 then "" else "s") )
+    | [ file ] ->
+        require_file file (fun () ->
+            `Ok
+              (trace_action ~print_events_default file key_filter print_events
+                 no_summary max_traces))
+    | [] -> `Error (true, "a TRACE file is required")
+    | _ :: _ -> `Error (true, "too many arguments")
   in
-  Cmd.v (Cmd.info name ~doc) term
+  Term.(
+    ret
+      (const dispatch $ args $ key_filter $ print_events $ no_summary
+     $ max_traces))
 
 let trace_cmd =
-  mk_trace_cmd ~name:"trace" ~print_events_default:false
-    ~doc:
-      "Analyze a JSONL protocol trace: reconstruct every propagation tree \
-       from its causal span links and report depth, fan-out, critical \
-       paths, latency percentiles and a per-key summary."
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Analyze a protocol trace (JSONL or binary): reconstruct every \
+          propagation tree from its causal span links and report depth, \
+          fan-out, critical paths, latency percentiles and a per-key \
+          summary.  $(b,cup trace convert) $(i,IN) $(i,OUT) instead \
+          converts a trace between JSONL and the compact binary .ctrace \
+          format, losslessly in both directions: the output byte-matches \
+          what a run writing that format directly would have produced.")
+    (mk_trace_term ~print_events_default:false ~allow_convert:true)
 
 let replay_cmd =
-  mk_trace_cmd ~name:"replay" ~print_events_default:true
-    ~doc:
-      "Pretty-print a JSONL protocol trace, then analyze it (alias of \
-       $(b,cup trace --events))."
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Pretty-print a protocol trace (JSONL or binary), then analyze \
+          it (alias of $(b,cup trace --events)).")
+    (mk_trace_term ~print_events_default:true ~allow_convert:false)
 
 (* {1 cup scale} *)
 
@@ -796,28 +890,34 @@ let scale_cmd =
         zipf;
       }
     in
+    let count = ref 0 in
+    (* Suffix picks the sink: .ctrace streams compact binary records
+       through the background writer (the engine never formats or
+       blocks on disk); anything else writes the canonical JSONL. *)
     let out =
       Option.map
         (fun path ->
-          let oc = open_out path in
-          ( path,
-            oc,
-            ref 0,
-            fun line ->
-              output_string oc line;
-              output_char oc '\n' ))
+          if Filename.check_suffix path ".ctrace" then begin
+            let w = Cup_obs.Binary_writer.to_file path in
+            ( path,
+              (fun ev ->
+                incr count;
+                Cup_obs.Binary_writer.emit_scale w ev),
+              fun () -> Cup_obs.Binary_writer.close w )
+          end
+          else begin
+            let oc = open_out path in
+            ( path,
+              (fun ev ->
+                incr count;
+                output_string oc (Scale.trace_line ev);
+                output_char oc '\n'),
+              fun () -> close_out oc )
+          end)
         trace_out
     in
     let result =
-      try
-        Scale.run
-          ?tracer:
-            (Option.map
-               (fun (_, _, count, emit) line ->
-                 incr count;
-                 emit line)
-               out)
-          cfg
+      try Scale.run ?tracer:(Option.map (fun (_, emit, _) -> emit) out) cfg
       with Invalid_argument msg ->
         prerr_endline ("cup scale: " ^ msg);
         exit 1
@@ -825,8 +925,8 @@ let scale_cmd =
     print_string (Scale.summary result);
     (match out with
     | None -> ()
-    | Some (path, oc, count, _) ->
-        close_out oc;
+    | Some (path, _, close) ->
+        close ();
         Printf.printf "trace: %d events -> %s\n" !count path);
     Printf.printf "wallclock: %.2fs (%.0f events/s, %d shards, peak rss %d MB)\n"
       result.Scale.wallclock result.Scale.events_per_sec shards

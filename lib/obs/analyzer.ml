@@ -194,8 +194,10 @@ let analyze (events : Trace.event list) : summary =
                 | Some d -> d + 1
                 | None ->
                     if not (Hashtbl.mem known_spans parent_id) then begin
+                      (* Keep the first five examples; an int compare,
+                         not a List.length re-count per orphan. *)
                       incr orphans;
-                      if List.length !orphan_examples < 5 then
+                      if !orphans <= 5 then
                         orphan_examples :=
                           (span_id, parent_id) :: !orphan_examples
                     end;
@@ -319,6 +321,462 @@ let analyze (events : Trace.event list) : summary =
         (fun (a, _) (b, _) -> Int.compare a b)
         (Hashtbl.fold (fun k s acc -> (k, s) :: acc) per_key []);
   }
+
+(* {2 Streaming analysis}
+
+   Single-pass, constant-per-event re-implementation of [analyze] for
+   traces too large to materialize.  The event list is never built:
+
+   - span state lives in an open-addressing table of parallel int
+     arrays (id, parent, depth, child count, arena offset/length) —
+     a few dozen bytes per span, no per-binding boxes to scan;
+   - each span-carrying event is kept only as its {!Binary_codec} body
+     in one append-only byte arena (critical paths decode from it at
+     [finish]);
+   - the whole-file orphan rule ("parent never appears anywhere") is
+     enforced without a first pass: a child whose parent is unseen is
+     provisionally orphaned and resolved retroactively when the parent
+     first appears;
+   - latency samples go into growable unboxed float vectors, sorted
+     once at [finish], so percentiles stay exact — same arrays, same
+     nearest-rank answers as [analyze].
+
+   [finish] returns a [summary] structurally equal to what [analyze]
+   produces on the same event sequence (the test suite holds the two
+   implementations to that). *)
+
+module Streaming = struct
+  (* Growable unboxed float vector. *)
+  module Fvec = struct
+    type t = { mutable data : float array; mutable len : int }
+
+    let create () = { data = [||]; len = 0 }
+
+    let push v x =
+      if v.len = Array.length v.data then begin
+        let data = Array.make (max 16 (2 * v.len)) 0. in
+        Array.blit v.data 0 data 0 v.len;
+        v.data <- data
+      end;
+      v.data.(v.len) <- x;
+      v.len <- v.len + 1
+
+    let sorted v =
+      let a = Array.sub v.data 0 v.len in
+      Array.sort Float.compare a;
+      a
+  end
+
+  (* Open-addressing span table; slot 0 of the id space is the empty
+     marker (real span ids are nonzero — id-0 events are counted as
+     legacy and never reach the table).  [depth = 0] marks a span that
+     has been referenced (as a parent) but not yet seen. *)
+  module Span_table = struct
+    type t = {
+      mutable mask : int;
+      mutable live : int;
+      mutable ids : int array;
+      mutable parent : int array;
+      mutable depth : int array;
+      mutable children : int array;
+      mutable off : int array;
+      mutable len : int array;
+    }
+
+    let create () =
+      let cap = 1024 in
+      {
+        mask = cap - 1;
+        live = 0;
+        ids = Array.make cap 0;
+        parent = Array.make cap 0;
+        depth = Array.make cap 0;
+        children = Array.make cap 0;
+        off = Array.make cap 0;
+        len = Array.make cap 0;
+      }
+
+    let hash id =
+      let h = id * 0x2545F4914F6CDD1D in
+      h lxor (h lsr 31)
+
+    (* Slot holding [id], or the free slot where it would go. *)
+    let find t id =
+      let rec go i =
+        let j = i land t.mask in
+        let k = Array.unsafe_get t.ids j in
+        if k = id || k = 0 then j else go (j + 1)
+      in
+      go (hash id)
+
+    let grow t =
+      let ids = t.ids
+      and parent = t.parent
+      and depth = t.depth
+      and children = t.children
+      and off = t.off
+      and len = t.len in
+      let cap = 2 * (t.mask + 1) in
+      t.mask <- cap - 1;
+      t.ids <- Array.make cap 0;
+      t.parent <- Array.make cap 0;
+      t.depth <- Array.make cap 0;
+      t.children <- Array.make cap 0;
+      t.off <- Array.make cap 0;
+      t.len <- Array.make cap 0;
+      Array.iteri
+        (fun i id ->
+          if id <> 0 then begin
+            let j = find t id in
+            t.ids.(j) <- id;
+            t.parent.(j) <- parent.(i);
+            t.depth.(j) <- depth.(i);
+            t.children.(j) <- children.(i);
+            t.off.(j) <- off.(i);
+            t.len.(j) <- len.(i)
+          end)
+        ids
+
+    (* Slot for [id], inserting an unseen entry if absent. *)
+    let slot t id =
+      let j = find t id in
+      if t.ids.(j) <> 0 then j
+      else begin
+        t.ids.(j) <- id;
+        t.live <- t.live + 1;
+        if 4 * t.live > 3 * (t.mask + 1) then begin
+          grow t;
+          find t id
+        end
+        else j
+      end
+  end
+
+  (* Per-trace accumulator — the incremental form of [note_trace]. *)
+  type tacc = {
+    mutable a_spans : int;
+    mutable a_depth : int;
+    mutable a_fanout : int;
+    mutable a_start : float;
+    mutable a_end : float;
+    mutable a_latest_off : int;
+    mutable a_latest_len : int;
+    mutable a_kind : string;
+  }
+
+  type kacc = {
+    mutable a_events : int;
+    mutable a_queries : int;
+    mutable a_hits : int;
+    mutable a_misses : int;
+    mutable a_updates : int;
+    mutable a_lost : int;
+    mutable a_repairs : int;
+    a_lat : Fvec.t;
+  }
+
+  type t = {
+    mutable events : int;
+    mutable membership : int;
+    mutable legacy : int;
+    by_type : (string, int ref) Hashtbl.t;
+    table : Span_table.t;
+    arena : Buffer.t;
+    (* missing parent id -> (event ordinal, child span id) list, newest
+       first; an entry is dropped the moment the parent is seen *)
+    pending : (int, (int * int) list ref) Hashtbl.t;
+    traces : (int, tacc) Hashtbl.t;
+    per_key : (int, kacc) Hashtbl.t;
+    outstanding : (int * int, float Queue.t) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+    lat : Fvec.t;
+    mutable finished : bool;
+  }
+
+  let create () =
+    {
+      events = 0;
+      membership = 0;
+      legacy = 0;
+      by_type = Hashtbl.create 16;
+      table = Span_table.create ();
+      arena = Buffer.create 4096;
+      pending = Hashtbl.create 64;
+      traces = Hashtbl.create 256;
+      per_key = Hashtbl.create 16;
+      outstanding = Hashtbl.create 256;
+      hits = 0;
+      misses = 0;
+      lat = Fvec.create ();
+      finished = false;
+    }
+
+  let key_acc t k =
+    match Hashtbl.find_opt t.per_key k with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            a_events = 0;
+            a_queries = 0;
+            a_hits = 0;
+            a_misses = 0;
+            a_updates = 0;
+            a_lost = 0;
+            a_repairs = 0;
+            a_lat = Fvec.create ();
+          }
+        in
+        Hashtbl.replace t.per_key k a;
+        a
+
+  let root_kind = function
+    | Trace.Query_posted _ -> "query"
+    | Trace.Repair_query _ -> "repair"
+    | _ -> "update"
+
+  let trace_acc t trace_id =
+    match Hashtbl.find_opt t.traces trace_id with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            a_spans = 0;
+            a_depth = 0;
+            a_fanout = 0;
+            a_start = Float.infinity;
+            a_end = Float.neg_infinity;
+            a_latest_off = 0;
+            a_latest_len = 0;
+            a_kind = "";
+          }
+        in
+        Hashtbl.replace t.traces trace_id a;
+        a
+
+  let feed t e =
+    if t.finished then invalid_arg "Analyzer.Streaming.feed: already finished";
+    t.events <- t.events + 1;
+    let ordinal = t.events in
+    (let name = type_name e in
+     match Hashtbl.find_opt t.by_type name with
+     | Some r -> incr r
+     | None -> Hashtbl.replace t.by_type name (ref 1));
+    (match event_key e with
+    | Some k ->
+        let a = key_acc t k in
+        a.a_events <- a.a_events + 1
+    | None -> ());
+    match Trace.event_span e with
+    | None -> t.membership <- t.membership + 1
+    | Some (trace_id, span_id, parent_id) ->
+        if span_id = 0 then t.legacy <- t.legacy + 1
+        else begin
+          let tbl = t.table in
+          (* Depth from the table as of this event — forward parent
+             references resolve to depth 1, exactly like the legacy
+             pass-2 [depth_of] lookup. *)
+          let depth =
+            if parent_id = 0 then 1
+            else
+              let pj = Span_table.slot tbl parent_id in
+              let d = tbl.Span_table.depth.(pj) in
+              if d > 0 then d + 1
+              else begin
+                (* Parent not seen yet: provisionally an orphan,
+                   resolved retroactively if the parent ever appears. *)
+                (match Hashtbl.find_opt t.pending parent_id with
+                | Some l -> l := (ordinal, span_id) :: !l
+                | None ->
+                    Hashtbl.replace t.pending parent_id
+                      (ref [ (ordinal, span_id) ]));
+                1
+              end
+          in
+          let off = Buffer.length t.arena in
+          Binary_codec.encode_body t.arena (Binary_codec.Event e);
+          let len = Buffer.length t.arena - off in
+          let sj = Span_table.slot tbl span_id in
+          let first_seen = tbl.Span_table.depth.(sj) = 0 in
+          tbl.Span_table.parent.(sj) <- parent_id;
+          tbl.Span_table.depth.(sj) <- depth;
+          tbl.Span_table.off.(sj) <- off;
+          tbl.Span_table.len.(sj) <- len;
+          if first_seen then Hashtbl.remove t.pending span_id;
+          if trace_id <> 0 then begin
+            let at = Time.to_seconds (Trace.event_time e) in
+            let a = trace_acc t trace_id in
+            a.a_spans <- a.a_spans + 1;
+            if depth > a.a_depth then a.a_depth <- depth;
+            if parent_id <> 0 then begin
+              let pj = Span_table.slot tbl parent_id in
+              let c = tbl.Span_table.children.(pj) + 1 in
+              tbl.Span_table.children.(pj) <- c;
+              if c > a.a_fanout then a.a_fanout <- c
+            end;
+            if at < a.a_start then a.a_start <- at;
+            if at >= a.a_end then begin
+              a.a_end <- at;
+              a.a_latest_off <- off;
+              a.a_latest_len <- len
+            end;
+            if depth = 1 then
+              a.a_kind <-
+                (match a.a_kind with
+                | "" -> root_kind e
+                | k when k = root_kind e -> k
+                | _ -> "mixed")
+          end
+        end;
+        (* Per-key and latency accounting, span-less legacy events
+           included — mirrors [analyze]. *)
+        (match e with
+        | Trace.Query_posted { at; node; key; _ } ->
+            let ks = key_acc t (Key.to_int key) in
+            ks.a_queries <- ks.a_queries + 1;
+            let slot = (Node_id.to_int node, Key.to_int key) in
+            let q =
+              match Hashtbl.find_opt t.outstanding slot with
+              | Some q -> q
+              | None ->
+                  let q = Queue.create () in
+                  Hashtbl.replace t.outstanding slot q;
+                  q
+            in
+            Queue.push (Time.to_seconds at) q
+        | Trace.Local_answer { at; node; key; hit; waiters; _ } ->
+            let ks = key_acc t (Key.to_int key) in
+            let slot = (Node_id.to_int node, Key.to_int key) in
+            let q =
+              match Hashtbl.find_opt t.outstanding slot with
+              | Some q -> q
+              | None -> Queue.create ()
+            in
+            let answer_at = Time.to_seconds at in
+            for _ = 1 to waiters do
+              match Queue.take_opt q with
+              | None -> ()
+              | Some posted ->
+                  if hit then begin
+                    t.hits <- t.hits + 1;
+                    ks.a_hits <- ks.a_hits + 1
+                  end
+                  else begin
+                    t.misses <- t.misses + 1;
+                    ks.a_misses <- ks.a_misses + 1;
+                    let lat = answer_at -. posted in
+                    Fvec.push t.lat lat;
+                    Fvec.push ks.a_lat lat
+                  end
+            done
+        | Trace.Update_delivered { key; _ } ->
+            let ks = key_acc t (Key.to_int key) in
+            ks.a_updates <- ks.a_updates + 1
+        | Trace.Message_lost { key; _ } ->
+            let ks = key_acc t (Key.to_int key) in
+            ks.a_lost <- ks.a_lost + 1
+        | Trace.Repair_query { key; _ } ->
+            let ks = key_acc t (Key.to_int key) in
+            ks.a_repairs <- ks.a_repairs + 1
+        | _ -> ())
+
+  let finish t =
+    if t.finished then invalid_arg "Analyzer.Streaming.finish: already finished";
+    t.finished <- true;
+    let tbl = t.table in
+    let bytes = Buffer.contents t.arena in
+    let decode off len =
+      match Binary_codec.decode_body bytes ~pos:off ~len with
+      | Binary_codec.Event e -> e
+      | _ -> assert false
+    in
+    let critical_path off len =
+      let rec climb off len acc =
+        let e = decode off len in
+        match Trace.event_span e with
+        | Some (_, _, parent_id) when parent_id <> 0 ->
+            let pj = Span_table.find tbl parent_id in
+            if
+              tbl.Span_table.ids.(pj) = parent_id
+              && tbl.Span_table.len.(pj) > 0
+            then
+              climb tbl.Span_table.off.(pj) tbl.Span_table.len.(pj) (e :: acc)
+            else e :: acc
+        | _ -> e :: acc
+      in
+      climb off len []
+    in
+    let trees =
+      Hashtbl.fold
+        (fun trace_id a acc ->
+          {
+            trace_id;
+            kind = (if a.a_kind = "" then "update" else a.a_kind);
+            spans = a.a_spans;
+            depth = a.a_depth;
+            max_fanout = a.a_fanout;
+            start_at = a.a_start;
+            end_at = a.a_end;
+            critical_path = critical_path a.a_latest_off a.a_latest_len;
+          }
+          :: acc)
+        t.traces []
+    in
+    let trees =
+      List.sort (fun a b -> Int.compare a.trace_id b.trace_id) trees
+    in
+    let orphan_events =
+      Hashtbl.fold
+        (fun parent l acc ->
+          List.fold_left
+            (fun acc (ordinal, span_id) -> (ordinal, span_id, parent) :: acc)
+            acc !l)
+        t.pending []
+      |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+    in
+    let orphan_examples =
+      List.filteri (fun i _ -> i < 5) orphan_events
+      |> List.map (fun (_, span_id, parent) -> (span_id, parent))
+    in
+    let unanswered =
+      Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.outstanding 0
+    in
+    {
+      events = t.events;
+      membership = t.membership;
+      legacy = t.legacy;
+      by_type =
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          (Hashtbl.fold (fun name c acc -> (name, !c) :: acc) t.by_type []);
+      traces = trees;
+      orphans = List.length orphan_events;
+      orphan_examples;
+      hits = t.hits;
+      misses = t.misses;
+      unanswered;
+      miss_latencies = Fvec.sorted t.lat;
+      per_key =
+        List.sort
+          (fun (a, _) (b, _) -> Int.compare a b)
+          (Hashtbl.fold
+             (fun k a acc ->
+               ( k,
+                 {
+                   k_events = a.a_events;
+                   k_queries = a.a_queries;
+                   k_hits = a.a_hits;
+                   k_misses = a.a_misses;
+                   k_updates = a.a_updates;
+                   k_lost = a.a_lost;
+                   k_repairs = a.a_repairs;
+                   k_miss_latencies = Array.to_list (Fvec.sorted a.a_lat);
+                 } )
+               :: acc)
+             t.per_key []);
+    }
+end
 
 (* {2 Reporting} *)
 

@@ -52,7 +52,30 @@ type summary = {
 }
 
 val analyze : Cup_sim.Trace.event list -> summary
-(** Events must be in trace order (the order a sink recorded them). *)
+(** Events must be in trace order (the order a sink recorded them).
+    Materializes per-event state; for traces too large for that, use
+    {!Streaming}. *)
+
+(** Single-pass constant-per-event analysis: feed events in trace
+    order, never holding the event list.  Span state lives in a
+    compact open-addressing int-array table plus one binary-encoded
+    event arena ({!Binary_codec}), latency samples in unboxed float
+    vectors — a few dozen bytes per span instead of boxed events, and
+    no O(events) list.  [finish] returns a summary structurally equal
+    to [analyze] on the same event sequence, including orphan
+    detection with whole-file scope (forward parent references are
+    resolved retroactively) and exact percentiles. *)
+module Streaming : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> Cup_sim.Trace.event -> unit
+  (** Raises [Invalid_argument] after {!finish}. *)
+
+  val finish : t -> summary
+  (** Single-shot: raises [Invalid_argument] on a second call. *)
+end
 
 val percentile : float array -> float -> float
 (** Exact nearest-rank percentile over a sorted sample array; [0.]

@@ -1,0 +1,141 @@
+(* Double-buffered background trace writer.  The producer (simulation)
+   thread encodes records into [front]; when [front] crosses the chunk
+   threshold it is handed to the single writer thread through a
+   one-slot mailbox and the producer continues into the other buffer.
+   Buffers are recycled (Buffer.clear keeps the storage), so steady
+   state allocates nothing per event.  A swap only happens between
+   records, so a record's bytes are never split across two chunks. *)
+
+type t = {
+  oc : out_channel;
+  owns_channel : bool;
+  chunk : int;
+  scratch : Buffer.t;
+  mutable front : Buffer.t;
+  lock : Mutex.t;
+  more : Condition.t; (* wakes the writer: chunk pending, or closing *)
+  freed : Condition.t; (* wakes the producer: a recycled buffer is back *)
+  mutable pending : Buffer.t option;
+  mutable spare : Buffer.t option;
+  mutable closing : bool;
+  mutable closed : bool;
+  mutable stalls : int;
+  mutable bytes_written : int;
+  mutable records : int;
+  mutable error : exn option;
+  mutable thread : Thread.t option;
+}
+
+let writer_loop t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while t.pending = None && not t.closing do
+      Condition.wait t.more t.lock
+    done;
+    match t.pending with
+    | None ->
+        (* Closing and fully drained. *)
+        Mutex.unlock t.lock
+    | Some buf ->
+        t.pending <- None;
+        Mutex.unlock t.lock;
+        (* Disk I/O happens outside the lock; on failure remember the
+           exception (re-raised by [close]) but keep recycling buffers
+           so the producer never deadlocks. *)
+        (try Buffer.output_buffer t.oc buf
+         with e -> if t.error = None then t.error <- Some e);
+        Mutex.lock t.lock;
+        t.bytes_written <- t.bytes_written + Buffer.length buf;
+        Buffer.clear buf;
+        t.spare <- Some buf;
+        Condition.signal t.freed;
+        Mutex.unlock t.lock;
+        loop ()
+  in
+  loop ()
+
+let default_chunk = 1 lsl 20
+
+let create ?(buffer_size = default_chunk) ?(owns_channel = false) oc =
+  if buffer_size < 1 then
+    invalid_arg "Binary_writer.create: buffer_size must be >= 1";
+  (* A little slack past the threshold so the record that crosses it
+     fits without growing the buffer. *)
+  let capacity = buffer_size + 4096 in
+  let t =
+    {
+      oc;
+      owns_channel;
+      chunk = buffer_size;
+      scratch = Buffer.create 256;
+      front = Buffer.create capacity;
+      lock = Mutex.create ();
+      more = Condition.create ();
+      freed = Condition.create ();
+      pending = None;
+      spare = Some (Buffer.create capacity);
+      closing = false;
+      closed = false;
+      stalls = 0;
+      bytes_written = 0;
+      records = 0;
+      error = None;
+      thread = None;
+    }
+  in
+  Buffer.add_string t.front Binary_codec.header;
+  t.thread <- Some (Thread.create writer_loop t);
+  t
+
+let to_file ?buffer_size path =
+  create ?buffer_size ~owns_channel:true (open_out_bin path)
+
+let flush_front t =
+  if Buffer.length t.front > 0 then begin
+    Mutex.lock t.lock;
+    if t.spare = None then
+      (* Both buffers are on the writer's side: the disk is slower
+         than the simulation right now.  Count the stall, then wait
+         for a recycled buffer. *)
+      t.stalls <- t.stalls + 1;
+    while t.spare = None do
+      Condition.wait t.freed t.lock
+    done;
+    let next = match t.spare with Some b -> b | None -> assert false in
+    t.spare <- None;
+    t.pending <- Some t.front;
+    t.front <- next;
+    Condition.signal t.more;
+    Mutex.unlock t.lock
+  end
+
+let emit t r =
+  if t.closed then invalid_arg "Binary_writer.emit: writer is closed";
+  Binary_codec.encode ~scratch:t.scratch t.front r;
+  t.records <- t.records + 1;
+  if Buffer.length t.front >= t.chunk then flush_front t
+
+let emit_event t e = emit t (Binary_codec.Event e)
+let emit_scale t s = emit t (Binary_codec.Scale s)
+let emit_line t l = emit t (Binary_codec.Line l)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    flush_front t;
+    Mutex.lock t.lock;
+    t.closing <- true;
+    Condition.signal t.more;
+    Mutex.unlock t.lock;
+    Option.iter Thread.join t.thread;
+    if t.owns_channel then close_out t.oc else flush t.oc;
+    match t.error with Some e -> raise e | None -> ()
+  end
+
+let stalls t = t.stalls
+let records t = t.records
+
+let bytes_written t =
+  (* After [close] this is the whole file; while running, the bytes
+     already handed to the channel. *)
+  t.bytes_written

@@ -1,0 +1,48 @@
+(** Background double-buffered writer for binary ([.ctrace]) traces.
+
+    The producer thread — the simulation — encodes each record into an
+    in-memory buffer ({!Binary_codec}, amortized zero allocation per
+    event).  When the buffer crosses the chunk threshold it is handed
+    whole to a single background thread that does the [write(2)];
+    meanwhile the producer keeps encoding into the second, recycled
+    buffer.  The engine therefore never blocks on disk unless the disk
+    falls a full chunk behind, and each such wait is counted in
+    {!stalls} so a regressing sink shows up in the bench record, not
+    just wall time.  Record boundaries are never split across chunks.
+
+    Not thread-safe on the producer side: emit from one thread only.
+    {!close} hands off the final partial chunk, joins the writer
+    thread, then closes (or flushes) the channel; any I/O error from
+    the background thread is re-raised there. *)
+
+type t
+
+val create : ?buffer_size:int -> ?owns_channel:bool -> out_channel -> t
+(** Start a writer on a caller-owned channel and write the format
+    header.  [buffer_size] (default 1 MiB) is the chunk threshold;
+    [owns_channel] (default [false]) makes {!close} close the channel
+    instead of just flushing it. *)
+
+val to_file : ?buffer_size:int -> string -> t
+(** Truncate/create [path] and start a writer that owns it. *)
+
+val emit : t -> Binary_codec.record -> unit
+val emit_event : t -> Cup_sim.Trace.event -> unit
+val emit_scale : t -> Cup_sim.Scale.trace_event -> unit
+
+val emit_line : t -> string -> unit
+(** Carry an opaque line verbatim (for lossless format conversion). *)
+
+val close : t -> unit
+(** Drain, join the writer thread, release the channel.  Idempotent;
+    emitting after [close] raises [Invalid_argument].  Re-raises any
+    I/O error the background thread hit. *)
+
+(** {1 Counters} (exact after {!close}) *)
+
+val records : t -> int
+val bytes_written : t -> int
+
+val stalls : t -> int
+(** Times the producer had to wait for the background thread — i.e.
+    chunks by which the disk fell behind the simulation. *)

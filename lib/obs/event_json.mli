@@ -17,3 +17,7 @@ val to_string : Cup_sim.Trace.event -> string
 
 val of_json : Json.t -> (Cup_sim.Trace.event, string) result
 val of_string : string -> (Cup_sim.Trace.event, string) result
+
+val kind_of_string : string -> Cup_proto.Update.kind option
+(** Inverse of {!Cup_proto.Update.kind_to_string}; shared by the
+    scale-trace line parser. *)

@@ -34,6 +34,13 @@ let jsonl ?(close_channel = false) oc =
 
 let jsonl_file path = jsonl ~close_channel:true (open_out path)
 
+let binary writer =
+  of_callback
+    ~close:(fun () -> Binary_writer.close writer)
+    (Binary_writer.emit_event writer)
+
+let binary_file path = binary (Binary_writer.to_file path)
+
 let fanout sinks =
   of_callback
     ~close:(fun () -> List.iter close sinks)

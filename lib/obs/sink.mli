@@ -10,6 +10,9 @@
     - {!jsonl} / {!jsonl_file} stream every event as one
       self-describing JSON object per line ({!Event_json}) — constant
       memory no matter the run length, replayable with [cup replay];
+    - {!binary} / {!binary_file} stream the compact binary [.ctrace]
+      format ({!Binary_codec}) through a background double-buffered
+      writer ({!Binary_writer}) — the fast path for large runs;
     - {!fanout} feeds several sinks at once;
     - {!of_callback} wraps any [Trace.event -> unit] function.
 
@@ -43,6 +46,17 @@ val jsonl : ?close_channel:bool -> out_channel -> t
 val jsonl_file : string -> t
 (** [jsonl_file path] truncates/creates [path] and streams JSONL into
     it; {!close} closes the file. *)
+
+val binary : Binary_writer.t -> t
+(** Stream compact binary records through a caller-created
+    {!Binary_writer} — encoding on the simulation thread is
+    allocation-free and the disk writes happen on the writer's
+    background thread, so the engine never blocks on I/O.  {!close}
+    closes the writer (drains, joins, releases the file). *)
+
+val binary_file : string -> t
+(** [binary_file path] truncates/creates [path] and streams the binary
+    [.ctrace] format into it via a background {!Binary_writer}. *)
 
 val fanout : t list -> t
 (** Emit to every sink, in order; {!close} closes them all. *)

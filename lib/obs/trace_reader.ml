@@ -1,0 +1,126 @@
+module Trace = Cup_sim.Trace
+module Scale = Cup_sim.Scale
+
+type item =
+  | Event of Trace.event
+  | Scale_record of Scale.trace_event
+  | Raw of { line : string; error : string }
+  | Malformed of string
+
+type format = Binary | Jsonl
+
+let detect path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let magic_len = String.length Binary_codec.magic in
+      let buf = Bytes.create magic_len in
+      match really_input ic buf 0 magic_len with
+      | () ->
+          if Bytes.to_string buf = Binary_codec.magic then Binary else Jsonl
+      | exception End_of_file ->
+          if Filename.check_suffix path ".ctrace" then Binary else Jsonl)
+
+(* Scale-runner JSONL lines ({!Cup_sim.Scale.trace_line}) parsed back
+   into their records, so scale traces convert losslessly: re-rendering
+   through [trace_line] reproduces the exact input bytes. *)
+let scale_of_line line =
+  match Json.of_string line with
+  | Error _ -> None
+  | Ok j -> (
+      let int name = Option.bind (Json.member name j) Json.to_int in
+      let ( let* ) = Option.bind in
+      match Option.bind (Json.member "type" j) Json.to_str with
+      | Some "refresh" ->
+          let* w = int "w" in
+          let* key = int "key" in
+          let* idx = int "idx" in
+          let* out = int "out" in
+          Some (Scale.T_refresh { w; key; idx; out })
+      | Some "post" ->
+          let* w = int "w" in
+          let* node = int "node" in
+          let* key = int "key" in
+          let* idx = int "idx" in
+          let* out = int "out" in
+          Some (Scale.T_post { w; node; key; idx; out })
+      | Some (("query" | "update" | "clear") as typ) ->
+          let* w = int "w" in
+          let* dst = int "dst" in
+          let* src = int "src" in
+          let* seq = int "seq" in
+          let* key = int "key" in
+          let* out = int "out" in
+          let* body =
+            match typ with
+            | "query" -> Some (Scale.B_query key)
+            | "clear" -> Some (Scale.B_clear key)
+            | _ ->
+                let* kind_s =
+                  Option.bind (Json.member "kind" j) Json.to_str
+                in
+                let* kind = Event_json.kind_of_string kind_s in
+                let* level = int "level" in
+                let* answering =
+                  Option.bind (Json.member "answering" j) Json.to_bool
+                in
+                Some (Scale.B_update { key; kind; level; answering })
+          in
+          Some (Scale.T_msg { w; dst; src; seq; body; out })
+      | _ -> None)
+
+let item_of_line line =
+  match Event_json.of_string line with
+  | Ok e -> Event e
+  | Error error -> (
+      match scale_of_line line with
+      | Some s -> Scale_record s
+      | None -> Raw { line; error })
+
+let iter_jsonl path ~f =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = ref 0 in
+      try
+        while true do
+          let line = input_line ic in
+          if String.trim line <> "" then begin
+            incr n;
+            f !n (item_of_line line)
+          end
+        done
+      with End_of_file -> ())
+
+let iter_binary path ~f =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match Binary_codec.read_header ic with
+      | exception Binary_codec.Corrupt msg -> f 1 (Malformed msg)
+      | () ->
+          let n = ref 0 in
+          let rec loop () =
+            match Binary_codec.input_record ic with
+            | exception Binary_codec.Corrupt msg ->
+                (* Framing is lost: report and stop. *)
+                incr n;
+                f !n (Malformed msg)
+            | None -> ()
+            | Some r ->
+                incr n;
+                (match r with
+                | Binary_codec.Event e -> f !n (Event e)
+                | Binary_codec.Scale s -> f !n (Scale_record s)
+                | Binary_codec.Line l -> f !n (item_of_line l));
+                loop ()
+          in
+          loop ())
+
+let iter path ~f =
+  match detect path with
+  | Binary -> iter_binary path ~f
+  | Jsonl -> iter_jsonl path ~f

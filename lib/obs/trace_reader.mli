@@ -1,0 +1,32 @@
+(** One streaming interface over both trace formats.
+
+    [cup trace], [cup trace convert] and the bench harness read traces
+    through this module: the format is sniffed from the file header
+    (the {!Binary_codec.magic} bytes; anything else is JSONL, with the
+    [.ctrace] suffix as tie-breaker for empty files) and records are
+    handed to the callback one at a time — nothing is materialized, so
+    memory stays bounded by the consumer, not the trace length. *)
+
+type item =
+  | Event of Cup_sim.Trace.event  (** a protocol event *)
+  | Scale_record of Cup_sim.Scale.trace_event  (** a scale-runner record *)
+  | Raw of { line : string; error : string }
+      (** a line that parses as neither, carried verbatim; [error] is
+          the protocol-event parse error *)
+  | Malformed of string
+      (** an undecodable binary record; framing is lost, so iteration
+          stops after reporting it *)
+
+type format = Binary | Jsonl
+
+val detect : string -> format
+(** Sniff the on-disk format.  Raises [Sys_error] if the file cannot
+    be opened. *)
+
+val iter : string -> f:(int -> item -> unit) -> unit
+(** Stream every record to [f] along with its ordinal (1-based;
+    counting non-blank lines for JSONL, records for binary).  JSONL
+    lines are classified as protocol events first, then as
+    scale-runner records, else passed through as {!Raw} — so
+    converting a trace and reading it back classifies identically in
+    both formats. *)

@@ -154,33 +154,94 @@ let validate cfg =
   if cfg.drain < 0. then fail "drain must be >= 0";
   if cfg.zipf < 0. then fail "zipf must be >= 0"
 
-let trace_line w work out_count =
-  match work with
-  | W_msg { dst; src; seq; payload; _ } -> (
-      match payload with
-      | P_query key ->
+(* {1 Trace records}
+
+   Traced runs hand the consumer one structured record per processed
+   event instead of a preformatted string, so a binary sink can encode
+   it compactly without the shard threads paying [Printf] costs.
+   {!trace_line} is the canonical JSONL rendering — the byte format
+   [--trace-out FILE.jsonl] has always written. *)
+
+type trace_body =
+  | B_query of int
+  | B_update of { key : int; kind : Update.kind; level : int; answering : bool }
+  | B_clear of int
+
+type trace_event =
+  | T_msg of {
+      w : int;
+      dst : int;
+      src : int;
+      seq : int;
+      body : trace_body;
+      out : int;
+    }
+  | T_refresh of { w : int; key : int; idx : int; out : int }
+  | T_post of { w : int; node : int; key : int; idx : int; out : int }
+
+let trace_line = function
+  | T_msg { w; dst; src; seq; body; out } -> (
+      match body with
+      | B_query key ->
           Printf.sprintf
             "{\"w\":%d,\"type\":\"query\",\"dst\":%d,\"src\":%d,\"seq\":%d,\"key\":%d,\"out\":%d}"
-            w dst src seq (Key.to_int key) out_count
-      | P_update (u, answering) ->
+            w dst src seq key out
+      | B_update { key; kind; level; answering } ->
           Printf.sprintf
             "{\"w\":%d,\"type\":\"update\",\"dst\":%d,\"src\":%d,\"seq\":%d,\"key\":%d,\"kind\":\"%s\",\"level\":%d,\"answering\":%b,\"out\":%d}"
-            w dst src seq
-            (Key.to_int u.Update.key)
-            (Update.kind_to_string u.Update.kind)
-            u.Update.level answering out_count
-      | P_clear key ->
+            w dst src seq key
+            (Update.kind_to_string kind)
+            level answering out
+      | B_clear key ->
           Printf.sprintf
             "{\"w\":%d,\"type\":\"clear\",\"dst\":%d,\"src\":%d,\"seq\":%d,\"key\":%d,\"out\":%d}"
-            w dst src seq (Key.to_int key) out_count)
-  | W_local (L_refresh { key; idx }) ->
+            w dst src seq key out)
+  | T_refresh { w; key; idx; out } ->
       Printf.sprintf
         "{\"w\":%d,\"type\":\"refresh\",\"key\":%d,\"idx\":%d,\"out\":%d}" w key
-        idx out_count
-  | W_local (L_post { node; key; idx }) ->
+        idx out
+  | T_post { w; node; key; idx; out } ->
       Printf.sprintf
         "{\"w\":%d,\"type\":\"post\",\"node\":%d,\"key\":%d,\"idx\":%d,\"out\":%d}"
-        w node key idx out_count
+        w node key idx out
+
+let trace_event_of w work out =
+  match work with
+  | W_msg { dst; src; seq; payload; _ } ->
+      let body =
+        match payload with
+        | P_query key -> B_query (Key.to_int key)
+        | P_update (u, answering) ->
+            B_update
+              {
+                key = Key.to_int u.Update.key;
+                kind = u.Update.kind;
+                level = u.Update.level;
+                answering;
+              }
+        | P_clear key -> B_clear (Key.to_int key)
+      in
+      T_msg { w; dst; src; seq; body; out }
+  | W_local (L_refresh { key; idx }) -> T_refresh { w; key; idx; out }
+  | W_local (L_post { node; key; idx }) -> T_post { w; node; key; idx; out }
+
+(* Each shard's trace segment is already in canonical (ascending
+   work-key) order — works are processed sorted — so the global
+   canonical order is a k-way merge of the per-shard segments, not a
+   re-sort.  Keys are globally unique, so ties cannot occur. *)
+let merge_segments segments =
+  let merge2 a b =
+    let rec go acc a b =
+      match (a, b) with
+      | [], rest | rest, [] -> List.rev_append acc rest
+      | ((ka, _) as xa) :: ta, ((kb, _) as xb) :: tb ->
+          if Stdlib.compare (ka : int * int * int * int * int) kb <= 0 then
+            go (xa :: acc) ta b
+          else go (xb :: acc) a tb
+    in
+    go [] a b
+  in
+  List.fold_left merge2 [] segments
 
 let run ?tracer cfg =
   validate cfg;
@@ -267,6 +328,15 @@ let run ?tracer cfg =
     | Some h -> Some (Node_id.of_int h)
   in
   let traced = tracer <> None in
+  (* With one shard the per-window work list is the canonical order
+     already — processing order equals the merged order — so the
+     tracer can be fed directly from the work loop, skipping the
+     per-event (work_key, event) accumulation, reversal and merge.
+     Multi-shard runs must keep the segment machinery for the k-way
+     merge below; its output is byte-identical to this fast path. *)
+  let direct_tracer =
+    match tracer with Some f when shards = 1 -> Some f | _ -> None
+  in
   (* {2 One shard, one window} *)
   let process_shard w s =
     let now_s = float_of_int w *. width in
@@ -369,7 +439,12 @@ let run ?tracer cfg =
             if not hit then t.misses <- t.misses + 1;
             exec node acts);
         if traced then
-          lines := (work_key work, trace_line w work (!emitted - emitted0)) :: !lines)
+          match direct_tracer with
+          | Some f -> f (trace_event_of w work (!emitted - emitted0))
+          | None ->
+              lines :=
+                (work_key work, trace_event_of w work (!emitted - emitted0))
+                :: !lines)
       works;
     (List.rev !out, List.rev !lines)
   in
@@ -396,11 +471,11 @@ let run ?tracer cfg =
           results;
         match tracer with
         | None -> ()
-        | Some emit_line ->
-            List.concat_map snd results
-            |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
-            |> List.iter (fun ((_ : int * int * int * int * int), line) ->
-                   emit_line line)
+        | Some _ when direct_tracer <> None -> ()
+        | Some emit ->
+            merge_segments (List.map snd results)
+            |> List.iter (fun ((_ : int * int * int * int * int), ev) ->
+                   emit ev)
       done);
   let totals = zero_totals () in
   Array.iter (fun t -> add_totals totals t) tot;

@@ -78,9 +78,39 @@ type result = {
   events_per_sec : float;
 }
 
-val run : ?tracer:(string -> unit) -> config -> result
-(** Execute the run.  [tracer], when given, receives one JSONL line
-    per processed event, in the canonical order — byte-identical
+(** One processed event, as handed to the tracer.  [w] is the window,
+    [out] the number of messages the event emitted; message records
+    carry destination, source and the per-source emission sequence. *)
+type trace_body =
+  | B_query of int  (** key *)
+  | B_update of {
+      key : int;
+      kind : Cup_proto.Update.kind;
+      level : int;
+      answering : bool;
+    }
+  | B_clear of int  (** key *)
+
+type trace_event =
+  | T_msg of {
+      w : int;
+      dst : int;
+      src : int;
+      seq : int;
+      body : trace_body;
+      out : int;
+    }
+  | T_refresh of { w : int; key : int; idx : int; out : int }
+  | T_post of { w : int; node : int; key : int; idx : int; out : int }
+
+val trace_line : trace_event -> string
+(** Canonical JSONL rendering of a trace record — the exact byte
+    format [--trace-out FILE.jsonl] writes (no trailing newline). *)
+
+val run : ?tracer:(trace_event -> unit) -> config -> result
+(** Execute the run.  [tracer], when given, receives one record per
+    processed event, in the canonical order — and therefore, rendered
+    through {!trace_line} or any deterministic codec, byte-identical
     across shard counts.  Raises [Invalid_argument] on a malformed
     config. *)
 

@@ -742,6 +742,221 @@ let test_analyzer_handles_legacy_and_orphans () =
   Alcotest.(check bool) "orphan example recorded" true
     (List.mem (77, 66) s.orphan_examples)
 
+(* {1 Binary trace codec, writer, reader and streaming analyzer} *)
+
+module Binary_codec = Cup_obs.Binary_codec
+module Binary_writer = Cup_obs.Binary_writer
+module Trace_reader = Cup_obs.Trace_reader
+module Scale = Cup_sim.Scale
+
+(* Parse one framed record produced by [encode_to_string]: the LEB128
+   length prefix followed by the body.  Returns the record and the
+   total bytes consumed. *)
+let decode_framed bytes =
+  let pos = ref 0 in
+  let rec varint shift acc =
+    let b = Char.code bytes.[!pos] in
+    incr pos;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then varint (shift + 7) acc else acc
+  in
+  let len = varint 0 0 in
+  let r = Binary_codec.decode_body bytes ~pos:!pos ~len in
+  (r, !pos + len)
+
+let prop_binary_roundtrip =
+  QCheck.Test.make ~count:2000
+    ~name:"binary encode → decode → encode is byte-identical" arb_event
+    (fun event ->
+      let bytes = Binary_codec.encode_to_string (Binary_codec.Event event) in
+      let r', consumed = decode_framed bytes in
+      if consumed <> String.length bytes then
+        QCheck.Test.fail_reportf "frame length mismatch: %d vs %d" consumed
+          (String.length bytes);
+      (match r' with
+      | Binary_codec.Event e' when e' = event -> ()
+      | _ -> QCheck.Test.fail_reportf "value changed across the round-trip");
+      String.equal bytes (Binary_codec.encode_to_string r'))
+
+let scale_events =
+  [
+    Scale.T_post { w = 0; node = 7; key = 3; idx = 0; out = 2 };
+    Scale.T_msg
+      { w = 0; dst = 8; src = 7; seq = 1; body = Scale.B_query 3; out = 1 };
+    Scale.T_msg
+      {
+        w = 1;
+        dst = 7;
+        src = 8;
+        seq = 2;
+        body =
+          Scale.B_update
+            {
+              key = 3;
+              kind = Cup_proto.Update.First_time;
+              level = 2;
+              answering = true;
+            };
+        out = 0;
+      };
+    Scale.T_msg
+      { w = 2; dst = 9; src = 7; seq = 3; body = Scale.B_clear 3; out = 1 };
+    Scale.T_refresh { w = 3; key = 3; idx = 1; out = 4 };
+  ]
+
+let test_binary_scale_and_line_roundtrip () =
+  (* every record shape survives encode → decode, and the opaque-line
+     record carries foreign bytes verbatim *)
+  List.iter
+    (fun ev ->
+      let r = Binary_codec.Scale ev in
+      match decode_framed (Binary_codec.encode_to_string r) with
+      | Binary_codec.Scale ev', _ ->
+          Alcotest.(check string)
+            "scale record round-trips" (Scale.trace_line ev)
+            (Scale.trace_line ev')
+      | _, _ -> Alcotest.fail "scale record changed shape")
+    scale_events;
+  let line = "# not json at all {\xff" in
+  match decode_framed (Binary_codec.encode_to_string (Binary_codec.Line line))
+  with
+  | Binary_codec.Line line', _ ->
+      Alcotest.(check string) "opaque line verbatim" line line'
+  | _, _ -> Alcotest.fail "line record changed shape"
+
+let test_binary_writer_tiny_buffer_ordering () =
+  (* a 64-byte chunk threshold forces a buffer swap every couple of
+     records, so record boundaries land on every possible chunk edge;
+     the file must still contain exactly the emitted sequence *)
+  let path = Filename.temp_file "cup_trace" ".ctrace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w = Binary_writer.to_file ~buffer_size:64 path in
+      let expected = ref [] in
+      for i = 1 to 200 do
+        let ev = List.nth all_events (i mod List.length all_events) in
+        Binary_writer.emit_event w ev;
+        expected := ev :: !expected
+      done;
+      Binary_writer.close w;
+      Alcotest.(check int) "records counted" 200 (Binary_writer.records w);
+      Alcotest.(check bool) "bytes written" true
+        (Binary_writer.bytes_written w > 0);
+      let got = ref [] in
+      Trace_reader.iter path ~f:(fun _ item ->
+          match item with
+          | Trace_reader.Event e -> got := e :: !got
+          | _ -> Alcotest.fail "unexpected non-event record");
+      Alcotest.(check int) "all records read back" 200 (List.length !got);
+      Alcotest.(check bool) "sequence preserved across chunk swaps" true
+        (!got = !expected))
+
+let test_trace_reader_classifies_both_formats () =
+  (* the same mixed stream — protocol events, scale records, a foreign
+     line — must classify identically whether it reaches the reader as
+     JSONL or as binary *)
+  let raw = "# plain comment line" in
+  let jsonl_path = Filename.temp_file "cup_trace" ".jsonl" in
+  let bin_path = Filename.temp_file "cup_trace" ".ctrace" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove jsonl_path;
+      Sys.remove bin_path)
+    (fun () ->
+      let oc = open_out jsonl_path in
+      List.iter
+        (fun e ->
+          output_string oc (Event_json.to_string e);
+          output_char oc '\n')
+        all_events;
+      List.iter
+        (fun ev ->
+          output_string oc (Scale.trace_line ev);
+          output_char oc '\n')
+        scale_events;
+      output_string oc (raw ^ "\n");
+      close_out oc;
+      let w = Binary_writer.to_file bin_path in
+      List.iter (Binary_writer.emit_event w) all_events;
+      List.iter (Binary_writer.emit_scale w) scale_events;
+      Binary_writer.emit_line w raw;
+      Binary_writer.close w;
+      Alcotest.(check bool) "formats sniffed" true
+        (Trace_reader.detect jsonl_path = Trace_reader.Jsonl
+        && Trace_reader.detect bin_path = Trace_reader.Binary);
+      let classify path =
+        let items = ref [] in
+        Trace_reader.iter path ~f:(fun ord item ->
+            let tag =
+              match item with
+              | Trace_reader.Event e -> "event:" ^ Event_json.to_string e
+              | Trace_reader.Scale_record ev -> "scale:" ^ Scale.trace_line ev
+              | Trace_reader.Raw { line; _ } -> "raw:" ^ line
+              | Trace_reader.Malformed m -> "malformed:" ^ m
+            in
+            items := (ord, tag) :: !items);
+        List.rev !items
+      in
+      let from_jsonl = classify jsonl_path and from_bin = classify bin_path in
+      Alcotest.(check int) "same record count"
+        (List.length from_jsonl) (List.length from_bin);
+      Alcotest.(check bool) "identical classification" true
+        (from_jsonl = from_bin);
+      Alcotest.(check bool) "raw line surfaced" true
+        (List.exists (fun (_, t) -> t = "raw:" ^ raw) from_bin))
+
+let test_streaming_analyzer_matches_legacy () =
+  (* the constant-memory analyzer must agree with the materializing
+     one, structurally, on a real crash+loss trace *)
+  let bytes, _ = trace_bytes faulty in
+  let events = events_of_bytes bytes in
+  let legacy = Cup_obs.Analyzer.analyze events in
+  let st = Cup_obs.Analyzer.Streaming.create () in
+  List.iter (Cup_obs.Analyzer.Streaming.feed st) events;
+  let streamed = Cup_obs.Analyzer.Streaming.finish st in
+  Alcotest.(check bool) "trace is nonempty" true (events <> []);
+  Alcotest.(check bool) "summaries structurally equal" true
+    (streamed = legacy);
+  (* and on the degenerate legacy/orphan shapes, including forward
+     parent references the streaming pass resolves retroactively *)
+  let at = Time.of_seconds 1.0 in
+  let n i = Node_id.of_int i and k = Key.of_int 0 in
+  let degenerate =
+    [
+      Trace.Query_posted
+        { at; node = n 1; key = k; trace_id = 0; span_id = 0; parent_id = 0 };
+      Trace.Query_forwarded
+        {
+          at;
+          from_ = n 1;
+          to_ = n 2;
+          key = k;
+          trace_id = 5;
+          span_id = 77;
+          parent_id = 66;
+        };
+      (* forward reference: child arrives before its parent *)
+      Trace.Query_forwarded
+        {
+          at;
+          from_ = n 2;
+          to_ = n 3;
+          key = k;
+          trace_id = 9;
+          span_id = 101;
+          parent_id = 100;
+        };
+      Trace.Query_posted
+        { at; node = n 2; key = k; trace_id = 9; span_id = 100; parent_id = 0 };
+    ]
+  in
+  let st = Cup_obs.Analyzer.Streaming.create () in
+  List.iter (Cup_obs.Analyzer.Streaming.feed st) degenerate;
+  Alcotest.(check bool) "degenerate shapes agree" true
+    (Cup_obs.Analyzer.Streaming.finish st
+    = Cup_obs.Analyzer.analyze degenerate)
+
 let test_timeseries_rejects_bad_interval () =
   let live = Runner.Live.create quiet_base in
   Alcotest.check_raises "zero interval"
@@ -1135,6 +1350,18 @@ let () =
             test_analyzer_latency_matches_counters;
           Alcotest.test_case "legacy and orphans" `Quick
             test_analyzer_handles_legacy_and_orphans;
+          Alcotest.test_case "streaming matches legacy" `Quick
+            test_streaming_analyzer_matches_legacy;
+        ] );
+      ( "binary trace",
+        [
+          QCheck_alcotest.to_alcotest prop_binary_roundtrip;
+          Alcotest.test_case "scale and line records" `Quick
+            test_binary_scale_and_line_roundtrip;
+          Alcotest.test_case "tiny-buffer writer ordering" `Quick
+            test_binary_writer_tiny_buffer_ordering;
+          Alcotest.test_case "reader classifies both formats" `Quick
+            test_trace_reader_classifies_both_formats;
         ] );
       ( "sinks",
         [
