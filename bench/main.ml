@@ -52,6 +52,7 @@ let scale_json : (string * Json.t) list ref = ref []
 let trace_io_json : (string * Json.t) list ref = ref []
 let micro_json : (string * float) list ref = ref []
 let metrics_json : (string * float) list ref = ref []
+let fuzz_json : (string * Json.t) list ref = ref []
 
 let write_csv name ~header rows =
   match !csv_dir with
@@ -1646,6 +1647,85 @@ let metrics_bench () =
     rows;
   Table.print table
 
+(* {1 Fuzz sweep: throughput and jobs-determinism}
+
+   Runs the swarm-testing fuzzer over a block of seeds twice —
+   sequentially and fanned over the domain pool — and demands
+   byte-identical summaries (same verdicts, same per-seed event
+   counts, same failure list) plus a clean sweep.  A mismatch or a
+   failing seed is a regression, so this target exits non-zero rather
+   than just reporting. *)
+
+let fuzz_sweep ?pool scale =
+  let seeds = match scale with E.Scaled -> 60 | E.Full -> 400 in
+  let exec = Cup_obs.Fuzz_oracle.execute in
+  let t0 = Unix.gettimeofday () in
+  let sequential =
+    Cup_sim.Fuzz.run_seeds ~exec ~shrink_failures:false ~seed_start:0 ~seeds ()
+  in
+  let seq_s = Unix.gettimeofday () -. t0 in
+  let pooled_s, deterministic =
+    match pool with
+    | None -> (None, true)
+    | Some pool ->
+        let t0 = Unix.gettimeofday () in
+        let pooled =
+          Cup_sim.Fuzz.run_seeds ~exec ~pool ~shrink_failures:false
+            ~seed_start:0 ~seeds ()
+        in
+        (Some (Unix.gettimeofday () -. t0), pooled = sequential)
+  in
+  let table =
+    Table.create ~title:"Fuzz sweep (seeds 0..)"
+      ~columns:[ "mode"; "seeds"; "passed"; "seconds"; "seeds/s" ]
+  in
+  let row mode s =
+    Table.add_row table
+      [
+        mode;
+        string_of_int sequential.Cup_sim.Fuzz.seeds_run;
+        string_of_int sequential.Cup_sim.Fuzz.passed;
+        Printf.sprintf "%.2f" s;
+        Printf.sprintf "%.1f" (float_of_int seeds /. s);
+      ]
+  in
+  row "sequential" seq_s;
+  Option.iter (fun s -> row "pooled" s) pooled_s;
+  Table.print table;
+  Printf.printf "pooled verdicts byte-identical: %s\n"
+    (match pool with
+    | None -> "n/a (jobs=1)"
+    | Some _ -> if deterministic then "yes" else "NO");
+  fuzz_json :=
+    [
+      ("seeds", Json.Int seeds);
+      ("passed", Json.Int sequential.Cup_sim.Fuzz.passed);
+      ("failed", Json.Int (List.length sequential.Cup_sim.Fuzz.failures));
+      ("sequential_seconds", Json.Float seq_s);
+      ("sequential_seeds_per_sec", Json.Float (float_of_int seeds /. seq_s));
+      ("pooled_deterministic", Json.Bool deterministic);
+    ]
+    @
+    (match pooled_s with
+    | None -> []
+    | Some s ->
+        [
+          ("pooled_seconds", Json.Float s);
+          ("pooled_seeds_per_sec", Json.Float (float_of_int seeds /. s));
+        ]);
+  if not deterministic then begin
+    prerr_endline "fuzz: pooled sweep diverged from sequential";
+    exit 1
+  end;
+  if sequential.Cup_sim.Fuzz.failures <> [] then begin
+    List.iter
+      (fun (f : Cup_sim.Fuzz.failure) ->
+        Printf.eprintf "fuzz: FAIL seed %d: [%s %s] %s\n" f.seed f.fail.code
+          f.fail.invariant f.fail.detail)
+      sequential.Cup_sim.Fuzz.failures;
+    exit 1
+  end
+
 (* {1 Driver} *)
 
 let write_harness_json ~jobs ~scale =
@@ -1707,6 +1787,9 @@ let write_harness_json ~jobs ~scale =
       @ (match !trace_io_json with
         | [] -> []
         | fields -> [ ("trace_io", Json.Obj fields) ])
+      @ (match !fuzz_json with
+        | [] -> []
+        | fields -> [ ("fuzz", Json.Obj fields) ])
       @ (match !micro_json with
         | [] -> []
         | rows ->
@@ -1858,6 +1941,9 @@ let () =
   timed "trace-io" (fun () ->
       section "Trace I/O: sink throughput and streaming-analyzer footprint";
       trace_io scale);
+  timed "fuzz" (fun () ->
+      section "Fuzz sweep: seeds/sec and jobs-determinism";
+      fuzz_sweep ?pool scale);
   timed_explicit "scale" (fun () ->
       section "Scale: 10k / 100k / 1M-node batch-synchronous runs";
       scale_runs `Full);

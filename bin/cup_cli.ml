@@ -357,6 +357,81 @@ let loss_jitter =
            channel drops at rate*(1 + J*u) for a deterministic per-channel \
            u in [-1, 1).  Only meaningful with --loss-rate > 0.")
 
+let zipf =
+  Arg.(
+    value & opt float 0.
+    & info [ "zipf" ] ~docv:"ALPHA"
+        ~doc:
+          "Draw query keys from a Zipf distribution with exponent $(docv) \
+           instead of uniformly.  0 (the default) keeps the uniform \
+           distribution.")
+
+let partition_frac =
+  Arg.(
+    value & opt float 0.
+    & info [ "partition" ] ~docv:"F"
+        ~doc:
+          "Cut the network for a time window: each node lands on the island \
+           side with probability $(docv) (pure hash of seed and node id, so \
+           membership is stable and costs no randomness).  Messages into \
+           the island are dropped while the cut is open — and out of it \
+           too with --partition-symmetric.  0 (the default) disables \
+           partitioning.")
+
+let partition_start =
+  Arg.(
+    value & opt float 0.
+    & info [ "partition-start" ] ~docv:"SECS"
+        ~doc:
+          "Seconds after the query window opens before the cut opens.  \
+           Only meaningful with --partition > 0.")
+
+let partition_duration =
+  Arg.(
+    value & opt float 0.
+    & info [ "partition-duration" ] ~docv:"SECS"
+        ~doc:
+          "Seconds the cut stays open; 0 (the default) keeps it open for \
+           the whole query window.  Only meaningful with --partition > 0.")
+
+let partition_symmetric =
+  Arg.(
+    value & flag
+    & info [ "partition-symmetric" ]
+        ~doc:
+          "Drop messages in both directions across the cut.  The default \
+           is the asymmetric shape: island nodes keep sending but never \
+           hear back.")
+
+let reorder_rate =
+  Arg.(
+    value & opt float 0.
+    & info [ "reorder-rate" ] ~docv:"P"
+        ~doc:
+          "Delay each message with probability $(docv) (0..1) so later \
+           sends can overtake it.  Receivers discard entries staler than \
+           their cache, so reordering never regresses freshness.  0 (the \
+           default) disables reordering.")
+
+let reorder_spread =
+  Arg.(
+    value & opt float 4.
+    & info [ "reorder-spread" ] ~docv:"HOPS"
+        ~doc:
+          "Maximum extra delay of a reordered message, in hop delays \
+           (0 < spread <= 32, default 4).  Only meaningful with \
+           --reorder-rate > 0.")
+
+let duplicate_rate =
+  Arg.(
+    value & opt float 0.
+    & info [ "duplicate-rate" ] ~docv:"P"
+        ~doc:
+          "Deliver a second copy of each message with probability $(docv) \
+           (0..1), one extra hop delay later.  Protocol handlers tolerate \
+           redelivery; the audit counts each copy as its own transport \
+           message.  0 (the default) disables duplication.")
+
 let write_metrics ~path registry =
   let module Registry = Cup_metrics.Registry in
   if Filename.check_suffix path ".csv" then
@@ -372,8 +447,13 @@ let write_metrics ~path registry =
     (Registry.series_count registry)
     path
 
-let violation_exit v =
-  Format.eprintf "cup run: audit failed@.  %a@." Cup_obs.Audit.pp_violation v;
+(* A violation report must carry everything needed to replay the run:
+   the rendered repro command pins the seed, scheduler and every fault
+   flag, so the report alone reproduces the failure. *)
+let violation_exit cfg v =
+  Format.eprintf "cup run: audit failed@.  %a@.  repro: %s@."
+    Cup_obs.Audit.pp_violation v
+    (Cup_sim.Fuzz.repro_command cfg);
   exit 3
 
 (* A run that needs live observability: attach sinks/samplers/probes
@@ -412,6 +492,9 @@ let run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
       Some
         (Audit.create ~max_backlog:bound
            ~backlog:(fun () -> Runner.Live.justification_backlog live)
+           ~tolerate_stale:
+             (cfg.Scenario.reorder <> None || cfg.Scenario.duplication <> None)
+           ~context:(Cup_sim.Fuzz.repro_command cfg)
            ~counters:(Runner.Live.counters live) ())
     end
     else None
@@ -454,11 +537,12 @@ let run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
     Option.map (fun interval -> Timeseries.attach ~interval live) interval
   in
   let result =
-    try Runner.Live.finish live with Audit.Violation v -> violation_exit v
+    try Runner.Live.finish live with Audit.Violation v -> violation_exit cfg v
   in
   (match auditor with
   | None -> ()
-  | Some a -> ( try Audit.finish a with Audit.Violation v -> violation_exit v));
+  | Some a -> (
+      try Audit.finish a with Audit.Violation v -> violation_exit cfg v));
   print_result result;
   (match auditor with
   | None -> ()
@@ -503,7 +587,8 @@ let run_cmd =
   let action seed nodes keys rate duration lifetime replicas policy overlay
       scheduler flat_state runs jobs trace_out metrics_out sample_interval
       sample_out profile serve audit crash_rate crash_recover loss_rate
-      loss_jitter =
+      loss_jitter zipf partition_frac partition_start partition_duration
+      partition_symmetric reorder_rate reorder_spread duplicate_rate =
     let cfg =
       {
         (scenario_of ~seed ~nodes ~keys ~rate ~duration ~lifetime ~replicas
@@ -511,6 +596,7 @@ let run_cmd =
         with
         scheduler;
         flat_node_state = flat_state;
+        key_dist = (if zipf > 0. then `Zipf zipf else `Uniform);
         crashes =
           (if crash_rate > 0. then
              Some
@@ -524,8 +610,37 @@ let run_cmd =
           (if loss_rate > 0. then
              Some { Scenario.drop = loss_rate; jitter = loss_jitter }
            else None);
+        partition =
+          (if partition_frac > 0. then
+             Some
+               {
+                 Scenario.fraction = partition_frac;
+                 p_start = partition_start;
+                 p_duration =
+                   (if partition_duration > 0. then partition_duration
+                    else duration);
+                 symmetric = partition_symmetric;
+               }
+           else None);
+        reorder =
+          (if reorder_rate > 0. then
+             Some
+               {
+                 Scenario.r_probability = reorder_rate;
+                 r_spread = reorder_spread;
+               }
+           else None);
+        duplication =
+          (if duplicate_rate > 0. then
+             Some { Scenario.d_probability = duplicate_rate }
+           else None);
       }
     in
+    (match Scenario.validate cfg with
+    | Ok () -> ()
+    | Error msg ->
+        prerr_endline ("cup run: " ^ msg);
+        exit 1);
     let observed_single =
       trace_out <> None || sample_interval <> None || sample_out <> None
       || profile || serve <> None || audit
@@ -598,7 +713,9 @@ let run_cmd =
       $ trace_out
       $ metrics_out $ sample_interval $ sample_out $ profile_flag
       $ serve_port $ audit_flag $ crash_rate $ crash_recover $ loss_rate
-      $ loss_jitter)
+      $ loss_jitter $ zipf $ partition_frac $ partition_start
+      $ partition_duration $ partition_symmetric $ reorder_rate
+      $ reorder_spread $ duplicate_rate)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one CUP simulation and print its cost summary.")
@@ -1115,6 +1232,87 @@ let exp_cmd =
     (Cmd.info "exp" ~doc:"Run one of the paper's experiments by name.")
     term
 
+(* {1 cup fuzz}
+
+   Deterministic swarm-testing sweep: every verdict line is a pure
+   function of the seed range, whatever --jobs says — only the final
+   "wallclock:" line (trivially filterable) varies across hosts. *)
+
+let fuzz_cmd =
+  let seeds =
+    Arg.(
+      value & opt int 200
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Number of consecutive fuzz seeds to run.")
+  in
+  let seed_start =
+    Arg.(
+      value & opt int 0
+      & info [ "seed-start" ] ~docv:"N" ~doc:"First fuzz seed of the range.")
+  in
+  let one_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Replay a single fuzz seed (shorthand for --seed-start N \
+             --seeds 1): the scenario, run and verdict are byte-identical \
+             to what seed N produced inside any larger sweep.")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:
+            "Report failures as generated, without minimizing them first.")
+  in
+  let action seeds seed_start one_seed no_shrink jobs =
+    if seeds < 1 then begin
+      prerr_endline "cup fuzz: --seeds must be >= 1";
+      exit 1
+    end;
+    let seed_start, seeds =
+      match one_seed with Some s -> (s, 1) | None -> (seed_start, seeds)
+    in
+    let t0 = Unix.gettimeofday () in
+    let summary =
+      with_jobs jobs (fun pool ->
+          Cup_sim.Fuzz.run_seeds ~exec:Cup_obs.Fuzz_oracle.execute ?pool
+            ~shrink_failures:(not no_shrink) ~seed_start ~seeds ())
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.printf "fuzz: seeds [%d, %d): %d passed, %d failed, %d events \
+                   audited\n"
+      seed_start (seed_start + seeds) summary.passed
+      (List.length summary.failures)
+      summary.total_events;
+    List.iter
+      (fun (f : Cup_sim.Fuzz.failure) ->
+        Printf.printf "FAIL seed %d: [%s %s] t=%.6g: %s\n" f.seed f.fail.code
+          f.fail.invariant f.fail.at f.fail.detail;
+        Printf.printf "  repro: %s\n" (Cup_sim.Fuzz.repro_command f.scenario);
+        match f.shrunk with
+        | None -> ()
+        | Some (cfg, sf) ->
+            Printf.printf "  shrunk (%d nodes, [%s %s]): %s\n"
+              cfg.Scenario.nodes sf.code sf.invariant
+              (Cup_sim.Fuzz.repro_command cfg))
+      summary.failures;
+    Printf.printf "wallclock: %.2fs (%.1f seeds/s)\n" wall
+      (float_of_int seeds /. Float.max wall 1e-9);
+    if summary.failures <> [] then exit 3
+  in
+  let term =
+    Term.(const action $ seeds $ seed_start $ one_seed $ no_shrink $ jobs)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Sweep randomized fault-injection scenarios under the invariant \
+          auditor; shrink and report any failure as a pasteable repro.")
+    term
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -1126,4 +1324,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ run_cmd; scale_cmd; sweep_cmd; exp_cmd; trace_cmd; replay_cmd ]))
+          [
+            run_cmd;
+            scale_cmd;
+            sweep_cmd;
+            exp_cmd;
+            fuzz_cmd;
+            trace_cmd;
+            replay_cmd;
+          ]))

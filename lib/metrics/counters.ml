@@ -10,6 +10,7 @@ type t = {
   mutable misses : int;
   mutable dropped_updates : int;
   mutable lost_messages : int;
+  mutable duplicated : int;
   mutable retries : int;
   mutable repairs : int;
   mutable unreachable : int;
@@ -41,6 +42,7 @@ let create () =
     misses = 0;
     dropped_updates = 0;
     lost_messages = 0;
+    duplicated = 0;
     retries = 0;
     repairs = 0;
     unreachable = 0;
@@ -80,6 +82,7 @@ let record_miss t ~hops =
 
 let record_dropped_update t = t.dropped_updates <- t.dropped_updates + 1
 let record_lost_message t = t.lost_messages <- t.lost_messages + 1
+let record_duplicate t = t.duplicated <- t.duplicated + 1
 let record_retry t = t.retries <- t.retries + 1
 
 (* Each transport recorder moves one message between exactly two terms
@@ -127,6 +130,7 @@ let misses t = t.misses
 let local_queries t = t.hits + t.misses
 let dropped_updates t = t.dropped_updates
 let lost_messages t = t.lost_messages
+let duplicated t = t.duplicated
 let retries t = t.retries
 let repairs t = t.repairs
 let unreachable t = t.unreachable
@@ -156,6 +160,7 @@ let merge a b =
     misses = a.misses + b.misses;
     dropped_updates = a.dropped_updates + b.dropped_updates;
     lost_messages = a.lost_messages + b.lost_messages;
+    duplicated = a.duplicated + b.duplicated;
     retries = a.retries + b.retries;
     repairs = a.repairs + b.repairs;
     unreachable = a.unreachable + b.unreachable;
@@ -183,10 +188,13 @@ let pp fmt t =
     (avg_miss_latency_hops t);
   (* The fault line only appears when fault injection actually touched
      the run, so fault-free output keeps its historical shape. *)
-  if t.lost_messages + t.retries + t.repairs + t.unreachable > 0 then
+  if t.lost_messages + t.duplicated + t.retries + t.repairs + t.unreachable > 0
+  then begin
     Format.fprintf fmt
       "@,faults:    %d lost, %d retries, %d repairs, %d unreachable"
       t.lost_messages t.retries t.repairs t.unreachable;
+    if t.duplicated > 0 then Format.fprintf fmt ", %d duplicated" t.duplicated
+  end;
   (* The transport line appears only when conservation checking was
      turned on ({!expose_transport}) so default output keeps its
      historical shape. *)

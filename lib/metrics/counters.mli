@@ -47,6 +47,12 @@ val record_dropped_update : t -> unit
 val record_lost_message : t -> unit
 (** A message dropped in transit: wire loss or a crashed receiver. *)
 
+val record_duplicate : t -> unit
+(** The channel delivered an extra copy of a message (duplication
+    injection).  The copy itself also goes through the transport
+    recorders — this counts duplication events, it is not a
+    conservation term. *)
+
 val record_retry : t -> unit
 (** A retransmission or re-issued interest after a loss/crash. *)
 
@@ -116,6 +122,7 @@ val misses : t -> int
 val local_queries : t -> int
 val dropped_updates : t -> int
 val lost_messages : t -> int
+val duplicated : t -> int
 val retries : t -> int
 val repairs : t -> int
 val unreachable : t -> int

@@ -22,6 +22,8 @@ type t = {
   backlog : (unit -> int) option;
   max_backlog : int option;
   check_every : int;
+  tolerate_stale : bool;
+  context : string option;
   (* per node: (key, replica) -> expiry high-water of entries already
      delivered there, mirroring the receiving cache's overwrite
      semantics (Delete/First_time/crash reset it) *)
@@ -31,7 +33,8 @@ type t = {
   mutable last_at : float;
 }
 
-let create ?max_backlog ?backlog ?(check_every = 1024) ~counters () =
+let create ?max_backlog ?backlog ?(check_every = 1024)
+    ?(tolerate_stale = false) ?context ~counters () =
   if check_every <= 0 then
     invalid_arg "Audit.create: check_every must be > 0";
   Counters.expose_transport counters;
@@ -40,6 +43,8 @@ let create ?max_backlog ?backlog ?(check_every = 1024) ~counters () =
     backlog;
     max_backlog;
     check_every;
+    tolerate_stale;
+    context;
     fresh = Hashtbl.create 256;
     seen_spans = Hashtbl.create 4096;
     events_checked = 0;
@@ -51,6 +56,15 @@ let events_checked t = t.events_checked
 let violate ~code ~invariant ~at detail =
   raise (Violation { code; invariant; at; detail })
 
+(* Violations escape as exceptions, far from whoever configured the
+   run — [context] (a repro command, a seed) rides along in the detail
+   so the report alone is enough to replay the failure. *)
+let fail t ~code ~invariant ~at detail =
+  let detail =
+    match t.context with None -> detail | Some c -> detail ^ " | " ^ c
+  in
+  violate ~code ~invariant ~at detail
+
 (* V1: the identity must hold at every instant — each transport
    recorder moves a message between exactly two terms — so any drift
    means a delivery path bypassed the accounting. *)
@@ -61,14 +75,14 @@ let check_conservation t ~at ~final =
   and lost = Counters.transport_lost c
   and in_flight = Counters.in_flight c in
   if in_flight < 0 then
-    violate ~code:"V1" ~invariant:"conservation" ~at
+    fail t ~code:"V1" ~invariant:"conservation" ~at
       (Printf.sprintf "in_flight is negative (%d)" in_flight);
   if sent <> delivered + lost + in_flight then
-    violate ~code:"V1" ~invariant:"conservation" ~at
+    fail t ~code:"V1" ~invariant:"conservation" ~at
       (Printf.sprintf "%d sent <> %d delivered + %d lost + %d in flight" sent
          delivered lost in_flight);
   if final && in_flight <> 0 then
-    violate ~code:"V1" ~invariant:"conservation" ~at
+    fail t ~code:"V1" ~invariant:"conservation" ~at
       (Printf.sprintf
          "%d messages still in flight after the engine drained" in_flight)
 
@@ -77,7 +91,7 @@ let check_backlog t ~at =
   | Some probe, Some bound ->
       let backlog = probe () in
       if backlog > bound then
-        violate ~code:"V3" ~invariant:"backlog" ~at
+        fail t ~code:"V3" ~invariant:"backlog" ~at
           (Printf.sprintf "justification backlog %d exceeds bound %d" backlog
              bound)
   | _ -> ()
@@ -87,12 +101,12 @@ let check_span t ~at event =
   | None -> ()
   | Some (_, span_id, parent_id) ->
       if parent_id <> 0 && not (Hashtbl.mem t.seen_spans parent_id) then
-        violate ~code:"V4" ~invariant:"spans" ~at
+        fail t ~code:"V4" ~invariant:"spans" ~at
           (Printf.sprintf "parent span %d not seen before its child %d"
              parent_id span_id);
       if span_id <> 0 then
         if Hashtbl.mem t.seen_spans span_id then
-          violate ~code:"V4" ~invariant:"spans" ~at
+          fail t ~code:"V4" ~invariant:"spans" ~at
             (Printf.sprintf "span id %d emitted twice" span_id)
         else Hashtbl.replace t.seen_spans span_id ()
 
@@ -132,7 +146,13 @@ let check_freshness t ~at ~to_ ~key ~kind entries =
           if expiry >= at then begin
             (match Hashtbl.find_opt tbl (k, r) with
             | Some prev when expiry < prev -. 1e-9 ->
-                violate ~code:"V2" ~invariant:"freshness" ~at
+                (* Under reordering/duplication a stale arrival is a
+                   channel artifact the receiver's last-writer-wins
+                   guard discards, not a protocol bug; [tolerate_stale]
+                   mirrors that guard (the high-water below never moves
+                   down either way). *)
+                if not t.tolerate_stale then
+                fail t ~code:"V2" ~invariant:"freshness" ~at
                   (Printf.sprintf
                      "node %d key %d replica %d: delivered expiry %.6g \
                       regresses the %.6g already delivered"

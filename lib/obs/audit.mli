@@ -47,6 +47,8 @@ val create :
   ?max_backlog:int ->
   ?backlog:(unit -> int) ->
   ?check_every:int ->
+  ?tolerate_stale:bool ->
+  ?context:string ->
   counters:Cup_metrics.Counters.t ->
   unit ->
   t
@@ -57,7 +59,19 @@ val create :
     table) and compared against [max_backlog] when both are given.
     Calling [create] also flips {!Cup_metrics.Counters.expose_transport}
     on [counters], so a printed counter block shows the identity being
-    enforced. *)
+    enforced.
+
+    [tolerate_stale] (default [false]) relaxes V2 for channels with
+    reordering or duplication enabled: a delivered entry staler than
+    the high-water is then expected channel behavior — the receiver's
+    last-writer-wins guard discards it — so it neither violates nor
+    moves the high-water.  Leave it off everywhere else so V2 keeps
+    catching genuine regressions.
+
+    [context] is a short free-form tag (a seed, a repro command)
+    appended to every violation's [detail], so a report that escaped
+    through several layers still identifies the run that produced
+    it. *)
 
 val sink : t -> Sink.t
 (** The auditor as a trace sink; raises {!Violation} from inside the

@@ -1,0 +1,15 @@
+(** The audited executor behind [cup fuzz].
+
+    Runs a scenario under the full oracle stack — the four {!Audit}
+    invariants streamed over every event, plus the {!Analyzer}'s
+    orphan-span check over the completed trace forest — and reduces
+    the outcome to a {!Cup_sim.Fuzz.verdict}.  The library dependency
+    points this way (observation depends on simulation), which is why
+    {!Cup_sim.Fuzz} takes the executor as a parameter instead of
+    calling this directly. *)
+
+val execute : Cup_sim.Scenario.t -> Cup_sim.Fuzz.verdict
+(** Pure: same scenario, same verdict, regardless of host, job count
+    or wallclock.  Invalid scenarios (a shrinker or generator bug)
+    fail with code ["GEN"] rather than raising.  Every failure's
+    [detail] carries the scenario's {!Cup_sim.Fuzz.repro_command}. *)

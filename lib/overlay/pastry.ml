@@ -351,7 +351,7 @@ let check_invariants t =
             Error
               (Format.asprintf "%a: route unreachable (%a)" Node_id.pp id
                  Route.pp_reason reason)
-        | Route.Delivered hops -> (
+        | Route.Delivered { hops; _ } -> (
             match List.rev hops with
             | [] when Node_id.equal id owner -> Ok ()
             | last :: _ when Node_id.equal last owner -> Ok ()

@@ -3,8 +3,8 @@ type reason = Dead_node | No_progress | Hop_limit
 type hop = Owner | Forward of Node_id.t | Stuck of reason
 
 type t =
-  | Delivered of Node_id.t list
-  | Unreachable of { reason : reason; partial : Node_id.t list }
+  | Delivered of { hops : Node_id.t list; count : int }
+  | Unreachable of { reason : reason; partial : Node_id.t list; count : int }
 
 let reason_to_string = function
   | Dead_node -> "dead-node"
@@ -14,28 +14,34 @@ let reason_to_string = function
 let pp_reason fmt r = Format.pp_print_string fmt (reason_to_string r)
 
 let pp fmt = function
-  | Delivered hops ->
-      Format.fprintf fmt "delivered (%d hops)" (List.length hops)
-  | Unreachable { reason; partial } ->
-      Format.fprintf fmt "unreachable after %d hops (%a)" (List.length partial)
-        pp_reason reason
+  | Delivered { count; _ } -> Format.fprintf fmt "delivered (%d hops)" count
+  | Unreachable { reason; count; _ } ->
+      Format.fprintf fmt "unreachable after %d hops (%a)" count pp_reason
+        reason
 
 let is_delivered = function Delivered _ -> true | Unreachable _ -> false
 
+let hop_count = function
+  | Delivered { count; _ } | Unreachable { count; _ } -> count
+
 let hops_exn = function
-  | Delivered hops -> hops
+  | Delivered { hops; _ } -> hops
   | Unreachable { reason; _ } ->
       invalid_arg ("Route.hops_exn: unreachable: " ^ reason_to_string reason)
 
 (* The shared greedy-forwarding loop: every substrate's [route] is this
-   walk over its own [next_hop], differing only in the step budget. *)
+   walk over its own [next_hop], differing only in the step budget.
+   [steps] always equals the length of [acc], so both outcomes carry
+   their hop count without a final [List.length]. *)
 let walk ~limit ~next_hop from =
   let rec go current steps acc =
-    if steps > limit then Unreachable { reason = Hop_limit; partial = List.rev acc }
+    if steps > limit then
+      Unreachable { reason = Hop_limit; partial = List.rev acc; count = steps }
     else
       match next_hop current with
-      | Owner -> Delivered (List.rev acc)
+      | Owner -> Delivered { hops = List.rev acc; count = steps }
       | Forward hop -> go hop (steps + 1) (hop :: acc)
-      | Stuck reason -> Unreachable { reason; partial = List.rev acc }
+      | Stuck reason ->
+          Unreachable { reason; partial = List.rev acc; count = steps }
   in
   go from 0 []

@@ -23,16 +23,21 @@ type hop =
   | Stuck of reason  (** no routing decision possible *)
 
 type t =
-  | Delivered of Node_id.t list
+  | Delivered of { hops : Node_id.t list; count : int }
       (** successive hops from the origin (exclusive) to the owner
-          (inclusive); [[]] when the origin is the owner *)
-  | Unreachable of { reason : reason; partial : Node_id.t list }
-      (** the hops taken before the lookup failed *)
+          (inclusive); [[]] when the origin is the owner.  [count] is
+          [List.length hops], carried from the walk so printing a
+          route never re-walks the list *)
+  | Unreachable of { reason : reason; partial : Node_id.t list; count : int }
+      (** the hops taken before the lookup failed, with their count *)
 
 val reason_to_string : reason -> string
 val pp_reason : Format.formatter -> reason -> unit
 val pp : Format.formatter -> t -> unit
 val is_delivered : t -> bool
+
+val hop_count : t -> int
+(** Hops taken, delivered or not — the carried [count], O(1). *)
 
 val hops_exn : t -> Node_id.t list
 (** The hop list of a [Delivered] route.  Raises [Invalid_argument] on

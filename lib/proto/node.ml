@@ -264,21 +264,46 @@ let handle_query t ~now ~next_hop source key =
 
 (* {2 Updates (Section 2.6)} *)
 
+(* Apply [u] to the key's cached entry set.  Returns whether the cache
+   actually changed: a no-news arrival — a duplicated delivery, or an
+   update that travelled a (fault-rewired) interest cycle back around —
+   must not be forwarded again, or the cycle amplifies it into an
+   update storm. *)
 let apply_update state (u : Update.t) =
   match u.kind with
   | First_time ->
-      state.entries <-
+      let entries =
         List.fold_left
           (fun m (e : Entry.t) -> Replica_id.Map.add e.replica e m)
           Replica_id.Map.empty u.entries
+      in
+      let changed =
+        not
+          (Replica_id.Map.equal
+             (fun (a : Entry.t) (b : Entry.t) -> a.expiry = b.expiry)
+             state.entries entries)
+      in
+      state.entries <- entries;
+      changed
   | Refresh | Append ->
-      state.entries <-
-        List.fold_left
-          (fun m (e : Entry.t) -> Replica_id.Map.add e.replica e m)
-          state.entries u.entries
+      (* Last-writer-wins by expiry: an entry at or below the cached
+         expiry is no news — discarded, so a reordered or duplicated
+         channel can never regress the cache to older data.  In-order
+         tree-shaped propagation always carries strictly fresher
+         expiries, making the guard a no-op there. *)
+      List.fold_left
+        (fun changed (e : Entry.t) ->
+          match Replica_id.Map.find_opt e.replica state.entries with
+          | Some (prev : Entry.t) when Time.(prev.expiry >= e.expiry) ->
+              changed
+          | Some _ | None ->
+              state.entries <- Replica_id.Map.add e.replica e state.entries;
+              true)
+        false u.entries
   | Delete ->
-      List.iter
-        (fun (e : Entry.t) ->
+      List.fold_left
+        (fun changed (e : Entry.t) ->
+          let present = Replica_id.Map.mem e.replica state.entries in
           state.entries <- Replica_id.Map.remove e.replica state.entries;
           (* A deleted trigger replica cannot trigger decisions any
              more: adopt another cached replica (or none). *)
@@ -286,8 +311,9 @@ let apply_update state (u : Update.t) =
             state.trigger <-
               (match Replica_id.Map.min_binding_opt state.entries with
               | Some (r, _) -> Some r
-              | None -> None))
-        u.entries
+              | None -> None);
+          changed || present)
+        false u.entries
 
 (* Forward an update to every interested neighbor, respecting a
    sender-side push-level bound.  Answers to waiting neighbors do not
@@ -346,7 +372,7 @@ let handle_update t ~now ~from (u : Update.t) =
       (* Case 1: this answers our pending query.  Apply it, answer the
          waiting local clients, and push the response as a first-time
          update to every interested neighbor. *)
-      apply_update state u;
+      let (_ : bool) = apply_update state u in
       let trigger = is_trigger_arrival t state u in
       if trigger then record_trigger_arrival state;
       let entries = fresh_entry_list state ~now in
@@ -408,13 +434,19 @@ let handle_update t ~now ~from (u : Update.t) =
       if downstream_interest then begin
         state.cut_sent <- false;
         if trigger then record_trigger_arrival state;
-        apply_update state u;
-        forward_update t state u
+        (* Forward only updates that carried news.  A no-news arrival
+           has already been seen along another path (duplication, or an
+           interest graph that a crash rewired into a cycle); pushing
+           it onward again is what turns the cycle into an unbounded
+           update storm.  Found by fuzzing — see fuzz seeds 36, 267,
+           580, 1827: all-out refresh waves ping-ponged forever across
+           crash-rewired CAN neighborhoods. *)
+        if apply_update state u then forward_update t state u else []
       end
       else if not trigger then begin
         (* Replica-independent mode, non-trigger replica: apply but do
            not touch the popularity measure or the decision. *)
-        apply_update state u;
+        let (_ : bool) = apply_update state u in
         []
       end
       else begin
@@ -426,7 +458,7 @@ let handle_update t ~now ~from (u : Update.t) =
         with
         | Policy.Keep ->
             state.cut_sent <- false;
-            apply_update state u;
+            let (_ : bool) = apply_update state u in
             []
         | Policy.Cut ->
             (* An update arriving while our clear-bit is already in

@@ -453,32 +453,61 @@ let handle_query t ~node ~now ~next_hop source key =
 
 (* {2 Updates (Section 2.6)} *)
 
+(* Mirror of {!Node.apply_update}, including its changed-result
+   contract: returns whether the slot's entry set actually changed, so
+   the caller can refuse to forward no-news arrivals (the update-storm
+   guard). *)
 let apply_update t slot (u : Update.t) =
   match u.kind with
   | Update.First_time ->
+      let old_len = t.e_len.(slot) in
+      let old_rep = Array.sub t.e_rep.(slot) 0 old_len in
+      let old_exp = Array.sub t.e_exp.(slot) 0 old_len in
       t.e_len.(slot) <- 0;
       List.iter
         (fun (e : Entry.t) ->
           ent_upsert t slot
             (Replica_id.to_int e.replica)
             (Time.to_seconds e.expiry))
-        u.entries
+        u.entries;
+      let len = t.e_len.(slot) in
+      len <> old_len
+      ||
+      let rep = t.e_rep.(slot) and exp = t.e_exp.(slot) in
+      let changed = ref false in
+      for i = 0 to len - 1 do
+        if rep.(i) <> old_rep.(i) || exp.(i) <> old_exp.(i) then changed := true
+      done;
+      !changed
   | Update.Refresh | Update.Append ->
-      List.iter
-        (fun (e : Entry.t) ->
-          ent_upsert t slot
-            (Replica_id.to_int e.replica)
-            (Time.to_seconds e.expiry))
-        u.entries
-  | Update.Delete ->
-      List.iter
-        (fun (e : Entry.t) ->
+      (* Last-writer-wins guard: keep the cached expiry when it is at
+         least as fresh — an equal-or-staler entry is no news. *)
+      List.fold_left
+        (fun changed (e : Entry.t) ->
           let r = Replica_id.to_int e.replica in
+          let exp = Time.to_seconds e.expiry in
+          match ent_search t slot r with
+          | i when i >= 0 ->
+              if t.e_exp.(slot).(i) < exp then begin
+                t.e_exp.(slot).(i) <- exp;
+                true
+              end
+              else changed
+          | _ ->
+              ent_upsert t slot r exp;
+              true)
+        false u.entries
+  | Update.Delete ->
+      List.fold_left
+        (fun changed (e : Entry.t) ->
+          let r = Replica_id.to_int e.replica in
+          let present = ent_search t slot r >= 0 in
           ent_remove t slot r;
           if t.s_trigger.(slot) = r then
             t.s_trigger.(slot) <-
-              (if t.e_len.(slot) > 0 then t.e_rep.(slot).(0) else -1))
-        u.entries
+              (if t.e_len.(slot) > 0 then t.e_rep.(slot).(0) else -1);
+          changed || present)
+        false u.entries
 
 let forward_update t slot (u : Update.t) =
   let next = Update.forwarded u in
@@ -547,7 +576,7 @@ let handle_update t ~node ~now ~from (u : Update.t) =
   else begin
     t.s_dist.(slot) <- u.level;
     if Bytes.get t.s_pending slot = '\001' then begin
-      apply_update t slot u;
+      let (_ : bool) = apply_update t slot u in
       let trigger = is_trigger_arrival t slot u in
       if trigger then record_trigger_arrival t slot;
       let entries = fresh_ent_list t slot ~now in
@@ -596,11 +625,12 @@ let handle_update t ~node ~now ~from (u : Update.t) =
       if downstream_interest then begin
         Bytes.set t.s_cut_sent slot '\000';
         if trigger then record_trigger_arrival t slot;
-        apply_update t slot u;
-        forward_update t slot u
+        (* Update-storm guard, as in {!Node.handle_update}: no-news
+           arrivals are never pushed onward. *)
+        if apply_update t slot u then forward_update t slot u else []
       end
       else if not trigger then begin
-        apply_update t slot u;
+        let (_ : bool) = apply_update t slot u in
         []
       end
       else begin
@@ -612,7 +642,7 @@ let handle_update t ~node ~now ~from (u : Update.t) =
         with
         | Policy.Keep ->
             Bytes.set t.s_cut_sent slot '\000';
-            apply_update t slot u;
+            let (_ : bool) = apply_update t slot u in
             []
         | Policy.Cut ->
             if Bytes.get t.s_cut_sent slot = '\001' then []

@@ -1,0 +1,75 @@
+(** Deterministic swarm-testing fuzzer.
+
+    One fuzz seed maps to one randomized scenario — topology family
+    and size, key catalog, query load (including Zipf flash crowds),
+    churn, crash/recover, per-channel loss, partitions, reordering,
+    duplication, each fault axis tossed independently in the
+    swarm-testing style — which an injected executor runs under the
+    online invariant auditor.  Everything is a pure function of the
+    seed: a failure inside a million-seed sweep replays standalone
+    with [cup fuzz --seed N], or outside the fuzzer entirely with the
+    rendered {!repro_command}.
+
+    The executor is a parameter ([exec]) rather than a dependency:
+    the audited implementation lives in [Cup_obs.Fuzz_oracle], which
+    this library cannot see (the observation layer depends on the
+    simulator, not vice versa), and tests substitute doctored
+    executors to prove the harness catches planted bugs. *)
+
+type fail = {
+  code : string;  (** ["V1"] .. ["V4"], as in {!Cup_obs.Audit} *)
+  invariant : string;
+  at : float;
+  detail : string;
+}
+
+type verdict =
+  | Pass of { events : int }  (** audited events in the run *)
+  | Fail of fail
+
+type failure = {
+  seed : int;
+  scenario : Scenario.t;  (** as generated, before shrinking *)
+  fail : fail;
+  shrunk : (Scenario.t * fail) option;
+      (** minimal still-failing scenario and its (possibly different)
+          violation, when shrinking was enabled *)
+}
+
+type summary = {
+  seeds_run : int;
+  passed : int;
+  total_events : int;  (** across passing runs *)
+  failures : failure list;  (** in seed order *)
+}
+
+val scenario_of_seed : int -> Scenario.t
+(** Pure: the same seed always yields the same scenario.  Generated
+    scenarios stay within the subset of {!Scenario.t} expressible as
+    [cup run] flags, so every failure has a pasteable repro. *)
+
+val repro_command : Scenario.t -> string
+(** A ready-to-paste [cup run ... --audit] command reproducing the
+    scenario outside the fuzzer. *)
+
+val shrink :
+  exec:(Scenario.t -> verdict) -> Scenario.t -> (Scenario.t * fail) option
+(** Greedy minimization: halve the node count, shorten the schedule,
+    drop fault axes one at a time, reduce keys/replicas — keeping any
+    simplification under which [exec] still fails (not necessarily
+    with the original violation: any failure is a repro worth
+    keeping).  [None] when [exec] passes on the input scenario. *)
+
+val run_seeds :
+  exec:(Scenario.t -> verdict) ->
+  ?pool:Cup_parallel.Pool.t ->
+  ?shrink_failures:bool ->
+  seed_start:int ->
+  seeds:int ->
+  unit ->
+  summary
+(** Evaluate seeds [seed_start .. seed_start + seeds - 1].  With a
+    pool the evaluations fan across domains; {!Cup_parallel.Pool.map}
+    merges in input order and [exec] is pure, so the summary is
+    byte-identical at every job count.  Failing seeds are shrunk
+    sequentially afterwards (default on). *)

@@ -128,7 +128,10 @@ type live = {
   crash_rng : Rng.t; (* crash-victim picking *)
   loss_rng : Rng.t; (* per-delivery loss draws, in event order *)
   loss_salt : int64; (* per-run salt for per-channel drop rates *)
-  fault_mode : bool; (* cfg.crashes or cfg.loss present *)
+  reorder_rng : Rng.t; (* per-delivery reorder draws, in event order *)
+  dup_rng : Rng.t; (* per-delivery duplication draws, in event order *)
+  partition_salt : int64; (* per-run salt for island membership *)
+  fault_mode : bool; (* any Scenario fault axis present *)
   repair : (int, repair_state) Hashtbl.t; (* packed (node, key) *)
   repair_timeout : float; (* seconds a subscriber waits for an answer *)
   repair_slack : float; (* grace past an entry expiry before repairing *)
@@ -355,6 +358,71 @@ let lost_in_transit t ~from ~to_ =
   | None -> false
   | Some _ -> Dist.bernoulli t.loss_rng ~p:(channel_drop t ~from ~to_)
 
+(* {2 Partitions, reordering, duplication}
+
+   Island membership is a pure hash of (run salt, node id) — like
+   per-channel drop rates it costs no randomness, so turning the
+   partition window on or off cannot shift any other draw stream.
+   Reorder and duplication each have a dedicated substream consumed in
+   event order, keeping all fault axes independently deterministic. *)
+
+let in_island t id =
+  match t.cfg.partition with
+  | None -> false
+  | Some { Scenario.fraction; _ } ->
+      let mixed =
+        Splitmix.mix
+          (Int64.logxor t.partition_salt (Int64.of_int (Node_id.to_int id)))
+      in
+      (* top 53 bits -> uniform in [0, 1) *)
+      Int64.to_float (Int64.shift_right_logical mixed 11) /. 9007199254740992.
+      < fraction
+
+let partition_active t =
+  match t.cfg.partition with
+  | None -> false
+  | Some { Scenario.p_start; p_duration; _ } ->
+      let tnow = Time.to_seconds (Engine.now t.engine) in
+      let opens = t.cfg.query_start +. p_start in
+      tnow >= opens && tnow < opens +. p_duration
+
+let partition_blocks t ~from ~to_ =
+  match t.cfg.partition with
+  | None -> false
+  | Some { Scenario.symmetric; _ } ->
+      partition_active t
+      &&
+      let fi = in_island t from and ti = in_island t to_ in
+      if symmetric then fi <> ti
+      else (* asymmetric: the island hears nothing but is still heard *)
+        ti && not fi
+
+(* The loss draw is consumed unconditionally so the "loss" stream stays
+   independent of whether the partition window happens to be open. *)
+let dropped_in_transit t ~from ~to_ =
+  let lost = lost_in_transit t ~from ~to_ in
+  lost || partition_blocks t ~from ~to_
+
+(* Per-message delivery delay: [hop_delay] exactly, unless reordering
+   stretches this copy by up to [r_spread] extra hop delays — enough
+   for later sends to overtake it. *)
+let delivery_delay t =
+  match t.cfg.reorder with
+  | None -> t.cfg.hop_delay
+  | Some { Scenario.r_probability; r_spread } ->
+      if Dist.bernoulli t.reorder_rng ~p:r_probability then
+        t.cfg.hop_delay *. (1. +. (r_spread *. Rng.float t.reorder_rng))
+      else t.cfg.hop_delay
+
+(* Drawn only for messages that were not dropped: a lost message has
+   no copy to duplicate, and skipping the draw there keeps the stream
+   aligned with what actually crossed the wire. *)
+let duplicated_in_transit t =
+  match t.cfg.duplication with
+  | None -> false
+  | Some { Scenario.d_probability } ->
+      Dist.bernoulli t.dup_rng ~p:d_probability
+
 (* Capped exponential backoff for transport-level query retries. *)
 let retry_delay t attempt =
   t.cfg.hop_delay *. 4. *. Float.of_int (1 lsl Stdlib.min attempt 4)
@@ -422,7 +490,7 @@ and perform_one t ~ctx ~from = function
       if t.fault_mode then Hashtbl.remove t.repair (justif_key from key);
       Counters.record_sent t.counters;
       let sid = new_span t in
-      if lost_in_transit t ~from ~to_ then begin
+      if dropped_in_transit t ~from ~to_ then begin
         (* A lost clear-bit is harmless: the upstream keeps pushing
            until the bit is cleared by a later cut-off or expiry. *)
         Counters.record_lost_message t.counters;
@@ -440,11 +508,24 @@ and perform_one t ~ctx ~from = function
                  parent_id = ctx.sc_parent;
                })
       end
-      else
+      else begin
         ignore
           (Engine.schedule_after ~label:"deliver.clear_bit" t.engine
-             ~delay:t.cfg.hop_delay (fun _ ->
-               deliver_clear_bit t ~ctx ~sid ~from ~to_ key))
+             ~delay:(delivery_delay t) (fun _ ->
+               deliver_clear_bit t ~ctx ~sid ~from ~to_ key));
+        if duplicated_in_transit t then begin
+          (* The extra copy is a transport message in its own right:
+             own sent/delivered accounting, own span.  Clearing an
+             already-cleared bit is a no-op at the receiver. *)
+          Counters.record_sent t.counters;
+          Counters.record_duplicate t.counters;
+          let dsid = new_span t in
+          ignore
+            (Engine.schedule_after ~label:"deliver.clear_bit" t.engine
+               ~delay:(t.cfg.hop_delay +. delivery_delay t) (fun _ ->
+                 deliver_clear_bit t ~ctx ~sid:dsid ~from ~to_ key))
+        end
+      end
   | Node.Send_update { to_; update; answering } ->
       send_update t ~ctx ~from ~to_ ~answering update
   | Node.Answer_local { posted_at; hit; key; _ } ->
@@ -485,7 +566,7 @@ and send_query t ~ctx ~from ~to_ ~attempt key =
       ~deadline:(Time.to_seconds (now t) +. t.repair_timeout);
   Counters.record_sent t.counters;
   let sid = new_span t in
-  if lost_in_transit t ~from ~to_ then begin
+  if dropped_in_transit t ~from ~to_ then begin
     Counters.record_lost_message t.counters;
     Counters.record_transport_lost t.counters;
     if tracing t then
@@ -509,11 +590,23 @@ and send_query t ~ctx ~from ~to_ ~attempt key =
          ~delay:(retry_delay t attempt) (fun _ ->
            retry_query t ~ctx ~from ~key ~attempt:(attempt + 1)))
   end
-  else
+  else begin
     ignore
       (Engine.schedule_after ~label:"deliver.query" t.engine
-         ~delay:t.cfg.hop_delay (fun _ ->
-           deliver_query t ~ctx ~sid ~attempt ~from ~to_ key))
+         ~delay:(delivery_delay t) (fun _ ->
+           deliver_query t ~ctx ~sid ~attempt ~from ~to_ key));
+    if duplicated_in_transit t then begin
+      (* Redelivered queries coalesce in the receiver's pending set;
+         the copy still pays full transport accounting. *)
+      Counters.record_sent t.counters;
+      Counters.record_duplicate t.counters;
+      let dsid = new_span t in
+      ignore
+        (Engine.schedule_after ~label:"deliver.query" t.engine
+           ~delay:(t.cfg.hop_delay +. delivery_delay t) (fun _ ->
+             deliver_query t ~ctx ~sid:dsid ~attempt ~from ~to_ key))
+    end
+  end
 
 and deliver_query t ~ctx ?(sid = 0) ?(attempt = 0) ~from ~to_ key =
   if tracing t then
@@ -657,7 +750,7 @@ and transmit_update t ~ctx ~from ~to_ ?(answering = false) (update : Update.t)
     =
   Counters.record_sent t.counters;
   let sid = new_span t in
-  if lost_in_transit t ~from ~to_ then begin
+  if dropped_in_transit t ~from ~to_ then begin
     (* Updates are not retransmitted: the subscriber's
        justification-deadline repair (below) detects the gap and
        re-issues its interest instead. *)
@@ -676,11 +769,24 @@ and transmit_update t ~ctx ~from ~to_ ?(answering = false) (update : Update.t)
              parent_id = ctx.sc_parent;
            })
   end
-  else
+  else begin
     ignore
       (Engine.schedule_after ~label:"deliver.update" t.engine
-         ~delay:t.cfg.hop_delay (fun _ ->
-           deliver_update t ~ctx ~sid ~from ~to_ ~answering update))
+         ~delay:(delivery_delay t) (fun _ ->
+           deliver_update t ~ctx ~sid ~from ~to_ ~answering update));
+    if duplicated_in_transit t then begin
+      (* Entry application is idempotent under the receiver's
+         last-writer-wins guard, so the copy can even arrive after a
+         fresher update without regressing the cache. *)
+      Counters.record_sent t.counters;
+      Counters.record_duplicate t.counters;
+      let dsid = new_span t in
+      ignore
+        (Engine.schedule_after ~label:"deliver.update" t.engine
+           ~delay:(t.cfg.hop_delay +. delivery_delay t) (fun _ ->
+             deliver_update t ~ctx ~sid:dsid ~from ~to_ ~answering update))
+    end
+  end
 
 and deliver_update t ~ctx ?(sid = 0) ~from ~to_ ~answering (update : Update.t)
     =
@@ -1179,6 +1285,11 @@ let create_base cfg =
       crash_rng = Rng.substream root "crashes";
       loss_rng = Rng.substream root "loss";
       loss_salt = Splitmix.mix (Int64.of_int cfg.seed);
+      reorder_rng = Rng.substream root "reorder";
+      dup_rng = Rng.substream root "duplicate";
+      (* Distinct from [loss_salt] so channel drop rates and island
+         membership are uncorrelated hashes of the same seed. *)
+      partition_salt = Splitmix.mix (Int64.lognot (Int64.of_int cfg.seed));
       fault_mode = Scenario.fault_injection cfg;
       repair = Hashtbl.create 256;
       repair_timeout =
@@ -1407,6 +1518,16 @@ let node_leave ?(graceful = true) t id =
         (Format.pp_print_option Node_id.pp)
         change.peer
         (List.length change.affected));
+  (* The departed node will never judge its pending justification
+     deadlines — node ids are not reused, so no query can ever arrive
+     there again — and nothing else sweeps them: left in place they
+     would sit in the table (and the V3 backlog probe) for the rest of
+     the run. *)
+  let departed = Node_id.to_int id in
+  Hashtbl.filter_map_inplace
+    (fun packed deadlines ->
+      if packed lsr 31 = departed then None else Some deadlines)
+    t.justif;
   (* Graceful departure hands directories over; a crash loses them and
      the replicas' keep-alives rebuild the index at the new owner. *)
   reassign_authorities ~handover:graceful t;

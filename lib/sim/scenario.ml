@@ -14,6 +14,24 @@ type crash_spec = { crash_rate : float; recover_after : float; warmup : float }
 
 type loss_spec = { drop : float; jitter : float }
 
+type partition_spec = {
+  fraction : float;  (* expected share of nodes on the island side *)
+  p_start : float;  (* seconds after query_start the cut opens *)
+  p_duration : float;  (* seconds the cut stays open *)
+  symmetric : bool;
+      (* [true]: no message crosses the cut either way.  [false]
+         (asymmetric, the interesting shape): island nodes can still
+         send out, but nothing reaches them — one-way reachability. *)
+}
+
+type reorder_spec = {
+  r_probability : float;  (* per-message chance of a delayed delivery *)
+  r_spread : float;  (* extra delay, as a multiple of hop_delay *)
+}
+
+type duplicate_spec = { d_probability : float }
+(* per-message chance the channel delivers a second copy *)
+
 type t = {
   seed : int;
   nodes : int;
@@ -37,6 +55,9 @@ type t = {
   faults : fault_spec option;
   crashes : crash_spec option;
   loss : loss_spec option;
+  partition : partition_spec option;
+  reorder : reorder_spec option;
+  duplication : duplicate_spec option;
   refresh_batch_window : float;
   refresh_sample : float;
   piggyback_clear_bits : bool;
@@ -68,6 +89,9 @@ let default =
     faults = None;
     crashes = None;
     loss = None;
+    partition = None;
+    reorder = None;
+    duplication = None;
     refresh_batch_window = 0.;
     refresh_sample = 1.;
     piggyback_clear_bits = false;
@@ -87,7 +111,9 @@ let total_keys t =
 let with_policy t policy =
   { t with node_config = { t.node_config with policy } }
 
-let fault_injection t = t.crashes <> None || t.loss <> None
+let fault_injection t =
+  t.crashes <> None || t.loss <> None || t.partition <> None
+  || t.reorder <> None || t.duplication <> None
 
 let validate t =
   let check cond msg = if cond then Ok () else Error msg in
@@ -162,8 +188,41 @@ let validate t =
         in
         check (warmup >= 0.) "crash warmup must be >= 0"
   in
-  match t.loss with
+  let* () =
+    match t.loss with
+    | None -> Ok ()
+    | Some { drop; jitter } ->
+        let* () = check (drop >= 0. && drop <= 1.) "drop must be in [0, 1]" in
+        check (jitter >= 0. && jitter <= 1.) "jitter must be in [0, 1]"
+  in
+  let* () =
+    match t.partition with
+    | None -> Ok ()
+    | Some { fraction; p_start; p_duration; symmetric = _ } ->
+        let* () =
+          check
+            (fraction >= 0. && fraction <= 1.)
+            "partition fraction must be in [0, 1]"
+        in
+        let* () = check (p_start >= 0.) "partition start must be >= 0" in
+        check (p_duration > 0.) "partition duration must be > 0"
+  in
+  let* () =
+    match t.reorder with
+    | None -> Ok ()
+    | Some { r_probability; r_spread } ->
+        let* () =
+          check
+            (r_probability >= 0. && r_probability <= 1.)
+            "reorder probability must be in [0, 1]"
+        in
+        check
+          (r_spread > 0. && r_spread <= 32.)
+          "reorder spread must be in (0, 32] hop delays"
+  in
+  match t.duplication with
   | None -> Ok ()
-  | Some { drop; jitter } ->
-      let* () = check (drop >= 0. && drop <= 1.) "drop must be in [0, 1]" in
-      check (jitter >= 0. && jitter <= 1.) "jitter must be in [0, 1]"
+  | Some { d_probability } ->
+      check
+        (d_probability >= 0. && d_probability <= 1.)
+        "duplicate probability must be in [0, 1]"

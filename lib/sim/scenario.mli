@@ -56,6 +56,42 @@ type loss_spec = {
           channel the same rate. *)
 }
 
+type partition_spec = {
+  fraction : float;
+      (** each node lands on the island side of the cut with this
+          probability, decided by a pure hash of (run salt, node id) —
+          membership is stable for the whole run and costs no PRNG
+          draws *)
+  p_start : float;  (** seconds after [query_start] the cut opens *)
+  p_duration : float;  (** seconds the cut stays open *)
+  symmetric : bool;
+      (** [true] drops every message crossing the cut.  [false] — the
+          asymmetric shape — drops only messages {e into} the island:
+          island nodes keep sending (queries escape, clear-bits
+          escape) but never hear back, the classic one-way
+          reachability pathology. *)
+}
+
+type reorder_spec = {
+  r_probability : float;
+      (** per-message probability of a delayed (hence potentially
+          reordered) delivery, drawn from the dedicated "reorder"
+          substream in event order *)
+  r_spread : float;
+      (** a delayed message arrives after
+          [hop_delay * (1 + u * r_spread)], [u] uniform in [\[0, 1)];
+          bounded by validation to 32 hop delays so transport-level
+          repair timeouts are never mistaken for loss *)
+}
+
+type duplicate_spec = {
+  d_probability : float;
+      (** per-message probability the channel delivers a second copy
+          one extra hop delay later.  Each copy is a distinct
+          transport message (own sent/delivered accounting, own span),
+          so conservation and span soundness hold per copy. *)
+}
+
 type t = {
   seed : int;
   nodes : int;
@@ -98,6 +134,19 @@ type t = {
       (** per-channel message loss; in-flight queries retransmit with
           capped exponential backoff, lost update flow is healed by
           the justification-deadline repair (see README "Robustness") *)
+  partition : partition_spec option;
+      (** a network cut for a time window; drops across the cut are
+          accounted exactly like wire loss (retry/repair heal the flow
+          after the cut closes) *)
+  reorder : reorder_spec option;
+      (** per-message delivery-delay jitter: messages can overtake
+          each other on the wire.  Receivers discard entries staler
+          than their cache (see {!Cup_proto.Node}), so reordering
+          never regresses freshness. *)
+  duplication : duplicate_spec option;
+      (** per-message duplicate delivery; protocol handlers tolerate
+          redelivery (interest sets and entry upserts are idempotent,
+          pending queries coalesce) *)
   refresh_batch_window : float;
       (** Section 3.6's aggregation technique: when [> 0.], the
           authority buffers replica refreshes for a key and propagates
@@ -145,9 +194,10 @@ val with_policy : t -> Cup_proto.Policy.t -> t
 (** Convenience: replace the cut-off policy, keeping the rest. *)
 
 val fault_injection : t -> bool
-(** Whether crash or loss injection is configured; the runner only
-    arms its repair machinery (deadline checks, transport retries)
-    when this holds, so fault-free scenarios are byte-identical to
-    runs before the fault subsystem existed. *)
+(** Whether any channel/node fault injection is configured (crashes,
+    loss, partition, reordering or duplication); the runner only arms
+    its repair machinery (deadline checks, transport retries) when
+    this holds, so fault-free scenarios are byte-identical to runs
+    before the fault subsystem existed. *)
 
 val validate : t -> (unit, string) result

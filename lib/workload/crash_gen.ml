@@ -11,9 +11,9 @@ type t = {
   recover_after : float;
   stop : Time.t;
   mutable next_crash : Time.t;
-  mutable pending_recover : Time.t list;
-      (* scheduled recoveries, oldest first; every crash appends one
-         at a fixed offset, so the list stays time-sorted *)
+  pending_recover : Time.t Queue.t;
+      (* scheduled recoveries, oldest first; every crash enqueues one
+         at a fixed offset, so FIFO order is time order *)
 }
 
 let create ~rng ~crash_rate ~recover_after ~start ~stop =
@@ -26,15 +26,15 @@ let create ~rng ~crash_rate ~recover_after ~start ~stop =
     recover_after;
     stop;
     next_crash = Time.add start (Dist.exponential rng ~rate:crash_rate);
-    pending_recover = [];
+    pending_recover = Queue.create ();
   }
 
 let next t =
   let crash_due = Time.is_finite t.next_crash && Time.(t.next_crash <= t.stop) in
-  match t.pending_recover with
-  | r :: rest when ((not crash_due) || Time.(r <= t.next_crash)) ->
+  match Queue.peek_opt t.pending_recover with
+  | Some r when ((not crash_due) || Time.(r <= t.next_crash)) ->
       if Time.(r <= t.stop) then begin
-        t.pending_recover <- rest;
+        ignore (Queue.pop t.pending_recover);
         Some { at = r; kind = Recover }
       end
       else None
@@ -42,7 +42,6 @@ let next t =
       let at = t.next_crash in
       t.next_crash <- Time.add at (Dist.exponential t.rng ~rate:t.crash_rate);
       if t.recover_after > 0. then
-        t.pending_recover <-
-          t.pending_recover @ [ Time.add at t.recover_after ];
+        Queue.add (Time.add at t.recover_after) t.pending_recover;
       Some { at; kind = Crash }
   | _ -> None

@@ -540,7 +540,7 @@ let test_mid_route_leave_is_typed () =
       | Route.Stuck Route.Dead_node -> ()
       | _ -> Alcotest.fail "dead hop should be Stuck Dead_node");
       (match T.route t ~from:hop p with
-      | Route.Unreachable { reason = Route.Dead_node; partial = [] } -> ()
+      | Route.Unreachable { reason = Route.Dead_node; partial = []; _ } -> ()
       | _ -> Alcotest.fail "route from the dead hop should be Unreachable");
       (match T.route t ~from p with
       | Route.Delivered _ -> ()
@@ -594,8 +594,8 @@ let test_generation_bumps_across_crash_recover () =
       List.iter
         (fun from ->
           match Net.route net ~from key with
-          | Route.Delivered [] -> ()
-          | Route.Delivered hops ->
+          | Route.Delivered { hops; count } ->
+              Alcotest.(check int) "carried count" (List.length hops) count;
               List.iter
                 (fun h ->
                   Alcotest.(check bool) "hop is alive" true

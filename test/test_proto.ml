@@ -810,7 +810,10 @@ let test_churn_handover_merges_directories () =
 
 let test_duplicate_update_delivery_is_idempotent () =
   (* retransmission safety: delivering the same refresh twice leaves
-     the same cache state and produces no extra clear-bits *)
+     the same cache state, is forwarded only the first time (the
+     duplicate carries no news — re-pushing it is how a rewired
+     interest cycle amplifies one refresh into an update storm), and
+     produces no extra clear-bits *)
   let up = nid 9 in
   let n = node_with_cached ~up () in
   ignore
@@ -822,8 +825,9 @@ let test_duplicate_update_delivery_is_idempotent () =
   let a1 = Node.handle_update n ~now:(at 3.) ~from:up refresh in
   let entries_after_first = Node.fresh_entries n ~now:(at 4.) (key 1) in
   let a2 = Node.handle_update n ~now:(at 4.) ~from:up refresh in
-  Alcotest.(check int) "same forwards both times"
-    (List.length (updates_sent a1))
+  Alcotest.(check bool) "first delivery forwarded" true
+    (List.length (updates_sent a1) > 0);
+  Alcotest.(check int) "duplicate not re-forwarded" 0
     (List.length (updates_sent a2));
   Alcotest.(check int) "no clear-bits from duplicates" 0
     (List.length (clear_bits_sent a1) + List.length (clear_bits_sent a2));

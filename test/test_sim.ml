@@ -686,6 +686,63 @@ let scenario_gen =
     let* policy_ix = int_range 0 5 in
     let* overlay_ix = int_range 0 2 in
     let* seed = int_range 0 10_000 in
+    (* Swarm-style fault axes: each is independently present with
+       probability 1/2, so combinations (where the bugs live — see the
+       update-storm seeds in regress_seeds.ml) get real coverage. *)
+    let axis gen =
+      let* on = bool in
+      if on then map Option.some gen else return None
+    in
+    let* crashes =
+      axis
+        (let* r100 = int_range 1 15 in
+         let* recover = int_range 0 40 in
+         return
+           {
+             Scenario.crash_rate = float_of_int r100 /. 100.;
+             recover_after = float_of_int recover;
+             warmup = 0.;
+           })
+    in
+    let* loss =
+      axis
+        (let* d100 = int_range 5 30 in
+         let* j10 = int_range 0 10 in
+         return
+           {
+             Scenario.drop = float_of_int d100 /. 100.;
+             jitter = float_of_int j10 /. 10.;
+           })
+    in
+    let* partition =
+      axis
+        (let* f100 = int_range 10 50 in
+         let* start = int_range 0 200 in
+         let* dur = int_range 10 200 in
+         let* symmetric = bool in
+         return
+           {
+             Scenario.fraction = float_of_int f100 /. 100.;
+             p_start = float_of_int start;
+             p_duration = float_of_int dur;
+             symmetric;
+           })
+    in
+    let* reorder =
+      axis
+        (let* p100 = int_range 10 60 in
+         let* spread = int_range 1 8 in
+         return
+           {
+             Scenario.r_probability = float_of_int p100 /. 100.;
+             r_spread = float_of_int spread;
+           })
+    in
+    let* duplication =
+      axis
+        (let* p100 = int_range 5 30 in
+         return { Scenario.d_probability = float_of_int p100 /. 100. })
+    in
     let policy =
       List.nth
         [ Policy.Standard_caching; Policy.All_out; Policy.Push_level 3;
@@ -712,6 +769,11 @@ let scenario_gen =
            replica_lifetime = 60.;
            seed;
            overlay;
+           crashes;
+           loss;
+           partition;
+           reorder;
+           duplication;
          }
          policy))
 
@@ -721,24 +783,28 @@ let prop_random_scenarios_obey_laws =
     (fun cfg ->
       let r = Runner.run cfg in
       let c = r.counters in
-      (* every local query is answered exactly once *)
-      Counters.local_queries c = r.queries_posted
+      let faulty = Scenario.fault_injection cfg in
+      (* Laws that hold under any fault injection: *)
       (* cost buckets are consistent *)
-      && Counters.total_cost c
-         = Counters.miss_cost c + Counters.overhead_cost c
-      (* emitted updates are delivered or dropped, never lost *)
-      && r.node_stats.updates_forwarded
-         = Counters.first_time_answer_hops c
-           + Counters.first_time_proactive_hops c
-           + Counters.refresh_hops c + Counters.delete_hops c
-           + Counters.append_hops c + Counters.dropped_updates c
-      (* clear-bit accounting matches the node stats *)
-      && r.node_stats.clear_bits_sent = Counters.clear_bit_hops c
+      Counters.total_cost c = Counters.miss_cost c + Counters.overhead_cost c
+      (* transport conservation: everything sent is delivered or lost *)
+      && Counters.sent c = Counters.delivered c + Counters.transport_lost c
       (* justification never exceeds what was tracked *)
       && r.justified_updates <= r.tracked_updates
       (* determinism: an identical rerun reproduces the costs *)
-      && Counters.total_cost (Runner.run cfg).counters
-         = Counters.total_cost c)
+      && Counters.total_cost (Runner.run cfg).counters = Counters.total_cost c
+      (* Laws that assume a fault-free network: *)
+      && (faulty
+         || (* every local query is answered exactly once *)
+         Counters.local_queries c = r.queries_posted
+         (* emitted updates are delivered or dropped, never lost *)
+         && r.node_stats.updates_forwarded
+            = Counters.first_time_answer_hops c
+              + Counters.first_time_proactive_hops c
+              + Counters.refresh_hops c + Counters.delete_hops c
+              + Counters.append_hops c + Counters.dropped_updates c
+         (* clear-bit accounting matches the node stats *)
+         && r.node_stats.clear_bits_sent = Counters.clear_bit_hops c))
 
 (* {1 Analysis (Section 3.1 closed forms)} *)
 

@@ -200,6 +200,46 @@ let test_fault_distinct_nodes_per_batch () =
         (List.length (List.sort_uniq compare idx))
   | _ -> Alcotest.fail "expected one event"
 
+(* {1 Crash generator} *)
+
+(* Throughput guard: draining tens of thousands of crash/recover
+   events must be effectively instant.  The recovery backlog is a
+   FIFO queue; an accumulation that re-walks pending recoveries per
+   crash (the old list-append implementation) turns this drain
+   quadratic and blows far past the generous bound. *)
+let test_crash_throughput () =
+  let module Crash_gen = Cup_workload.Crash_gen in
+  (* recover_after longer than the mean inter-crash gap keeps a deep
+     pending-recovery backlog alive for the whole drain *)
+  let g =
+    Crash_gen.create ~rng:(rng ()) ~crash_rate:10. ~recover_after:500.
+      ~start:Time.zero
+      ~stop:(Time.of_seconds 1000.)
+  in
+  let t0 = Unix.gettimeofday () in
+  let crashes = ref 0 and recovers = ref 0 and last = ref Time.zero in
+  let rec go () =
+    match Crash_gen.next g with
+    | None -> ()
+    | Some e ->
+        if Time.(e.at < !last) then Alcotest.fail "events must be ordered";
+        last := e.at;
+        (match e.kind with
+        | Crash_gen.Crash -> incr crashes
+        | Crash_gen.Recover -> incr recovers);
+        go ()
+  in
+  go ();
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if abs (!crashes - 10_000) > 500 then
+    Alcotest.failf "crash count off: %d" !crashes;
+  if !recovers > !crashes then
+    Alcotest.failf "more recoveries (%d) than crashes (%d)" !recovers !crashes;
+  if !recovers = 0 then Alcotest.fail "expected some recoveries";
+  if elapsed > 5. then
+    Alcotest.failf "draining %d events took %.1fs" (!crashes + !recovers)
+      elapsed
+
 (* {1 Churn generator} *)
 
 let test_churn_rates () =
@@ -259,6 +299,11 @@ let () =
           Alcotest.test_case "once-down" `Quick test_fault_once_down;
           Alcotest.test_case "distinct nodes" `Quick
             test_fault_distinct_nodes_per_batch;
+        ] );
+      ( "crash_gen",
+        [
+          Alcotest.test_case "10k-crash throughput" `Quick
+            test_crash_throughput;
         ] );
       ( "churn_gen",
         [
