@@ -3,6 +3,7 @@
    Subcommands:
      cup run    — run one simulation with explicit parameters
      cup scale  — run a batch-synchronous sharded run (millions of nodes)
+     cup top    — per-key/per-node/per-level cost attribution tables
      cup sweep  — sweep the push level for one query rate
      cup exp    — run a named paper experiment (fig3 fig4 table1 ...)
      cup trace  — analyze a protocol trace (JSONL or binary .ctrace):
@@ -20,6 +21,8 @@ module Counters = Cup_metrics.Counters
 module Policy = Cup_proto.Policy
 module Sink = Cup_obs.Sink
 module Timeseries = Cup_obs.Timeseries
+module Attribution = Cup_metrics.Attribution
+module Topk = Cup_obs.Topk
 
 (* {1 Shared argument definitions} *)
 
@@ -432,7 +435,74 @@ let duplicate_rate =
            redelivery; the audit counts each copy as its own transport \
            message.  0 (the default) disables duplication.")
 
-let write_metrics ~path registry =
+(* {1 Cost-attribution options (cup run / cup scale / cup top)} *)
+
+let attribution_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "attribution" ] ~docv:"K"
+        ~doc:
+          "Attribute per-key/per-node/per-level costs in a top-$(docv) \
+           space-saving sketch (see cup top).  0 (the default) keeps \
+           attribution detached — the delivery path then pays a single \
+           branch and allocates nothing.")
+
+let by_conv =
+  let parse = function
+    | "all" -> Ok None
+    | s -> (
+        match Attribution.axis_of_string s with
+        | Some a -> Ok (Some a)
+        | None ->
+            Error
+              (`Msg
+                (Printf.sprintf "unknown axis %S (key, node, level, all)" s)))
+  in
+  let print fmt = function
+    | None -> Format.pp_print_string fmt "all"
+    | Some a -> Format.pp_print_string fmt (Attribution.axis_name a)
+  in
+  Arg.conv (parse, print)
+
+let by_arg =
+  Arg.(
+    value & opt by_conv None
+    & info [ "by" ] ~docv:"AXIS"
+        ~doc:"Attribution axis to report: key, node, level, or all.")
+
+let top_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "top-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the attribution top-K tables (all axes) as CSV to $(docv).")
+
+let attribution_config capacity =
+  { Attribution.default_config with capacity }
+
+let print_attribution a ~by ~k =
+  let axes =
+    match by with
+    | None -> [ Attribution.Key; Attribution.Node; Attribution.Level ]
+    | Some axis -> [ axis ]
+  in
+  List.iter
+    (fun by ->
+      print_string (Topk.table ~k a ~by);
+      print_newline ())
+    axes
+
+let write_top_out ~path ~k a =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Topk.csv ~k a));
+  (* stderr: the path is invocation-specific, and stdout must stay
+     byte-identical across schedulers / job counts / shard counts. *)
+  Printf.eprintf "top: %s\n" path
+
+let write_metrics ?(extra = "") ~path registry =
   let module Registry = Cup_metrics.Registry in
   if Filename.check_suffix path ".csv" then
     Cup_report.Csv.write ~path ~header:Registry.csv_header
@@ -441,7 +511,9 @@ let write_metrics ~path registry =
     let oc = open_out path in
     Fun.protect
       ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (Registry.to_prometheus registry))
+      (fun () ->
+        output_string oc (Registry.to_prometheus registry);
+        output_string oc extra)
   end;
   Printf.printf "metrics: %d series -> %s\n"
     (Registry.series_count registry)
@@ -459,13 +531,21 @@ let violation_exit cfg v =
 (* A run that needs live observability: attach sinks/samplers/probes
    before driving the engine to completion. *)
 let run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
-    ~profile ~serve ~audit =
+    ~profile ~serve ~audit ~attribution =
   let module Audit = Cup_obs.Audit in
   let module Serve = Cup_obs.Serve in
   let module Resource = Cup_obs.Resource in
   let live = Runner.Live.create cfg in
   if profile then
     Cup_dess.Engine.enable_profiling (Runner.Live.engine live);
+  let attribution =
+    if attribution <= 0 then None
+    else begin
+      let a = Attribution.create ~config:(attribution_config attribution) () in
+      Runner.Live.set_attribution live (Some a);
+      Some a
+    end
+  in
   let file_sink =
     Option.map
       (fun path ->
@@ -511,7 +591,7 @@ let run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
         in
         Printf.printf
           "serving on http://127.0.0.1:%d (GET /metrics, /health, \
-           /trace?n=K)\n\
+           /trace?n=K, /topk)\n\
            %!"
           (Serve.port srv);
         (Some sampler, Some srv)
@@ -544,6 +624,9 @@ let run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
   | Some a -> (
       try Audit.finish a with Audit.Violation v -> violation_exit cfg v));
   print_result result;
+  (match attribution with
+  | None -> ()
+  | Some a -> print_attribution a ~by:None ~k:Topk.default_k);
   (match auditor with
   | None -> ()
   | Some a ->
@@ -555,7 +638,14 @@ let run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
       Sink.close sink;
       Printf.printf "trace: %d events -> %s\n" (Sink.events_seen sink) path);
   (match (metrics_out, registry) with
-  | Some path, Some registry -> write_metrics ~path registry
+  | Some path, Some registry ->
+      (* Same bytes a /metrics scrape serves after mark_finished: the
+         registry exposition plus the capped-cardinality attribution
+         families. *)
+      let extra =
+        match attribution with None -> "" | Some a -> Topk.prometheus a
+      in
+      write_metrics ~extra ~path registry
   | _ -> ());
   (match sampler with
   | None -> ()
@@ -586,9 +676,10 @@ let run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
 let run_cmd =
   let action seed nodes keys rate duration lifetime replicas policy overlay
       scheduler flat_state runs jobs trace_out metrics_out sample_interval
-      sample_out profile serve audit crash_rate crash_recover loss_rate
-      loss_jitter zipf partition_frac partition_start partition_duration
-      partition_symmetric reorder_rate reorder_spread duplicate_rate =
+      sample_out profile serve audit attribution crash_rate crash_recover
+      loss_rate loss_jitter zipf partition_frac partition_start
+      partition_duration partition_symmetric reorder_rate reorder_spread
+      duplicate_rate =
     let cfg =
       {
         (scenario_of ~seed ~nodes ~keys ~rate ~duration ~lifetime ~replicas
@@ -643,7 +734,7 @@ let run_cmd =
         exit 1);
     let observed_single =
       trace_out <> None || sample_interval <> None || sample_out <> None
-      || profile || serve <> None || audit
+      || profile || serve <> None || audit || attribution > 0
     in
     let observed = observed_single || metrics_out <> None in
     (match sample_interval with
@@ -669,12 +760,12 @@ let run_cmd =
     end;
     if runs > 1 && observed_single then
       prerr_endline
-        "cup run: note: --trace-out/--sample-*/--profile/--serve/--audit \
-         apply only to single runs; ignored with --runs > 1";
+        "cup run: note: --trace-out/--sample-*/--profile/--serve/--audit/\
+         --attribution apply only to single runs; ignored with --runs > 1";
     if runs <= 1 && observed then
       try
         run_observed cfg ~trace_out ~metrics_out ~sample_interval ~sample_out
-          ~profile ~serve ~audit
+          ~profile ~serve ~audit ~attribution
       with Sys_error msg ->
         prerr_endline ("cup run: " ^ msg);
         exit 1
@@ -712,7 +803,8 @@ let run_cmd =
       $ replicas $ policy $ overlay $ scheduler $ flat_state $ runs $ jobs
       $ trace_out
       $ metrics_out $ sample_interval $ sample_out $ profile_flag
-      $ serve_port $ audit_flag $ crash_rate $ crash_recover $ loss_rate
+      $ serve_port $ audit_flag $ attribution_arg $ crash_rate
+      $ crash_recover $ loss_rate
       $ loss_jitter $ zipf $ partition_frac $ partition_start
       $ partition_duration $ partition_symmetric $ reorder_rate
       $ reorder_spread $ duplicate_rate)
@@ -991,8 +1083,15 @@ let scale_cmd =
       & info [ "zipf" ] ~docv:"S"
           ~doc:"Key-popularity Zipf exponent (0 = uniform).")
   in
+  let topk =
+    Arg.(
+      value
+      & opt int Topk.default_k
+      & info [ "top-k" ] ~docv:"K"
+          ~doc:"Entries per attribution table (with --attribution).")
+  in
   let action seed nodes keys rate shards duration lifetime replicas zipf
-      trace_out =
+      trace_out attribution by topk top_out =
     let cfg =
       {
         Scale.default with
@@ -1005,6 +1104,7 @@ let scale_cmd =
         lifetime;
         replicas;
         zipf;
+        attribution = max 0 attribution;
       }
     in
     let count = ref 0 in
@@ -1040,6 +1140,18 @@ let scale_cmd =
         exit 1
     in
     print_string (Scale.summary result);
+    (match result.Scale.attribution with
+    | None -> ()
+    | Some a ->
+        print_newline ();
+        print_attribution a ~by ~k:topk;
+        (match top_out with
+        | None -> ()
+        | Some path -> (
+            try write_top_out ~path ~k:topk a
+            with Sys_error msg ->
+              prerr_endline ("cup scale: " ^ msg);
+              exit 1)));
     (match out with
     | None -> ()
     | Some (path, _, close) ->
@@ -1053,7 +1165,8 @@ let scale_cmd =
   let term =
     Term.(
       const action $ seed $ nodes $ keys $ rate $ shards $ duration $ lifetime
-      $ replicas $ zipf $ trace_out)
+      $ replicas $ zipf $ trace_out $ attribution_arg $ by_arg $ topk
+      $ top_out_arg)
   in
   Cmd.v
     (Cmd.info "scale"
@@ -1062,6 +1175,122 @@ let scale_cmd =
           over an arithmetic ring overlay, optionally sharded across \
           domains.  Output (and --trace-out) is byte-identical for every \
           --shards value.")
+    term
+
+(* {1 cup top}
+
+   Run one scenario (or a fan of consecutive seeds) with cost
+   attribution attached and report the heavy hitters.  The fan-out
+   exercises the sketch's exact merge the same way [Registry.merge]
+   backs the experiment fan-out: per-seed sketches are folded in seed
+   order, so output is byte-identical at every --jobs count, and —
+   because the runner itself is scheduler-independent — across
+   --scheduler heap|calendar too. *)
+
+let top_cmd =
+  let keys =
+    Arg.(
+      value & opt int 64
+      & info [ "keys" ] ~docv:"N"
+          ~doc:"Number of keys in the global index.")
+  in
+  let topk =
+    Arg.(
+      value
+      & opt int Topk.default_k
+      & info [ "k"; "top-k" ] ~docv:"K"
+          ~doc:"Entries to display per table.")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt int Attribution.default_config.capacity
+      & info [ "capacity" ] ~docv:"C"
+          ~doc:
+            "Sketch capacity per axis.  Below $(docv) distinct ids the \
+             counts are exact; beyond it the space-saving bound applies \
+             (err column) and memory stays O($(docv)).")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:
+            "Aggregate attribution over $(docv) consecutive seeds, fanned \
+             across --jobs domains and merged exactly in seed order.")
+  in
+  let action seed nodes keys rate duration lifetime replicas policy overlay
+      scheduler flat_state zipf seeds jobs by topk capacity top_out =
+    if seeds < 1 then begin
+      prerr_endline "cup top: --seeds must be >= 1";
+      exit 1
+    end;
+    if capacity < 1 then begin
+      prerr_endline "cup top: --capacity must be >= 1";
+      exit 1
+    end;
+    let cfg =
+      {
+        (scenario_of ~seed ~nodes ~keys ~rate ~duration ~lifetime ~replicas
+           ~policy ~overlay)
+        with
+        scheduler;
+        flat_node_state = flat_state;
+        key_dist = (if zipf > 0. then `Zipf zipf else `Uniform);
+      }
+    in
+    (match Scenario.validate cfg with
+    | Ok () -> ()
+    | Error msg ->
+        prerr_endline ("cup top: " ^ msg);
+        exit 1);
+    let eval s =
+      let cfg = { cfg with Scenario.seed = s } in
+      let live = Runner.Live.create cfg in
+      let a = Attribution.create ~config:(attribution_config capacity) () in
+      Runner.Live.set_attribution live (Some a);
+      ignore (Runner.Live.finish live : Runner.result);
+      a
+    in
+    let t0 = Unix.gettimeofday () in
+    let seed_list = List.init seeds (fun i -> seed + i) in
+    let attrs =
+      with_jobs jobs (fun pool ->
+          match pool with
+          | Some pool -> Cup_parallel.Pool.map pool eval seed_list
+          | None -> List.map eval seed_list)
+    in
+    let merged =
+      match attrs with
+      | [] -> assert false
+      | first :: rest -> List.fold_left Attribution.merge first rest
+    in
+    print_attribution merged ~by ~k:topk;
+    (match top_out with
+    | None -> ()
+    | Some path -> (
+        try write_top_out ~path ~k:topk merged
+        with Sys_error msg ->
+          prerr_endline ("cup top: " ^ msg);
+          exit 1));
+    Printf.printf "wallclock: %.2fs (%d seeds)\n"
+      (Unix.gettimeofday () -. t0)
+      seeds
+  in
+  let term =
+    Term.(
+      const action $ seed $ nodes $ keys $ rate $ duration $ lifetime
+      $ replicas $ policy $ overlay $ scheduler $ flat_state $ zipf $ seeds
+      $ jobs $ by_arg $ topk $ capacity $ top_out_arg)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run a simulation with per-key/per-node/per-level cost attribution \
+          and print the heavy hitters: miss cost, update overhead, \
+          justified/unjustified deliveries and per-key rates.  Output \
+          (except the wallclock line) is byte-identical across --scheduler, \
+          --jobs, and the equivalent cup scale --shards run.")
     term
 
 (* {1 cup sweep} *)
@@ -1299,6 +1528,12 @@ let fuzz_cmd =
               cfg.Scenario.nodes sf.code sf.invariant
               (Cup_sim.Fuzz.repro_command cfg))
       summary.failures;
+    (* Host timing, outside the byte-compared determinism block: every
+       line carries the [wallclock] prefix CI strips, and the slowest
+       seeds surface outliers in big harvests. *)
+    List.iter
+      (fun (seed, ms) -> Printf.printf "wallclock seed %d: %.1f ms\n" seed ms)
+      summary.timings;
     Printf.printf "wallclock: %.2fs (%.1f seeds/s)\n" wall
       (float_of_int seeds /. Float.max wall 1e-9);
     if summary.failures <> [] then exit 3
@@ -1327,6 +1562,7 @@ let () =
           [
             run_cmd;
             scale_cmd;
+            top_cmd;
             sweep_cmd;
             exp_cmd;
             fuzz_cmd;

@@ -1,0 +1,1017 @@
+module Metric = struct
+  let queries = 0
+  let hits = 1
+  let misses = 2
+  let miss_hops = 3
+  let overhead_hops = 4
+  let deliveries = 5
+  let justified = 6
+  let count = 7
+
+  let names =
+    [|
+      "queries";
+      "hits";
+      "misses";
+      "miss_hops";
+      "overhead_hops";
+      "deliveries";
+      "justified";
+    |]
+
+  let name i = names.(i)
+end
+
+module Sketch = struct
+  (* Space-saving: at capacity, an unseen id replaces a minimum-weight
+     entry and inherits its weight as the error bound.
+
+     The structure is the Metwally stream-summary: entries live in
+     doubly-linked FIFO lists hanging off a doubly-linked chain of
+     weight buckets kept in increasing order.  A unit-weight add —
+     the only kind the simulator issues — detaches the entry from its
+     bucket and appends it to the adjacent one (creating or freeing a
+     bucket as needed), and the eviction victim is the FIFO head of
+     the minimum bucket: every operation is O(1) and the victim is a
+     deterministic function of the operation stream, which is what the
+     byte-identity contract needs.  A min-heap gave the same contract
+     but cost an O(log K) sift on {e every} add — on the scale
+     runner's delivery path (millions of adds, nearly all evictions
+     once the id space exceeds K) the sift alone pushed attribution
+     overhead to ~20% of runner throughput.
+
+     The layout is flat int arrays with interleaved records rather
+     than one array per field: under a scale run the simulator's node
+     sweep evicts the sketch from cache between adds, so the dominant
+     cost is touched cache lines, not instructions.  An entry is 16
+     consecutive ints (id, weight, err, links, count vector — two
+     lines) and a bucket is 8 (one line); both are referred to by
+     their base offset into [ent] / [bkt].  The id index is a chained
+     hash table at <=50% load: an array of chain heads (entry
+     offsets), with the chain link in a pad int of each entry record.
+     Chaining beats open addressing here because the churn regime
+     deletes the victim id on every add — unlinking walks a chain
+     whose expected length is under one and whose nodes are entry
+     lines the eviction is about to rewrite anyway, where a
+     backward-shift deletion walks and rewrites a probe cluster of
+     untouched lines. *)
+
+  (* Entry record at offset [e] in [ent]:
+       e+0 id   e+1 weight   e+2 err
+       e+3 prev e+4 next     e+5 bucket offset
+       e+6 .. e+5+Metric.count  per-metric counts
+       e+13 next entry offset in the id-index chain (-1 = end)
+     Bucket record at offset [b] in [bkt]:
+       b+0 weight value   b+1 head   b+2 tail   b+3 prev   b+4 next
+     (b+4 doubles as the free-list link.) *)
+  let e_stride = 16
+  let b_stride = 8
+
+  type t = {
+    cap : int;
+    mutable size : int;
+    ent : int array;
+    bkt : int array;
+    mutable b_free : int;  (* free-list head offset *)
+    mutable b_min : int;  (* minimum bucket offset, -1 while empty *)
+    idx : int array;  (* chain head entry offsets; -1 = empty *)
+    idx_shift : int;
+    totals : int array;
+    mutable evictions : int;
+    mutable last_evicted : int;
+        (* id displaced by the most recent [add_slot], or -1 — lets
+           [add_slot] report both the slot and the eviction without
+           allocating a tuple on the hot path *)
+  }
+
+  (* Fibonacci-style multiplicative hash, taking the high bits of the
+     product — the low bits of [id * c] depend only on the low bits of
+     [id] and would cluster sequential ids. *)
+  let hash_c = 0x2545F4914F6CDD1D
+
+  let[@inline always] hash t id = (id * hash_c) lsr t.idx_shift
+
+  let make ~cap ~slots =
+    let bits =
+      let rec go b = if 1 lsl b >= 2 * slots then b else go (b + 1) in
+      go 4
+    in
+    let nb = slots + 2 in
+    let bkt = Array.make (nb * b_stride) (-1) in
+    for i = 0 to nb - 2 do
+      bkt.((i * b_stride) + 4) <- (i + 1) * b_stride
+    done;
+    bkt.(((nb - 1) * b_stride) + 4) <- -1;
+    let idx = Array.make (1 lsl bits) (-1) in
+    {
+      cap;
+      size = 0;
+      ent = Array.make (slots * e_stride) 0;
+      bkt;
+      b_free = 0;
+      b_min = -1;
+      idx;
+      idx_shift = 63 - bits;
+      totals = Array.make Metric.count 0;
+      evictions = 0;
+      last_evicted = -1;
+    }
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Attribution.Sketch.create";
+    make ~cap:capacity ~slots:capacity
+
+  (* Hot-path accessors.  Every index below is produced by the
+     structure itself — masked probe positions, offsets taken from the
+     free list, links, or [size] — so the bounds checks the compiler
+     would emit are pure overhead on the per-event path.  The QCheck
+     replay/error-bound properties exercise every branch of these
+     functions; the cold paths (merge, top, entry_at) keep checked
+     access. *)
+  external ag : int array -> int -> int = "%array_unsafe_get"
+  external aset : int array -> int -> int -> unit = "%array_unsafe_set"
+
+  (* The fixed 16-int entry stride leaves room for at most 7 metric
+     counts plus the index chain link at e+13. *)
+  let () = assert (6 + Metric.count <= 13)
+
+  let[@inline always] clear_counts en e =
+    aset en (e + 6) 0;
+    aset en (e + 7) 0;
+    aset en (e + 8) 0;
+    aset en (e + 9) 0;
+    aset en (e + 10) 0;
+    aset en (e + 11) 0;
+    aset en (e + 12) 0
+
+  (* Id-index primitives.  [idx_find] returns the entry offset or -1;
+     chains average under one node at <=50% load, so a find is one
+     head read plus (usually) one entry-id compare. *)
+  let[@inline always] idx_find t id =
+    let en = t.ent in
+    let e = ref (ag t.idx (hash t id)) in
+    while !e >= 0 && ag en !e <> id do
+      e := ag en (!e + 13)
+    done;
+    !e
+
+  let[@inline always] idx_insert t id e =
+    let i = hash t id in
+    aset t.ent (e + 13) (ag t.idx i);
+    aset t.idx i e
+
+  (* Unlink entry [e], currently indexed under [id], from [id]'s
+     chain.  Callers evicting [e] must unlink before overwriting the
+     entry's id. *)
+  let idx_unlink t id e =
+    let en = t.ent in
+    let i = hash t id in
+    let cur = ag t.idx i in
+    if cur = e then aset t.idx i (ag en (e + 13))
+    else begin
+      let p = ref cur in
+      while ag en (!p + 13) <> e do
+        p := ag en (!p + 13)
+      done;
+      aset en (!p + 13) (ag en (e + 13))
+    end
+
+  (* Bucket-chain primitives.  All O(1). *)
+
+  let[@inline always] bkt_alloc t v =
+    let bk = t.bkt in
+    let b = t.b_free in
+    t.b_free <- ag bk (b + 4);
+    aset bk b v;
+    aset bk (b + 1) (-1);
+    aset bk (b + 2) (-1);
+    b
+
+  (* Insert a fresh bucket holding [v] after chain position [prev]
+     (-1 = before the minimum). *)
+  let bkt_insert_after t prev v =
+    let bk = t.bkt in
+    let b = bkt_alloc t v in
+    if prev < 0 then begin
+      aset bk (b + 4) t.b_min;
+      aset bk (b + 3) (-1);
+      if t.b_min >= 0 then aset bk (t.b_min + 3) b;
+      t.b_min <- b
+    end
+    else begin
+      let nxt = ag bk (prev + 4) in
+      aset bk (b + 4) nxt;
+      aset bk (b + 3) prev;
+      if nxt >= 0 then aset bk (nxt + 3) b;
+      aset bk (prev + 4) b
+    end;
+    b
+
+  let[@inline always] bkt_unlink t b =
+    let bk = t.bkt in
+    let p = ag bk (b + 3) and n = ag bk (b + 4) in
+    if p >= 0 then aset bk (p + 4) n else t.b_min <- n;
+    if n >= 0 then aset bk (n + 3) p;
+    aset bk (b + 4) t.b_free;
+    t.b_free <- b
+
+  let[@inline always] ent_detach t e =
+    let en = t.ent and bk = t.bkt in
+    let b = ag en (e + 5) in
+    let p = ag en (e + 3) and n = ag en (e + 4) in
+    if p >= 0 then aset en (p + 4) n else aset bk (b + 1) n;
+    if n >= 0 then aset en (n + 3) p else aset bk (b + 2) p
+
+  let[@inline always] ent_append t e b =
+    let en = t.ent and bk = t.bkt in
+    let tl = ag bk (b + 2) in
+    aset en (e + 3) tl;
+    aset en (e + 4) (-1);
+    if tl >= 0 then aset en (tl + 4) e else aset bk (b + 1) e;
+    aset bk (b + 2) e;
+    aset en (e + 5) b
+
+  (* Append entry [e] (weight already set) into the right bucket,
+     scanning the chain forward from [(prev, cur)].  The hot caller is
+     the unit increment, which scans at most one link. *)
+  let rec ent_place t e w prev cur =
+    if cur < 0 || ag t.bkt cur > w then
+      ent_append t e (bkt_insert_after t prev w)
+    else if ag t.bkt cur = w then ent_append t e cur
+    else ent_place t e w cur (ag t.bkt (cur + 4))
+
+  (* Raise entry [e]'s weight by [w] > 0, relinking its bucket.  When
+     [e] is its bucket's sole occupant and the next bucket's value is
+     out of reach, the relink degenerates to bumping the bucket's
+     value in place — same observable state as unlink + replace, and
+     the common case for heavy entries, whose weights are distinct. *)
+  let ent_increase t e w =
+    let en = t.ent and bk = t.bkt in
+    let b = ag en (e + 5) in
+    let nw = ag en (e + 1) + w in
+    aset en (e + 1) nw;
+    let nxt = ag bk (b + 4) in
+    if
+      ag bk (b + 1) = e
+      && ag bk (b + 2) = e
+      && (nxt < 0 || ag bk nxt > nw)
+    then aset bk b nw
+    else begin
+      ent_detach t e;
+      ent_place t e nw b nxt;
+      if ag bk (b + 1) < 0 then bkt_unlink t b
+    end
+
+  (* Internal: add and return the entry offset now holding [id]; the
+     displaced id (or -1) is left in [last_evicted]. *)
+  let add_slot t ~id ~metric ~w =
+    let en = t.ent in
+    let tt = t.totals in
+    aset tt metric (ag tt metric + w);
+    let e = idx_find t id in
+    if e >= 0 then begin
+      aset en (e + 6 + metric) (ag en (e + 6 + metric) + w);
+      if w > 0 then ent_increase t e w;
+      t.last_evicted <- -1;
+      e
+    end
+    else if t.size < t.cap then begin
+      let e = t.size * e_stride in
+      aset en e id;
+      aset en (e + 1) w;
+      aset en (e + 2) 0;
+      aset en (e + 6 + metric) w;
+      t.size <- t.size + 1;
+      idx_insert t id e;
+      ent_place t e w (-1) t.b_min;
+      t.last_evicted <- -1;
+      e
+    end
+    else begin
+      let e = ag t.bkt (t.b_min + 1) in
+      let old = ag en e in
+      aset en (e + 2) (ag en (e + 1));
+      clear_counts en e;
+      aset en (e + 6 + metric) w;
+      idx_unlink t old e;
+      aset en e id;
+      idx_insert t id e;
+      t.evictions <- t.evictions + 1;
+      if w > 0 then ent_increase t e w
+      else begin
+        (* zero-weight replacement: keep the bucket, but requeue the
+           entry at the FIFO tail under its new identity *)
+        let b = ag en (e + 5) in
+        ent_detach t e;
+        ent_append t e b
+      end;
+      t.last_evicted <- old;
+      e
+    end
+
+  (* Internal: credit two metrics to [id] in a single probe/relink —
+     the delivery path pairs (hop kind, delivery) and (query, miss),
+     and fusing them halves the sketch work per event.  Equivalent to
+     two [add_slot] calls except that at capacity the pair displaces
+     one victim instead of (at most) two. *)
+  let add2_slot t ~id ~m1 ~w1 ~m2 ~w2 =
+    let en = t.ent in
+    let tt = t.totals in
+    aset tt m1 (ag tt m1 + w1);
+    aset tt m2 (ag tt m2 + w2);
+    let w = w1 + w2 in
+    let e = idx_find t id in
+    if e >= 0 then begin
+      aset en (e + 6 + m1) (ag en (e + 6 + m1) + w1);
+      aset en (e + 6 + m2) (ag en (e + 6 + m2) + w2);
+      if w > 0 then ent_increase t e w;
+      t.last_evicted <- -1;
+      e
+    end
+    else if t.size < t.cap then begin
+      let e = t.size * e_stride in
+      aset en e id;
+      aset en (e + 1) w;
+      aset en (e + 2) 0;
+      aset en (e + 6 + m1) w1;
+      aset en (e + 6 + m2) (ag en (e + 6 + m2) + w2);
+      t.size <- t.size + 1;
+      idx_insert t id e;
+      ent_place t e w (-1) t.b_min;
+      t.last_evicted <- -1;
+      e
+    end
+    else begin
+      let e = ag t.bkt (t.b_min + 1) in
+      let old = ag en e in
+      aset en (e + 2) (ag en (e + 1));
+      clear_counts en e;
+      aset en (e + 6 + m1) w1;
+      aset en (e + 6 + m2) (ag en (e + 6 + m2) + w2);
+      idx_unlink t old e;
+      aset en e id;
+      idx_insert t id e;
+      t.evictions <- t.evictions + 1;
+      if w > 0 then ent_increase t e w
+      else begin
+        let b = ag en (e + 5) in
+        ent_detach t e;
+        ent_append t e b
+      end;
+      t.last_evicted <- old;
+      e
+    end
+
+  let add t ~id ~metric ~w =
+    let (_ : int) = add_slot t ~id ~metric ~w in
+    t.last_evicted
+
+  let slot_of t id = idx_find t id
+  let slot_count t = Array.length t.ent / e_stride
+  let id_at t i = t.ent.((i * e_stride) + 0)
+
+  let entries t = t.size
+  let capacity t = t.cap
+  let evictions t = t.evictions
+  let total t ~metric = t.totals.(metric)
+
+  type entry = { id : int; estimate : int; err : int; counts : int array }
+
+  let entry_at t i =
+    let e = i * e_stride in
+    {
+      id = t.ent.(e);
+      estimate = t.ent.(e + 1);
+      err = t.ent.(e + 2);
+      counts = Array.sub t.ent (e + 6) Metric.count;
+    }
+
+  let merge a b =
+    (* Exact union-sum; never compacts, so it is associative and
+       commutative and the merged table may exceed [cap] (bounded by
+       parts x capacity, still catalog-independent).  Cold path: runs
+       once per shard at run end, so a Hashtbl union is fine here. *)
+    let u : (int, entry) Hashtbl.t =
+      Hashtbl.create (2 * (a.size + b.size + 1))
+    in
+    let fold s =
+      for i = 0 to s.size - 1 do
+        let e = entry_at s i in
+        match Hashtbl.find_opt u e.id with
+        | Some m ->
+            Hashtbl.replace u e.id
+              {
+                m with
+                estimate = m.estimate + e.estimate;
+                err = m.err + e.err;
+                counts = Array.map2 ( + ) m.counts e.counts;
+              }
+        | None -> Hashtbl.add u e.id e
+      done
+    in
+    fold a;
+    fold b;
+    let ids = Hashtbl.fold (fun id _ acc -> id :: acc) u [] in
+    let ids = List.sort compare ids in
+    let size = List.length ids in
+    let cap = max a.cap b.cap in
+    let t = make ~cap ~slots:(max cap size) in
+    t.size <- size;
+    Array.blit a.totals 0 t.totals 0 Metric.count;
+    Array.iteri (fun i v -> t.totals.(i) <- t.totals.(i) + v) b.totals;
+    t.evictions <- a.evictions + b.evictions;
+    List.iteri
+      (fun i id ->
+        let x = Hashtbl.find u id in
+        let e = i * e_stride in
+        t.ent.(e) <- id;
+        t.ent.(e + 1) <- x.estimate;
+        t.ent.(e + 2) <- x.err;
+        Array.blit x.counts 0 t.ent (e + 6) Metric.count;
+        idx_insert t id e;
+        ent_place t e x.estimate (-1) t.b_min)
+      ids;
+    t
+
+  let footprint_words t =
+    (* interleaved entry and bucket records + the interleaved index +
+       totals + header *)
+    Array.length t.ent + Array.length t.bkt + Array.length t.idx
+    + Metric.count + 10
+
+  let top t ~k =
+    let order = Array.init t.size (fun s -> s) in
+    Array.sort
+      (fun a b ->
+        let wa = t.ent.((a * e_stride) + 1)
+        and wb = t.ent.((b * e_stride) + 1) in
+        if wa <> wb then compare wb wa
+        else compare t.ent.(a * e_stride) t.ent.(b * e_stride))
+      order;
+    let n = min k t.size in
+    List.init n (fun i -> entry_at t order.(i))
+end
+
+module Rate = struct
+  (* Ring of integer per-window counts in virtual time.  Only integer
+     sums are stored, aligned by absolute window index, so merging
+     shard-local estimators reproduces the single-stream state
+     exactly; the EWMA is folded over the ring at query time. *)
+
+  type t = {
+    width : float;
+    inv_width : float;  (* 1/width: the per-observe window computation
+                           multiplies instead of dividing *)
+    slots : int;
+    counts : int array;
+    stamp : int array;
+        (* absolute window index each physical slot last counted for;
+           -1 = never.  A slot's count is live only when its stamp
+           matches the window being read AND the generation matches,
+           which makes both window-skip and whole-ring reset O(1):
+           stale contents are simply never read. *)
+    gstamp : int array;  (* generation each slot was written under *)
+    mutable gen : int;
+    mutable head : int;  (* absolute index of newest window; -1 empty *)
+  }
+
+  let create ~width ~slots =
+    if width <= 0. || slots < 1 then invalid_arg "Attribution.Rate.create";
+    {
+      width;
+      inv_width = 1. /. width;
+      slots;
+      counts = Array.make slots 0;
+      stamp = Array.make slots (-1);
+      gstamp = Array.make slots 0;
+      gen = 0;
+      head = -1;
+    }
+
+  let[@inline always] window_of t now =
+    (* truncation = floor for the non-negative virtual times this sees,
+       and negatives clamp to window 0 either way *)
+    let w = int_of_float (now *. t.inv_width) in
+    if w < 0 then 0 else w
+
+  let[@inline always] observe t ~now =
+    let w = window_of t now in
+    if w > t.head then t.head <- w;
+    if w > t.head - t.slots then begin
+      (* [s] is a non-negative remainder: unchecked access is safe *)
+      let s = w mod t.slots in
+      if
+        Array.unsafe_get t.stamp s = w && Array.unsafe_get t.gstamp s = t.gen
+      then Array.unsafe_set t.counts s (Array.unsafe_get t.counts s + 1)
+      else begin
+        Array.unsafe_set t.stamp s w;
+        Array.unsafe_set t.gstamp s t.gen;
+        Array.unsafe_set t.counts s 1
+      end
+    end
+  (* else: older than the ring — dropped, deterministically. *)
+
+  let value t i =
+    (* count of absolute window [i], 0 if outside the retained span *)
+    if i < 0 || i > t.head || i <= t.head - t.slots then 0
+    else
+      let s = i mod t.slots in
+      if t.stamp.(s) = i && t.gstamp.(s) = t.gen then t.counts.(s) else 0
+
+  let merge a b =
+    if a.width <> b.width || a.slots <> b.slots then
+      invalid_arg "Attribution.Rate.merge: geometry mismatch";
+    let t = create ~width:a.width ~slots:a.slots in
+    let head = max a.head b.head in
+    if head >= 0 then begin
+      t.head <- head;
+      for i = max 0 (head - a.slots + 1) to head do
+        let s = i mod t.slots in
+        t.counts.(s) <- value a i + value b i;
+        t.stamp.(s) <- i;
+        t.gstamp.(s) <- 0
+      done
+    end;
+    t
+
+  let retained t = if t.head < 0 then 0 else min (t.head + 1) t.slots
+
+  let observations t =
+    let s = ref 0 in
+    for i = t.head - retained t + 1 to t.head do
+      s := !s + value t i
+    done;
+    !s
+
+  let windowed t =
+    let r = retained t in
+    if r = 0 then 0.
+    else float_of_int (observations t) /. (float_of_int r *. t.width)
+
+  let ewma ?(alpha = 0.3) t =
+    let r = retained t in
+    if r = 0 then 0.
+    else begin
+      let first = t.head - r + 1 in
+      let acc = ref (float_of_int (value t first) /. t.width) in
+      for i = first + 1 to t.head do
+        let rate = float_of_int (value t i) /. t.width in
+        acc := (alpha *. rate) +. ((1. -. alpha) *. !acc)
+      done;
+      !acc
+    end
+end
+
+type config = { capacity : int; rate_window : float; rate_slots : int }
+
+let default_config = { capacity = 1024; rate_window = 1.0; rate_slots = 32 }
+
+(* Per-key rate state lives in ONE flat int array, not in per-key
+   Rate.t records: on the hot path an observation is [t.ring_data]
+   plus offset arithmetic — no chain of record/array pointer loads,
+   and a window's (count, stamp, gstamp) triple is adjacent, so a hit
+   touches a single cache line.  [Rate.t] remains the read-side
+   currency: {!rates} materializes snapshots from the flat state.
+
+   Layout: dense key slot [d] (aligned with the [by_key] sketch entry
+   slots) owns three rings (query, miss, overhead) of [rate_slots]
+   windows each.  A ring is [2 + 3*W] ints: head window index (-1 =
+   empty), generation, then per physical window the triple
+   (count, stamp, gstamp) — the same stamp/generation validity rule
+   {!Rate} uses, so reset stays O(1) and stale windows are simply
+   never read. *)
+
+type t = {
+  cfg : config;
+  by_key : Sketch.t;
+  by_node : Sketch.t;
+  by_level : Sketch.t;
+  ring_data : int array;
+  inv_width : float;  (* 1 / rate_window, for the window computation *)
+  wslots : int;  (* windows per ring *)
+  rstride : int;  (* ints per ring: 2 + 3 * wslots *)
+  sstride : int;  (* ints per key slot: 3 rings *)
+  buf : int array;  (* deferred records, 2 ints each — see below *)
+  mutable buf_n : int;
+}
+
+(* Records are not applied to the sketches as they arrive: the
+   delivery path appends a compact 3-int record (packed op word, key,
+   node) to [buf], and the sketch/ring work happens in batches of
+   [buf_records] when the buffer fills or a reader needs the state.
+   One simulator event touches a couple of cache lines this way — the
+   buffer tail plus whatever the runner already has resident — while
+   the scattered sketch/index/ring lines are touched in a tight loop
+   with everything cache-hot, which is 2-3x cheaper per record than
+   interleaving them with the simulator's own node-state traffic.
+   Replay order is append order, so results are byte-identical to the
+   unbuffered implementation.
+
+   Packed op word: bits 0-3 record kind, bit 4 overhead flag,
+   bits 5-14 tree level, bits 15+ rate-window index.  The second word
+   packs [key] (low 31 bits) and [node] (high bits); both are array
+   indices well under 2^31.  2K records keep the buffer inside L2. *)
+let buf_records = 2048
+
+external ag : int array -> int -> int = "%array_unsafe_get"
+external aset : int array -> int -> int -> unit = "%array_unsafe_set"
+
+let ring_init a ~slots ~rstride =
+  for r = 0 to (Array.length a / rstride) - 1 do
+    a.(r * rstride) <- -1
+  done;
+  ignore slots
+
+let create ?(config = default_config) () =
+  if config.rate_window <= 0. || config.rate_slots < 1 then
+    invalid_arg "Attribution.create: bad rate geometry";
+  let rstride = 2 + (3 * config.rate_slots) in
+  let sstride = 3 * rstride in
+  let ring_data = Array.make (config.capacity * sstride) 0 in
+  ring_init ring_data ~slots:config.rate_slots ~rstride;
+  {
+    cfg = config;
+    by_key = Sketch.create ~capacity:config.capacity;
+    by_node = Sketch.create ~capacity:config.capacity;
+    by_level = Sketch.create ~capacity:config.capacity;
+    ring_data;
+    inv_width = 1. /. config.rate_window;
+    wslots = config.rate_slots;
+    rstride;
+    sstride;
+    buf = Array.make (2 * buf_records) 0;
+    buf_n = 0;
+  }
+
+let config t = t.cfg
+
+(* Flat-ring primitives.  [base] is the ring's offset in [ring_data];
+   indices derive from masked/mod'd window numbers and slot numbers
+   bounded by capacity, hence the unchecked access. *)
+
+let[@inline always] ring_reset a base =
+  aset a base (-1);
+  aset a (base + 1) (ag a (base + 1) + 1)
+
+let[@inline always] ring_observe a base ~slots ~w =
+  let head = ag a base in
+  let head =
+    if w > head then begin
+      aset a base w;
+      w
+    end
+    else head
+  in
+  if w > head - slots then begin
+    let p = base + 2 + (3 * (w mod slots)) in
+    let gen = ag a (base + 1) in
+    if ag a (p + 1) = w && ag a (p + 2) = gen then aset a p (ag a p + 1)
+    else begin
+      aset a p 1;
+      aset a (p + 1) w;
+      aset a (p + 2) gen
+    end
+  end
+(* else: older than the ring — dropped, deterministically *)
+
+let ring_value a base ~slots i =
+  let head = ag a base in
+  if i < 0 || i > head || i <= head - slots then 0
+  else
+    let p = base + 2 + (3 * (i mod slots)) in
+    if ag a (p + 1) = i && ag a (p + 2) = ag a (base + 1) then ag a p else 0
+
+let[@inline always] ring_is_empty a base = ag a base < 0
+
+let[@inline always] window_at t now =
+  let w = int_of_float (now *. t.inv_width) in
+  if w < 0 then 0 else w
+
+(* Read-side: materialize a flat ring as a [Rate.t] snapshot, stamping
+   the whole retained span the way [Rate.merge] does. *)
+let ring_to_rate t a base =
+  let n = t.wslots in
+  let r = Rate.create ~width:t.cfg.rate_window ~slots:n in
+  let head = ag a base in
+  if head >= 0 then begin
+    r.Rate.head <- head;
+    for i = max 0 (head - n + 1) to head do
+      let s = i mod n in
+      r.Rate.counts.(s) <- ring_value a base ~slots:n i;
+      r.Rate.stamp.(s) <- i;
+      r.Rate.gstamp.(s) <- 0
+    done
+  end;
+  r
+
+(* Write-side (merge): store a [Rate.t]'s retained span into a flat
+   ring, mirroring the span stamping above. *)
+let rate_into_flat a base (r : Rate.t) =
+  let n = r.Rate.slots in
+  let head = r.Rate.head in
+  if head >= 0 then begin
+    a.(base) <- head;
+    for i = max 0 (head - n + 1) to head do
+      let p = base + 2 + (3 * (i mod n)) in
+      a.(p) <- Rate.value r i;
+      a.(p + 1) <- i;
+      a.(p + 2) <- 0
+    done
+  end
+
+(* Rate rings live and die with the key-axis sketch entry: eviction
+   hands the slot's rings to the new owner after an O(1) reset,
+   keeping total memory O(capacity).  Entry offsets shift down to
+   dense slot numbers, then scale to flat-ring offsets. *)
+let[@inline always] key_add t ~key ~metric ~w =
+  let s = Sketch.add_slot t.by_key ~id:key ~metric ~w lsr 4 in
+  if t.by_key.Sketch.last_evicted >= 0 then begin
+    let base = s * t.sstride in
+    ring_reset t.ring_data base;
+    ring_reset t.ring_data (base + t.rstride);
+    ring_reset t.ring_data (base + (2 * t.rstride))
+  end;
+  s
+
+(* Fused variant of [key_add] crediting two metrics in one probe. *)
+let[@inline always] key_add2 t ~key ~m1 ~w1 ~m2 ~w2 =
+  let s = Sketch.add2_slot t.by_key ~id:key ~m1 ~w1 ~m2 ~w2 lsr 4 in
+  if t.by_key.Sketch.last_evicted >= 0 then begin
+    let base = s * t.sstride in
+    ring_reset t.ring_data base;
+    ring_reset t.ring_data (base + t.rstride);
+    ring_reset t.ring_data (base + (2 * t.rstride))
+  end;
+  s
+
+(* Record kinds (bits 0-3 of the packed op word). *)
+let k_query = 0
+and k_hit = 1
+and k_miss = 2
+and k_query_hop = 3
+and k_update_hop = 4
+and k_query_miss = 5
+and k_update_delivered = 6
+and k_clear_bit_hop = 7
+and k_delivery = 8
+and k_justified = 9
+
+(* Replay the buffer once per axis.  The axes share no state (the rate
+   rings are indexed by key-axis slot, so they travel with the key
+   pass), which means per-axis replay in append order reproduces the
+   interleaved replay byte for byte — and each pass runs with a single
+   sketch's entries, index and buckets resident in L1 instead of three
+   sketches contending for it. *)
+let flush t =
+  let n = t.buf_n in
+  t.buf_n <- 0;
+  let buf = t.buf in
+  let a = t.ring_data in
+  let slots = t.wslots in
+  (* key sketch + per-key rate rings *)
+  for i = 0 to n - 1 do
+    let op = ag buf (2 * i) in
+    let key = ag buf ((2 * i) + 1) land 0x7FFFFFFF in
+    let kind = op land 15 in
+    let w = op lsr 15 in
+    if kind = k_update_delivered then begin
+      let overhead = op land 16 <> 0 in
+      let metric =
+        if overhead then Metric.overhead_hops else Metric.miss_hops
+      in
+      let s = key_add2 t ~key ~m1:metric ~w1:1 ~m2:Metric.deliveries ~w2:1 in
+      if overhead then
+        ring_observe a ((s * t.sstride) + (2 * t.rstride)) ~slots ~w
+    end
+    else if kind = k_query_miss then begin
+      let s =
+        key_add2 t ~key ~m1:Metric.queries ~w1:1 ~m2:Metric.misses ~w2:1
+      in
+      let base = s * t.sstride in
+      ring_observe a base ~slots ~w;
+      ring_observe a (base + t.rstride) ~slots ~w
+    end
+    else if kind = k_hit then
+      ignore (key_add t ~key ~metric:Metric.hits ~w:1)
+    else if kind = k_query_hop then
+      ignore (key_add t ~key ~metric:Metric.miss_hops ~w:1)
+    else if kind = k_update_hop then begin
+      let overhead = op land 16 <> 0 in
+      let metric =
+        if overhead then Metric.overhead_hops else Metric.miss_hops
+      in
+      let s = key_add t ~key ~metric ~w:1 in
+      if overhead then
+        ring_observe a ((s * t.sstride) + (2 * t.rstride)) ~slots ~w
+    end
+    else if kind = k_query then begin
+      let s = key_add t ~key ~metric:Metric.queries ~w:1 in
+      ring_observe a (s * t.sstride) ~slots ~w
+    end
+    else if kind = k_miss then begin
+      let s = key_add t ~key ~metric:Metric.misses ~w:1 in
+      ring_observe a ((s * t.sstride) + t.rstride) ~slots ~w
+    end
+    else if kind = k_clear_bit_hop then begin
+      let s = key_add t ~key ~metric:Metric.overhead_hops ~w:1 in
+      ring_observe a ((s * t.sstride) + (2 * t.rstride)) ~slots ~w
+    end
+    else if kind = k_delivery then
+      ignore (key_add t ~key ~metric:Metric.deliveries ~w:1)
+    else ignore (key_add t ~key ~metric:Metric.justified ~w:1)
+  done;
+  (* node sketch *)
+  let bn = t.by_node in
+  for i = 0 to n - 1 do
+    let op = ag buf (2 * i) in
+    let node = ag buf ((2 * i) + 1) lsr 31 in
+    let kind = op land 15 in
+    if kind = k_update_delivered then begin
+      let metric =
+        if op land 16 <> 0 then Metric.overhead_hops else Metric.miss_hops
+      in
+      ignore
+        (Sketch.add2_slot bn ~id:node ~m1:metric ~w1:1 ~m2:Metric.deliveries
+           ~w2:1)
+    end
+    else if kind = k_query_miss then
+      ignore
+        (Sketch.add2_slot bn ~id:node ~m1:Metric.queries ~w1:1
+           ~m2:Metric.misses ~w2:1)
+    else if kind = k_hit then ignore (Sketch.add bn ~id:node ~metric:Metric.hits ~w:1)
+    else if kind = k_query_hop then
+      ignore (Sketch.add bn ~id:node ~metric:Metric.miss_hops ~w:1)
+    else if kind = k_update_hop then begin
+      let metric =
+        if op land 16 <> 0 then Metric.overhead_hops else Metric.miss_hops
+      in
+      ignore (Sketch.add bn ~id:node ~metric ~w:1)
+    end
+    else if kind = k_query then
+      ignore (Sketch.add bn ~id:node ~metric:Metric.queries ~w:1)
+    else if kind = k_miss then
+      ignore (Sketch.add bn ~id:node ~metric:Metric.misses ~w:1)
+    else if kind = k_clear_bit_hop then
+      ignore (Sketch.add bn ~id:node ~metric:Metric.overhead_hops ~w:1)
+    else if kind = k_delivery then
+      ignore (Sketch.add bn ~id:node ~metric:Metric.deliveries ~w:1)
+    else ignore (Sketch.add bn ~id:node ~metric:Metric.justified ~w:1)
+  done;
+  (* level sketch — only update-delivery hops carry a level *)
+  let bl = t.by_level in
+  for i = 0 to n - 1 do
+    let op = ag buf (2 * i) in
+    let kind = op land 15 in
+    if kind = k_update_delivered || kind = k_update_hop then begin
+      let metric =
+        if op land 16 <> 0 then Metric.overhead_hops else Metric.miss_hops
+      in
+      ignore (Sketch.add bl ~id:((op lsr 5) land 1023) ~metric ~w:1)
+    end
+  done
+
+let[@inline always] push t op key node =
+  let p = 2 * t.buf_n in
+  let buf = t.buf in
+  aset buf p op;
+  aset buf (p + 1) (key lor (node lsl 31));
+  let n = t.buf_n + 1 in
+  t.buf_n <- n;
+  if n = buf_records then flush t
+
+(* Recording entry points: pack and append.  Tree levels are stored in
+   10 bits — deep enough for any tree over an [int] id space. *)
+
+let[@inline always] record_query t ~key ~node ~now =
+  push t (k_query lor (window_at t now lsl 15)) key node
+
+let[@inline always] record_hit t ~key ~node = push t k_hit key node
+
+let[@inline always] record_miss t ~key ~node ~now =
+  push t (k_miss lor (window_at t now lsl 15)) key node
+
+let[@inline always] record_query_hop t ~key ~node = push t k_query_hop key node
+
+let[@inline always] record_update_hop t ~key ~node ~level ~overhead ~now =
+  push t
+    (k_update_hop
+    lor (if overhead then 16 else 0)
+    lor (level lsl 5)
+    lor (window_at t now lsl 15))
+    key node
+
+let[@inline always] record_query_miss t ~key ~node ~now =
+  push t (k_query_miss lor (window_at t now lsl 15)) key node
+
+let[@inline always] record_update_delivered t ~key ~node ~level ~overhead ~now
+    =
+  push t
+    (k_update_delivered
+    lor (if overhead then 16 else 0)
+    lor (level lsl 5)
+    lor (window_at t now lsl 15))
+    key node
+
+let[@inline always] record_clear_bit_hop t ~key ~node ~now =
+  push t (k_clear_bit_hop lor (window_at t now lsl 15)) key node
+
+let[@inline always] record_delivery t ~key ~node = push t k_delivery key node
+
+let[@inline always] record_justified t ~key ~node = push t k_justified key node
+
+type axis = Key | Node | Level
+
+let axis_name = function Key -> "key" | Node -> "node" | Level -> "level"
+
+let axis_of_string = function
+  | "key" -> Some Key
+  | "node" -> Some Node
+  | "level" -> Some Level
+  | _ -> None
+
+let sketch t by =
+  flush t;
+  match by with
+  | Key -> t.by_key
+  | Node -> t.by_node
+  | Level -> t.by_level
+
+let top t ~by ~k = Sketch.top (sketch t by) ~k
+let total t ~by ~metric = Sketch.total (sketch t by) ~metric
+
+let rates t ~key =
+  flush t;
+  let s = Sketch.slot_of t.by_key key in
+  if s < 0 then None
+  else
+    let base = s lsr 4 * t.sstride in
+    let a = t.ring_data in
+    (* A tracked key whose rings never saw an observation reads the
+       same as an untracked one, matching the lazily-created-rings
+       behaviour the reporting layers render as "-". *)
+    if
+      ring_is_empty a base
+      && ring_is_empty a (base + t.rstride)
+      && ring_is_empty a (base + (2 * t.rstride))
+    then None
+    else
+      Some
+        ( ring_to_rate t a base,
+          ring_to_rate t a (base + t.rstride),
+          ring_to_rate t a (base + (2 * t.rstride)) )
+
+let merge a b =
+  if
+    a.cfg.rate_window <> b.cfg.rate_window
+    || a.cfg.rate_slots <> b.cfg.rate_slots
+  then invalid_arg "Attribution.merge: rate geometry mismatch";
+  flush a;
+  flush b;
+  let cfg =
+    { a.cfg with capacity = max a.cfg.capacity b.cfg.capacity }
+  in
+  let by_key = Sketch.merge a.by_key b.by_key in
+  let rstride = a.rstride and sstride = a.sstride in
+  (* Every key tracked on either side survives the exact union-sum, so
+     aligning merged rings with the merged sketch slots loses none. *)
+  let slots = Sketch.slot_count by_key in
+  let ring_data = Array.make (slots * sstride) 0 in
+  ring_init ring_data ~slots:cfg.rate_slots ~rstride;
+  let ring side = function
+    | Some rs -> side rs
+    | None -> Rate.create ~width:cfg.rate_window ~slots:cfg.rate_slots
+  in
+  for s = 0 to Sketch.entries by_key - 1 do
+    let key = Sketch.id_at by_key s in
+    let ra = rates a ~key and rb = rates b ~key in
+    if ra <> None || rb <> None then begin
+      let q (x, _, _) = x and m (_, x, _) = x and o (_, _, x) = x in
+      let base = s * sstride in
+      rate_into_flat ring_data base (Rate.merge (ring q ra) (ring q rb));
+      rate_into_flat ring_data (base + rstride)
+        (Rate.merge (ring m ra) (ring m rb));
+      rate_into_flat ring_data
+        (base + (2 * rstride))
+        (Rate.merge (ring o ra) (ring o rb))
+    end
+  done;
+  {
+    cfg;
+    by_key;
+    by_node = Sketch.merge a.by_node b.by_node;
+    by_level = Sketch.merge a.by_level b.by_level;
+    ring_data;
+    inv_width = a.inv_width;
+    wslots = a.wslots;
+    rstride;
+    sstride;
+    buf = Array.make (2 * buf_records) 0;
+    buf_n = 0;
+  }
+
+let footprint_words t =
+  flush t;
+  Sketch.footprint_words t.by_key
+  + Sketch.footprint_words t.by_node
+  + Sketch.footprint_words t.by_level
+  + Array.length t.ring_data + Array.length t.buf + 10

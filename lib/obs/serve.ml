@@ -13,6 +13,7 @@ type t = {
   lock : Mutex.t;
   mutable metrics_snapshot : string;
   mutable health_snapshot : string;
+  mutable topk_snapshot : string;
   mutable finished : bool;
   trace_lines : string array; (* pre-serialized JSONL, ring *)
   mutable trace_next : int;
@@ -32,6 +33,11 @@ let render_metrics t =
       Runner.export_counters (Live.counters t.live) copy;
       Registry.to_prometheus copy
     end
+  in
+  let deterministic =
+    match Live.attribution t.live with
+    | None -> deterministic
+    | Some a -> deterministic ^ Topk.prometheus a
   in
   match t.resource with
   | None -> deterministic
@@ -81,12 +87,19 @@ let render_health t =
              ] );
        ])
 
+let render_topk t =
+  match Live.attribution t.live with
+  | None -> Json.to_string (Json.Obj [ ("attribution", Json.Bool false) ])
+  | Some a -> Json.to_string (Topk.json a)
+
 let refresh_snapshots t =
   let metrics = render_metrics t in
   let health = render_health t in
+  let topk = render_topk t in
   Mutex.lock t.lock;
   t.metrics_snapshot <- metrics;
   t.health_snapshot <- health;
+  t.topk_snapshot <- topk;
   Mutex.unlock t.lock
 
 (* Handlers: server thread, snapshot reads only. *)
@@ -100,6 +113,12 @@ let handle_metrics t _query =
 let handle_health t _query =
   Mutex.lock t.lock;
   let body = t.health_snapshot in
+  Mutex.unlock t.lock;
+  Http_server.json body
+
+let handle_topk t _query =
+  Mutex.lock t.lock;
+  let body = t.topk_snapshot in
   Mutex.unlock t.lock;
   Http_server.json body
 
@@ -144,6 +163,7 @@ let start ?(port = 0) ?(refresh = 5.) ?(trace_capacity = 1024) ?resource
       lock = Mutex.create ();
       metrics_snapshot = "";
       health_snapshot = "";
+      topk_snapshot = "";
       finished = false;
       trace_lines = Array.make trace_capacity "";
       trace_next = 0;
@@ -164,6 +184,7 @@ let start ?(port = 0) ?(refresh = 5.) ?(trace_capacity = 1024) ?resource
           ("/metrics", handle_metrics t);
           ("/health", handle_health t);
           ("/trace", handle_trace t);
+          ("/topk", handle_topk t);
         ]
       ()
   in

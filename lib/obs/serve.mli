@@ -1,6 +1,6 @@
 (** Live run-health endpoints over {!Http_server}.
 
-    Wires one running simulation to three GET routes:
+    Wires one running simulation to four GET routes:
 
     - [/metrics] — Prometheus text exposition of the run's registry.
       For the deterministic metric families this is {e byte-identical}
@@ -17,6 +17,12 @@
     - [/trace?n=K] — the most recent [K] (default [100], capped at
       the ring capacity) trace events as JSONL, if {!sink} is
       attached.
+    - [/topk] — the {!Topk.json} cost-attribution document (top keys,
+      nodes and tree levels with per-metric counts and per-key rates)
+      when an {!Cup_metrics.Attribution} layer is attached to the run;
+      [{"attribution":false}] otherwise.  When attribution is on, the
+      [/metrics] exposition also gains the capped-cardinality
+      {!Topk.prometheus} families.
 
     {b Threading.}  Handlers run on the server thread while the
     engine runs on the main thread, so they never touch live

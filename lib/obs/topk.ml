@@ -1,0 +1,209 @@
+module Attribution = Cup_metrics.Attribution
+module Metric = Cup_metrics.Attribution.Metric
+module Sketch = Cup_metrics.Attribution.Sketch
+module Rate = Cup_metrics.Attribution.Rate
+module Table = Cup_report.Table
+
+let default_k = 20
+
+let metric_of (e : Sketch.entry) m = e.counts.(m)
+
+(* The [_other] sink: exact global totals minus what the displayed
+   entries account for.  Entry count vectors are exact-since-entry
+   (evictions clear them), so the remainder is always >= 0. *)
+let other_counts a ~by entries =
+  Array.init Metric.count (fun m ->
+      let shown =
+        List.fold_left (fun acc e -> acc + metric_of e m) 0 entries
+      in
+      Attribution.total a ~by ~metric:m - shown)
+
+let sum_counts c = Array.fold_left ( + ) 0 c
+
+(* {1 ASCII tables} *)
+
+let rate_cells a key =
+  match Attribution.rates a ~key with
+  | None -> [ "-"; "-"; "-" ]
+  | Some (q, m, o) ->
+      List.map
+        (fun r -> Table.cell_float ~decimals:3 (Rate.ewma r))
+        [ q; m; o ]
+
+let table ?(k = default_k) a ~by =
+  let entries = Attribution.top a ~by ~k in
+  let axis = Attribution.axis_name by in
+  let with_rates = by = Attribution.Key in
+  let columns =
+    [ axis; "weight"; "err" ]
+    @ List.init Metric.count Metric.name
+    @ [ "unjust" ]
+    @ (if with_rates then [ "q_rate"; "miss_rate"; "ovh_rate" ] else [])
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "cup top — by %s (top %d of %d tracked%s)" axis
+           (List.length entries)
+           (Sketch.entries (Attribution.sketch a by))
+           (if Sketch.evictions (Attribution.sketch a by) = 0 then ", exact"
+            else
+              Printf.sprintf ", %d evictions"
+                (Sketch.evictions (Attribution.sketch a by))))
+      ~columns
+  in
+  let row id weight err counts rates =
+    Table.add_row t
+      ([ id; weight; err ]
+      @ Array.to_list (Array.map Table.cell_int counts)
+      @ [
+          Table.cell_int
+            (counts.(Metric.deliveries) - counts.(Metric.justified));
+        ]
+      @ rates)
+  in
+  List.iter
+    (fun (e : Sketch.entry) ->
+      row (Table.cell_int e.id)
+        (Table.cell_int e.estimate)
+        (Table.cell_int e.err) e.counts
+        (if with_rates then rate_cells a e.id else []))
+    entries;
+  let rest = other_counts a ~by entries in
+  if sum_counts rest > 0 then begin
+    Table.add_separator t;
+    row "_other"
+      (Table.cell_int (sum_counts rest))
+      "-" rest
+      (if with_rates then [ "-"; "-"; "-" ] else [])
+  end;
+  Table.render t
+
+(* {1 CSV} *)
+
+let csv_header =
+  "axis,id,weight,err," ^ String.concat "," (List.init Metric.count Metric.name)
+
+let csv ?(k = default_k) a =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b csv_header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun by ->
+      let axis = Attribution.axis_name by in
+      let entries = Attribution.top a ~by ~k in
+      List.iter
+        (fun (e : Sketch.entry) ->
+          Printf.bprintf b "%s,%d,%d,%d,%s\n" axis e.id e.estimate e.err
+            (String.concat ","
+               (Array.to_list (Array.map string_of_int e.counts))))
+        entries;
+      let rest = other_counts a ~by entries in
+      if sum_counts rest > 0 then
+        Printf.bprintf b "%s,_other,%d,0,%s\n" axis (sum_counts rest)
+          (String.concat ","
+             (Array.to_list (Array.map string_of_int rest))))
+    [ Attribution.Key; Attribution.Node; Attribution.Level ];
+  Buffer.contents b
+
+(* {1 Prometheus exposition}
+
+   Cardinality is capped at the sketch's top-K: every key/node beyond
+   it folds into one [_other] series per metric, so a 10^6-key catalog
+   exposes O(K) series, not O(catalog). *)
+
+let prometheus ?(k = default_k) a =
+  let b = Buffer.create 2048 in
+  let family ~name ~help ~label ~by =
+    let entries = Attribution.top a ~by ~k in
+    Printf.bprintf b "# HELP %s %s\n# TYPE %s counter\n" name help name;
+    let series id counts =
+      for m = 0 to Metric.count - 1 do
+        Printf.bprintf b "%s{%s=%s,metric=\"%s\"} %d\n" name label id
+          (Metric.name m) counts.(m)
+      done
+    in
+    List.iter
+      (fun (e : Sketch.entry) ->
+        series (Printf.sprintf "\"%d\"" e.id) e.counts)
+      entries;
+    series "\"_other\"" (other_counts a ~by entries)
+  in
+  family ~name:"cup_key_attr_total"
+    ~help:
+      "Per-key attributed cost counts (top-K by weight; _other \
+       aggregates the remainder to cap label cardinality)"
+    ~label:"key" ~by:Attribution.Key;
+  family ~name:"cup_node_attr_total"
+    ~help:
+      "Per-node attributed cost counts (top-K by weight; _other \
+       aggregates the remainder)"
+    ~label:"node" ~by:Attribution.Node;
+  family ~name:"cup_level_hops_total"
+    ~help:"Update-delivery hops per propagation-tree level"
+    ~label:"level" ~by:Attribution.Level;
+  Buffer.contents b
+
+(* {1 JSON (the /topk route)} *)
+
+let entry_json a ~with_rates (e : Sketch.entry) =
+  let counts =
+    List.init Metric.count (fun m -> (Metric.name m, Json.Int e.counts.(m)))
+  in
+  let rates =
+    if not with_rates then []
+    else
+      match Attribution.rates a ~key:e.id with
+      | None -> []
+      | Some (q, m, o) ->
+          [
+            ( "rates",
+              Json.Obj
+                [
+                  ("query", Json.Float (Rate.ewma q));
+                  ("miss", Json.Float (Rate.ewma m));
+                  ("overhead", Json.Float (Rate.ewma o));
+                ] );
+          ]
+  in
+  Json.Obj
+    ([
+       ("id", Json.Int e.id);
+       ("weight", Json.Int e.estimate);
+       ("err", Json.Int e.err);
+     ]
+    @ counts @ rates)
+
+let json ?(k = default_k) a =
+  let axis by =
+    let entries = Attribution.top a ~by ~k in
+    let s = Attribution.sketch a by in
+    let rest = other_counts a ~by entries in
+    ( Attribution.axis_name by,
+      Json.Obj
+        [
+          ("entries", Json.Int (Sketch.entries s));
+          ("evictions", Json.Int (Sketch.evictions s));
+          ( "top",
+            Json.List
+              (List.map
+                 (entry_json a ~with_rates:(by = Attribution.Key))
+                 entries) );
+          ( "other",
+            Json.Obj
+              (List.init Metric.count (fun m ->
+                   (Metric.name m, Json.Int rest.(m)))) );
+          ( "totals",
+            Json.Obj
+              (List.init Metric.count (fun m ->
+                   ( Metric.name m,
+                     Json.Int (Attribution.total a ~by ~metric:m) ))) );
+        ] )
+  in
+  Json.Obj
+    [
+      ("k", Json.Int k);
+      axis Attribution.Key;
+      axis Attribution.Node;
+      axis Attribution.Level;
+    ]

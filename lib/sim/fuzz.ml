@@ -34,6 +34,7 @@ type summary = {
   passed : int;
   total_events : int;
   failures : failure list;
+  timings : (int * float) list;
 }
 
 (* {1 Scenario generation} *)
@@ -286,7 +287,10 @@ let run_seeds ~exec ?pool ?(shrink_failures = true) ~seed_start ~seeds () =
   if seeds < 1 then invalid_arg "Fuzz.run_seeds: seeds must be >= 1";
   let eval seed =
     let scenario = scenario_of_seed seed in
-    (seed, scenario, exec scenario)
+    let t0 = Unix.gettimeofday () in
+    let verdict = exec scenario in
+    let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+    (seed, scenario, verdict, ms)
   in
   let seed_list = List.init seeds (fun i -> seed_start + i) in
   let outcomes =
@@ -296,7 +300,7 @@ let run_seeds ~exec ?pool ?(shrink_failures = true) ~seed_start ~seeds () =
   in
   let passed = ref 0 and total_events = ref 0 and failures = ref [] in
   List.iter
-    (fun (seed, scenario, verdict) ->
+    (fun (seed, scenario, verdict, _ms) ->
       match verdict with
       | Pass { events } ->
           incr passed;
@@ -314,4 +318,5 @@ let run_seeds ~exec ?pool ?(shrink_failures = true) ~seed_start ~seeds () =
     passed = !passed;
     total_events = !total_events;
     failures = List.rev !failures;
+    timings = List.map (fun (seed, _, _, ms) -> (seed, ms)) outcomes;
   }

@@ -41,6 +41,11 @@ type summary = {
   passed : int;
   total_events : int;  (** across passing runs *)
   failures : failure list;  (** in seed order *)
+  timings : (int * float) list;
+      (** per-seed wall-clock milliseconds, in seed order.  Host
+          timing, {e not} part of the deterministic verdict: consumers
+          printing it must keep it off byte-compared output (the CLI
+          prints it on filterable [wallclock]-prefixed lines). *)
 }
 
 val scenario_of_seed : int -> Scenario.t

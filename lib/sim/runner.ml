@@ -14,6 +14,7 @@ module Entry = Cup_proto.Entry
 module Counters = Cup_metrics.Counters
 module Registry = Cup_metrics.Registry
 module Histogram = Cup_metrics.Histogram
+module Attribution = Cup_metrics.Attribution
 module Rng = Cup_prng.Rng
 module Dist = Cup_prng.Dist
 
@@ -148,6 +149,7 @@ type live = {
   mutable replica_events : int;
   mutable tracer : (Trace.event -> unit) option;
   mutable metrics : metric_set option;
+  mutable attribution : Attribution.t option;
   mutable next_span : int; (* last span id handed out; 0 = none yet *)
   started : float; (* host wallclock at creation *)
 }
@@ -446,6 +448,11 @@ let register_update_for_justification t ~node (update : Update.t) =
       0. update.entries
   in
   t.tracked_updates <- t.tracked_updates + 1;
+  (match t.attribution with
+  | Some a ->
+      Attribution.record_delivery a ~key:(Key.to_int update.key)
+        ~node:(Node_id.to_int node)
+  | None -> ());
   let k = justif_key node update.key in
   match Hashtbl.find_opt t.justif k with
   | Some deadlines ->
@@ -464,8 +471,14 @@ let judge_pending_updates t ~node ~key =
       let now = Time.to_seconds (Engine.now t.engine) in
       List.iter
         (fun deadline ->
-          if deadline >= now then
-            t.justified_updates <- t.justified_updates + 1)
+          if deadline >= now then begin
+            t.justified_updates <- t.justified_updates + 1;
+            match t.attribution with
+            | Some a ->
+                Attribution.record_justified a ~key:(Key.to_int key)
+                  ~node:(Node_id.to_int node)
+            | None -> ()
+          end)
         !deadlines;
       (* Empty in place: the table slot and ref cell live on for the
          next update registered at this (node, key). *)
@@ -483,8 +496,15 @@ let rec perform t ~ctx ~from actions =
 and perform_one t ~ctx ~from = function
   | Node.Send_query { to_; key } -> send_query t ~ctx ~from ~to_ ~attempt:0 key
   | Node.Send_clear_bit { to_; key } ->
-      if not t.cfg.piggyback_clear_bits then
+      if not t.cfg.piggyback_clear_bits then begin
         Counters.record_clear_bit_hop t.counters;
+        match t.attribution with
+        | Some a ->
+            Attribution.record_clear_bit_hop a ~key:(Key.to_int key)
+              ~node:(Node_id.to_int from)
+              ~now:(Time.to_seconds (now t))
+        | None -> ()
+      end;
       (* The sender is cutting itself out of the key's tree: it no
          longer expects updates, so stop watching its deadline. *)
       if t.fault_mode then Hashtbl.remove t.repair (justif_key from key);
@@ -542,14 +562,28 @@ and perform_one t ~ctx ~from = function
                span_id = new_span t;
                parent_id = ctx.sc_parent;
              });
-      if hit then
-        List.iter (fun _ -> Counters.record_hit t.counters) posted_at
+      if hit then begin
+        List.iter (fun _ -> Counters.record_hit t.counters) posted_at;
+        match t.attribution with
+        | Some a ->
+            let key = Key.to_int key and node = Node_id.to_int from in
+            List.iter
+              (fun _ -> Attribution.record_hit a ~key ~node)
+              posted_at
+        | None -> ()
+      end
       else begin
         let n = now t in
         List.iter
           (fun posted ->
             let hops = Time.diff n posted *. t.inv_hop_delay in
             Counters.record_miss t.counters ~hops;
+            (match t.attribution with
+            | Some a ->
+                Attribution.record_miss a ~key:(Key.to_int key)
+                  ~node:(Node_id.to_int from)
+                  ~now:(Time.to_seconds n)
+            | None -> ());
             match t.metrics with
             | Some ms -> Histogram.add ms.query_latency hops
             | None -> ())
@@ -561,6 +595,11 @@ and perform_one t ~ctx ~from = function
    time the message is lost on the wire or reaches a crashed node. *)
 and send_query t ~ctx ~from ~to_ ~attempt key =
   Counters.record_query_hop t.counters;
+  (match t.attribution with
+  | Some a ->
+      Attribution.record_query_hop a ~key:(Key.to_int key)
+        ~node:(Node_id.to_int from)
+  | None -> ());
   if t.fault_mode then
     arm_repair t ~node:from ~key
       ~deadline:(Time.to_seconds (now t) +. t.repair_timeout);
@@ -822,6 +861,21 @@ and deliver_update t ~ctx ?(sid = 0) ~from ~to_ ~answering (update : Update.t)
   | Update.Refresh -> Counters.record_update_hop t.counters `Refresh
   | Update.Delete -> Counters.record_update_hop t.counters `Delete
   | Update.Append -> Counters.record_update_hop t.counters `Append);
+  (match t.attribution with
+  | Some a ->
+      (* Section 3.1 ledger split: a first-time update answering a
+         pending query is miss cost, every other delivery is overhead. *)
+      let overhead =
+        match update.kind with
+        | Update.First_time -> not answering
+        | Update.Refresh | Update.Delete | Update.Append -> true
+      in
+      Attribution.record_update_hop a
+        ~key:(Key.to_int update.key)
+        ~node:(Node_id.to_int to_)
+        ~level:update.level ~overhead
+        ~now:(Time.to_seconds (now t))
+  | None -> ());
   if node_alive then begin
     Counters.record_delivered t.counters;
     if not answering then register_update_for_justification t ~node:to_ update;
@@ -1090,6 +1144,12 @@ let post_query t ~node ~key =
     in
     judge_pending_updates t ~node ~key;
     t.queries_posted <- t.queries_posted + 1;
+    (match t.attribution with
+    | Some a ->
+        Attribution.record_query a ~key:(Key.to_int key)
+          ~node:(Node_id.to_int node)
+          ~now:(Time.to_seconds (now t))
+    | None -> ());
     match Net.next_hop t.net node key with
     | Route.Stuck _ -> Counters.record_unreachable t.counters
     | (Route.Owner | Route.Forward _) as hop ->
@@ -1306,6 +1366,7 @@ let create_base cfg =
       replica_events = 0;
       tracer = None;
       metrics = None;
+      attribution = None;
       next_span = 0;
       started = Unix.gettimeofday ();
     }
@@ -1697,6 +1758,9 @@ module Live = struct
 
   let metrics t =
     match t.metrics with Some ms -> Some ms.registry | None -> None
+
+  let set_attribution t a = t.attribution <- a
+  let attribution t = t.attribution
 
   let justification_backlog t =
     Hashtbl.fold (fun _ deadlines acc -> acc + List.length !deadlines) t.justif 0

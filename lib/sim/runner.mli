@@ -141,6 +141,15 @@ module Live : sig
   val metrics : t -> Cup_metrics.Registry.t option
   (** The registry attached with {!set_metrics}, if any. *)
 
+  val set_attribution : t -> Cup_metrics.Attribution.t option -> unit
+  (** Attribute every query, hit/miss, hop, and delivery to
+      [(key, node, tree-level)] as the run executes (see
+      {!Cup_metrics.Attribution}).  Detached ([None], the default) the
+      delivery path pays a single branch and allocates nothing. *)
+
+  val attribution : t -> Cup_metrics.Attribution.t option
+  (** The attribution layer attached with {!set_attribution}, if any. *)
+
   val node_leave : ?graceful:bool -> t -> Cup_overlay.Node_id.t -> unit
   (** Departure with the taker absorbing the node's zone/range.
       [graceful] (default [true]) hands the authority directories

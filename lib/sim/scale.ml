@@ -13,6 +13,7 @@ module Time = Cup_dess.Time
 module Window_sync = Cup_dess.Window_sync
 module Pool = Cup_parallel.Pool
 module Query_gen = Cup_workload.Query_gen
+module Attribution = Cup_metrics.Attribution
 
 type config = {
   seed : int;
@@ -27,6 +28,7 @@ type config = {
   query_duration : float;
   drain : float;
   zipf : float;
+  attribution : int; (* top-K sketch capacity per axis; 0 = detached *)
 }
 
 let default =
@@ -43,6 +45,7 @@ let default =
     query_duration = 10.;
     drain = 2.;
     zipf = 0.9;
+    attribution = 0;
   }
 
 type totals = {
@@ -107,6 +110,7 @@ type result = {
   dropped_at_horizon : int;
   wallclock : float;
   events_per_sec : float;
+  attribution : Attribution.t option;
 }
 
 (* {1 Events}
@@ -152,7 +156,8 @@ let validate cfg =
   if cfg.query_start < 0. then fail "query_start must be >= 0";
   if cfg.query_duration <= 0. then fail "query_duration must be > 0";
   if cfg.drain < 0. then fail "drain must be >= 0";
-  if cfg.zipf < 0. then fail "zipf must be >= 0"
+  if cfg.zipf < 0. then fail "zipf must be >= 0";
+  if cfg.attribution < 0 then fail "attribution must be >= 0"
 
 (* {1 Trace records}
 
@@ -320,6 +325,22 @@ let run ?tracer cfg =
   let emit_seq = Array.make cfg.nodes 0 in
   let sync : msg Window_sync.t = Window_sync.create ~shards ~windows in
   let tot = Array.init shards (fun _ -> zero_totals ()) in
+  (* One attribution layer per shard (each touched only by its own
+     domain inside a window), merged exactly in shard order at run
+     end. *)
+  let attrs : Attribution.t option array =
+    Array.init shards (fun _ ->
+        if cfg.attribution = 0 then None
+        else
+          Some
+            (Attribution.create
+               ~config:
+                 {
+                   Attribution.default_config with
+                   capacity = cfg.attribution;
+                 }
+               ()))
+  in
   let next_hop_of node key =
     match
       Ring.next_hop ring ~node ~target:(Ring.owner ring (Key.to_int key))
@@ -343,6 +364,7 @@ let run ?tracer cfg =
     let now = Time.of_seconds now_s in
     let store = stores.(s) in
     let t = tot.(s) in
+    let at = attrs.(s) in
     let works =
       List.sort compare_work
         (List.rev_append
@@ -366,6 +388,11 @@ let run ?tracer cfg =
           match act with
           | Node.Send_query { to_; key } ->
               t.query_hops <- t.query_hops + 1;
+              (match at with
+              | Some a ->
+                  Attribution.record_query_hop a ~key:(Key.to_int key)
+                    ~node
+              | None -> ());
               emit node 0 (P_query key) to_
           | Node.Send_update { to_; update; answering } ->
               (match update.Update.kind with
@@ -378,9 +405,23 @@ let run ?tracer cfg =
               emit node 1 (P_update (update, answering)) to_
           | Node.Send_clear_bit { to_; key } ->
               t.clear_hops <- t.clear_hops + 1;
+              (match at with
+              | Some a ->
+                  Attribution.record_clear_bit_hop a ~key:(Key.to_int key)
+                    ~node ~now:now_s
+              | None -> ());
               emit node 2 (P_clear key) to_
-          | Node.Answer_local { posted_at; hit; _ } ->
-              if hit then t.hits <- t.hits + List.length posted_at
+          | Node.Answer_local { posted_at; hit; key; _ } ->
+              if hit then begin
+                t.hits <- t.hits + List.length posted_at;
+                match at with
+                | Some a ->
+                    let key = Key.to_int key in
+                    List.iter
+                      (fun _ -> Attribution.record_hit a ~key ~node)
+                      posted_at
+                | None -> ()
+              end
               else begin
                 t.answered <- t.answered + List.length posted_at;
                 List.iter
@@ -407,7 +448,22 @@ let run ?tracer cfg =
                   (Node_store.handle_query store ~node:nid ~now
                      ~next_hop:(next_hop_of m.dst key)
                      (Node.From_neighbor from) key)
-            | P_update (u, _) ->
+            | P_update (u, answering) ->
+                (match at with
+                | Some a ->
+                    let key = Key.to_int u.Update.key in
+                    let overhead =
+                      match u.Update.kind with
+                      | Update.First_time -> not answering
+                      | Update.Refresh | Update.Delete | Update.Append -> true
+                    in
+                    if answering then
+                      Attribution.record_update_hop a ~key ~node:m.dst
+                        ~level:u.Update.level ~overhead ~now:now_s
+                    else
+                      Attribution.record_update_delivered a ~key ~node:m.dst
+                        ~level:u.Update.level ~overhead ~now:now_s
+                | None -> ());
                 exec m.dst (Node_store.handle_update store ~node:nid ~now ~from u)
             | P_clear key ->
                 exec m.dst
@@ -437,6 +493,11 @@ let run ?tracer cfg =
                 acts
             in
             if not hit then t.misses <- t.misses + 1;
+            (match at with
+            | Some a ->
+                if hit then Attribution.record_query a ~key ~node ~now:now_s
+                else Attribution.record_query_miss a ~key ~node ~now:now_s
+            | None -> ());
             exec node acts);
         if traced then
           match direct_tracer with
@@ -479,6 +540,16 @@ let run ?tracer cfg =
       done);
   let totals = zero_totals () in
   Array.iter (fun t -> add_totals totals t) tot;
+  (* Fold the per-shard sketches left-to-right in shard order; the
+     merge is exact, so any fold shape gives the same result. *)
+  let attribution =
+    Array.fold_left
+      (fun acc at ->
+        match (acc, at) with
+        | None, x | x, None -> x
+        | Some a, Some b -> Some (Attribution.merge a b))
+      None attrs
+  in
   let live_slots =
     Array.fold_left (fun acc st -> acc + Node_store.live_slots st) 0 stores
   in
@@ -494,6 +565,7 @@ let run ?tracer cfg =
     wallclock;
     events_per_sec =
       (if wallclock > 0. then float_of_int events /. wallclock else 0.);
+    attribution;
   }
 
 let summary r =

@@ -44,6 +44,16 @@ type config = {
   query_duration : float;
   drain : float;  (** extra windows after posting stops, for in-flight answers *)
   zipf : float;  (** key-popularity exponent; [0.] = uniform *)
+  attribution : int;
+      (** per-axis top-K capacity for {!Cup_metrics.Attribution};
+          [0] (the default) detaches attribution entirely.  Each shard
+          tracks its own sketches, merged in shard order at run end
+          with the exact union-sum merge — in the exact regime (no
+          evictions) the merged result is byte-identical across shard
+          counts, and all attribution weights are integers, honoring
+          the byte-identity contract above.  The sharded runner has no
+          justification machinery, so the [justified] metric stays 0
+          here; [deliveries] counts non-answering update deliveries. *)
 }
 
 val default : config
@@ -76,6 +86,9 @@ type result = {
   dropped_at_horizon : int;  (** messages emitted in the final window *)
   wallclock : float;
   events_per_sec : float;
+  attribution : Cup_metrics.Attribution.t option;
+      (** merged per-key/per-node/per-level cost attribution, present
+          iff [config.attribution > 0] *)
 }
 
 (** One processed event, as handed to the tracer.  [w] is the window,

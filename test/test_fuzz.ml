@@ -87,7 +87,20 @@ let test_repro_command_shape () =
 (* The acceptance bar for the sweep driver: pooled and sequential
    sweeps produce equal summaries — same verdicts, same event counts,
    same (empty) failure lists — because Pool.map merges in input
-   order and the oracle is a pure function of the scenario. *)
+   order and the oracle is a pure function of the scenario.  The
+   [timings] field is host wall-clock, explicitly outside the
+   deterministic verdict, so it is compared by shape (seed order,
+   non-negative) rather than value. *)
+let check_timings label (s : Fuzz.summary) ~seed_start ~seeds =
+  Alcotest.(check (list int))
+    (label ^ ": timing seeds in order")
+    (List.init seeds (fun i -> seed_start + i))
+    (List.map fst s.timings);
+  List.iter
+    (fun (seed, ms) ->
+      if ms < 0. then Alcotest.failf "%s: seed %d timed %.3f ms" label seed ms)
+    s.timings
+
 let test_jobs_determinism () =
   let seeds = 6 and seed_start = 100 in
   let sequential =
@@ -97,8 +110,11 @@ let test_jobs_determinism () =
     Pool.with_pool ~jobs:2 (fun pool ->
         Fuzz.run_seeds ~exec:Fuzz_oracle.execute ~pool ~seed_start ~seeds ())
   in
-  if sequential <> pooled then
-    Alcotest.fail "pooled summary differs from sequential"
+  let deterministic (s : Fuzz.summary) = { s with Fuzz.timings = [] } in
+  if deterministic sequential <> deterministic pooled then
+    Alcotest.fail "pooled summary differs from sequential";
+  check_timings "sequential" sequential ~seed_start ~seeds;
+  check_timings "pooled" pooled ~seed_start ~seeds
 
 let test_standalone_replay () =
   let summary =

@@ -350,6 +350,262 @@ let test_counters_pp_smoke () =
   Alcotest.(check bool) "pp mentions miss cost" true
     (contains ~needle:"miss cost" s)
 
+(* {1 Attribution} *)
+
+module Attribution = Cup_metrics.Attribution
+module Sketch = Attribution.Sketch
+module Rate = Attribution.Rate
+module Metric = Attribution.Metric
+module Rng = Cup_prng.Rng
+
+let test_sketch_exact_below_capacity () =
+  let s = Sketch.create ~capacity:8 in
+  List.iter
+    (fun (id, m, w) ->
+      Alcotest.(check int) "no eviction" (-1) (Sketch.add s ~id ~metric:m ~w))
+    [
+      (1, Metric.queries, 3); (2, Metric.misses, 1); (1, Metric.miss_hops, 4);
+    ];
+  Alcotest.(check int) "entries" 2 (Sketch.entries s);
+  Alcotest.(check int) "evictions" 0 (Sketch.evictions s);
+  Alcotest.(check int) "total exact" 3 (Sketch.total s ~metric:Metric.queries);
+  match Sketch.top s ~k:10 with
+  | [ a; b ] ->
+      Alcotest.(check int) "heaviest id" 1 a.Sketch.id;
+      Alcotest.(check int) "estimate" 7 a.estimate;
+      Alcotest.(check int) "exact regime: err 0" 0 a.err;
+      Alcotest.(check int) "per-metric count" 3 a.counts.(Metric.queries);
+      Alcotest.(check int) "second" 2 b.Sketch.id
+  | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l)
+
+let test_sketch_eviction_deterministic () =
+  let m = Metric.queries in
+  let s = Sketch.create ~capacity:2 in
+  ignore (Sketch.add s ~id:1 ~metric:m ~w:5);
+  ignore (Sketch.add s ~id:2 ~metric:m ~w:3);
+  Alcotest.(check int) "evicts the min-weight entry" 2
+    (Sketch.add s ~id:3 ~metric:m ~w:1);
+  Alcotest.(check int) "evictions" 1 (Sketch.evictions s);
+  Alcotest.(check int) "global total stays exact" 9 (Sketch.total s ~metric:m);
+  match Sketch.top s ~k:2 with
+  | [ a; b ] ->
+      Alcotest.(check int) "survivor" 1 a.Sketch.id;
+      Alcotest.(check int) "newcomer" 3 b.Sketch.id;
+      Alcotest.(check int) "estimate = inherited + own" 4 b.Sketch.estimate;
+      Alcotest.(check int) "err = inherited weight" 3 b.Sketch.err
+  | _ -> Alcotest.fail "two entries expected"
+
+(* Random (id, weight) streams over a catalog a few times larger than
+   the sketch capacity, so both the exact and the eviction regime get
+   exercised. *)
+let arb_stream =
+  QCheck.(
+    list_of_size Gen.(int_range 0 400) (pair (int_range 0 40) (int_range 1 5)))
+
+let sketch_cap = 8
+
+let sketch_of ops =
+  let s = Sketch.create ~capacity:sketch_cap in
+  List.iter
+    (fun (id, w) ->
+      ignore (Sketch.add s ~id ~metric:((id + w) mod Metric.count) ~w))
+    ops;
+  s
+
+let prop_sketch_error_bound =
+  QCheck.Test.make ~count:300 ~name:"space-saving error bounds hold"
+    arb_stream (fun ops ->
+      let m = Metric.queries in
+      let s = Sketch.create ~capacity:sketch_cap in
+      let true_w = Hashtbl.create 64 in
+      List.iter
+        (fun (id, w) ->
+          ignore (Sketch.add s ~id ~metric:m ~w);
+          Hashtbl.replace true_w id
+            (w + Option.value ~default:0 (Hashtbl.find_opt true_w id)))
+        ops;
+      let total = List.fold_left (fun acc (_, w) -> acc + w) 0 ops in
+      let tops = Sketch.top s ~k:sketch_cap in
+      Sketch.total s ~metric:m = total
+      && List.for_all
+           (fun (e : Sketch.entry) ->
+             let tw = Option.value ~default:0 (Hashtbl.find_opt true_w e.id) in
+             e.estimate >= tw && e.estimate - e.err <= tw)
+           tops
+      (* the space-saving guarantee: anything heavier than total/cap
+         is still tracked *)
+      && Hashtbl.fold
+           (fun id tw acc ->
+             acc
+             && (tw * sketch_cap <= total
+                || List.exists (fun (e : Sketch.entry) -> e.id = id) tops))
+           true_w true)
+
+let sketch_snapshot s =
+  let tops = Sketch.top s ~k:(Sketch.entries s) in
+  ( List.sort compare
+      (List.map
+         (fun (e : Sketch.entry) ->
+           (e.id, e.estimate, e.err, Array.to_list e.counts))
+         tops),
+    List.init Metric.count (fun m -> Sketch.total s ~metric:m),
+    Sketch.evictions s )
+
+let prop_sketch_merge_associative =
+  QCheck.Test.make ~count:200 ~name:"sketch merge is associative"
+    QCheck.(triple arb_stream arb_stream arb_stream)
+    (fun (xs, ys, zs) ->
+      let a = sketch_of xs and b = sketch_of ys and c = sketch_of zs in
+      sketch_snapshot (Sketch.merge (Sketch.merge a b) c)
+      = sketch_snapshot (Sketch.merge a (Sketch.merge b c)))
+
+let prop_sketch_merge_commutative =
+  QCheck.Test.make ~count:200 ~name:"sketch merge is commutative"
+    QCheck.(pair arb_stream arb_stream)
+    (fun (xs, ys) ->
+      let a = sketch_of xs and b = sketch_of ys in
+      sketch_snapshot (Sketch.merge a b) = sketch_snapshot (Sketch.merge b a))
+
+let prop_sketch_replay_deterministic =
+  QCheck.Test.make ~count:200 ~name:"same stream, same sketch"
+    arb_stream (fun ops ->
+      sketch_snapshot (sketch_of ops) = sketch_snapshot (sketch_of ops))
+
+let test_rate_windowed_and_ewma () =
+  let r = Rate.create ~width:1.0 ~slots:8 in
+  (* 4 events/s for 10 s; the 8-slot ring retains windows 2..9 *)
+  for i = 0 to 39 do
+    Rate.observe r ~now:(0.25 *. float_of_int i)
+  done;
+  Alcotest.(check int) "observations in retained span" 32
+    (Rate.observations r);
+  Alcotest.(check (float 1e-9)) "windowed" 4. (Rate.windowed r);
+  Alcotest.(check (float 1e-9)) "ewma of a steady rate is the rate" 4.
+    (Rate.ewma r)
+
+let arb_times =
+  QCheck.(list_of_size Gen.(int_range 0 200) (float_range 0. 40.))
+
+let prop_rate_merge_exact =
+  QCheck.Test.make ~count:300
+    ~name:"rate merge = single interleaved stream"
+    QCheck.(pair arb_times arb_times)
+    (fun (xs, ys) ->
+      let feed l =
+        let r = Rate.create ~width:1.0 ~slots:16 in
+        List.iter (fun now -> Rate.observe r ~now) (List.sort compare l);
+        r
+      in
+      let m = Rate.merge (feed xs) (feed ys) in
+      let single = feed (xs @ ys) in
+      Rate.observations m = Rate.observations single
+      && Rate.windowed m = Rate.windowed single
+      && Rate.ewma m = Rate.ewma single)
+
+(* The estimators exist to feed the Section 3.1 break-even formula:
+   drive one with a Poisson arrival stream of known rate and check the
+   closed-form justified-update probability computed from the estimate
+   against the one computed from the true rate. *)
+let test_rate_vs_analysis_closed_form () =
+  let lambda = 3.0 and window = 2.0 in
+  let g = Rng.create ~seed:42 in
+  (* 32 windows x 4 s retained = 128 s of stream: ~384 expected events,
+     so the windowed estimate sits within a few percent of lambda *)
+  let r = Rate.create ~width:4.0 ~slots:32 in
+  let t = ref 0. in
+  while !t < 200. do
+    Rate.observe r ~now:!t;
+    t := !t +. (-.log (Float.max 1e-12 (1. -. Rng.float g)) /. lambda)
+  done;
+  let est = Rate.windowed r in
+  Alcotest.(check bool)
+    (Printf.sprintf "windowed %.3f within 20%% of true rate %.1f" est lambda)
+    true
+    (Float.abs (est -. lambda) <= 0.2 *. lambda);
+  let ew = Rate.ewma r in
+  Alcotest.(check bool)
+    (Printf.sprintf "ewma %.3f within 40%% of true rate %.1f" ew lambda)
+    true
+    (Float.abs (ew -. lambda) <= 0.4 *. lambda);
+  let p_est =
+    Cup_sim.Analysis.justified_probability ~subtree_rate:est ~window
+  in
+  let p_true =
+    Cup_sim.Analysis.justified_probability ~subtree_rate:lambda ~window
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "P(justified) from estimate: %.4f vs %.4f" p_est p_true)
+    true
+    (Float.abs (p_est -. p_true) <= 0.02)
+
+let test_attribution_records_and_merge () =
+  let config = { Attribution.default_config with capacity = 16 } in
+  let a = Attribution.create ~config () in
+  Attribution.record_query a ~key:1 ~node:10 ~now:0.1;
+  Attribution.record_miss a ~key:1 ~node:10 ~now:0.1;
+  Attribution.record_query_hop a ~key:1 ~node:10;
+  Attribution.record_query_hop a ~key:1 ~node:11;
+  Attribution.record_update_hop a ~key:1 ~node:12 ~level:2 ~overhead:false
+    ~now:0.2;
+  Attribution.record_update_hop a ~key:1 ~node:12 ~level:2 ~overhead:true
+    ~now:0.3;
+  Attribution.record_clear_bit_hop a ~key:1 ~node:12 ~now:0.4;
+  Attribution.record_delivery a ~key:1 ~node:12;
+  Attribution.record_justified a ~key:1 ~node:12;
+  let b = Attribution.create ~config () in
+  Attribution.record_query b ~key:2 ~node:10 ~now:0.5;
+  Attribution.record_hit b ~key:2 ~node:10;
+  let m = Attribution.merge a b in
+  let tot metric = Attribution.total m ~by:Attribution.Key ~metric in
+  Alcotest.(check int) "queries" 2 (tot Metric.queries);
+  Alcotest.(check int) "hits" 1 (tot Metric.hits);
+  Alcotest.(check int) "miss hops = query hops + answering update hop" 3
+    (tot Metric.miss_hops);
+  Alcotest.(check int) "overhead hops = proactive update + clear-bit" 2
+    (tot Metric.overhead_hops);
+  Alcotest.(check int) "level axis sees only update hops" 1
+    (Attribution.total m ~by:Attribution.Level ~metric:Metric.overhead_hops);
+  (match Attribution.top m ~by:Attribution.Key ~k:2 with
+  | [ hot; cold ] ->
+      Alcotest.(check int) "hot key" 1 hot.Sketch.id;
+      Alcotest.(check int) "hot weight" 9 hot.Sketch.estimate;
+      Alcotest.(check int) "cold key" 2 cold.Sketch.id
+  | l -> Alcotest.failf "expected 2 keys, got %d" (List.length l));
+  match (Attribution.rates m ~key:1, Attribution.rates m ~key:2) with
+  | Some (rq, rm, ro), Some (rq2, _, _) ->
+      Alcotest.(check int) "key 1 query obs" 1 (Rate.observations rq);
+      Alcotest.(check int) "key 1 miss obs" 1 (Rate.observations rm);
+      Alcotest.(check int) "key 1 overhead obs" 2 (Rate.observations ro);
+      Alcotest.(check int) "key 2 rates survive merge" 1
+        (Rate.observations rq2)
+  | _ -> Alcotest.fail "merged rates missing a tracked key"
+
+let test_attribution_footprint_bounded () =
+  let config = { Attribution.default_config with capacity = 64 } in
+  let feed n =
+    let a = Attribution.create ~config () in
+    for k = 0 to n - 1 do
+      Attribution.record_query a ~key:k ~node:(k mod 50)
+        ~now:(0.01 *. float_of_int k)
+    done;
+    a
+  in
+  let small = feed 1_000 and large = feed 50_000 in
+  Alcotest.(check int) "footprint independent of catalog size"
+    (Attribution.footprint_words small)
+    (Attribution.footprint_words large);
+  Alcotest.(check int) "key sketch pinned at capacity" 64
+    (Sketch.entries (Attribution.sketch large Attribution.Key))
+
+let test_attribution_axis_names () =
+  List.iter
+    (fun ax ->
+      Alcotest.(check bool) "axis_of_string inverts axis_name" true
+        (Attribution.axis_of_string (Attribution.axis_name ax) = Some ax))
+    [ Attribution.Key; Attribution.Node; Attribution.Level ];
+  Alcotest.(check bool) "unknown axis rejected" true
+    (Attribution.axis_of_string "tree" = None)
+
 let () =
   Alcotest.run "cup_metrics"
     [
@@ -397,5 +653,26 @@ let () =
             test_counters_zero_hop_delay;
           Alcotest.test_case "merge" `Quick test_counters_merge;
           Alcotest.test_case "pp" `Quick test_counters_pp_smoke;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "sketch exact below capacity" `Quick
+            test_sketch_exact_below_capacity;
+          Alcotest.test_case "sketch eviction deterministic" `Quick
+            test_sketch_eviction_deterministic;
+          QCheck_alcotest.to_alcotest prop_sketch_error_bound;
+          QCheck_alcotest.to_alcotest prop_sketch_merge_associative;
+          QCheck_alcotest.to_alcotest prop_sketch_merge_commutative;
+          QCheck_alcotest.to_alcotest prop_sketch_replay_deterministic;
+          Alcotest.test_case "rate windowed and ewma" `Quick
+            test_rate_windowed_and_ewma;
+          QCheck_alcotest.to_alcotest prop_rate_merge_exact;
+          Alcotest.test_case "rate vs closed-form break-even input" `Quick
+            test_rate_vs_analysis_closed_form;
+          Alcotest.test_case "records and merge" `Quick
+            test_attribution_records_and_merge;
+          Alcotest.test_case "footprint O(K)" `Quick
+            test_attribution_footprint_bounded;
+          Alcotest.test_case "axis names" `Quick test_attribution_axis_names;
         ] );
     ]

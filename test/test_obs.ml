@@ -1277,6 +1277,221 @@ let test_audit_catches_backlog_breach () =
   check_violation "backlog bound" "V3" (fun () ->
       Audit.observe a (delivered ~at:5. ~span:1 ~parent:0 ~entries:[]))
 
+(* {1 HTTP loopback framing} *)
+
+(* The client reads exactly Content-Length bytes, so a mis-framed
+   response would corrupt the second request on the same server;
+   two back-to-back requests with exact body checks pin both the
+   framing and the 404 body. *)
+let test_http_two_request_loopback () =
+  let body_with_newlines = "line one\nline two\n\nend\n" in
+  let srv =
+    Http_server.start ~port:0
+      ~routes:[ ("/doc", fun _ -> Http_server.text body_with_newlines) ]
+      ()
+  in
+  let port = Http_server.port srv in
+  Fun.protect
+    ~finally:(fun () -> Http_server.stop srv)
+    (fun () ->
+      (match Http_server.get ~port "/doc" with
+      | Ok (status, body) ->
+          Alcotest.(check int) "first request status" 200 status;
+          Alcotest.(check string) "body survives framing exactly"
+            body_with_newlines body
+      | Error e -> Alcotest.fail ("first request: " ^ e));
+      match Http_server.get ~port "/nowhere" with
+      | Ok (status, body) ->
+          Alcotest.(check int) "second request is a 404" 404 status;
+          Alcotest.(check string) "404 carries its documented body"
+            "not found\n" body
+      | Error e -> Alcotest.fail ("second request: " ^ e))
+
+(* {1 Per-key activity in the analyzer} *)
+
+let multikey =
+  { faulty with Scenario.total_keys_override = Some 3; query_rate = 1.5 }
+
+let test_analyzer_per_key_activity () =
+  let bytes, _ = trace_bytes multikey in
+  let events = events_of_bytes bytes in
+  let s = Cup_obs.Analyzer.analyze events in
+  Alcotest.(check bool) "several keys active" true (List.length s.per_key > 1);
+  let keys = List.map fst s.per_key in
+  Alcotest.(check bool) "sorted by key" true (List.sort compare keys = keys);
+  let sum get =
+    List.fold_left (fun acc (_, ks) -> acc + get ks) 0 s.per_key
+  in
+  Alcotest.(check int) "per-key hits sum to the total" s.hits
+    (sum (fun ks -> ks.Cup_obs.Analyzer.k_hits));
+  Alcotest.(check int) "per-key misses sum to the total" s.misses
+    (sum (fun ks -> ks.Cup_obs.Analyzer.k_misses));
+  Alcotest.(check int)
+    "every event is either keyed or a membership event" s.events
+    (sum (fun ks -> ks.Cup_obs.Analyzer.k_events) + s.membership);
+  (* the streaming pass carries the same per-key table, and the
+     rendered summary prints it *)
+  let st = Cup_obs.Analyzer.Streaming.create () in
+  List.iter (Cup_obs.Analyzer.Streaming.feed st) events;
+  let streamed = Cup_obs.Analyzer.Streaming.finish st in
+  Alcotest.(check bool) "streaming per-key table equal" true
+    (streamed.per_key = s.per_key);
+  let rendered = Format.asprintf "%a" (Cup_obs.Analyzer.pp_summary ?max_traces:None) s in
+  Alcotest.(check bool) "summary prints the per-key table" true
+    (let needle = "per-key:" in
+     let n = String.length needle and h = String.length rendered in
+     let rec scan i =
+       i + n <= h && (String.sub rendered i n = needle || scan (i + 1))
+     in
+     scan 0)
+
+(* {1 Cost attribution} *)
+
+module Attribution = Cup_metrics.Attribution
+module Topk = Cup_obs.Topk
+
+(* Capacity 256 covers every key, node and level id in [faulty], so
+   the sketches stay in the exact regime — the setting under which the
+   byte-identity guarantees are unconditional. *)
+let attributed_run cfg =
+  let live = Runner.Live.create cfg in
+  let a =
+    Attribution.create
+      ~config:{ Attribution.default_config with capacity = 256 }
+      ()
+  in
+  Runner.Live.set_attribution live (Some a);
+  let r = Runner.Live.finish live in
+  (a, r)
+
+let render_attribution a =
+  String.concat "\n"
+    [
+      Topk.table a ~by:Attribution.Key;
+      Topk.table a ~by:Attribution.Node;
+      Topk.table a ~by:Attribution.Level;
+      Topk.csv a;
+      Topk.prometheus a;
+      Json.to_string (Topk.json a);
+    ]
+
+let test_attribution_deterministic_across_schedulers () =
+  let heap, _ = attributed_run { multikey with scheduler = Some `Heap } in
+  let cal, _ = attributed_run { multikey with scheduler = Some `Calendar } in
+  let heap = render_attribution heap and cal = render_attribution cal in
+  Alcotest.(check bool) "rendering nonempty" true (String.length heap > 0);
+  Alcotest.(check bool) "byte-identical heap vs calendar" true (heap = cal)
+
+let test_attribution_deterministic_across_jobs () =
+  let seeds = [ 3001; 3002; 3003; 3004 ] in
+  let merged jobs =
+    let parts =
+      Cup_parallel.Pool.with_pool ~jobs (fun pool ->
+          Cup_parallel.Pool.map pool
+            (fun seed -> fst (attributed_run { multikey with seed }))
+            seeds)
+    in
+    match parts with
+    | [] -> assert false
+    | first :: rest ->
+        render_attribution (List.fold_left Attribution.merge first rest)
+  in
+  Alcotest.(check bool) "jobs=1 and jobs=4 identical after merge" true
+    (merged 1 = merged 4)
+
+let test_attribution_matches_counters_and_trace () =
+  let plain, _ = trace_bytes multikey in
+  let buf = Buffer.create 4096 in
+  let live = Runner.Live.create multikey in
+  let a = Attribution.create () in
+  Runner.Live.set_attribution live (Some a);
+  Runner.Live.set_tracer live
+    (Some
+       (fun e ->
+         Buffer.add_string buf (Event_json.to_string e);
+         Buffer.add_char buf '\n'));
+  let r = Runner.Live.finish live in
+  Alcotest.(check bool) "attribution does not perturb the trace" true
+    (plain = Buffer.contents buf);
+  let tot m = Attribution.total a ~by:Attribution.Key ~metric:m in
+  Alcotest.(check int) "hits" (Counters.hits r.counters)
+    (tot Attribution.Metric.hits);
+  Alcotest.(check int) "misses" (Counters.misses r.counters)
+    (tot Attribution.Metric.misses);
+  Alcotest.(check int) "miss-cost hops"
+    (Counters.miss_cost r.counters)
+    (tot Attribution.Metric.miss_hops);
+  Alcotest.(check int) "overhead hops"
+    (Counters.overhead_cost r.counters)
+    (tot Attribution.Metric.overhead_hops);
+  (* the node axis ledgers the same events, attributed to receivers *)
+  Alcotest.(check int) "node axis sees the same overhead"
+    (Counters.overhead_cost r.counters)
+    (Attribution.total a ~by:Attribution.Node
+       ~metric:Attribution.Metric.overhead_hops)
+
+let test_serve_topk_endpoint () =
+  let cfg = { multikey with Scenario.seed = 2005 } in
+  let live = Runner.Live.create cfg in
+  let registry = Registry.create () in
+  Runner.Live.set_metrics live (Some registry);
+  let a = Attribution.create () in
+  Runner.Live.set_attribution live (Some a);
+  let srv = Serve.start ~refresh:100. ~registry live in
+  let port = Serve.port srv in
+  ignore (Runner.Live.finish live);
+  Serve.mark_finished srv;
+  (match Http_server.get ~port "/topk" with
+  | Ok (200, body) -> (
+      match Json.of_string body with
+      | Error e -> Alcotest.fail ("topk parse: " ^ e)
+      | Ok j ->
+          Alcotest.(check string) "snapshot is the Topk document"
+            (Json.to_string (Topk.json a))
+            body;
+          List.iter
+            (fun axis ->
+              match Json.member axis j with
+              | Some (Json.Obj _) -> ()
+              | _ -> Alcotest.fail ("missing axis object: " ^ axis))
+            [ "key"; "node"; "level" ];
+          let top_nonempty =
+            match Option.bind (Json.member "key" j) (Json.member "top") with
+            | Some (Json.List (_ :: _)) -> true
+            | _ -> false
+          in
+          Alcotest.(check bool) "key axis has entries" true top_nonempty)
+  | Ok (status, _) -> Alcotest.fail (Printf.sprintf "topk status %d" status)
+  | Error e -> Alcotest.fail ("topk: " ^ e));
+  (match Http_server.get ~port "/metrics" with
+  | Ok (200, body) ->
+      Alcotest.(check bool) "capped per-key families exposed" true
+        (let needle = "cup_key_attr_total" in
+         let n = String.length needle and h = String.length body in
+         let rec scan i =
+           i + n <= h && (String.sub body i n = needle || scan (i + 1))
+         in
+         scan 0)
+  | Ok (status, _) -> Alcotest.fail (Printf.sprintf "metrics status %d" status)
+  | Error e -> Alcotest.fail ("metrics: " ^ e));
+  Serve.stop srv
+
+let test_serve_topk_detached () =
+  let live = Runner.Live.create { base with Scenario.seed = 2006 } in
+  let registry = Registry.create () in
+  Runner.Live.set_metrics live (Some registry);
+  let srv = Serve.start ~refresh:100. ~registry live in
+  let port = Serve.port srv in
+  ignore (Runner.Live.finish live);
+  Serve.mark_finished srv;
+  (match Http_server.get ~port "/topk" with
+  | Ok (200, body) ->
+      Alcotest.(check string) "detached run reports no attribution"
+        "{\"attribution\":false}" body
+  | Ok (status, _) -> Alcotest.fail (Printf.sprintf "topk status %d" status)
+  | Error e -> Alcotest.fail ("topk: " ^ e));
+  Serve.stop srv
+
 (* {1 Multi-run metrics merge} *)
 
 let test_replicate_metrics_deterministic () =
@@ -1386,9 +1601,24 @@ let () =
       ( "http",
         [
           Alcotest.test_case "server smoke" `Quick test_http_server_smoke;
+          Alcotest.test_case "two-request loopback framing" `Quick
+            test_http_two_request_loopback;
           Alcotest.test_case "serve endpoints" `Quick test_serve_endpoints;
           Alcotest.test_case "serving does not perturb metrics" `Quick
             test_serve_does_not_perturb_metrics;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "per-key analyzer activity" `Quick
+            test_analyzer_per_key_activity;
+          Alcotest.test_case "deterministic across schedulers" `Quick
+            test_attribution_deterministic_across_schedulers;
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_attribution_deterministic_across_jobs;
+          Alcotest.test_case "matches counters, keeps trace bytes" `Quick
+            test_attribution_matches_counters_and_trace;
+          Alcotest.test_case "/topk endpoint" `Quick test_serve_topk_endpoint;
+          Alcotest.test_case "/topk detached" `Quick test_serve_topk_detached;
         ] );
       ( "resource",
         [
